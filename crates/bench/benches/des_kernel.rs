@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks of the DES kernel: the event throughput every
+//! higher-level experiment rides on.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cumulus_simkit::prelude::*;
+
+/// Schedule-and-drain N independent events.
+fn drain_events(n: u64) -> u64 {
+    let mut sim = Sim::new(0u64);
+    for i in 0..n {
+        sim.schedule_at(SimTime::from_micros(i * 7 % 1_000_000), |sim: &mut Sim<u64>| {
+            sim.world += 1;
+        });
+    }
+    sim.run_to_completion();
+    sim.world
+}
+
+/// A self-rescheduling event chain (measures per-event overhead without
+/// queue pressure).
+fn event_chain(n: u64) -> u64 {
+    fn tick(sim: &mut Sim<(u64, u64)>) {
+        sim.world.0 += 1;
+        if sim.world.0 < sim.world.1 {
+            sim.schedule_in(SimDuration::from_micros(1), tick);
+        }
+    }
+    let mut sim = Sim::new((0u64, n));
+    sim.schedule_now(tick);
+    sim.run_to_completion();
+    sim.world.0
+}
+
+/// Heavy cancellation: schedule 2N, cancel half, drain.
+fn cancel_half(n: u64) -> u64 {
+    let mut sim = Sim::new(0u64);
+    let mut ids = Vec::with_capacity((2 * n) as usize);
+    for i in 0..2 * n {
+        ids.push(sim.schedule_at(SimTime::from_micros(i), |sim: &mut Sim<u64>| {
+            sim.world += 1;
+        }));
+    }
+    for id in ids.iter().step_by(2) {
+        sim.cancel(*id);
+    }
+    sim.run_to_completion();
+    sim.world
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_kernel");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("drain_events", n), &n, |b, &n| {
+            b.iter(|| drain_events(black_box(n)))
+        });
+    }
+    group.bench_function("event_chain_10k", |b| b.iter(|| event_chain(black_box(10_000))));
+    group.bench_function("cancel_half_10k", |b| b.iter(|| cancel_half(black_box(10_000))));
+    group.finish();
+
+    let mut group = c.benchmark_group("rng_streams");
+    group.bench_function("derive_and_draw_1k", |b| {
+        b.iter(|| {
+            let mut rng = RngStream::derive(black_box(42), "bench");
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.uniform();
+            }
+            acc
+        })
+    });
+    group.bench_function("normal_1k", |b| {
+        b.iter(|| {
+            let mut rng = RngStream::derive(black_box(42), "bench");
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.normal(0.0, 1.0);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the platform simulator itself: how fast do the
+//! paper's experiments run, and how do Monte-Carlo sweeps scale across
+//! threads?
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cumulus::cloud::InstanceType;
+use cumulus::net::DataSize;
+use cumulus::provision::{GpCloud, Topology};
+use cumulus::simkit::time::SimTime;
+use cumulus::simkit::{run_replicas, ReplicaPlan};
+use cumulus::transfer::{calibrated_wan_link, Protocol};
+
+/// A full single-node GP deployment (the fig10 unit of work).
+fn deploy_once(seed: u64) -> f64 {
+    let mut world = GpCloud::deterministic(seed);
+    let id = world.create_instance(Topology::single_node(InstanceType::M1Small));
+    let report = world.start_instance(SimTime::ZERO, &id).expect("deploys");
+    report.duration_from(SimTime::ZERO).as_mins_f64()
+}
+
+/// A cluster deployment plus an elastic update.
+fn deploy_and_update(seed: u64) -> f64 {
+    let mut world = GpCloud::deterministic(seed);
+    let id = world.create_instance(Topology::figure3());
+    let report = world.start_instance(SimTime::ZERO, &id).expect("deploys");
+    let target = world
+        .instance(&id)
+        .unwrap()
+        .topology
+        .with_json_update(
+            r#"{"domains":{"simple":{"cluster-nodes":6,"worker-instance-type":"c1.medium"}}}"#,
+        )
+        .unwrap();
+    let reconfig = world.update_instance(report.ready_at, &id, target).unwrap();
+    reconfig.done_at(report.ready_at).since(report.ready_at).as_mins_f64()
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("provision");
+    group.sample_size(20);
+    group.bench_function("deploy_single_node", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(deploy_once(seed))
+        })
+    });
+    group.bench_function("deploy_figure3_and_scale", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(deploy_and_update(seed))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("transfer_model");
+    let link = calibrated_wan_link();
+    group.bench_function("fig11_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for mb in [1u64, 10, 100, 500, 1000, 2000, 4000, 8000] {
+                for p in [Protocol::GLOBUS_DEFAULT, Protocol::Ftp, Protocol::Http] {
+                    if let Some(r) = p.achieved_rate(DataSize::from_mb(mb), &link) {
+                        acc += r.as_mbps();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    // Parallel replica scaling: the same 16-deployment sweep on 1 vs all
+    // threads.
+    let mut group = c.benchmark_group("replica_runner");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("deploy_sweep_16", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let out = run_replicas(
+                        ReplicaPlan::new(99, 16).with_threads(threads),
+                        |i, _| deploy_once(5000 + i as u64),
+                    );
+                    black_box(out.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! The §VI GP-vs-CloudMan ablation (experiment E8).
+fn main() {
+    print!("{}", cumulus_bench::experiments::cloudman::run(cumulus_bench::REPORT_SEED));
+}

@@ -1,0 +1,9 @@
+//! Run every experiment and print the full report (the content of
+//! EXPERIMENTS.md's measured columns).
+fn main() {
+    let replicas: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    print!("{}", cumulus_bench::full_report(replicas));
+}

@@ -1,0 +1,4 @@
+//! Deployment-time-by-image ablation (experiment E10).
+fn main() {
+    print!("{}", cumulus_bench::experiments::ami::run(cumulus_bench::REPORT_SEED));
+}

@@ -1,0 +1,14 @@
+//! Extension experiments (E9): stream sweep, fault sensitivity, autoscaling.
+fn main() {
+    let replicas: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(16);
+    print!("{}", cumulus_bench::experiments::extensions::run_stream_sweep());
+    println!();
+    print!("{}", cumulus_bench::experiments::extensions::run_fault_sensitivity(replicas));
+    println!();
+    print!("{}", cumulus_bench::experiments::extensions::run_autoscale(cumulus_bench::REPORT_SEED));
+    println!();
+    print!("{}", cumulus_bench::experiments::extensions::run_nfs_contention());
+}

@@ -1,0 +1,4 @@
+//! Regenerate Figure 10 (experiments E2–E4).
+fn main() {
+    print!("{}", cumulus_bench::experiments::fig10::run(cumulus_bench::REPORT_SEED));
+}

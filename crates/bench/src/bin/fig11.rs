@@ -1,0 +1,4 @@
+//! Regenerate Figure 11 (experiments E5 + E7).
+fn main() {
+    print!("{}", cumulus_bench::experiments::fig11::run());
+}

@@ -1,0 +1,4 @@
+//! Measure runtime reconfiguration latency (experiment E6).
+fn main() {
+    print!("{}", cumulus_bench::experiments::reconfig::run(cumulus_bench::REPORT_SEED));
+}

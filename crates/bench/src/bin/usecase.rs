@@ -1,0 +1,4 @@
+//! Regenerate the §V.A use-case numbers (experiment E1).
+fn main() {
+    print!("{}", cumulus_bench::experiments::usecase::run(cumulus_bench::REPORT_SEED));
+}

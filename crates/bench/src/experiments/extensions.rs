@@ -1,0 +1,361 @@
+//! Extension experiments beyond the paper's figures:
+//!
+//! * E9a — GridFTP parallel-stream sweep (why 4 streams is a good default);
+//! * E9b — fault-rate sensitivity of GO vs FTP (Monte Carlo over the
+//!   parallel replica runner);
+//! * E9c — queue-driven autoscaling vs a static cluster;
+//! * E9d — NFS staging contention as concurrent jobs grow.
+
+use cumulus::cloud::InstanceType;
+use cumulus::htc::{Job, WorkSpec};
+use cumulus::net::{DataSize, FaultPlan, Network};
+use cumulus::provision::{GpCloud, Topology};
+use cumulus::simkit::time::{SimDuration, SimTime};
+use cumulus::simkit::{run_replicas, ReplicaPlan, Samples};
+use cumulus::transfer::{
+    calibrated_wan_link, CertificateAuthority, EndpointKind, Protocol, TaskStatus,
+    TransferRequest, TransferService,
+};
+
+use crate::table::{mbps, mins, Table};
+
+// ----- E9a: stream sweep --------------------------------------------------
+
+/// Achieved rate for a 1 GB file as GridFTP stream count varies, on a
+/// long-haul path with 0.2% packet loss (where the Mathis limit bites and
+/// parallel streams are what GridFTP buys you).
+pub fn stream_sweep() -> Vec<(u32, f64)> {
+    let link = calibrated_wan_link().with_loss(0.002);
+    [1u32, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|streams| {
+            let rate = Protocol::GridFtp { streams }
+                .achieved_rate(DataSize::from_gb(1), &link)
+                .expect("no cap")
+                .as_mbps();
+            (streams, rate)
+        })
+        .collect()
+}
+
+/// Render E9a.
+pub fn run_stream_sweep() -> String {
+    let mut t = Table::new(
+        "E9a — GridFTP parallel streams vs achieved rate (1 GB, lossy WAN path)",
+        &["streams", "rate (Mbit/s)"],
+    );
+    for (s, r) in stream_sweep() {
+        t.row(&[s.to_string(), mbps(r)]);
+    }
+    format!(
+        "{}\nunder loss each TCP stream is Mathis-limited, so rate scales with \
+         stream count until the aggregate hits the 37.5 Mbit/s uplink — the \
+         mechanism behind GridFTP's advantage on real long-haul paths.\n",
+        t.render()
+    )
+}
+
+// ----- E9b: fault sensitivity ----------------------------------------------
+
+/// Monte-Carlo achieved rate under Poisson faults. Returns
+/// `(mean_rate_mbps, success_fraction)` per protocol.
+pub fn fault_sensitivity(
+    mean_fault_interval_s: f64,
+    replicas: usize,
+) -> Vec<(&'static str, f64, f64)> {
+    let protocols = [Protocol::GLOBUS_DEFAULT, Protocol::Ftp];
+    protocols
+        .iter()
+        .map(|protocol| {
+            let results = run_replicas(ReplicaPlan::new(2026, replicas), |_, seeds| {
+                let mut network = Network::new();
+                let laptop = network.add_node("laptop");
+                let server = network.add_node("server");
+                network.connect(laptop, server, calibrated_wan_link());
+                let mut service = TransferService::new();
+                service
+                    .endpoints
+                    .register("u#laptop", laptop, EndpointKind::GlobusConnect)
+                    .unwrap();
+                service
+                    .endpoints
+                    .register("g#server", server, EndpointKind::GridFtpServer)
+                    .unwrap();
+                let mut ca = CertificateAuthority::new("/CN=mc");
+                service
+                    .credentials
+                    .register(ca.issue("u", SimTime::ZERO, SimDuration::from_hours(48)));
+                let mut rng = seeds.stream("faults");
+                service.set_fault_plan(
+                    "u#laptop",
+                    "g#server",
+                    FaultPlan::poisson(
+                        &mut rng,
+                        SimDuration::from_hours(24),
+                        SimDuration::from_secs_f64(mean_fault_interval_s),
+                        SimDuration::from_secs(45),
+                    ),
+                );
+                let request = TransferRequest::globus(
+                    "u",
+                    ("u#laptop", "/data/big.bam"),
+                    ("g#server", "/nfs/big.bam"),
+                    DataSize::from_gb(1),
+                )
+                .with_protocol(*protocol);
+                let id = service.submit(SimTime::ZERO, &network, request).unwrap();
+                let task = service.task(id).unwrap();
+                let rate = task.achieved_rate().as_mbps();
+                (rate, task.status == TaskStatus::Succeeded)
+            });
+            let mut rates = Samples::new();
+            let mut successes = 0usize;
+            for (rate, ok) in &results {
+                if *ok {
+                    rates.record(*rate);
+                    successes += 1;
+                }
+            }
+            (
+                protocol.name(),
+                rates.mean().unwrap_or(0.0),
+                successes as f64 / results.len() as f64,
+            )
+        })
+        .collect()
+}
+
+/// Render E9b.
+pub fn run_fault_sensitivity(replicas: usize) -> String {
+    let mut t = Table::new(
+        "E9b — 1 GB transfer under Poisson faults (Monte Carlo)",
+        &["mean fault interval", "protocol", "mean rate (Mbit/s)", "success"],
+    );
+    for interval in [3600.0f64, 600.0, 120.0] {
+        for (name, rate, success) in fault_sensitivity(interval, replicas) {
+            t.row(&[
+                format!("{:.0}s", interval),
+                name.to_string(),
+                mbps(rate),
+                format!("{:.0}%", success * 100.0),
+            ]);
+        }
+    }
+    format!(
+        "{}\nGridFTP restart markers keep throughput and success high as faults densify; \
+         FTP retransmits from zero and degrades much faster.\n",
+        t.render()
+    )
+}
+
+// ----- E9c: autoscaling -----------------------------------------------------
+
+/// Outcome of one scaling policy on a bursty queue.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleOutcome {
+    /// Minutes from burst arrival to empty queue.
+    pub makespan_mins: f64,
+    /// Dollars spent over the episode.
+    pub cost: f64,
+}
+
+fn submit_burst(world: &mut GpCloud, id: &cumulus::provision::GpInstanceId, at: SimTime, n: usize) {
+    let inst = world.instance_mut(id).unwrap();
+    for _ in 0..n {
+        inst.pool.submit(
+            Job::new(
+                "user1",
+                WorkSpec {
+                    serial_secs: 112.0,
+                    cu_work: 418.0,
+                },
+            ),
+            at,
+        );
+    }
+}
+
+/// Static policy: the cluster stays as deployed (1 head).
+pub fn measure_static(seed: u64, burst: usize) -> AutoscaleOutcome {
+    let mut world = GpCloud::deterministic(seed);
+    let id = world.create_instance(Topology::single_node(InstanceType::M1Small));
+    let ready = world.start_instance(SimTime::ZERO, &id).unwrap().ready_at;
+    submit_burst(&mut world, &id, ready, burst);
+    let done = world
+        .instance_mut(&id)
+        .unwrap()
+        .pool
+        .run_until_drained(ready, 10_000)
+        .expect("drains eventually");
+    AutoscaleOutcome {
+        makespan_mins: done.since(ready).as_mins_f64(),
+        cost: world.ec2.ledger.window_cost(ready, done),
+    }
+}
+
+/// Queue-driven policy: one c1.medium worker per 2 queued jobs (capped),
+/// scaled in once the queue drains.
+pub fn measure_autoscale(seed: u64, burst: usize) -> AutoscaleOutcome {
+    let mut world = GpCloud::deterministic(seed);
+    let id = world.create_instance(Topology::single_node(InstanceType::M1Small));
+    let ready = world.start_instance(SimTime::ZERO, &id).unwrap().ready_at;
+    submit_burst(&mut world, &id, ready, burst);
+
+    // Policy decision: workers = ceil(queue / 2), capped at 8.
+    let queued = world.instance(&id).unwrap().pool.idle_count();
+    let workers = queued.div_ceil(2).min(8);
+    let target = world
+        .instance(&id)
+        .unwrap()
+        .topology
+        .with_json_update(&format!(
+            r#"{{"domains":{{"simple":{{"cluster-nodes":{workers},"worker-instance-type":"c1.medium"}}}}}}"#
+        ))
+        .unwrap();
+    let reconfig = world.update_instance(ready, &id, target).unwrap();
+    let scaled = reconfig.done_at(ready);
+
+    let done = world
+        .instance_mut(&id)
+        .unwrap()
+        .pool
+        .run_until_drained(scaled, 10_000)
+        .expect("drains");
+
+    // Scale back in.
+    let target = world
+        .instance(&id)
+        .unwrap()
+        .topology
+        .with_json_update(r#"{"domains":{"simple":{"cluster-nodes":0}}}"#)
+        .unwrap();
+    let reconfig = world.update_instance(done, &id, target).unwrap();
+    let idle = reconfig.done_at(done);
+
+    AutoscaleOutcome {
+        makespan_mins: done.since(ready).as_mins_f64(),
+        cost: world.ec2.ledger.window_cost(ready, idle),
+    }
+}
+
+/// Render E9c.
+pub fn run_autoscale(seed: u64) -> String {
+    let mut t = Table::new(
+        "E9c — bursty queue: static single node vs queue-driven autoscaling",
+        &["burst", "policy", "makespan (min)", "cost ($)"],
+    );
+    for burst in [4usize, 8, 16] {
+        let st = measure_static(seed, burst);
+        let au = measure_autoscale(seed, burst);
+        t.row(&[
+            burst.to_string(),
+            "static (1 x m1.small)".to_string(),
+            mins(st.makespan_mins),
+            format!("{:.4}", st.cost),
+        ]);
+        t.row(&[
+            burst.to_string(),
+            "autoscale (c1.medium pool)".to_string(),
+            mins(au.makespan_mins),
+            format!("{:.4}", au.cost),
+        ]);
+    }
+    format!(
+        "{}\nautoscaling trades a small amount of money for large makespan wins on bursts, \
+         then releases the nodes — the elasticity §III.C is for.\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_sweep_scales_then_saturates() {
+        let sweep = stream_sweep();
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1 - 1e-9, "rate must not fall");
+        }
+        let one = sweep[0].1;
+        let four = sweep.iter().find(|(s, _)| *s == 4).unwrap().1;
+        let last = sweep.last().unwrap().1;
+        assert!(four > 2.5 * one, "parallel streams must pay off under loss");
+        assert!(last < 37.5, "cannot exceed the uplink");
+    }
+
+    #[test]
+    fn fault_sensitivity_favors_gridftp() {
+        let results = fault_sensitivity(300.0, 8);
+        let go = results.iter().find(|(n, _, _)| *n == "globus-transfer").unwrap();
+        let ftp = results.iter().find(|(n, _, _)| *n == "ftp").unwrap();
+        assert!(go.1 > ftp.1, "GO rate {} vs FTP {}", go.1, ftp.1);
+        assert!(go.2 >= ftp.2, "GO success {} vs FTP {}", go.2, ftp.2);
+    }
+
+    #[test]
+    fn autoscaling_wins_on_makespan() {
+        let st = measure_static(7500, 8);
+        let au = measure_autoscale(7500, 8);
+        assert!(
+            au.makespan_mins < st.makespan_mins / 2.0,
+            "autoscale {} vs static {}",
+            au.makespan_mins,
+            st.makespan_mins
+        );
+    }
+
+    #[test]
+    fn nfs_contention_scales_linearly() {
+        let rows = nfs_contention();
+        let base = rows[0].1;
+        for (c, secs) in &rows {
+            assert!((secs - base * *c as f64).abs() < 1e-6, "fair sharing");
+        }
+        // 190.3 MB at 400 Mbit/s ≈ 3.8 s alone.
+        assert!((base - 3.806).abs() < 0.01, "base={base}");
+    }
+
+    #[test]
+    fn reports_render() {
+        assert!(run_stream_sweep().contains("E9a"));
+        assert!(run_autoscale(7501).contains("E9c"));
+        assert!(run_fault_sensitivity(4).contains("E9b"));
+        assert!(run_nfs_contention().contains("E9d"));
+    }
+}
+
+// ----- E9d: NFS contention ---------------------------------------------------
+
+/// Seconds to stage the 190.3 MB dataset from NFS when `concurrent` jobs
+/// stage simultaneously (fair-shared 400 Mbit/s server).
+pub fn nfs_contention() -> Vec<(u32, f64)> {
+    let fs = cumulus::nfs::SharedFs::new(400.0);
+    let bytes = cumulus::net::DataSize::from_mb_f64(190.3).as_bytes();
+    [1u32, 2, 4, 8, 16]
+        .into_iter()
+        .map(|concurrent| {
+            (
+                concurrent,
+                fs.stage_duration(bytes, concurrent).as_secs_f64(),
+            )
+        })
+        .collect()
+}
+
+/// Render E9d.
+pub fn run_nfs_contention() -> String {
+    let mut t = Table::new(
+        "E9d — NFS stage-in of affyCelFileSamples.zip (190.3 MB) under contention",
+        &["concurrent stage-ins", "per-job stage time (s)"],
+    );
+    for (c, secs) in nfs_contention() {
+        t.row(&[c.to_string(), format!("{secs:.2}")]);
+    }
+    format!(
+        "{}\nstage-in is negligible next to the tool's 112 s serial startup until \
+         ~16 concurrent jobs share the server — the shared filesystem only becomes \
+         the bottleneck at cluster sizes the paper's 2-node use case never reaches.\n",
+        t.render()
+    )
+}

@@ -1,0 +1,187 @@
+//! Experiments E2–E4: Figure 10 — execution time, deployment time, and
+//! cost of the use-case payload across EC2 instance types.
+
+use cumulus::cloud::InstanceType;
+use cumulus::provision::Topology;
+use cumulus::scenario::UseCaseScenario;
+use cumulus::simkit::time::SimTime;
+
+use crate::table::{dollars, err_pct, mins, Table};
+
+/// One measured row of Figure 10.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig10Row {
+    /// The instance type measured.
+    pub instance_type: InstanceType,
+    /// Steps 3+4 execution time, minutes.
+    pub exec_mins: f64,
+    /// GP deployment time, minutes.
+    pub deploy_mins: f64,
+    /// Cost of the execution window, dollars.
+    pub exec_cost: f64,
+}
+
+/// Paper values (execution minutes, deployment minutes, cost $); `None`
+/// where the paper reports no number for that type.
+pub fn paper_values(t: InstanceType) -> (Option<f64>, Option<f64>, Option<f64>) {
+    match t {
+        InstanceType::M1Small => (Some(10.7), Some(8.8), Some(0.007)),
+        InstanceType::C1Medium => (Some(6.9), Some(7.2), None),
+        InstanceType::M1Large => (Some(5.4), None, None),
+        InstanceType::M1Xlarge => (Some(4.6), Some(4.9), Some(0.024)),
+        InstanceType::T1Micro => (None, None, None),
+    }
+}
+
+/// Measure one instance type: deploy a single-node Galaxy, move both
+/// datasets, run `affyDifferentialExpression` on each.
+pub fn measure(instance_type: InstanceType, seed: u64) -> Fig10Row {
+    let t0 = SimTime::ZERO;
+    let (mut s, report) =
+        UseCaseScenario::deploy_with(seed, t0, Topology::single_node(instance_type))
+            .expect("deployment succeeds");
+    let deploy_mins = report.duration_from(t0).as_mins_f64();
+
+    let (ds_small, t1) = s.transfer_four_cel_samples(report.ready_at).unwrap();
+    let (_, t2) = s.run_differential_expression(t1, ds_small).unwrap();
+    let (ds_large, t3) = s.transfer_affy_cel_samples(t2).unwrap();
+    let (_, t4) = s.run_differential_expression(t3, ds_large).unwrap();
+
+    let exec_mins = (t2.since(t1) + t4.since(t3)).as_mins_f64();
+    let exec_cost = s.window_cost(t1, t2) + s.window_cost(t3, t4);
+
+    Fig10Row {
+        instance_type,
+        exec_mins,
+        deploy_mins,
+        exec_cost,
+    }
+}
+
+/// The instance types Figure 10 sweeps.
+pub const SWEEP: [InstanceType; 4] = [
+    InstanceType::M1Small,
+    InstanceType::C1Medium,
+    InstanceType::M1Large,
+    InstanceType::M1Xlarge,
+];
+
+/// Run the whole figure and render the report tables.
+pub fn run(seed: u64) -> String {
+    let rows: Vec<Fig10Row> = SWEEP
+        .iter()
+        .map(|t| measure(*t, seed))
+        .collect();
+
+    let fmt_opt = |v: Option<f64>, f: fn(f64) -> String| {
+        v.map(f).unwrap_or_else(|| "-".to_string())
+    };
+    let fmt_err = |measured: f64, paper: Option<f64>| {
+        paper
+            .map(|p| err_pct(measured, p))
+            .unwrap_or_else(|| "-".to_string())
+    };
+
+    let mut exec = Table::new(
+        "Figure 10a — execution time of steps 3+4 (minutes)",
+        &["instance", "paper", "measured", "error"],
+    );
+    let mut deploy = Table::new(
+        "Figure 10b — GP deployment time (minutes)",
+        &["instance", "paper", "measured", "error"],
+    );
+    let mut cost = Table::new(
+        "Figure 10c — execution cost (dollars)",
+        &["instance", "paper", "measured", "error"],
+    );
+    for r in &rows {
+        let (p_exec, p_deploy, p_cost) = paper_values(r.instance_type);
+        exec.row(&[
+            r.instance_type.to_string(),
+            fmt_opt(p_exec, mins),
+            mins(r.exec_mins),
+            fmt_err(r.exec_mins, p_exec),
+        ]);
+        deploy.row(&[
+            r.instance_type.to_string(),
+            fmt_opt(p_deploy, mins),
+            mins(r.deploy_mins),
+            fmt_err(r.deploy_mins, p_deploy),
+        ]);
+        cost.row(&[
+            r.instance_type.to_string(),
+            fmt_opt(p_cost, dollars),
+            dollars(r.exec_cost),
+            fmt_err(r.exec_cost, p_cost),
+        ]);
+    }
+    format!(
+        "{}\n{}\n{}\nshape checks: execution time decreases monotonically with size; \
+         cost roughly doubles per size step while runtime improves sub-linearly.\n",
+        exec.render(),
+        deploy.render(),
+        cost.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_values_track_the_paper() {
+        for t in SWEEP {
+            let row = measure(t, 9000);
+            let (p_exec, p_deploy, p_cost) = paper_values(t);
+            if let Some(p) = p_exec {
+                assert!(
+                    (row.exec_mins - p).abs() / p < 0.05,
+                    "{t}: exec {} vs paper {p}",
+                    row.exec_mins
+                );
+            }
+            if let Some(p) = p_deploy {
+                assert!(
+                    (row.deploy_mins - p).abs() / p < 0.08,
+                    "{t}: deploy {} vs paper {p}",
+                    row.deploy_mins
+                );
+            }
+            if let Some(p) = p_cost {
+                assert!(
+                    (row.exec_cost - p).abs() < 0.002,
+                    "{t}: cost {} vs paper {p}",
+                    row.exec_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_holds_across_the_sweep() {
+        let rows: Vec<Fig10Row> = SWEEP.iter().map(|t| measure(*t, 9001)).collect();
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].exec_mins < pair[0].exec_mins,
+                "execution time must fall with instance size"
+            );
+            assert!(
+                pair[1].exec_cost > pair[0].exec_cost,
+                "cost must rise with instance size"
+            );
+        }
+        // "performance improvements are disproportionate with cost".
+        let speedup = rows[0].exec_mins / rows[3].exec_mins;
+        let cost_ratio = rows[3].exec_cost / rows[0].exec_cost;
+        assert!(cost_ratio > speedup, "{cost_ratio} vs {speedup}");
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let report = run(9002);
+        assert!(report.contains("Figure 10a"));
+        assert!(report.contains("Figure 10b"));
+        assert!(report.contains("Figure 10c"));
+        assert!(report.contains("m1.xlarge"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Experiments E5 + E7: Figure 11 — average transfer rate by method and
+//! file size, plus the §I "order of magnitude" speed-up claim.
+
+use cumulus::net::DataSize;
+use cumulus::transfer::{calibrated_wan_link, Protocol};
+
+use crate::table::{mbps, Table};
+
+/// The file sizes swept (1 MB → 8 GB, as in the figure's x-axis).
+pub fn sweep_sizes() -> Vec<DataSize> {
+    vec![
+        DataSize::from_mb(1),
+        DataSize::from_mb(10),
+        DataSize::from_mb(100),
+        DataSize::from_mb(500),
+        DataSize::from_gb(1),
+        DataSize::from_gb(2),
+        DataSize::from_gb(4),
+        DataSize::from_gb(8),
+    ]
+}
+
+/// One measured row.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig11Row {
+    /// File size.
+    pub size: DataSize,
+    /// Globus Transfer achieved rate, Mbit/s.
+    pub globus: f64,
+    /// FTP achieved rate, Mbit/s.
+    pub ftp: f64,
+    /// HTTP achieved rate (None when the 2 GB cap refuses the file).
+    pub http: Option<f64>,
+}
+
+/// Measure the whole sweep on the calibrated laptop→EC2 path.
+pub fn measure() -> Vec<Fig11Row> {
+    let link = calibrated_wan_link();
+    sweep_sizes()
+        .into_iter()
+        .map(|size| Fig11Row {
+            size,
+            globus: Protocol::GLOBUS_DEFAULT
+                .achieved_rate(size, &link)
+                .expect("no cap")
+                .as_mbps(),
+            ftp: Protocol::Ftp
+                .achieved_rate(size, &link)
+                .expect("no cap")
+                .as_mbps(),
+            http: Protocol::Http
+                .achieved_rate(size, &link)
+                .map(|r| r.as_mbps()),
+        })
+        .collect()
+}
+
+/// Render the report, including the GO/FTP ratio column (E7).
+pub fn run() -> String {
+    let rows = measure();
+    let mut table = Table::new(
+        "Figure 11 — average transfer rate, laptop -> Galaxy server (Mbit/s)",
+        &["size", "globus-transfer", "ftp", "http", "GO/FTP"],
+    );
+    for r in &rows {
+        table.row(&[
+            r.size.to_string(),
+            mbps(r.globus),
+            mbps(r.ftp),
+            r.http.map(mbps).unwrap_or_else(|| "refused".to_string()),
+            format!("{:.1}x", r.globus / r.ftp),
+        ]);
+    }
+    let max_ratio = rows
+        .iter()
+        .map(|r| r.globus / r.ftp)
+        .fold(0.0f64, f64::max);
+    let vs_http = rows
+        .iter()
+        .filter_map(|r| r.http.map(|h| r.globus / h))
+        .fold(0.0f64, f64::max);
+    format!(
+        "{}\npaper ranges: GO 1.8-37, FTP 0.2-5.9, HTTP < 0.03 (2 GB cap).\n\
+         E7 — §I claim \"performance improvements up to an order of magnitude\": \
+         max GO/FTP = {max_ratio:.1}x; vs HTTP = {vs_http:.0}x.\n",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_paper_ranges() {
+        let rows = measure();
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!((first.globus - 1.8).abs() < 0.3, "{}", first.globus);
+        assert!((last.globus - 37.0).abs() < 1.0, "{}", last.globus);
+        assert!((first.ftp - 0.2).abs() < 0.05, "{}", first.ftp);
+        assert!((last.ftp - 5.9).abs() < 0.3, "{}", last.ftp);
+        for r in &rows {
+            if let Some(h) = r.http {
+                assert!(h < 0.03, "HTTP at {}: {h}", r.size);
+            }
+        }
+    }
+
+    #[test]
+    fn http_refused_above_2gb_only() {
+        for r in measure() {
+            if r.size > DataSize::from_gb(2) {
+                assert!(r.http.is_none(), "{} should be refused", r.size);
+            } else {
+                assert!(r.http.is_some(), "{} should be accepted", r.size);
+            }
+        }
+    }
+
+    #[test]
+    fn globus_always_wins_and_reaches_order_of_magnitude() {
+        let rows = measure();
+        for r in &rows {
+            assert!(r.globus > r.ftp, "GO must beat FTP at {}", r.size);
+            if let Some(h) = r.http {
+                assert!(r.globus > h * 10.0);
+            }
+        }
+        let max_ratio = rows.iter().map(|r| r.globus / r.ftp).fold(0.0f64, f64::max);
+        assert!(max_ratio > 5.0, "max GO/FTP ratio only {max_ratio}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = run();
+        assert!(report.contains("Figure 11"));
+        assert!(report.contains("refused"));
+        assert!(report.contains("order of magnitude"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Experiment E6: the §III.C claim that GP reconfigures a running cluster
+//! "within minutes" — measured across delta sizes and kinds.
+
+use cumulus::cloud::InstanceType;
+use cumulus::provision::{GpCloud, GpInstanceId, Topology};
+use cumulus::simkit::time::SimTime;
+
+use crate::table::{mins, Table};
+
+/// A reconfiguration action and its measured latency.
+#[derive(Debug, Clone)]
+pub struct ReconfigMeasurement {
+    /// What was done.
+    pub action: String,
+    /// Latency in minutes.
+    pub latency_mins: f64,
+}
+
+fn deploy(seed: u64, workers: usize) -> (GpCloud, GpInstanceId, SimTime) {
+    let mut world = GpCloud::deterministic(seed);
+    let mut topology = Topology::single_node(InstanceType::M1Small);
+    topology.workers = vec![InstanceType::T1Micro; workers];
+    let id = world.create_instance(topology);
+    let report = world.start_instance(SimTime::ZERO, &id).expect("deploys");
+    (world, id, report.ready_at)
+}
+
+fn update_latency(world: &mut GpCloud, id: &GpInstanceId, now: SimTime, json: &str) -> f64 {
+    let target = world
+        .instance(id)
+        .unwrap()
+        .topology
+        .with_json_update(json)
+        .unwrap();
+    let report = world.update_instance(now, id, target).unwrap();
+    report.done_at(now).since(now).as_mins_f64()
+}
+
+/// Measure a battery of reconfigurations, each on a fresh cluster.
+pub fn measure(seed: u64) -> Vec<ReconfigMeasurement> {
+    let mut out = Vec::new();
+
+    for n in [1usize, 2, 4, 8] {
+        let (mut world, id, ready) = deploy(seed, 0);
+        let latency = update_latency(
+            &mut world,
+            &id,
+            ready,
+            &format!(
+                r#"{{"domains":{{"simple":{{"cluster-nodes":{n},"worker-instance-type":"c1.medium"}}}}}}"#
+            ),
+        );
+        out.push(ReconfigMeasurement {
+            action: format!("add {n} x c1.medium worker(s)"),
+            latency_mins: latency,
+        });
+    }
+
+    for n in [1usize, 4] {
+        let (mut world, id, ready) = deploy(seed, n);
+        let latency = update_latency(
+            &mut world,
+            &id,
+            ready,
+            r#"{"domains":{"simple":{"cluster-nodes":0}}}"#,
+        );
+        out.push(ReconfigMeasurement {
+            action: format!("remove {n} idle worker(s)"),
+            latency_mins: latency,
+        });
+    }
+
+    {
+        let (mut world, id, ready) = deploy(seed, 1);
+        let latency = update_latency(
+            &mut world,
+            &id,
+            ready,
+            r#"{"domains":{"simple":{"workers":["m1.large"]}}}"#,
+        );
+        out.push(ReconfigMeasurement {
+            action: "resize worker t1.micro -> m1.large".to_string(),
+            latency_mins: latency,
+        });
+    }
+
+    {
+        let (mut world, id, ready) = deploy(seed, 0);
+        let latency = update_latency(&mut world, &id, ready, r#"{"ec2":{"instance-type":"m1.xlarge"}}"#);
+        out.push(ReconfigMeasurement {
+            action: "resize head m1.small -> m1.xlarge".to_string(),
+            latency_mins: latency,
+        });
+    }
+
+    {
+        let (mut world, id, ready) = deploy(seed, 1);
+        let latency = update_latency(
+            &mut world,
+            &id,
+            ready,
+            r#"{"domains":{"simple":{"users":["user1","boliu","newuser1","newuser2"]}}}"#,
+        );
+        out.push(ReconfigMeasurement {
+            action: "add 2 users".to_string(),
+            latency_mins: latency,
+        });
+    }
+
+    out
+}
+
+/// Render the report.
+pub fn run(seed: u64) -> String {
+    let rows = measure(seed);
+    let mut t = Table::new(
+        "E6 — runtime reconfiguration latency (paper claim: \"within minutes\")",
+        &["action", "latency (min)"],
+    );
+    for r in &rows {
+        t.row(&[r.action.clone(), mins(r.latency_mins)]);
+    }
+    let worst = rows.iter().map(|r| r.latency_mins).fold(0.0f64, f64::max);
+    format!(
+        "{}\nworst case {worst:.2} min — every reconfiguration lands within minutes; \
+         note adds are parallel (latency ~flat in node count).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_reconfiguration_lands_within_minutes() {
+        for r in measure(7300) {
+            assert!(
+                r.latency_mins < 10.0,
+                "{} took {} min",
+                r.action,
+                r.latency_mins
+            );
+            assert!(r.latency_mins > 0.0);
+        }
+    }
+
+    #[test]
+    fn adding_workers_is_parallel() {
+        let rows = measure(7301);
+        let one = rows
+            .iter()
+            .find(|r| r.action.starts_with("add 1 "))
+            .unwrap()
+            .latency_mins;
+        let eight = rows
+            .iter()
+            .find(|r| r.action.starts_with("add 8 "))
+            .unwrap()
+            .latency_mins;
+        assert!(
+            eight < one * 1.5,
+            "adding 8 nodes ({eight}) should not take ~8x one node ({one})"
+        );
+    }
+
+    #[test]
+    fn user_adds_are_near_instant() {
+        let rows = measure(7302);
+        let users = rows
+            .iter()
+            .find(|r| r.action == "add 2 users")
+            .unwrap()
+            .latency_mins;
+        assert!(users < 1.1, "user add took {users} min");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run(7303).contains("within minutes"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Experiment E1: the §V.A use-case narrative, measured end to end.
+
+use cumulus::scenario::UseCaseScenario;
+use cumulus::simkit::time::SimTime;
+
+use crate::table::{dollars, err_pct, mins, Table};
+
+/// The measured use-case timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct UseCaseMeasurement {
+    /// Deployment minutes (paper: 8.8 on m1.small).
+    pub deploy_mins: f64,
+    /// Steps 3+4 on the small node alone (paper: 10.7).
+    pub small_exec_mins: f64,
+    /// `gp-instance-update` latency to add the c1.medium node, minutes.
+    pub update_mins: f64,
+    /// Steps 3+4 after the medium node joined (paper: 6.9).
+    pub medium_exec_mins: f64,
+    /// Transfer time for the two datasets combined, seconds.
+    pub transfer_secs: f64,
+    /// Execution cost on the small node (paper: ≈ $0.007).
+    pub small_exec_cost: f64,
+}
+
+/// Run the full use case.
+pub fn measure(seed: u64) -> UseCaseMeasurement {
+    let t0 = SimTime::ZERO;
+    let (mut s, report) = UseCaseScenario::deploy(seed, t0).expect("deploys");
+    let deploy_mins = report.duration_from(t0).as_mins_f64();
+
+    // Phase 1: small node only.
+    let (ds_small, t1) = s.transfer_four_cel_samples(report.ready_at).unwrap();
+    let (_, t2) = s.run_differential_expression(t1, ds_small).unwrap();
+    let (ds_large, t3) = s.transfer_affy_cel_samples(t2).unwrap();
+    let (_, t4) = s.run_differential_expression(t3, ds_large).unwrap();
+    let small_exec_mins = (t2.since(t1) + t4.since(t3)).as_mins_f64();
+    let small_exec_cost = s.window_cost(t1, t2) + s.window_cost(t3, t4);
+    let transfer_secs =
+        (t1.since(report.ready_at) + t3.since(t2)).as_secs_f64();
+
+    // Phase 2: add the c1.medium node, rerun.
+    let joined = s.add_medium_worker(t4).unwrap();
+    let update_mins = joined.since(t4).as_mins_f64();
+    let (ds_small2, u1) = s.transfer_four_cel_samples(joined).unwrap();
+    let (_, u2) = s.run_differential_expression(u1, ds_small2).unwrap();
+    let (ds_large2, u3) = s.transfer_affy_cel_samples(u2).unwrap();
+    let (_, u4) = s.run_differential_expression(u3, ds_large2).unwrap();
+    let medium_exec_mins = (u2.since(u1) + u4.since(u3)).as_mins_f64();
+
+    UseCaseMeasurement {
+        deploy_mins,
+        small_exec_mins,
+        update_mins,
+        medium_exec_mins,
+        transfer_secs,
+        small_exec_cost,
+    }
+}
+
+/// Render the report.
+pub fn run(seed: u64) -> String {
+    let m = measure(seed);
+    let mut t = Table::new(
+        "E1 — §V.A use case (fourCelFileSamples 10.7MB, affyCelFileSamples 190.3MB)",
+        &["quantity", "paper", "measured", "error"],
+    );
+    t.row(&[
+        "deploy m1.small Galaxy (min)".to_string(),
+        "8.8".to_string(),
+        mins(m.deploy_mins),
+        err_pct(m.deploy_mins, 8.8),
+    ]);
+    t.row(&[
+        "steps 3+4 on m1.small (min)".to_string(),
+        "10.7".to_string(),
+        mins(m.small_exec_mins),
+        err_pct(m.small_exec_mins, 10.7),
+    ]);
+    t.row(&[
+        "steps 3+4 with c1.medium (min)".to_string(),
+        "6.9".to_string(),
+        mins(m.medium_exec_mins),
+        err_pct(m.medium_exec_mins, 6.9),
+    ]);
+    t.row(&[
+        "gp-instance-update latency (min)".to_string(),
+        "\"within minutes\"".to_string(),
+        mins(m.update_mins),
+        "-".to_string(),
+    ]);
+    t.row(&[
+        "small-node execution cost ($)".to_string(),
+        "0.007".to_string(),
+        dollars(m.small_exec_cost),
+        err_pct(m.small_exec_cost, 0.007),
+    ]);
+    t.row(&[
+        "both GO transfers (s)".to_string(),
+        "(not reported)".to_string(),
+        format!("{:.1}", m.transfer_secs),
+        "-".to_string(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn use_case_numbers_hold() {
+        let m = measure(7100);
+        assert!((m.deploy_mins - 8.8).abs() < 0.45, "{}", m.deploy_mins);
+        assert!((m.small_exec_mins - 10.7).abs() < 0.2, "{}", m.small_exec_mins);
+        assert!((m.medium_exec_mins - 6.9).abs() < 0.2, "{}", m.medium_exec_mins);
+        assert!(m.update_mins > 1.0 && m.update_mins < 8.0, "{}", m.update_mins);
+        assert!((m.small_exec_cost - 0.007).abs() < 0.002, "{}", m.small_exec_cost);
+        assert!(m.transfer_secs < 60.0, "{}", m.transfer_secs);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = run(7101);
+        assert!(r.contains("steps 3+4"));
+        assert!(r.contains("within minutes"));
+    }
+}

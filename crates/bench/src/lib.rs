@@ -1,0 +1,59 @@
+//! `cumulus-bench` — the benchmark harness that regenerates every table
+//! and figure of the paper's evaluation, plus ablations.
+//!
+//! | id | artifact | binary |
+//! |----|----------|--------|
+//! | E1 | §V.A use case | `usecase` |
+//! | E2–E4 | Figure 10 (exec / deploy / cost) | `fig10` |
+//! | E5, E7 | Figure 11 + order-of-magnitude claim | `fig11` |
+//! | E6 | §III.C reconfiguration latency | `reconfig` |
+//! | E8 | §VI CloudMan comparison | `ablation_cloudman` |
+//! | E9 | extensions (streams, faults, autoscaling) | `extensions` |
+//! | E10 | AMI-baking deployment ablation | `ami_ablation` |
+//!
+//! `cargo run --release -p cumulus-bench --bin all_experiments` prints the
+//! full report recorded in EXPERIMENTS.md. Criterion benches
+//! (`cargo bench`) measure the simulator's own performance.
+
+pub mod experiments {
+    //! Experiment implementations, one module per paper artifact.
+    pub mod ami;
+    pub mod cloudman;
+    pub mod extensions;
+    pub mod fig10;
+    pub mod fig11;
+    pub mod reconfig;
+    pub mod usecase;
+}
+
+pub mod table;
+
+/// Default seed used by the report binaries (any seed reproduces the same
+/// calibrated timings; the seed only varies synthetic data).
+pub const REPORT_SEED: u64 = 20120512;
+
+/// Assemble the full experiment report (what EXPERIMENTS.md records).
+pub fn full_report(fault_replicas: usize) -> String {
+    let mut out = String::new();
+    out.push_str("# cumulus experiment report\n\n");
+    out.push_str(&experiments::usecase::run(REPORT_SEED));
+    out.push('\n');
+    out.push_str(&experiments::fig10::run(REPORT_SEED));
+    out.push('\n');
+    out.push_str(&experiments::fig11::run());
+    out.push('\n');
+    out.push_str(&experiments::reconfig::run(REPORT_SEED));
+    out.push('\n');
+    out.push_str(&experiments::cloudman::run(REPORT_SEED));
+    out.push('\n');
+    out.push_str(&experiments::extensions::run_stream_sweep());
+    out.push('\n');
+    out.push_str(&experiments::extensions::run_fault_sensitivity(fault_replicas));
+    out.push('\n');
+    out.push_str(&experiments::extensions::run_autoscale(REPORT_SEED));
+    out.push('\n');
+    out.push_str(&experiments::extensions::run_nfs_contention());
+    out.push('\n');
+    out.push_str(&experiments::ami::run(REPORT_SEED));
+    out
+}

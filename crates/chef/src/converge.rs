@@ -1,0 +1,257 @@
+//! The converge engine.
+//!
+//! Converging a node walks the expanded run-list in order; each resource is
+//! either **skipped** (its idempotency key is already applied — a skip costs
+//! only a cheap check) or **applied** (costing its base duration divided by
+//! the node's provisioning speed, with optional jitter). The report's total
+//! duration is what Globus Provision observes as "configuration time".
+
+use cumulus_simkit::rng::RngStream;
+use cumulus_simkit::time::SimDuration;
+
+use crate::node::NodeState;
+use crate::recipe::{CookbookStore, RecipeRef, RunListError};
+use crate::resource::Resource;
+
+/// Converge tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvergeConfig {
+    /// Multiplicative jitter spread on each applied resource (0 = none).
+    pub jitter: f64,
+    /// Cost of checking an already-applied resource.
+    pub skip_check_cost: SimDuration,
+    /// Fixed startup cost of a converge run (chef-client start, cookbook
+    /// sync).
+    pub run_overhead: SimDuration,
+}
+
+impl Default for ConvergeConfig {
+    fn default() -> Self {
+        ConvergeConfig {
+            jitter: 0.05,
+            skip_check_cost: SimDuration::from_millis(200),
+            run_overhead: SimDuration::from_secs(15),
+        }
+    }
+}
+
+impl ConvergeConfig {
+    /// No jitter — for calibration and determinism tests.
+    pub fn deterministic() -> Self {
+        ConvergeConfig {
+            jitter: 0.0,
+            ..ConvergeConfig::default()
+        }
+    }
+}
+
+/// One line of a converge report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedResource {
+    /// The resource's name.
+    pub name: String,
+    /// Time it took on this node.
+    pub duration: SimDuration,
+}
+
+/// The result of one converge run.
+#[derive(Debug, Clone, Default)]
+pub struct ConvergeReport {
+    /// Resources actually applied, in order.
+    pub applied: Vec<AppliedResource>,
+    /// Number of resources skipped as already-satisfied.
+    pub skipped: usize,
+    /// Total wall time of the run (overhead + checks + applies).
+    pub duration: SimDuration,
+}
+
+impl ConvergeReport {
+    /// Did this run change anything?
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+/// Converge `node` against `run_list`.
+///
+/// `speed` is the node's provisioning speed relative to m1.small (see
+/// `InstanceType::provision_speed` in `cumulus-cloud`). `rng` supplies the
+/// per-resource jitter; pass a stream derived per-host for reproducibility.
+pub fn converge(
+    store: &CookbookStore,
+    node: &mut NodeState,
+    run_list: &[RecipeRef],
+    speed: f64,
+    config: &ConvergeConfig,
+    rng: &mut RngStream,
+) -> Result<ConvergeReport, RunListError> {
+    assert!(speed > 0.0, "provisioning speed must be positive");
+    let resources = store.expand_run_list(run_list)?;
+    node.merge_attributes(&store.merged_attributes(run_list));
+
+    let mut report = ConvergeReport {
+        duration: config.run_overhead,
+        ..ConvergeReport::default()
+    };
+    for res in &resources {
+        if let Some(key) = res.idempotency_key() {
+            if node.is_applied(&key) {
+                report.skipped += 1;
+                report.duration += config.skip_check_cost;
+                continue;
+            }
+            let d = apply_duration(res, speed, config, rng);
+            node.mark_applied(&key);
+            report.applied.push(AppliedResource {
+                name: res.name.clone(),
+                duration: d,
+            });
+            report.duration += d;
+        } else {
+            // Keyless resources (restarts, bare executes) always run.
+            let d = apply_duration(res, speed, config, rng);
+            report.applied.push(AppliedResource {
+                name: res.name.clone(),
+                duration: d,
+            });
+            report.duration += d;
+        }
+    }
+    Ok(report)
+}
+
+fn apply_duration(
+    res: &Resource,
+    speed: f64,
+    config: &ConvergeConfig,
+    rng: &mut RngStream,
+) -> SimDuration {
+    let jitter = rng.jitter(config.jitter);
+    res.base_duration.mul_f64(jitter / speed)
+}
+
+/// Sum of base durations for an expanded run-list on a fresh node at unit
+/// speed — the calibration quantity quoted in DESIGN.md.
+pub fn base_workload(store: &CookbookStore, run_list: &[RecipeRef]) -> Result<SimDuration, RunListError> {
+    let resources = store.expand_run_list(run_list)?;
+    Ok(resources
+        .iter()
+        .fold(SimDuration::ZERO, |acc, r| acc + r.base_duration))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::{parse_run_list, Cookbook, Recipe};
+    use crate::resource::{Resource, ServiceAction};
+
+    fn store() -> CookbookStore {
+        let mut s = CookbookStore::new();
+        s.add(
+            Cookbook::new("app").recipe(
+                Recipe::new("default")
+                    .resource(Resource::package("postgresql", 60.0))
+                    .resource(Resource::package("curl", 4.0))
+                    .resource(Resource::user("galaxy"))
+                    .resource(Resource::service("galaxy", ServiceAction::Restart)),
+            ),
+        );
+        s
+    }
+
+    fn run(
+        node: &mut NodeState,
+        speed: f64,
+    ) -> ConvergeReport {
+        let s = store();
+        let mut rng = RngStream::derive(5, "chef");
+        converge(
+            &s,
+            node,
+            &parse_run_list("app"),
+            speed,
+            &ConvergeConfig::deterministic(),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fresh_node_applies_everything() {
+        let mut node = NodeState::new("h");
+        let report = run(&mut node, 1.0);
+        assert_eq!(report.applied.len(), 4);
+        assert_eq!(report.skipped, 0);
+        assert!(node.has_package("postgresql"));
+        assert!(node.has_user("galaxy"));
+        // 15 s overhead + 60 + 4 + 2 + 10.
+        assert!((report.duration.as_secs_f64() - 91.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn second_converge_skips_but_restarts() {
+        let mut node = NodeState::new("h");
+        run(&mut node, 1.0);
+        let second = run(&mut node, 1.0);
+        // Only the keyless restart re-runs.
+        assert_eq!(second.applied.len(), 1);
+        assert_eq!(second.applied[0].name, "galaxy");
+        assert_eq!(second.skipped, 3);
+        assert!(second.duration < SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn faster_nodes_converge_faster() {
+        let mut slow = NodeState::new("s");
+        let mut fast = NodeState::new("f");
+        let r_slow = run(&mut slow, 1.0);
+        let r_fast = run(&mut fast, 2.0);
+        assert!(r_fast.duration < r_slow.duration);
+        // Applied work halves; overhead is fixed.
+        let slow_work = r_slow.duration.as_secs_f64() - 15.0;
+        let fast_work = r_fast.duration.as_secs_f64() - 15.0;
+        assert!((fast_work - slow_work / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preinstalled_image_skips_packages() {
+        let pkgs = vec!["postgresql".to_string()];
+        let mut node = NodeState::from_image("h", &pkgs);
+        let report = run(&mut node, 1.0);
+        assert_eq!(report.skipped, 1);
+        assert!(report
+            .applied
+            .iter()
+            .all(|a| a.name != "postgresql"));
+    }
+
+    #[test]
+    fn base_workload_sums_durations() {
+        let s = store();
+        let w = base_workload(&s, &parse_run_list("app")).unwrap();
+        assert!((w.as_secs_f64() - 76.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_run_list_propagates_error() {
+        let s = store();
+        let mut node = NodeState::new("h");
+        let mut rng = RngStream::derive(5, "chef");
+        let err = converge(
+            &s,
+            &mut node,
+            &parse_run_list("ghost"),
+            1.0,
+            &ConvergeConfig::deterministic(),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert_eq!(err, RunListError::UnknownCookbook("ghost".to_string()));
+    }
+
+    #[test]
+    fn changed_reflects_applies() {
+        let mut node = NodeState::new("h");
+        assert!(run(&mut node, 1.0).changed());
+    }
+}

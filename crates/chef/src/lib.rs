@@ -1,0 +1,32 @@
+//! `cumulus-chef` — a Chef-like configuration-management engine.
+//!
+//! Globus Provision "relies on Chef to configure hosts for a given
+//! topology" (§III.A). This crate reproduces the pieces of Chef that GP
+//! uses:
+//!
+//! * [`resource`] — typed resources (package, service, template, user,
+//!   execute, …) with idempotency keys and per-resource apply costs;
+//! * [`recipe`] — recipes, `include_recipe`, cookbooks, attribute merging,
+//!   and run-list expansion with cycle detection;
+//! * [`node`] — per-host applied-state tracking (which is how a pre-loaded
+//!   AMI shortens deployment: its packages are pre-marked applied);
+//! * [`mod@converge`] — the converge engine, which turns a run-list into a
+//!   timed, idempotent apply sequence;
+//! * [`recipes`] — the actual GP-for-Galaxy cookbooks from the paper
+//!   (`galaxy-globus-common.rb`, `galaxy-globus.rb`,
+//!   `galaxy-globus-crdata.rb` and the base provision cookbook), with
+//!   durations calibrated against Figure 10's deployment times.
+
+#![warn(missing_docs)]
+
+pub mod converge;
+pub mod node;
+pub mod recipe;
+pub mod recipes;
+pub mod resource;
+
+pub use converge::{base_workload, converge, ConvergeConfig, ConvergeReport};
+pub use node::NodeState;
+pub use recipe::{parse_run_list, Cookbook, CookbookStore, Recipe, RecipeRef, RunListError, Step};
+pub use recipes::{gp_cookbooks, Role};
+pub use resource::{Resource, ResourceKind, ServiceAction};

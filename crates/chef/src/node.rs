@@ -1,0 +1,121 @@
+//! Per-node configuration state.
+//!
+//! A node remembers which resources have already been applied (by
+//! idempotency key) so that re-converging is cheap — the property Globus
+//! Provision relies on when it re-runs Chef after a topology update, and the
+//! mechanism by which a pre-loaded AMI shortens deployment.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Mutable configuration state of one host.
+#[derive(Debug, Clone, Default)]
+pub struct NodeState {
+    /// Hostname (informational).
+    pub hostname: String,
+    /// Idempotency keys of everything already applied.
+    applied: BTreeSet<String>,
+    /// Node attributes (merged cookbook defaults + overrides).
+    pub attributes: BTreeMap<String, String>,
+}
+
+impl NodeState {
+    /// A fresh node with nothing applied.
+    pub fn new(hostname: &str) -> Self {
+        NodeState {
+            hostname: hostname.to_string(),
+            ..NodeState::default()
+        }
+    }
+
+    /// A node booted from an image with `preinstalled` packages: their
+    /// `pkg:` keys are pre-marked as applied.
+    pub fn from_image<'a>(hostname: &str, preinstalled: impl IntoIterator<Item = &'a String>) -> Self {
+        let mut n = NodeState::new(hostname);
+        for pkg in preinstalled {
+            n.applied.insert(format!("pkg:{pkg}"));
+        }
+        n
+    }
+
+    /// Has this idempotency key been applied?
+    pub fn is_applied(&self, key: &str) -> bool {
+        self.applied.contains(key)
+    }
+
+    /// Mark a key applied. Returns `false` if it was already present.
+    pub fn mark_applied(&mut self, key: &str) -> bool {
+        self.applied.insert(key.to_string())
+    }
+
+    /// Remove a key (e.g. a package was explicitly removed).
+    pub fn unmark(&mut self, key: &str) -> bool {
+        self.applied.remove(key)
+    }
+
+    /// Is a package installed?
+    pub fn has_package(&self, pkg: &str) -> bool {
+        self.is_applied(&format!("pkg:{pkg}"))
+    }
+
+    /// Does a user account exist?
+    pub fn has_user(&self, user: &str) -> bool {
+        self.is_applied(&format!("user:{user}"))
+    }
+
+    /// Number of applied keys.
+    pub fn applied_count(&self) -> usize {
+        self.applied.len()
+    }
+
+    /// Merge attributes (later values win).
+    pub fn merge_attributes(&mut self, attrs: &BTreeMap<String, String>) {
+        for (k, v) in attrs {
+            self.attributes.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_has_nothing() {
+        let n = NodeState::new("host-1");
+        assert!(!n.has_package("curl"));
+        assert!(!n.has_user("galaxy"));
+        assert_eq!(n.applied_count(), 0);
+    }
+
+    #[test]
+    fn image_preinstalls_mark_packages() {
+        let pkgs = vec!["condor".to_string(), "nfs-common".to_string()];
+        let n = NodeState::from_image("host-1", &pkgs);
+        assert!(n.has_package("condor"));
+        assert!(!n.has_package("r-base"));
+        assert_eq!(n.applied_count(), 2);
+    }
+
+    #[test]
+    fn mark_and_unmark() {
+        let mut n = NodeState::new("h");
+        assert!(n.mark_applied("pkg:curl"));
+        assert!(!n.mark_applied("pkg:curl"), "second mark is a no-op");
+        assert!(n.has_package("curl"));
+        assert!(n.unmark("pkg:curl"));
+        assert!(!n.has_package("curl"));
+        assert!(!n.unmark("pkg:curl"));
+    }
+
+    #[test]
+    fn attributes_merge_with_override() {
+        let mut n = NodeState::new("h");
+        let mut a = BTreeMap::new();
+        a.insert("x".to_string(), "1".to_string());
+        n.merge_attributes(&a);
+        let mut b = BTreeMap::new();
+        b.insert("x".to_string(), "2".to_string());
+        n.merge_attributes(&b);
+        assert_eq!(n.attributes.get("x").map(String::as_str), Some("2"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Recipes, cookbooks, and run-lists.
+//!
+//! Exactly Chef's vocabulary: a *recipe* is an ordered list of resources
+//! (possibly including other recipes); similar recipes are grouped into a
+//! *cookbook*; a node's *run-list* names the recipes to converge, in order.
+
+use std::collections::{BTreeMap, HashSet};
+
+use crate::resource::Resource;
+
+/// Fully-qualified recipe name, `cookbook::recipe`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecipeRef {
+    /// The cookbook.
+    pub cookbook: String,
+    /// The recipe within it.
+    pub recipe: String,
+}
+
+impl RecipeRef {
+    /// Parse `cookbook::recipe` (a bare name means the cookbook's
+    /// `default` recipe, as in Chef).
+    pub fn parse(s: &str) -> RecipeRef {
+        match s.split_once("::") {
+            Some((cb, r)) => RecipeRef {
+                cookbook: cb.to_string(),
+                recipe: r.to_string(),
+            },
+            None => RecipeRef {
+                cookbook: s.to_string(),
+                recipe: "default".to_string(),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for RecipeRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}::{}", self.cookbook, self.recipe)
+    }
+}
+
+/// A step inside a recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Apply a resource.
+    Apply(Resource),
+    /// Include another recipe at this point (Chef's `include_recipe`).
+    Include(RecipeRef),
+}
+
+/// A named recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recipe {
+    /// Its name within the cookbook.
+    pub name: String,
+    /// Ordered steps.
+    pub steps: Vec<Step>,
+}
+
+impl Recipe {
+    /// An empty recipe.
+    pub fn new(name: &str) -> Self {
+        Recipe {
+            name: name.to_string(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a resource (builder style).
+    pub fn resource(mut self, r: Resource) -> Self {
+        self.steps.push(Step::Apply(r));
+        self
+    }
+
+    /// Append an include (builder style).
+    pub fn include(mut self, target: &str) -> Self {
+        self.steps.push(Step::Include(RecipeRef::parse(target)));
+        self
+    }
+}
+
+/// A collection of related recipes.
+#[derive(Debug, Clone, Default)]
+pub struct Cookbook {
+    /// Cookbook name.
+    pub name: String,
+    /// Recipes by name.
+    pub recipes: BTreeMap<String, Recipe>,
+    /// Default attributes (key → value), merged into node attributes at
+    /// converge time.
+    pub default_attributes: BTreeMap<String, String>,
+}
+
+impl Cookbook {
+    /// An empty cookbook.
+    pub fn new(name: &str) -> Self {
+        Cookbook {
+            name: name.to_string(),
+            ..Cookbook::default()
+        }
+    }
+
+    /// Add a recipe (builder style).
+    pub fn recipe(mut self, r: Recipe) -> Self {
+        self.recipes.insert(r.name.clone(), r);
+        self
+    }
+
+    /// Set a default attribute (builder style).
+    pub fn attribute(mut self, key: &str, value: &str) -> Self {
+        self.default_attributes
+            .insert(key.to_string(), value.to_string());
+        self
+    }
+}
+
+/// All cookbooks known to the converge engine.
+#[derive(Debug, Clone, Default)]
+pub struct CookbookStore {
+    books: BTreeMap<String, Cookbook>,
+}
+
+/// Errors raised while expanding a run-list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunListError {
+    /// A referenced cookbook is missing.
+    UnknownCookbook(String),
+    /// A referenced recipe is missing from an existing cookbook.
+    UnknownRecipe(RecipeRef),
+    /// `include_recipe` cycles back to a recipe already being expanded.
+    IncludeCycle(RecipeRef),
+}
+
+impl std::fmt::Display for RunListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunListError::UnknownCookbook(c) => write!(f, "unknown cookbook {c:?}"),
+            RunListError::UnknownRecipe(r) => write!(f, "unknown recipe {r}"),
+            RunListError::IncludeCycle(r) => write!(f, "include_recipe cycle at {r}"),
+        }
+    }
+}
+
+impl std::error::Error for RunListError {}
+
+impl CookbookStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        CookbookStore::default()
+    }
+
+    /// Add (or replace) a cookbook.
+    pub fn add(&mut self, cb: Cookbook) {
+        self.books.insert(cb.name.clone(), cb);
+    }
+
+    /// Look up a cookbook by name.
+    pub fn cookbook(&self, name: &str) -> Option<&Cookbook> {
+        self.books.get(name)
+    }
+
+    /// Look up a recipe.
+    pub fn recipe(&self, r: &RecipeRef) -> Result<&Recipe, RunListError> {
+        let cb = self
+            .books
+            .get(&r.cookbook)
+            .ok_or_else(|| RunListError::UnknownCookbook(r.cookbook.clone()))?;
+        cb.recipes
+            .get(&r.recipe)
+            .ok_or_else(|| RunListError::UnknownRecipe(r.clone()))
+    }
+
+    /// Expand a run-list into a flat, ordered resource sequence.
+    ///
+    /// Chef semantics: depth-first expansion of `include_recipe`, with each
+    /// recipe expanded **at most once** (the first inclusion wins); a recipe
+    /// including itself transitively is an error.
+    pub fn expand_run_list(&self, run_list: &[RecipeRef]) -> Result<Vec<Resource>, RunListError> {
+        let mut out = Vec::new();
+        let mut done: HashSet<RecipeRef> = HashSet::new();
+        let mut in_flight: HashSet<RecipeRef> = HashSet::new();
+        for r in run_list {
+            self.expand_into(r, &mut out, &mut done, &mut in_flight)?;
+        }
+        Ok(out)
+    }
+
+    fn expand_into(
+        &self,
+        r: &RecipeRef,
+        out: &mut Vec<Resource>,
+        done: &mut HashSet<RecipeRef>,
+        in_flight: &mut HashSet<RecipeRef>,
+    ) -> Result<(), RunListError> {
+        if done.contains(r) {
+            return Ok(());
+        }
+        if !in_flight.insert(r.clone()) {
+            return Err(RunListError::IncludeCycle(r.clone()));
+        }
+        let recipe = self.recipe(r)?;
+        for step in &recipe.steps {
+            match step {
+                Step::Apply(res) => out.push(res.clone()),
+                Step::Include(inner) => {
+                    self.expand_into(inner, out, done, in_flight)?;
+                }
+            }
+        }
+        in_flight.remove(r);
+        done.insert(r.clone());
+        Ok(())
+    }
+
+    /// Merged default attributes of the cookbooks named in `run_list`
+    /// (later cookbooks win on key conflicts).
+    pub fn merged_attributes(&self, run_list: &[RecipeRef]) -> BTreeMap<String, String> {
+        let mut attrs = BTreeMap::new();
+        for r in run_list {
+            if let Some(cb) = self.books.get(&r.cookbook) {
+                for (k, v) in &cb.default_attributes {
+                    attrs.insert(k.clone(), v.clone());
+                }
+            }
+        }
+        attrs
+    }
+}
+
+/// Parse a whitespace- or comma-separated run-list string.
+pub fn parse_run_list(s: &str) -> Vec<RecipeRef> {
+    s.split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|p| !p.is_empty())
+        .map(RecipeRef::parse)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> CookbookStore {
+        let mut s = CookbookStore::new();
+        s.add(
+            Cookbook::new("base")
+                .attribute("nfs/server", "simple-nfs")
+                .recipe(
+                    Recipe::new("default")
+                        .resource(Resource::package("curl", 3.0))
+                        .resource(Resource::package("git", 4.0)),
+                ),
+        );
+        s.add(
+            Cookbook::new("galaxy")
+                .recipe(
+                    Recipe::new("common")
+                        .include("base")
+                        .resource(Resource::user("galaxy")),
+                )
+                .recipe(
+                    Recipe::new("server")
+                        .include("galaxy::common")
+                        .resource(Resource::package("postgresql", 60.0)),
+                ),
+        );
+        s
+    }
+
+    #[test]
+    fn refs_parse_with_default() {
+        assert_eq!(
+            RecipeRef::parse("galaxy::server"),
+            RecipeRef {
+                cookbook: "galaxy".to_string(),
+                recipe: "server".to_string()
+            }
+        );
+        assert_eq!(RecipeRef::parse("base").recipe, "default");
+        assert_eq!(RecipeRef::parse("galaxy::server").to_string(), "galaxy::server");
+    }
+
+    #[test]
+    fn run_list_string_parses() {
+        let rl = parse_run_list("base, galaxy::common galaxy::server");
+        assert_eq!(rl.len(), 3);
+        assert_eq!(rl[2].recipe, "server");
+    }
+
+    #[test]
+    fn expansion_flattens_includes_depth_first() {
+        let s = store();
+        let rl = parse_run_list("galaxy::server");
+        let resources = s.expand_run_list(&rl).unwrap();
+        let names: Vec<&str> = resources.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["curl", "git", "galaxy", "postgresql"]);
+    }
+
+    #[test]
+    fn each_recipe_expands_once() {
+        let s = store();
+        // `base` appears via both the run-list and the include chain.
+        let rl = parse_run_list("base galaxy::server");
+        let resources = s.expand_run_list(&rl).unwrap();
+        let curls = resources.iter().filter(|r| r.name == "curl").count();
+        assert_eq!(curls, 1);
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut s = CookbookStore::new();
+        s.add(
+            Cookbook::new("a").recipe(Recipe::new("default").include("b")),
+        );
+        s.add(
+            Cookbook::new("b").recipe(Recipe::new("default").include("a")),
+        );
+        let err = s.expand_run_list(&parse_run_list("a")).unwrap_err();
+        assert!(matches!(err, RunListError::IncludeCycle(_)));
+    }
+
+    #[test]
+    fn missing_targets_error() {
+        let s = store();
+        assert_eq!(
+            s.expand_run_list(&parse_run_list("nope")).unwrap_err(),
+            RunListError::UnknownCookbook("nope".to_string())
+        );
+        assert!(matches!(
+            s.expand_run_list(&parse_run_list("galaxy::nope")).unwrap_err(),
+            RunListError::UnknownRecipe(_)
+        ));
+    }
+
+    #[test]
+    fn attributes_merge_across_cookbooks() {
+        let s = store();
+        let attrs = s.merged_attributes(&parse_run_list("base galaxy::server"));
+        assert_eq!(attrs.get("nfs/server").map(String::as_str), Some("simple-nfs"));
+    }
+}

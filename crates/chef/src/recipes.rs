@@ -1,0 +1,318 @@
+//! The Globus Provision cookbooks for Galaxy.
+//!
+//! These reproduce the recipes the paper describes in §III.B:
+//!
+//! * `galaxy::globus-common` ("galaxy-globus-common.rb") — creates the
+//!   galaxy user, downloads the Globus fork of Galaxy and the Globus
+//!   Transfer tools from bitbucket.org, and copies configuration files;
+//!   run on the NFS/NIS server when one exists, otherwise on the Galaxy
+//!   server.
+//! * `galaxy::globus` ("galaxy-globus.rb") — installs the Galaxy fork and
+//!   the Globus Transfer API, sets up the Galaxy database, runs setup
+//!   scripts, and restarts Galaxy; run on the Galaxy server.
+//! * `galaxy::globus-crdata` ("galaxy-globus-crdata.rb") — installs R,
+//!   LibSBML, LibXML, GraphViz, cURL and the R packages, then registers the
+//!   CRData tool definitions.
+//! * `provision::*` — the base GP cookbook: GridFTP, MyProxy, Condor
+//!   head/worker, NFS server/client, NIS.
+//!
+//! Resource base-durations are calibrated so that a full Galaxy head-node
+//! converge on the GP public AMI takes ≈ 7.2 minutes of applied work at
+//! m1.small speed; together with the 1.5-minute EC2 boot this reproduces
+//! Figure 10's 8.8-minute small-instance deployment (DESIGN.md §3).
+
+use crate::recipe::{parse_run_list, Cookbook, CookbookStore, Recipe, RecipeRef};
+use crate::resource::{Resource, ServiceAction};
+
+/// Cluster roles, each with its own run-list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The Galaxy application node (also the Condor head when Condor is
+    /// enabled) — the paper's `simple-galaxy-condor` host.
+    GalaxyHead,
+    /// A Condor execute node in the dynamic pool.
+    CondorWorker,
+    /// The shared-filesystem node — the paper's `simple-server` host.
+    NfsServer,
+    /// The Globus endpoint node running GridFTP.
+    GridFtp,
+}
+
+impl Role {
+    /// All roles.
+    pub const ALL: [Role; 4] = [
+        Role::GalaxyHead,
+        Role::CondorWorker,
+        Role::NfsServer,
+        Role::GridFtp,
+    ];
+
+    /// The GP host-template name used in the paper.
+    pub fn host_template(self) -> &'static str {
+        match self {
+            Role::GalaxyHead => "simple-galaxy-condor",
+            Role::CondorWorker => "simple-condor-worker",
+            Role::NfsServer => "simple-server",
+            Role::GridFtp => "simple-gridftp",
+        }
+    }
+
+    /// The run-list for this role. `with_crdata` adds the CRData toolset
+    /// recipe to the Galaxy head (and the R runtime to workers, which
+    /// execute the R jobs).
+    pub fn run_list(self, with_crdata: bool) -> Vec<RecipeRef> {
+        let s = match (self, with_crdata) {
+            (Role::GalaxyHead, true) => {
+                "provision::base galaxy::globus-common galaxy::globus \
+                 provision::condor-head provision::gridftp-config \
+                 galaxy::globus-crdata"
+            }
+            (Role::GalaxyHead, false) => {
+                "provision::base galaxy::globus-common galaxy::globus \
+                 provision::condor-head provision::gridftp-config"
+            }
+            (Role::CondorWorker, true) => {
+                "provision::base provision::nfs-client provision::condor-worker \
+                 galaxy::r-runtime"
+            }
+            (Role::CondorWorker, false) => {
+                "provision::base provision::nfs-client provision::condor-worker"
+            }
+            (Role::NfsServer, _) => {
+                "provision::base provision::nfs-server provision::nis-server \
+                 galaxy::globus-common"
+            }
+            (Role::GridFtp, _) => "provision::base provision::gridftp-config provision::myproxy",
+        };
+        parse_run_list(s)
+    }
+}
+
+/// Build the full GP cookbook store.
+pub fn gp_cookbooks() -> CookbookStore {
+    let mut store = CookbookStore::new();
+    store.add(provision_cookbook());
+    store.add(galaxy_cookbook());
+    store
+}
+
+fn provision_cookbook() -> Cookbook {
+    Cookbook::new("provision")
+        .attribute("gp/version", "0.4")
+        .recipe(
+            Recipe::new("base")
+                .resource(Resource::package("python2.7", 45.0))
+                .resource(Resource::package("openssl", 8.0))
+                .resource(Resource::directory("/etc/globus"))
+                .resource(Resource::execute(
+                    "generate host certificate",
+                    3.0,
+                    Some("/etc/globus/hostcert.pem"),
+                )),
+        )
+        .recipe(
+            Recipe::new("gridftp-config")
+                .resource(Resource::package("globus-toolkit", 180.0))
+                .resource(Resource::package("gridftp-server", 60.0))
+                .resource(Resource::template("/etc/gridftp.conf"))
+                .resource(Resource::service("gridftp", ServiceAction::Start)),
+        )
+        .recipe(
+            Recipe::new("myproxy")
+                .resource(Resource::package("myproxy", 30.0))
+                .resource(Resource::template("/etc/myproxy.conf"))
+                .resource(Resource::service("myproxy", ServiceAction::Start)),
+        )
+        .recipe(
+            Recipe::new("condor-head")
+                .resource(Resource::package("condor", 90.0))
+                .resource(Resource::template("/etc/condor/condor_config"))
+                .resource(Resource::template("/etc/condor/condor_config.local"))
+                .resource(Resource::service("condor", ServiceAction::Start)),
+        )
+        .recipe(
+            Recipe::new("condor-worker")
+                .resource(Resource::package("condor", 90.0))
+                .resource(Resource::template("/etc/condor/condor_config"))
+                .resource(Resource::template("/etc/condor/condor_config.worker"))
+                .resource(Resource::service("condor", ServiceAction::Start)),
+        )
+        .recipe(
+            Recipe::new("nfs-server")
+                .resource(Resource::package("nfs-kernel-server", 25.0))
+                .resource(Resource::directory("/nfs/home"))
+                .resource(Resource::directory("/nfs/software"))
+                .resource(Resource::directory("/nfs/scratch"))
+                .resource(Resource::template("/etc/exports"))
+                .resource(Resource::service("nfs-kernel-server", ServiceAction::Start)),
+        )
+        .recipe(
+            Recipe::new("nfs-client")
+                .resource(Resource::package("nfs-common", 20.0))
+                .resource(Resource::template("/etc/fstab"))
+                .resource(Resource::execute(
+                    "mount /nfs",
+                    4.0,
+                    Some("/nfs/.mounted"),
+                )),
+        )
+        .recipe(
+            Recipe::new("nis-server")
+                .resource(Resource::package("nis", 15.0))
+                .resource(Resource::template("/etc/ypserv.conf"))
+                .resource(Resource::service("ypserv", ServiceAction::Start)),
+        )
+        .recipe(
+            Recipe::new("nis-client")
+                .resource(Resource::package("nis", 15.0))
+                .resource(Resource::template("/etc/yp.conf"))
+                .resource(Resource::service("ypbind", ServiceAction::Start)),
+        )
+}
+
+fn galaxy_cookbook() -> Cookbook {
+    Cookbook::new("galaxy")
+        .attribute("galaxy/user", "galaxy")
+        .attribute("galaxy/repo", "https://bitbucket.org/globusonline/galaxy-globus")
+        .recipe(
+            // "galaxy-globus-common.rb": common requirements for the Globus
+            // fork of Galaxy.
+            Recipe::new("globus-common")
+                .resource(Resource::user("galaxy"))
+                .resource(Resource::directory("/nfs/software/galaxy"))
+                .resource(Resource::git_clone(
+                    "https://bitbucket.org/globusonline/galaxy-globus",
+                    55.0,
+                ))
+                .resource(Resource::execute(
+                    "download globus transfer tools",
+                    20.0,
+                    Some("/nfs/software/galaxy/tools/globus"),
+                ))
+                .resource(Resource::file("/nfs/software/galaxy/universe_wsgi.ini.sample"))
+                .resource(Resource::file("/nfs/software/galaxy/setup_galaxy.sh")),
+        )
+        .recipe(
+            // "galaxy-globus.rb": install the fork, the Transfer API, the
+            // database; run setup scripts; restart Galaxy.
+            Recipe::new("globus")
+                .include("galaxy::globus-common")
+                .resource(Resource::package("postgresql", 60.0))
+                .resource(Resource::pip("galaxy-eggs", 42.0))
+                .resource(Resource::pip("globus-transfer-api-client", 10.0))
+                .resource(Resource::execute(
+                    "initialize galaxy database",
+                    45.0,
+                    Some("/nfs/software/galaxy/database/universe.sqlite"),
+                ))
+                .resource(Resource::execute(
+                    "run galaxy setup scripts",
+                    25.0,
+                    Some("/nfs/software/galaxy/.setup-done"),
+                ))
+                .resource(Resource::template("/nfs/software/galaxy/universe_wsgi.ini"))
+                .resource(Resource::service("galaxy", ServiceAction::Restart)),
+        )
+        .recipe(
+            // The R runtime alone (workers need R to execute CRData jobs,
+            // but not the tool definitions).
+            Recipe::new("r-runtime")
+                .resource(Resource::package("r-base", 55.0))
+                .resource(Resource::package("libxml2-dev", 10.0))
+                .resource(Resource::r_package("bioconductor-base", 28.0)),
+        )
+        .recipe(
+            // "galaxy-globus-crdata.rb": R + native libs + R packages + the
+            // 35 CRData tool definitions (§IV.B).
+            Recipe::new("globus-crdata")
+                .include("galaxy::r-runtime")
+                .resource(Resource::package("libsbml", 14.0))
+                .resource(Resource::package("graphviz", 12.0))
+                .resource(Resource::package("curl", 3.0))
+                .resource(Resource::r_package("limma", 12.0))
+                .resource(Resource::r_package("affy", 12.0))
+                .resource(Resource::r_package("DESeq", 8.0))
+                .resource(Resource::r_package("GenomicFeatures", 6.0))
+                .resource(Resource::file("/nfs/software/galaxy/tools/crdata/tool_conf.xml"))
+                .resource(Resource::execute(
+                    "register crdata tools",
+                    3.0,
+                    Some("/nfs/software/galaxy/tools/crdata/.registered"),
+                )),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::converge::base_workload;
+
+    #[test]
+    fn all_role_run_lists_expand() {
+        let store = gp_cookbooks();
+        for role in Role::ALL {
+            for crdata in [false, true] {
+                let rl = role.run_list(crdata);
+                let resources = store.expand_run_list(&rl).expect("expands");
+                assert!(!resources.is_empty(), "{role:?} crdata={crdata}");
+            }
+        }
+    }
+
+    #[test]
+    fn head_node_workload_matches_calibration() {
+        // Applied work for the full head-node run-list on the GP AMI must
+        // land near 419 s (so boot + converge ≈ 8.8 min on m1.small; see
+        // DESIGN.md §3). `base_workload` counts everything; subtract what
+        // the GP AMI pre-installs.
+        let store = gp_cookbooks();
+        let rl = Role::GalaxyHead.run_list(true);
+        let total = base_workload(&store, &rl).unwrap().as_secs_f64();
+        let preinstalled: f64 = [
+            180.0, // globus-toolkit
+            60.0,  // gridftp-server
+            90.0,  // condor
+            45.0,  // python2.7
+            60.0,  // postgresql
+        ]
+        .iter()
+        .sum();
+        let on_gp_ami = total - preinstalled;
+        assert!(
+            (on_gp_ami - 399.0).abs() < 20.0,
+            "head-node applied work {on_gp_ami} s, want ≈399 s"
+        );
+    }
+
+    #[test]
+    fn crdata_adds_work_to_head() {
+        let store = gp_cookbooks();
+        let with = base_workload(&store, &Role::GalaxyHead.run_list(true)).unwrap();
+        let without = base_workload(&store, &Role::GalaxyHead.run_list(false)).unwrap();
+        assert!(with > without);
+        let delta = with.as_secs_f64() - without.as_secs_f64();
+        assert!(delta > 100.0, "CRData should cost real time: {delta}");
+    }
+
+    #[test]
+    fn worker_run_list_is_lighter_than_head() {
+        let store = gp_cookbooks();
+        let head = base_workload(&store, &Role::GalaxyHead.run_list(true)).unwrap();
+        let worker = base_workload(&store, &Role::CondorWorker.run_list(true)).unwrap();
+        assert!(worker < head);
+    }
+
+    #[test]
+    fn host_templates_match_paper_names() {
+        assert_eq!(Role::GalaxyHead.host_template(), "simple-galaxy-condor");
+        assert_eq!(Role::NfsServer.host_template(), "simple-server");
+    }
+
+    #[test]
+    fn galaxy_attributes_present() {
+        let store = gp_cookbooks();
+        let attrs = store.merged_attributes(&Role::GalaxyHead.run_list(false));
+        assert_eq!(attrs.get("galaxy/user").map(String::as_str), Some("galaxy"));
+        assert!(attrs.contains_key("gp/version"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Configuration resources — the atoms of a recipe.
+//!
+//! As in Chef, a *resource* declares a piece of desired state (a package
+//! installed, a service running, a file in place) plus the action to take.
+//! Applying a resource takes time; the per-resource base costs below are the
+//! knobs from which the paper's deployment times emerge (see
+//! `recipes::gp_cookbooks` for the calibrated totals).
+
+use cumulus_simkit::time::SimDuration;
+
+/// The kinds of desired state a resource can declare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// Install an OS package.
+    Package,
+    /// Manage a system service.
+    Service {
+        /// `start`, `restart`, `enable`, …
+        action: ServiceAction,
+    },
+    /// Write a plain file.
+    File,
+    /// Render a configuration template.
+    Template,
+    /// Create a directory.
+    Directory,
+    /// Create a local user account.
+    User,
+    /// Run an arbitrary command.
+    Execute {
+        /// Idempotency guard: skip when this marker already exists
+        /// (Chef's `creates`/`not_if`).
+        creates: Option<String>,
+    },
+    /// Clone a source repository (e.g. the Galaxy fork from bitbucket.org).
+    GitClone,
+    /// Install a Python package.
+    PipInstall,
+    /// Install an R / BioConductor package.
+    RPackage,
+}
+
+/// Actions on a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceAction {
+    /// Start if not running.
+    Start,
+    /// Stop if running.
+    Stop,
+    /// Unconditional restart.
+    Restart,
+    /// Enable at boot (cheap).
+    Enable,
+}
+
+/// A declared resource inside a recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resource {
+    /// The resource name (package name, service name, file path, …).
+    pub name: String,
+    /// What kind of state it declares.
+    pub kind: ResourceKind,
+    /// Time to apply on an m1.small-speed node with no contention.
+    pub base_duration: SimDuration,
+}
+
+impl Resource {
+    /// A package with an explicit install duration.
+    pub fn package(name: &str, secs: f64) -> Self {
+        Resource {
+            name: name.to_string(),
+            kind: ResourceKind::Package,
+            base_duration: SimDuration::from_secs_f64(secs),
+        }
+    }
+
+    /// A service action; restarts take ~10 s, the rest ~2 s.
+    pub fn service(name: &str, action: ServiceAction) -> Self {
+        let secs = match action {
+            ServiceAction::Restart => 10.0,
+            ServiceAction::Start | ServiceAction::Stop => 5.0,
+            ServiceAction::Enable => 1.0,
+        };
+        Resource {
+            name: name.to_string(),
+            kind: ResourceKind::Service { action },
+            base_duration: SimDuration::from_secs_f64(secs),
+        }
+    }
+
+    /// A small file write.
+    pub fn file(path: &str) -> Self {
+        Resource {
+            name: path.to_string(),
+            kind: ResourceKind::File,
+            base_duration: SimDuration::from_secs_f64(0.5),
+        }
+    }
+
+    /// A rendered template.
+    pub fn template(path: &str) -> Self {
+        Resource {
+            name: path.to_string(),
+            kind: ResourceKind::Template,
+            base_duration: SimDuration::from_secs_f64(1.0),
+        }
+    }
+
+    /// A directory.
+    pub fn directory(path: &str) -> Self {
+        Resource {
+            name: path.to_string(),
+            kind: ResourceKind::Directory,
+            base_duration: SimDuration::from_secs_f64(0.2),
+        }
+    }
+
+    /// A user account.
+    pub fn user(name: &str) -> Self {
+        Resource {
+            name: name.to_string(),
+            kind: ResourceKind::User,
+            base_duration: SimDuration::from_secs_f64(2.0),
+        }
+    }
+
+    /// An arbitrary command with a duration and optional idempotency marker.
+    pub fn execute(name: &str, secs: f64, creates: Option<&str>) -> Self {
+        Resource {
+            name: name.to_string(),
+            kind: ResourceKind::Execute {
+                creates: creates.map(str::to_string),
+            },
+            base_duration: SimDuration::from_secs_f64(secs),
+        }
+    }
+
+    /// A repository clone.
+    pub fn git_clone(url: &str, secs: f64) -> Self {
+        Resource {
+            name: url.to_string(),
+            kind: ResourceKind::GitClone,
+            base_duration: SimDuration::from_secs_f64(secs),
+        }
+    }
+
+    /// A Python package install.
+    pub fn pip(name: &str, secs: f64) -> Self {
+        Resource {
+            name: name.to_string(),
+            kind: ResourceKind::PipInstall,
+            base_duration: SimDuration::from_secs_f64(secs),
+        }
+    }
+
+    /// An R package install.
+    pub fn r_package(name: &str, secs: f64) -> Self {
+        Resource {
+            name: name.to_string(),
+            kind: ResourceKind::RPackage,
+            base_duration: SimDuration::from_secs_f64(secs),
+        }
+    }
+
+    /// The key under which successful application is remembered on the
+    /// node — resources with the same key are idempotent across recipes and
+    /// converges. Service restarts have no key: they always run.
+    pub fn idempotency_key(&self) -> Option<String> {
+        match &self.kind {
+            ResourceKind::Package => Some(format!("pkg:{}", self.name)),
+            ResourceKind::Service { action } => match action {
+                ServiceAction::Restart => None,
+                a => Some(format!("svc:{}:{a:?}", self.name)),
+            },
+            ResourceKind::File => Some(format!("file:{}", self.name)),
+            ResourceKind::Template => Some(format!("tmpl:{}", self.name)),
+            ResourceKind::Directory => Some(format!("dir:{}", self.name)),
+            ResourceKind::User => Some(format!("user:{}", self.name)),
+            ResourceKind::Execute { creates } => {
+                creates.as_ref().map(|c| format!("creates:{c}"))
+            }
+            ResourceKind::GitClone => Some(format!("git:{}", self.name)),
+            ResourceKind::PipInstall => Some(format!("pip:{}", self.name)),
+            ResourceKind::RPackage => Some(format!("rpkg:{}", self.name)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kinds() {
+        assert_eq!(Resource::package("condor", 90.0).kind, ResourceKind::Package);
+        assert!(matches!(
+            Resource::execute("init-db", 45.0, Some("/galaxy/db")).kind,
+            ResourceKind::Execute { creates: Some(_) }
+        ));
+        assert_eq!(Resource::user("galaxy").kind, ResourceKind::User);
+    }
+
+    #[test]
+    fn idempotency_keys_distinguish_kinds() {
+        let p = Resource::package("curl", 3.0);
+        let u = Resource::user("curl");
+        assert_ne!(p.idempotency_key(), u.idempotency_key());
+        assert_eq!(p.idempotency_key().unwrap(), "pkg:curl");
+    }
+
+    #[test]
+    fn restart_has_no_idempotency_key() {
+        let r = Resource::service("galaxy", ServiceAction::Restart);
+        assert_eq!(r.idempotency_key(), None);
+        let s = Resource::service("galaxy", ServiceAction::Start);
+        assert!(s.idempotency_key().is_some());
+    }
+
+    #[test]
+    fn execute_without_creates_always_runs() {
+        let e = Resource::execute("echo hi", 1.0, None);
+        assert_eq!(e.idempotency_key(), None);
+    }
+
+    #[test]
+    fn durations_follow_action_weight() {
+        let restart = Resource::service("x", ServiceAction::Restart);
+        let enable = Resource::service("x", ServiceAction::Enable);
+        assert!(restart.base_duration > enable.base_duration);
+    }
+}

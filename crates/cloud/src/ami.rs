@@ -1,0 +1,187 @@
+//! Amazon Machine Images.
+//!
+//! GP ships a public AMI with "most of the necessary software pre-installed
+//! … which considerably decreases the time taken to deploy an instance"
+//! (§III.A step 8). We model an AMI as a named set of pre-installed
+//! packages; the Chef converge engine skips any package already present,
+//! which is exactly where the deployment-time saving comes from.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// An AMI identifier, e.g. `ami-b12ee0d8`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AmiId(pub String);
+
+impl std::fmt::Display for AmiId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A machine image.
+#[derive(Debug, Clone)]
+pub struct Ami {
+    /// The image id.
+    pub id: AmiId,
+    /// Human-readable name.
+    pub name: String,
+    /// Packages baked into the image (skipped during converge).
+    pub preinstalled: BTreeSet<String>,
+}
+
+impl Ami {
+    /// A bare OS image with nothing preinstalled.
+    pub fn bare(id: &str, name: &str) -> Self {
+        Ami {
+            id: AmiId(id.to_string()),
+            name: name.to_string(),
+            preinstalled: BTreeSet::new(),
+        }
+    }
+
+    /// Add preinstalled packages (builder style).
+    pub fn with_preinstalled<I, S>(mut self, pkgs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.preinstalled.extend(pkgs.into_iter().map(Into::into));
+        self
+    }
+
+    /// Whether a package is baked in.
+    pub fn has_package(&self, pkg: &str) -> bool {
+        self.preinstalled.contains(pkg)
+    }
+}
+
+/// The catalog of registered images.
+#[derive(Debug, Default)]
+pub struct AmiCatalog {
+    images: HashMap<AmiId, Ami>,
+}
+
+/// The id of the public GP image from the paper's topology file (Figure 3).
+pub const GP_PUBLIC_AMI: &str = "ami-b12ee0d8";
+
+impl AmiCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        AmiCatalog::default()
+    }
+
+    /// A catalog preloaded with the images the paper uses: a bare Ubuntu
+    /// image and the GP public AMI with the heavyweight Globus/Condor/NFS
+    /// toolchain baked in.
+    pub fn with_defaults() -> Self {
+        let mut cat = AmiCatalog::new();
+        cat.register(Ami::bare("ami-00000001", "ubuntu-11.10-server"));
+        cat.register(
+            Ami::bare(GP_PUBLIC_AMI, "globus-provision-0.4")
+                .with_preinstalled([
+                    "globus-toolkit",
+                    "gridftp-server",
+                    "myproxy",
+                    "condor",
+                    "nfs-common",
+                    "nis",
+                    "python2.7",
+                    "postgresql",
+                ]),
+        );
+        cat
+    }
+
+    /// Register (or replace) an image.
+    pub fn register(&mut self, ami: Ami) {
+        self.images.insert(ami.id.clone(), ami);
+    }
+
+    /// Look up an image by id string.
+    pub fn get(&self, id: &str) -> Option<&Ami> {
+        self.images.get(&AmiId(id.to_string()))
+    }
+
+    /// Derive a new image from a running configuration: the paper's
+    /// "Create/Update GP AMI" step. The new image bakes in `extra_packages`
+    /// on top of the base image's set.
+    pub fn derive(&mut self, base: &str, new_id: &str, name: &str, extra_packages: &[String]) -> Option<AmiId> {
+        let base_ami = self.get(base)?.clone();
+        let derived = Ami {
+            id: AmiId(new_id.to_string()),
+            name: name.to_string(),
+            preinstalled: base_ami
+                .preinstalled
+                .iter()
+                .cloned()
+                .chain(extra_packages.iter().cloned())
+                .collect(),
+        };
+        let id = derived.id.clone();
+        self.register(derived);
+        Some(id)
+    }
+
+    /// Number of registered images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when no images are registered.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_include_gp_ami() {
+        let cat = AmiCatalog::with_defaults();
+        let gp = cat.get(GP_PUBLIC_AMI).expect("gp ami registered");
+        assert!(gp.has_package("condor"));
+        assert!(gp.has_package("gridftp-server"));
+        assert!(!gp.has_package("galaxy"));
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn bare_image_has_nothing() {
+        let cat = AmiCatalog::with_defaults();
+        let bare = cat.get("ami-00000001").unwrap();
+        assert!(bare.preinstalled.is_empty());
+    }
+
+    #[test]
+    fn derive_bakes_in_extras() {
+        let mut cat = AmiCatalog::with_defaults();
+        let id = cat
+            .derive(
+                GP_PUBLIC_AMI,
+                "ami-custom01",
+                "gp-with-crdata",
+                &["r-base".to_string(), "bioconductor".to_string()],
+            )
+            .expect("base exists");
+        assert_eq!(id.0, "ami-custom01");
+        let derived = cat.get("ami-custom01").unwrap();
+        assert!(derived.has_package("r-base"));
+        assert!(derived.has_package("condor"), "inherits base packages");
+        assert_eq!(cat.len(), 3);
+    }
+
+    #[test]
+    fn derive_from_missing_base_fails() {
+        let mut cat = AmiCatalog::new();
+        assert!(cat.derive("ami-nope", "x", "y", &[]).is_none());
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn get_unknown_is_none() {
+        let cat = AmiCatalog::with_defaults();
+        assert!(cat.get("ami-ffffffff").is_none());
+    }
+}

@@ -1,0 +1,557 @@
+//! The EC2-like control-plane API.
+//!
+//! [`Ec2Sim`] is a *passive* state machine: callers (the Globus Provision
+//! orchestrator, the benches, the tests) invoke API methods with an explicit
+//! `now` timestamp, and any asynchronous completion (boot, stop, terminate)
+//! is returned as a [`SimTime`] at which the caller should call
+//! [`Ec2Sim::settle`] — normally by scheduling a `simkit` event there. This
+//! keeps the crate decoupled from any particular simulation world type.
+
+use std::collections::BTreeMap;
+
+use cumulus_simkit::rng::RngStream;
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use crate::ami::{AmiCatalog, AmiId};
+use crate::billing::{BillingLedger, BillingMode};
+use crate::instance::{Instance, InstanceId, InstanceState};
+use crate::types::InstanceType;
+
+/// Tunable control-plane parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Ec2Config {
+    /// Latency of a control-plane API call.
+    pub api_latency: SimDuration,
+    /// Mean time from RunInstances to Running (EC2 allocation + OS boot).
+    /// Calibrated at 90 s — the fixed "boot" part of the paper's
+    /// deployment-time model (DESIGN.md §3).
+    pub boot_time: SimDuration,
+    /// Time from stop request to Stopped.
+    pub stop_time: SimDuration,
+    /// Time from terminate request to Terminated.
+    pub terminate_time: SimDuration,
+    /// Multiplicative jitter spread applied to boot times (0 = none).
+    pub boot_jitter: f64,
+    /// Account instance-count limit (EC2's default limit was 20).
+    pub instance_limit: usize,
+}
+
+impl Default for Ec2Config {
+    fn default() -> Self {
+        Ec2Config {
+            api_latency: SimDuration::from_secs(2),
+            boot_time: SimDuration::from_secs(90),
+            stop_time: SimDuration::from_secs(30),
+            terminate_time: SimDuration::from_secs(20),
+            boot_jitter: 0.05,
+            instance_limit: 20,
+        }
+    }
+}
+
+impl Ec2Config {
+    /// A configuration with all jitter disabled, for calibration runs and
+    /// determinism tests.
+    pub fn deterministic() -> Self {
+        Ec2Config {
+            boot_jitter: 0.0,
+            ..Ec2Config::default()
+        }
+    }
+}
+
+/// Errors from control-plane calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ec2Error {
+    /// The referenced AMI is not registered.
+    UnknownAmi(String),
+    /// The referenced instance does not exist.
+    UnknownInstance(InstanceId),
+    /// The operation is invalid in the instance's current state.
+    InvalidState {
+        /// The instance.
+        id: InstanceId,
+        /// Its state at the time of the call.
+        state: InstanceState,
+        /// The operation attempted.
+        op: &'static str,
+    },
+    /// The account instance limit would be exceeded.
+    LimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for Ec2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ec2Error::UnknownAmi(a) => write!(f, "unknown AMI {a}"),
+            Ec2Error::UnknownInstance(i) => write!(f, "unknown instance {i}"),
+            Ec2Error::InvalidState { id, state, op } => {
+                write!(f, "cannot {op} instance {id} in state {state}")
+            }
+            Ec2Error::LimitExceeded { limit } => {
+                write!(f, "account instance limit ({limit}) exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Ec2Error {}
+
+/// The simulated EC2 region.
+pub struct Ec2Sim {
+    config: Ec2Config,
+    /// Registered machine images.
+    pub amis: AmiCatalog,
+    instances: BTreeMap<InstanceId, Instance>,
+    /// The billing ledger (public for experiment cost queries).
+    pub ledger: BillingLedger,
+    next_id: u64,
+    rng: RngStream,
+}
+
+impl Ec2Sim {
+    /// Create a region with the default AMI catalog.
+    pub fn new(config: Ec2Config, rng: RngStream) -> Self {
+        Ec2Sim {
+            config,
+            amis: AmiCatalog::with_defaults(),
+            instances: BTreeMap::new(),
+            ledger: BillingLedger::new(),
+            next_id: 1,
+            rng,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &Ec2Config {
+        &self.config
+    }
+
+    fn non_terminated_count(&self) -> usize {
+        self.instances
+            .values()
+            .filter(|i| !i.state.is_terminated())
+            .count()
+    }
+
+    /// Launch `count` instances of `instance_type` from `ami`.
+    ///
+    /// Returns the new ids and the time at which the **last** of them
+    /// becomes Running; the caller should [`settle`](Ec2Sim::settle) at (or
+    /// after) that time. Billing starts at launch, as on real EC2.
+    pub fn run_instances(
+        &mut self,
+        now: SimTime,
+        ami: &str,
+        instance_type: InstanceType,
+        count: usize,
+    ) -> Result<(Vec<InstanceId>, SimTime), Ec2Error> {
+        let ami_id: AmiId = self
+            .amis
+            .get(ami)
+            .map(|a| a.id.clone())
+            .ok_or_else(|| Ec2Error::UnknownAmi(ami.to_string()))?;
+        if self.non_terminated_count() + count > self.config.instance_limit {
+            return Err(Ec2Error::LimitExceeded {
+                limit: self.config.instance_limit,
+            });
+        }
+        let mut ids = Vec::with_capacity(count);
+        let mut last_ready = now;
+        for _ in 0..count {
+            let id = InstanceId(self.next_id);
+            self.next_id += 1;
+            let jitter = self.rng.jitter(self.config.boot_jitter);
+            let ready = now
+                + self.config.api_latency
+                + self.config.boot_time.mul_f64(jitter);
+            last_ready = last_ready.max(ready);
+            let inst = Instance {
+                id,
+                instance_type,
+                ami: ami_id.clone(),
+                state: InstanceState::Pending,
+                transition_at: Some(ready),
+                launched_at: now,
+                private_host: format!("ip-10-0-{}-{}", id.0 / 256, id.0 % 256),
+                public_host: format!("ec2-{}.compute.example", id.0),
+            };
+            self.ledger.open(id, instance_type, now);
+            self.instances.insert(id, inst);
+            ids.push(id);
+        }
+        Ok((ids, last_ready))
+    }
+
+    /// Apply every state transition due at or before `now`.
+    pub fn settle(&mut self, now: SimTime) {
+        for inst in self.instances.values_mut() {
+            let Some(at) = inst.transition_at else {
+                continue;
+            };
+            if at > now {
+                continue;
+            }
+            inst.transition_at = None;
+            match inst.state {
+                InstanceState::Pending => inst.state = InstanceState::Running,
+                InstanceState::Stopping => {
+                    inst.state = InstanceState::Stopped;
+                    self.ledger.close(inst.id, at);
+                }
+                InstanceState::ShuttingDown => {
+                    inst.state = InstanceState::Terminated;
+                    self.ledger.close(inst.id, at);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The earliest pending transition time, if any (for schedulers that
+    /// want to settle exactly on time).
+    pub fn next_transition_at(&self) -> Option<SimTime> {
+        self.instances
+            .values()
+            .filter_map(|i| i.transition_at)
+            .min()
+    }
+
+    /// Look up an instance.
+    pub fn describe_instance(&self, id: InstanceId) -> Result<&Instance, Ec2Error> {
+        self.instances.get(&id).ok_or(Ec2Error::UnknownInstance(id))
+    }
+
+    /// All instances (including terminated), in id order.
+    pub fn describe_instances(&self) -> impl Iterator<Item = &Instance> {
+        self.instances.values()
+    }
+
+    /// Ids of all instances in a usable (Running) state.
+    pub fn running_instances(&self) -> Vec<InstanceId> {
+        self.instances
+            .values()
+            .filter(|i| i.state.is_usable())
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Request a stop. Returns the time at which the instance will be
+    /// Stopped.
+    pub fn stop_instance(&mut self, now: SimTime, id: InstanceId) -> Result<SimTime, Ec2Error> {
+        let stop_time = self.config.stop_time;
+        let api = self.config.api_latency;
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(Ec2Error::UnknownInstance(id))?;
+        match inst.state {
+            InstanceState::Running => {
+                let done = now + api + stop_time;
+                inst.state = InstanceState::Stopping;
+                inst.transition_at = Some(done);
+                Ok(done)
+            }
+            state => Err(Ec2Error::InvalidState {
+                id,
+                state,
+                op: "stop",
+            }),
+        }
+    }
+
+    /// Restart a stopped instance. Returns the time it will be Running.
+    pub fn start_instance(&mut self, now: SimTime, id: InstanceId) -> Result<SimTime, Ec2Error> {
+        let boot = self.config.boot_time;
+        let api = self.config.api_latency;
+        let jitter = self.rng.jitter(self.config.boot_jitter);
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(Ec2Error::UnknownInstance(id))?;
+        match inst.state {
+            InstanceState::Stopped => {
+                let ready = now + api + boot.mul_f64(jitter);
+                inst.state = InstanceState::Pending;
+                inst.transition_at = Some(ready);
+                self.ledger.open(id, inst.instance_type, now);
+                Ok(ready)
+            }
+            state => Err(Ec2Error::InvalidState {
+                id,
+                state,
+                op: "start",
+            }),
+        }
+    }
+
+    /// Terminate an instance (valid from Running or Stopped). Returns the
+    /// time it will be Terminated.
+    pub fn terminate_instance(
+        &mut self,
+        now: SimTime,
+        id: InstanceId,
+    ) -> Result<SimTime, Ec2Error> {
+        let term = self.config.terminate_time;
+        let api = self.config.api_latency;
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(Ec2Error::UnknownInstance(id))?;
+        match inst.state {
+            InstanceState::Running | InstanceState::Pending => {
+                let done = now + api + term;
+                inst.state = InstanceState::ShuttingDown;
+                inst.transition_at = Some(done);
+                Ok(done)
+            }
+            InstanceState::Stopped => {
+                // No billing to close (closed at stop); transition quickly.
+                let done = now + api;
+                inst.state = InstanceState::Terminated;
+                inst.transition_at = None;
+                Ok(done)
+            }
+            state => Err(Ec2Error::InvalidState {
+                id,
+                state,
+                op: "terminate",
+            }),
+        }
+    }
+
+    /// Change a stopped instance's type (EC2 semantics: stop required).
+    pub fn modify_instance_type(
+        &mut self,
+        id: InstanceId,
+        new_type: InstanceType,
+    ) -> Result<(), Ec2Error> {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(Ec2Error::UnknownInstance(id))?;
+        match inst.state {
+            InstanceState::Stopped => {
+                inst.instance_type = new_type;
+                Ok(())
+            }
+            state => Err(Ec2Error::InvalidState {
+                id,
+                state,
+                op: "modify-instance-type",
+            }),
+        }
+    }
+
+    /// Abruptly kill an instance (hardware failure injection). Billing
+    /// stops immediately; the state jumps straight to Terminated.
+    pub fn fail_instance(&mut self, now: SimTime, id: InstanceId) -> Result<(), Ec2Error> {
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(Ec2Error::UnknownInstance(id))?;
+        if inst.state.is_terminated() {
+            return Ok(());
+        }
+        let had_billing = !matches!(inst.state, InstanceState::Stopped);
+        inst.state = InstanceState::Terminated;
+        inst.transition_at = None;
+        if had_billing {
+            self.ledger.close(id, now);
+        }
+        Ok(())
+    }
+
+    /// Total account cost as of `now`.
+    pub fn total_cost(&self, mode: BillingMode, now: SimTime) -> f64 {
+        self.ledger.total_cost(mode, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ami::GP_PUBLIC_AMI;
+
+    fn sim() -> Ec2Sim {
+        Ec2Sim::new(Ec2Config::deterministic(), RngStream::derive(1, "ec2"))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn launch_boots_after_boot_time() {
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 2)
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(ready, t(92), "2 s API + 90 s boot");
+        // Before settle: pending.
+        assert_eq!(
+            ec2.describe_instance(ids[0]).unwrap().state,
+            InstanceState::Pending
+        );
+        ec2.settle(t(91));
+        assert_eq!(
+            ec2.describe_instance(ids[0]).unwrap().state,
+            InstanceState::Pending,
+            "not ready yet"
+        );
+        ec2.settle(ready);
+        for id in &ids {
+            assert!(ec2.describe_instance(*id).unwrap().state.is_usable());
+        }
+        assert_eq!(ec2.running_instances().len(), 2);
+    }
+
+    #[test]
+    fn unknown_ami_is_rejected() {
+        let mut ec2 = sim();
+        let err = ec2
+            .run_instances(t(0), "ami-junk", InstanceType::M1Small, 1)
+            .unwrap_err();
+        assert_eq!(err, Ec2Error::UnknownAmi("ami-junk".to_string()));
+    }
+
+    #[test]
+    fn instance_limit_is_enforced() {
+        let mut ec2 = sim();
+        ec2.run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 20)
+            .unwrap();
+        let err = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .unwrap_err();
+        assert!(matches!(err, Ec2Error::LimitExceeded { limit: 20 }));
+        // Terminating frees quota.
+        let id = ec2.running_instances().first().copied();
+        let id = match id {
+            Some(i) => i,
+            None => {
+                ec2.settle(t(100));
+                ec2.running_instances()[0]
+            }
+        };
+        let done = ec2.terminate_instance(t(100), id).unwrap();
+        ec2.settle(done);
+        assert!(ec2
+            .run_instances(t(200), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .is_ok());
+    }
+
+    #[test]
+    fn stop_start_cycle_pauses_billing() {
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .unwrap();
+        ec2.settle(ready);
+        let stopped_at = ec2.stop_instance(t(3600), ids[0]).unwrap();
+        ec2.settle(stopped_at);
+        assert_eq!(
+            ec2.describe_instance(ids[0]).unwrap().state,
+            InstanceState::Stopped
+        );
+        let cost_at_stop = ec2.total_cost(BillingMode::PerSecond, stopped_at);
+        // A long idle gap while stopped costs nothing.
+        let much_later = t(3600 * 24);
+        assert_eq!(ec2.total_cost(BillingMode::PerSecond, much_later), cost_at_stop);
+        // Resume.
+        let ready2 = ec2.start_instance(much_later, ids[0]).unwrap();
+        ec2.settle(ready2);
+        assert!(ec2.describe_instance(ids[0]).unwrap().state.is_usable());
+        assert!(ec2.total_cost(BillingMode::PerSecond, ready2) > cost_at_stop);
+    }
+
+    #[test]
+    fn type_change_requires_stopped() {
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .unwrap();
+        ec2.settle(ready);
+        let err = ec2
+            .modify_instance_type(ids[0], InstanceType::M1Large)
+            .unwrap_err();
+        assert!(matches!(err, Ec2Error::InvalidState { op: "modify-instance-type", .. }));
+        let stopped = ec2.stop_instance(ready, ids[0]).unwrap();
+        ec2.settle(stopped);
+        ec2.modify_instance_type(ids[0], InstanceType::M1Large)
+            .unwrap();
+        assert_eq!(
+            ec2.describe_instance(ids[0]).unwrap().instance_type,
+            InstanceType::M1Large
+        );
+    }
+
+    #[test]
+    fn terminate_from_stopped_is_quick() {
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .unwrap();
+        ec2.settle(ready);
+        let stopped = ec2.stop_instance(ready, ids[0]).unwrap();
+        ec2.settle(stopped);
+        ec2.terminate_instance(stopped, ids[0]).unwrap();
+        assert!(ec2
+            .describe_instance(ids[0])
+            .unwrap()
+            .state
+            .is_terminated());
+    }
+
+    #[test]
+    fn double_stop_is_invalid() {
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .unwrap();
+        ec2.settle(ready);
+        ec2.stop_instance(ready, ids[0]).unwrap();
+        assert!(ec2.stop_instance(ready, ids[0]).is_err());
+    }
+
+    #[test]
+    fn failure_kills_and_stops_billing() {
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .unwrap();
+        ec2.settle(ready);
+        ec2.fail_instance(t(600), ids[0]).unwrap();
+        assert!(ec2.describe_instance(ids[0]).unwrap().state.is_terminated());
+        let cost = ec2.total_cost(BillingMode::PerSecond, t(7200));
+        assert!((cost - 0.04 * 600.0 / 3600.0).abs() < 1e-9);
+        // Idempotent.
+        ec2.fail_instance(t(700), ids[0]).unwrap();
+    }
+
+    #[test]
+    fn next_transition_tracks_earliest() {
+        let mut ec2 = sim();
+        assert_eq!(ec2.next_transition_at(), None);
+        let (_, ready) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .unwrap();
+        assert_eq!(ec2.next_transition_at(), Some(ready));
+        ec2.settle(ready);
+        assert_eq!(ec2.next_transition_at(), None);
+    }
+
+    #[test]
+    fn unknown_instance_errors() {
+        let mut ec2 = sim();
+        let ghost = InstanceId(999);
+        assert!(ec2.describe_instance(ghost).is_err());
+        assert!(ec2.stop_instance(t(0), ghost).is_err());
+        assert!(ec2.start_instance(t(0), ghost).is_err());
+        assert!(ec2.terminate_instance(t(0), ghost).is_err());
+        assert!(ec2.fail_instance(t(0), ghost).is_err());
+    }
+}

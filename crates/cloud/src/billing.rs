@@ -1,0 +1,295 @@
+//! Pay-as-you-go billing.
+//!
+//! Every interval during which an instance is running (or booting — EC2
+//! bills from launch) is recorded as a usage segment. Costs can be computed
+//! under two schemes:
+//!
+//! * [`BillingMode::PerSecond`] — proportional accounting. This is the
+//!   scheme behind the paper's Figure 10 cost series (10.7 min on an
+//!   m1.small at $0.04/h ≈ $0.007), and the scheme used for all experiment
+//!   tables.
+//! * [`BillingMode::HourlyRoundUp`] — 2012-era EC2 billing, where every
+//!   started hour is charged in full. Useful for the cost-realism ablation.
+
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use crate::instance::InstanceId;
+use crate::types::InstanceType;
+
+/// How usage converts to dollars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BillingMode {
+    /// Proportional (per-second) accounting.
+    PerSecond,
+    /// Round each usage segment up to a whole hour.
+    HourlyRoundUp,
+}
+
+/// One interval of billable usage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UsageSegment {
+    /// The instance being billed.
+    pub instance: InstanceId,
+    /// Its type during this segment (type changes start a new segment).
+    pub instance_type: InstanceType,
+    /// Segment start (launch or restart).
+    pub start: SimTime,
+    /// Segment end (stop/terminate); `None` while still running.
+    pub end: Option<SimTime>,
+}
+
+impl UsageSegment {
+    /// Billable duration as of `as_of` (open segments bill up to `as_of`).
+    pub fn billable(&self, as_of: SimTime) -> SimDuration {
+        let end = self.end.unwrap_or(as_of).min(as_of);
+        end.since(self.start)
+    }
+
+    /// Dollar cost of this segment under `mode`, as of `as_of`.
+    pub fn cost(&self, mode: BillingMode, as_of: SimTime) -> f64 {
+        let hours = self.billable(as_of).as_hours_f64();
+        let billed_hours = match mode {
+            BillingMode::PerSecond => hours,
+            BillingMode::HourlyRoundUp => {
+                if hours == 0.0 {
+                    0.0
+                } else {
+                    hours.ceil()
+                }
+            }
+        };
+        billed_hours * self.instance_type.price_per_hour()
+    }
+}
+
+/// The account-wide ledger.
+#[derive(Debug, Default)]
+pub struct BillingLedger {
+    segments: Vec<UsageSegment>,
+}
+
+impl BillingLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        BillingLedger::default()
+    }
+
+    /// Open a new usage segment (instance launched or restarted).
+    pub fn open(&mut self, instance: InstanceId, instance_type: InstanceType, start: SimTime) {
+        debug_assert!(
+            !self.has_open_segment(instance),
+            "instance {instance} already has an open segment"
+        );
+        self.segments.push(UsageSegment {
+            instance,
+            instance_type,
+            start,
+            end: None,
+        });
+    }
+
+    /// Close the open segment for `instance` (stopped or terminated).
+    /// Returns `false` if no segment was open.
+    pub fn close(&mut self, instance: InstanceId, end: SimTime) -> bool {
+        for seg in self.segments.iter_mut().rev() {
+            if seg.instance == instance && seg.end.is_none() {
+                debug_assert!(end >= seg.start);
+                seg.end = Some(end);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the instance currently has an open segment.
+    pub fn has_open_segment(&self, instance: InstanceId) -> bool {
+        self.segments
+            .iter()
+            .any(|s| s.instance == instance && s.end.is_none())
+    }
+
+    /// All segments, in creation order.
+    pub fn segments(&self) -> &[UsageSegment] {
+        &self.segments
+    }
+
+    /// Total account cost as of `as_of`.
+    pub fn total_cost(&self, mode: BillingMode, as_of: SimTime) -> f64 {
+        self.segments.iter().map(|s| s.cost(mode, as_of)).sum()
+    }
+
+    /// Cost attributable to one instance.
+    pub fn instance_cost(&self, instance: InstanceId, mode: BillingMode, as_of: SimTime) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.instance == instance)
+            .map(|s| s.cost(mode, as_of))
+            .sum()
+    }
+
+    /// Cost of usage that overlaps the window `[from, to)` under
+    /// proportional billing — the quantity used for "what did this
+    /// experiment cost".
+    pub fn window_cost(&self, from: SimTime, to: SimTime) -> f64 {
+        assert!(to >= from);
+        self.segments
+            .iter()
+            .map(|s| {
+                let seg_start = s.start.max(from);
+                let seg_end = s.end.unwrap_or(to).min(to);
+                if seg_end <= seg_start {
+                    0.0
+                } else {
+                    seg_end.since(seg_start).as_hours_f64() * s.instance_type.price_per_hour()
+                }
+            })
+            .sum()
+    }
+
+    /// Human-readable itemized invoice.
+    pub fn invoice(&self, mode: BillingMode, as_of: SimTime) -> String {
+        let mut out = String::from("instance      type        start         end           cost\n");
+        for s in &self.segments {
+            let end = s
+                .end
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "(running)".to_string());
+            out.push_str(&format!(
+                "{:<13} {:<11} {:<13} {:<13} ${:.4}\n",
+                s.instance.to_string(),
+                s.instance_type.to_string(),
+                s.start.to_string(),
+                end,
+                s.cost(mode, as_of)
+            ));
+        }
+        out.push_str(&format!(
+            "total: ${:.4}\n",
+            self.total_cost(mode, as_of)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(mins)
+    }
+
+    fn iid(n: u64) -> InstanceId {
+        InstanceId(n)
+    }
+
+    #[test]
+    fn per_second_cost_matches_paper_arithmetic() {
+        // 10.7 minutes on m1.small at $0.04/h ≈ $0.00713 — the paper's
+        // "$0.007 on a small instance".
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, SimTime::ZERO);
+        let end = SimTime::ZERO + SimDuration::from_mins_f64(10.7);
+        ledger.close(iid(1), end);
+        let cost = ledger.total_cost(BillingMode::PerSecond, end);
+        assert!((cost - 0.04 * 10.7 / 60.0).abs() < 1e-9);
+        assert!((cost - 0.007).abs() < 0.0005, "cost={cost}");
+    }
+
+    #[test]
+    fn hourly_mode_rounds_up() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Large, t(0));
+        ledger.close(iid(1), t(61));
+        let cost = ledger.total_cost(BillingMode::HourlyRoundUp, t(61));
+        assert!((cost - 2.0 * 0.16).abs() < 1e-12, "61 min bills 2 hours");
+    }
+
+    #[test]
+    fn open_segments_bill_to_as_of() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        let c30 = ledger.total_cost(BillingMode::PerSecond, t(30));
+        let c60 = ledger.total_cost(BillingMode::PerSecond, t(60));
+        assert!((c30 - 0.02).abs() < 1e-12);
+        assert!((c60 - 0.04).abs() < 1e-12);
+        assert!(ledger.has_open_segment(iid(1)));
+    }
+
+    #[test]
+    fn cost_is_monotone_in_time() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::C1Medium, t(0));
+        let mut prev = 0.0;
+        for m in [1, 5, 30, 120] {
+            let c = ledger.total_cost(BillingMode::PerSecond, t(m));
+            assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn close_returns_false_without_open_segment() {
+        let mut ledger = BillingLedger::new();
+        assert!(!ledger.close(iid(9), t(1)));
+        ledger.open(iid(9), InstanceType::M1Small, t(0));
+        assert!(ledger.close(iid(9), t(1)));
+        assert!(!ledger.close(iid(9), t(2)), "already closed");
+    }
+
+    #[test]
+    fn stop_resume_creates_separate_segments() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        ledger.close(iid(1), t(10));
+        ledger.open(iid(1), InstanceType::M1Small, t(100));
+        ledger.close(iid(1), t(110));
+        // 20 minutes billed; the 90-minute stopped gap costs nothing.
+        let cost = ledger.total_cost(BillingMode::PerSecond, t(200));
+        assert!((cost - 0.04 * 20.0 / 60.0).abs() < 1e-12);
+        assert_eq!(ledger.segments().len(), 2);
+    }
+
+    #[test]
+    fn type_change_bills_each_type() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        ledger.close(iid(1), t(60));
+        ledger.open(iid(1), InstanceType::M1Xlarge, t(60));
+        ledger.close(iid(1), t(120));
+        let cost = ledger.total_cost(BillingMode::PerSecond, t(120));
+        assert!((cost - (0.04 + 0.32)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_cost_clips() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        ledger.close(iid(1), t(120));
+        // Only the [30, 90) hour falls in the window.
+        let c = ledger.window_cost(t(30), t(90));
+        assert!((c - 0.04).abs() < 1e-12);
+        // Window entirely outside usage.
+        assert_eq!(ledger.window_cost(t(200), t(300)), 0.0);
+    }
+
+    #[test]
+    fn instance_cost_separates_instances() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        ledger.open(iid(2), InstanceType::M1Xlarge, t(0));
+        let as_of = t(60);
+        assert!((ledger.instance_cost(iid(1), BillingMode::PerSecond, as_of) - 0.04).abs() < 1e-12);
+        assert!((ledger.instance_cost(iid(2), BillingMode::PerSecond, as_of) - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invoice_lists_segments_and_total() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        ledger.close(iid(1), t(60));
+        let inv = ledger.invoice(BillingMode::PerSecond, t(60));
+        assert!(inv.contains("m1.small"));
+        assert!(inv.contains("total: $0.0400"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Instance records and lifecycle states.
+
+use std::fmt;
+
+use cumulus_simkit::time::SimTime;
+
+use crate::ami::AmiId;
+use crate::types::InstanceType;
+
+/// Identifier for a launched instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstanceId(pub u64);
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i-{:08x}", self.0)
+    }
+}
+
+/// The EC2 instance lifecycle.
+///
+/// ```text
+/// run → Pending → Running → Stopping → Stopped → (start) → Pending …
+///                        ↘ ShuttingDown → Terminated
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceState {
+    /// Booting; becomes `Running` at the recorded ready time.
+    Pending,
+    /// Up and billable.
+    Running,
+    /// Stop requested; becomes `Stopped` shortly.
+    Stopping,
+    /// Halted but resumable; not billed.
+    Stopped,
+    /// Terminate requested; becomes `Terminated` shortly.
+    ShuttingDown,
+    /// Gone forever.
+    Terminated,
+}
+
+impl InstanceState {
+    /// States in which the instance can execute work.
+    pub fn is_usable(self) -> bool {
+        self == InstanceState::Running
+    }
+
+    /// Terminal state check.
+    pub fn is_terminated(self) -> bool {
+        self == InstanceState::Terminated
+    }
+}
+
+impl fmt::Display for InstanceState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstanceState::Pending => "pending",
+            InstanceState::Running => "running",
+            InstanceState::Stopping => "stopping",
+            InstanceState::Stopped => "stopped",
+            InstanceState::ShuttingDown => "shutting-down",
+            InstanceState::Terminated => "terminated",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A launched instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Its id.
+    pub id: InstanceId,
+    /// Current type (changeable only while stopped).
+    pub instance_type: InstanceType,
+    /// The image it booted from.
+    pub ami: AmiId,
+    /// Lifecycle state.
+    pub state: InstanceState,
+    /// When the current state transition completes (boot/stop/terminate),
+    /// if one is in flight.
+    pub transition_at: Option<SimTime>,
+    /// When the instance was first launched.
+    pub launched_at: SimTime,
+    /// Simulated private hostname, e.g. `ip-10-0-0-7`.
+    pub private_host: String,
+    /// Simulated public hostname.
+    pub public_host: String,
+}
+
+impl Instance {
+    /// A one-line `gp-instance-describe`-style summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}  {}  {}  {}  {}",
+            self.id, self.instance_type, self.state, self.public_host, self.ami
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_id_formats_like_ec2() {
+        assert_eq!(InstanceId(0x2af).to_string(), "i-000002af");
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(InstanceState::Running.is_usable());
+        assert!(!InstanceState::Pending.is_usable());
+        assert!(!InstanceState::Stopped.is_usable());
+        assert!(InstanceState::Terminated.is_terminated());
+        assert!(!InstanceState::Running.is_terminated());
+    }
+
+    #[test]
+    fn state_display_names() {
+        assert_eq!(InstanceState::ShuttingDown.to_string(), "shutting-down");
+        assert_eq!(InstanceState::Running.to_string(), "running");
+    }
+
+    #[test]
+    fn describe_mentions_key_fields() {
+        let inst = Instance {
+            id: InstanceId(1),
+            instance_type: InstanceType::C1Medium,
+            ami: AmiId("ami-b12ee0d8".to_string()),
+            state: InstanceState::Running,
+            transition_at: None,
+            launched_at: SimTime::ZERO,
+            private_host: "ip-10-0-0-1".to_string(),
+            public_host: "ec2-1.compute.example".to_string(),
+        };
+        let d = inst.describe();
+        assert!(d.contains("c1.medium"));
+        assert!(d.contains("running"));
+        assert!(d.contains("ec2-1.compute.example"));
+    }
+}

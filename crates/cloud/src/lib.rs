@@ -1,0 +1,30 @@
+//! `cumulus-cloud` — an EC2-like IaaS simulator.
+//!
+//! Models the three surfaces through which the paper's evaluation observes
+//! Amazon EC2:
+//!
+//! * **capacity & speed** — the 2012 instance-type menu with calibrated
+//!   compute units and provisioning speeds ([`types`]);
+//! * **latency** — control-plane API latency and boot/stop/terminate delays
+//!   driven through the passive [`Ec2Sim`] state machine ([`api`]);
+//! * **price** — pay-as-you-go billing with per-second and
+//!   round-up-to-the-hour modes ([`billing`]).
+//!
+//! Machine images ([`ami`]) carry a pre-installed package set, which is how
+//! the GP public AMI "considerably decreases the time taken to deploy an
+//! instance": the Chef converge engine (in `cumulus-chef`) skips any package
+//! the image already provides.
+
+#![warn(missing_docs)]
+
+pub mod ami;
+pub mod api;
+pub mod billing;
+pub mod instance;
+pub mod types;
+
+pub use ami::{Ami, AmiCatalog, AmiId, GP_PUBLIC_AMI};
+pub use api::{Ec2Config, Ec2Error, Ec2Sim};
+pub use billing::{BillingLedger, BillingMode, UsageSegment};
+pub use instance::{Instance, InstanceId, InstanceState};
+pub use types::InstanceType;

@@ -1,0 +1,205 @@
+//! EC2 instance types and their calibrated performance model.
+//!
+//! The paper's evaluation (Figure 10) spans the 2012 EC2 menu:
+//! t1.micro for testing, c1.medium "good for demos", m1.large for
+//! high-performance instances, and m1.xlarge at the top. The three numbers
+//! that matter to the experiments are each type's *compute capacity*,
+//! *hourly price*, and *provisioning speed*; the constants below are
+//! calibrated so the simulator reproduces the paper's reported execution
+//! times, deployment times, and costs (see DESIGN.md §3).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An EC2 instance type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstanceType {
+    /// `t1.micro` — burstable, suitable for testing only.
+    T1Micro,
+    /// `m1.small` — the baseline 1-compute-unit instance.
+    M1Small,
+    /// `c1.medium` — compute-biased medium instance.
+    C1Medium,
+    /// `m1.large` — standard large instance.
+    M1Large,
+    /// `m1.xlarge` — standard extra-large instance.
+    M1Xlarge,
+}
+
+impl InstanceType {
+    /// All types, smallest to largest.
+    pub const ALL: [InstanceType; 5] = [
+        InstanceType::T1Micro,
+        InstanceType::M1Small,
+        InstanceType::C1Medium,
+        InstanceType::M1Large,
+        InstanceType::M1Xlarge,
+    ];
+
+    /// The EC2 API name.
+    pub fn api_name(self) -> &'static str {
+        match self {
+            InstanceType::T1Micro => "t1.micro",
+            InstanceType::M1Small => "m1.small",
+            InstanceType::C1Medium => "c1.medium",
+            InstanceType::M1Large => "m1.large",
+            InstanceType::M1Xlarge => "m1.xlarge",
+        }
+    }
+
+    /// Relative compute capacity (m1.small ≡ 1.0). Calibrated so the
+    /// Amdahl execution model reproduces Figure 10's execution times
+    /// (10.7 / 6.9 / 5.4 / 4.6 minutes).
+    pub fn compute_units(self) -> f64 {
+        match self {
+            InstanceType::T1Micro => 0.4,
+            InstanceType::M1Small => 1.0,
+            InstanceType::C1Medium => 2.2,
+            InstanceType::M1Large => 4.0,
+            InstanceType::M1Xlarge => 8.0,
+        }
+    }
+
+    /// On-demand price in dollars per hour. Calibrated so Figure 10's cost
+    /// series reproduces (0.007 $ on small → 0.024 $ on xlarge for the
+    /// steps-3+4 payload) and so that "cost almost doubles for each increase
+    /// in instance size".
+    pub fn price_per_hour(self) -> f64 {
+        match self {
+            InstanceType::T1Micro => 0.02,
+            InstanceType::M1Small => 0.04,
+            InstanceType::C1Medium => 0.08,
+            InstanceType::M1Large => 0.16,
+            InstanceType::M1Xlarge => 0.32,
+        }
+    }
+
+    /// Memory in GB (2012 menu values; relevant for job requirements).
+    pub fn memory_gb(self) -> f64 {
+        match self {
+            InstanceType::T1Micro => 0.613,
+            InstanceType::M1Small => 1.7,
+            InstanceType::C1Medium => 1.7,
+            InstanceType::M1Large => 7.5,
+            InstanceType::M1Xlarge => 15.0,
+        }
+    }
+
+    /// Virtual CPU count (Condor slots per worker).
+    pub fn vcpus(self) -> u32 {
+        match self {
+            InstanceType::T1Micro => 1,
+            InstanceType::M1Small => 1,
+            InstanceType::C1Medium => 2,
+            InstanceType::M1Large => 2,
+            InstanceType::M1Xlarge => 4,
+        }
+    }
+
+    /// Provisioning speed relative to m1.small: package installation and
+    /// configuration scale sub-linearly with compute (they are partly
+    /// network- and disk-bound), modelled as `CU^0.3675`. Calibrated so GP
+    /// deployment times reproduce Figure 10 (8.8 / 7.2 / 4.9 minutes).
+    pub fn provision_speed(self) -> f64 {
+        self.compute_units().powf(0.3675)
+    }
+
+    /// The next size up, if any (used by scale-up policies).
+    pub fn next_larger(self) -> Option<InstanceType> {
+        let all = InstanceType::ALL;
+        let idx = all.iter().position(|t| *t == self).expect("in ALL");
+        all.get(idx + 1).copied()
+    }
+}
+
+impl fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.api_name())
+    }
+}
+
+/// Error returned when parsing an unknown instance-type name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownInstanceType(pub String);
+
+impl fmt::Display for UnknownInstanceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown EC2 instance type: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownInstanceType {}
+
+impl FromStr for InstanceType {
+    type Err = UnknownInstanceType;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        InstanceType::ALL
+            .into_iter()
+            .find(|t| t.api_name() == s)
+            .ok_or_else(|| UnknownInstanceType(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for t in InstanceType::ALL {
+            assert_eq!(t.api_name().parse::<InstanceType>().unwrap(), t);
+            assert_eq!(t.to_string(), t.api_name());
+        }
+        assert!("m9.mega".parse::<InstanceType>().is_err());
+    }
+
+    #[test]
+    fn prices_double_per_size_step() {
+        // The paper: "cost … almost doubles for each increase in instance
+        // size."
+        let sized = [
+            InstanceType::M1Small,
+            InstanceType::C1Medium,
+            InstanceType::M1Large,
+            InstanceType::M1Xlarge,
+        ];
+        for pair in sized.windows(2) {
+            let ratio = pair[1].price_per_hour() / pair[0].price_per_hour();
+            assert!((ratio - 2.0).abs() < 1e-12, "ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn compute_units_are_monotone() {
+        for pair in InstanceType::ALL.windows(2) {
+            assert!(pair[1].compute_units() > pair[0].compute_units());
+        }
+        assert_eq!(InstanceType::M1Small.compute_units(), 1.0);
+    }
+
+    #[test]
+    fn provision_speed_is_sublinear() {
+        let x = InstanceType::M1Xlarge;
+        assert!(x.provision_speed() > 1.0);
+        assert!(x.provision_speed() < x.compute_units());
+        assert!((InstanceType::M1Small.provision_speed() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn next_larger_walks_the_menu() {
+        assert_eq!(
+            InstanceType::M1Small.next_larger(),
+            Some(InstanceType::C1Medium)
+        );
+        assert_eq!(InstanceType::M1Xlarge.next_larger(), None);
+    }
+
+    #[test]
+    fn memory_and_vcpus_are_sane() {
+        for t in InstanceType::ALL {
+            assert!(t.memory_gb() > 0.0);
+            assert!(t.vcpus() >= 1);
+        }
+        assert_eq!(InstanceType::M1Xlarge.vcpus(), 4);
+    }
+}

@@ -1,0 +1,325 @@
+//! Genomic intervals, an interval index, and read counting —
+//! the substrate behind `sequenceCountsPerTranscript.R`, which
+//! "summarizes the number of reads (presented in one or more BAM files)
+//! aligning to different genomic features retrieved from the UCSC genome
+//! browser".
+
+use std::collections::BTreeMap;
+
+/// A half-open genomic interval `[start, end)` on a named chromosome.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Chromosome name, e.g. `chr1`.
+    pub chrom: String,
+    /// 0-based inclusive start.
+    pub start: u64,
+    /// Exclusive end.
+    pub end: u64,
+}
+
+impl Interval {
+    /// Construct; panics when `end <= start`.
+    pub fn new(chrom: &str, start: u64, end: u64) -> Self {
+        assert!(end > start, "interval must be non-empty: {start}..{end}");
+        Interval {
+            chrom: chrom.to_string(),
+            start,
+            end,
+        }
+    }
+
+    /// Length in bases.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Intervals are never empty (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Do two intervals overlap (same chromosome, ranges intersect)?
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.chrom == other.chrom && self.start < other.end && other.start < self.end
+    }
+}
+
+/// A transcript: a named set of exons on one chromosome (the "genomic
+/// feature" rows of a UCSC table).
+#[derive(Debug, Clone)]
+pub struct Transcript {
+    /// Transcript / gene name.
+    pub name: String,
+    /// Exons, non-overlapping and sorted by start.
+    pub exons: Vec<Interval>,
+}
+
+impl Transcript {
+    /// Build from exons (sorted defensively).
+    pub fn new(name: &str, mut exons: Vec<Interval>) -> Self {
+        exons.sort_by_key(|e| e.start);
+        Transcript {
+            name: name.to_string(),
+            exons,
+        }
+    }
+
+    /// Total exonic length.
+    pub fn exonic_length(&self) -> u64 {
+        self.exons.iter().map(Interval::len).sum()
+    }
+
+    /// Does a read interval overlap any exon?
+    pub fn overlaps(&self, read: &Interval) -> bool {
+        self.exons.iter().any(|e| e.overlaps(read))
+    }
+}
+
+/// An aligned read (a BAM record reduced to what counting needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Read {
+    /// Alignment interval.
+    pub span: Interval,
+}
+
+/// An indexed feature set supporting fast overlap queries.
+///
+/// Per chromosome, exon intervals are sorted by start with a running
+/// maximum of ends, giving O(log n + k) stab queries without a full
+/// augmented tree.
+#[derive(Debug, Default)]
+pub struct FeatureIndex {
+    /// Transcripts by insertion order.
+    transcripts: Vec<Transcript>,
+    /// chrom → sorted (start, end, transcript index).
+    per_chrom: BTreeMap<String, Vec<(u64, u64, usize)>>,
+    /// chrom → running max of `end` aligned with `per_chrom`.
+    max_end_prefix: BTreeMap<String, Vec<u64>>,
+}
+
+impl FeatureIndex {
+    /// Build an index over transcripts.
+    pub fn build(transcripts: Vec<Transcript>) -> Self {
+        let mut per_chrom: BTreeMap<String, Vec<(u64, u64, usize)>> = BTreeMap::new();
+        for (t_idx, t) in transcripts.iter().enumerate() {
+            for exon in &t.exons {
+                per_chrom
+                    .entry(exon.chrom.clone())
+                    .or_default()
+                    .push((exon.start, exon.end, t_idx));
+            }
+        }
+        let mut max_end_prefix = BTreeMap::new();
+        for (chrom, exons) in per_chrom.iter_mut() {
+            exons.sort_unstable();
+            let mut running = 0u64;
+            let prefix: Vec<u64> = exons
+                .iter()
+                .map(|(_, end, _)| {
+                    running = running.max(*end);
+                    running
+                })
+                .collect();
+            max_end_prefix.insert(chrom.clone(), prefix);
+        }
+        FeatureIndex {
+            transcripts,
+            per_chrom,
+            max_end_prefix,
+        }
+    }
+
+    /// Number of indexed transcripts.
+    pub fn len(&self) -> usize {
+        self.transcripts.len()
+    }
+
+    /// True when no transcripts are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.transcripts.is_empty()
+    }
+
+    /// Transcript names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.transcripts.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Indices of transcripts overlapping `read` (deduplicated, sorted).
+    pub fn overlapping(&self, read: &Interval) -> Vec<usize> {
+        let Some(exons) = self.per_chrom.get(&read.chrom) else {
+            return Vec::new();
+        };
+        let prefix = &self.max_end_prefix[&read.chrom];
+        // Binary search for the first exon whose start >= read.end; all
+        // candidates are before that point.
+        let upper = exons.partition_point(|(start, _, _)| *start < read.end);
+        let mut hits = Vec::new();
+        // Walk backwards; stop when the running max end can no longer reach
+        // the read.
+        for i in (0..upper).rev() {
+            if prefix[i] <= read.start {
+                break;
+            }
+            let (start, end, t_idx) = exons[i];
+            if start < read.end && read.start < end {
+                hits.push(t_idx);
+            }
+        }
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+
+    /// Count reads per transcript. A read overlapping several transcripts
+    /// counts toward each (union counting, like `countOverlaps`).
+    pub fn count_reads(&self, reads: &[Read]) -> Vec<(String, u64)> {
+        let mut counts = vec![0u64; self.transcripts.len()];
+        for read in reads {
+            for t_idx in self.overlapping(&read.span) {
+                counts[t_idx] += 1;
+            }
+        }
+        self.transcripts
+            .iter()
+            .zip(counts)
+            .map(|(t, c)| (t.name.clone(), c))
+            .collect()
+    }
+}
+
+/// Generate a small UCSC-style gene annotation: `n` transcripts of 2–4
+/// exons laid out along one synthetic chromosome.
+pub fn synthetic_annotation(n: usize) -> Vec<Transcript> {
+    let mut out = Vec::with_capacity(n);
+    let mut cursor = 1_000u64;
+    for i in 0..n {
+        let exon_count = 2 + (i % 3) as u64;
+        let mut exons = Vec::new();
+        for e in 0..exon_count {
+            let len = 200 + (i as u64 * 37 + e * 101) % 800;
+            exons.push(Interval::new("chrS", cursor, cursor + len));
+            cursor += len + 300; // intron
+        }
+        out.push(Transcript::new(&format!("TX{i:04}"), exons));
+        cursor += 2_000; // intergenic gap
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: u64, end: u64) -> Interval {
+        Interval::new("chr1", start, end)
+    }
+
+    #[test]
+    fn interval_basics() {
+        let a = iv(100, 200);
+        assert_eq!(a.len(), 100);
+        assert!(a.overlaps(&iv(150, 250)));
+        assert!(a.overlaps(&iv(199, 300)));
+        assert!(!a.overlaps(&iv(200, 300)), "half-open");
+        assert!(!a.overlaps(&Interval::new("chr2", 100, 200)), "chrom");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_interval_panics() {
+        Interval::new("chr1", 5, 5);
+    }
+
+    #[test]
+    fn transcript_exonic_length_and_overlap() {
+        let t = Transcript::new(
+            "TP53",
+            vec![iv(100, 200), iv(500, 700)],
+        );
+        assert_eq!(t.exonic_length(), 300);
+        assert!(t.overlaps(&iv(150, 160)));
+        assert!(t.overlaps(&iv(690, 800)));
+        assert!(!t.overlaps(&iv(300, 400)), "intron");
+    }
+
+    #[test]
+    fn index_overlap_queries() {
+        let transcripts = vec![
+            Transcript::new("A", vec![iv(100, 200)]),
+            Transcript::new("B", vec![iv(150, 300)]),
+            Transcript::new("C", vec![iv(1000, 1100)]),
+        ];
+        let index = FeatureIndex::build(transcripts);
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.overlapping(&iv(160, 170)), vec![0, 1]);
+        assert_eq!(index.overlapping(&iv(250, 260)), vec![1]);
+        assert_eq!(index.overlapping(&iv(1050, 1060)), vec![2]);
+        assert!(index.overlapping(&iv(400, 500)).is_empty());
+        assert!(index
+            .overlapping(&Interval::new("chrX", 160, 170))
+            .is_empty());
+    }
+
+    #[test]
+    fn counting_assigns_to_all_overlaps() {
+        let transcripts = vec![
+            Transcript::new("A", vec![iv(100, 200)]),
+            Transcript::new("B", vec![iv(150, 300)]),
+        ];
+        let index = FeatureIndex::build(transcripts);
+        let reads = vec![
+            Read { span: iv(110, 140) },  // A only
+            Read { span: iv(160, 190) },  // A and B
+            Read { span: iv(250, 280) },  // B only
+            Read { span: iv(400, 430) },  // neither
+        ];
+        let counts = index.count_reads(&reads);
+        assert_eq!(counts, vec![("A".to_string(), 2), ("B".to_string(), 2)]);
+    }
+
+    #[test]
+    fn multi_exon_transcript_counts_once_per_read() {
+        let t = Transcript::new("M", vec![iv(0, 50), iv(100, 150)]);
+        let index = FeatureIndex::build(vec![t]);
+        // A read spanning the intron junction overlaps both exons but must
+        // count once.
+        let reads = vec![Read { span: iv(40, 110) }];
+        assert_eq!(index.count_reads(&reads)[0].1, 1);
+    }
+
+    #[test]
+    fn synthetic_annotation_is_well_formed() {
+        let ann = synthetic_annotation(20);
+        assert_eq!(ann.len(), 20);
+        for t in &ann {
+            assert!(!t.exons.is_empty());
+            for pair in t.exons.windows(2) {
+                assert!(pair[0].end < pair[1].start, "exons are disjoint");
+            }
+        }
+        // Transcripts are disjoint along the chromosome.
+        for pair in ann.windows(2) {
+            let last = pair[0].exons.last().unwrap();
+            let first = &pair[1].exons[0];
+            assert!(last.end < first.start);
+        }
+    }
+
+    #[test]
+    fn large_index_stab_query_is_correct() {
+        // Compare against brute force on a bigger annotation.
+        let ann = synthetic_annotation(200);
+        let index = FeatureIndex::build(ann.clone());
+        for probe_start in (0..200_000u64).step_by(997) {
+            let read = Interval::new("chrS", probe_start, probe_start + 120);
+            let fast = index.overlapping(&read);
+            let brute: Vec<usize> = ann
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.overlaps(&read))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(fast, brute, "at {probe_start}");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Classification — `affyClassify.R` "conducts statistical classification
+//! of affymetrix CEL Files into groups".
+
+use std::collections::BTreeMap;
+
+use super::distance::Metric;
+
+/// A labelled training example.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Feature vector.
+    pub features: Vec<f64>,
+    /// Class label.
+    pub label: String,
+}
+
+/// Nearest-centroid classifier.
+#[derive(Debug, Clone)]
+pub struct NearestCentroid {
+    centroids: Vec<(String, Vec<f64>)>,
+    metric: Metric,
+}
+
+impl NearestCentroid {
+    /// Fit per-class mean profiles.
+    pub fn fit(examples: &[Example], metric: Metric) -> Result<Self, String> {
+        if examples.is_empty() {
+            return Err("no training examples".to_string());
+        }
+        let dim = examples[0].features.len();
+        let mut sums: BTreeMap<String, (Vec<f64>, usize)> = BTreeMap::new();
+        for ex in examples {
+            if ex.features.len() != dim {
+                return Err("inconsistent feature dimensions".to_string());
+            }
+            let entry = sums
+                .entry(ex.label.clone())
+                .or_insert_with(|| (vec![0.0; dim], 0));
+            for (s, f) in entry.0.iter_mut().zip(&ex.features) {
+                *s += f;
+            }
+            entry.1 += 1;
+        }
+        let centroids = sums
+            .into_iter()
+            .map(|(label, (mut sum, count))| {
+                for s in &mut sum {
+                    *s /= count as f64;
+                }
+                (label, sum)
+            })
+            .collect();
+        Ok(NearestCentroid { centroids, metric })
+    }
+
+    /// Class labels known to the model.
+    pub fn classes(&self) -> Vec<&str> {
+        self.centroids.iter().map(|(l, _)| l.as_str()).collect()
+    }
+
+    /// Predict the label for a feature vector, with the distance to the
+    /// winning centroid.
+    pub fn predict(&self, features: &[f64]) -> (String, f64) {
+        let mut best: Option<(&str, f64)> = None;
+        for (label, centroid) in &self.centroids {
+            let d = self.metric.distance(features, centroid);
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((label, d));
+            }
+        }
+        let (label, d) = best.expect("fit guarantees at least one class");
+        (label.to_string(), d)
+    }
+}
+
+/// k-nearest-neighbour prediction (majority vote; ties broken by summed
+/// distance, then label order for determinism).
+pub fn knn_predict(train: &[Example], features: &[f64], k: usize, metric: Metric) -> String {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(!train.is_empty(), "knn needs training data");
+    let mut scored: Vec<(f64, &str)> = train
+        .iter()
+        .map(|ex| (metric.distance(features, &ex.features), ex.label.as_str()))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    let k = k.min(scored.len());
+    let mut votes: BTreeMap<&str, (usize, f64)> = BTreeMap::new();
+    for (d, label) in &scored[..k] {
+        let e = votes.entry(label).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += d;
+    }
+    votes
+        .into_iter()
+        .max_by(|a, b| {
+            a.1 .0
+                .cmp(&b.1 .0)
+                .then_with(|| b.1 .1.partial_cmp(&a.1 .1).expect("finite"))
+                .then_with(|| b.0.cmp(a.0))
+        })
+        .map(|(label, _)| label.to_string())
+        .expect("at least one vote")
+}
+
+/// Leave-one-out cross-validated accuracy of k-NN on a training set.
+pub fn knn_loocv_accuracy(examples: &[Example], k: usize, metric: Metric) -> f64 {
+    if examples.len() < 2 {
+        return 0.0;
+    }
+    let mut correct = 0;
+    for i in 0..examples.len() {
+        let rest: Vec<Example> = examples
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, e)| e.clone())
+            .collect();
+        let predicted = knn_predict(&rest, &examples[i].features, k, metric);
+        if predicted == examples[i].label {
+            correct += 1;
+        }
+    }
+    correct as f64 / examples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training() -> Vec<Example> {
+        vec![
+            Example { features: vec![0.0, 0.0], label: "control".to_string() },
+            Example { features: vec![0.2, 0.1], label: "control".to_string() },
+            Example { features: vec![0.1, 0.2], label: "control".to_string() },
+            Example { features: vec![5.0, 5.0], label: "disease".to_string() },
+            Example { features: vec![5.2, 4.9], label: "disease".to_string() },
+            Example { features: vec![4.9, 5.1], label: "disease".to_string() },
+        ]
+    }
+
+    #[test]
+    fn nearest_centroid_classifies_blobs() {
+        let model = NearestCentroid::fit(&training(), Metric::Euclidean).unwrap();
+        assert_eq!(model.classes(), vec!["control", "disease"]);
+        let (label, d) = model.predict(&[0.1, 0.1]);
+        assert_eq!(label, "control");
+        assert!(d < 1.0);
+        let (label, _) = model.predict(&[4.8, 5.3]);
+        assert_eq!(label, "disease");
+    }
+
+    #[test]
+    fn centroid_is_the_class_mean() {
+        let model = NearestCentroid::fit(&training(), Metric::Euclidean).unwrap();
+        let control = &model.centroids[0];
+        assert!((control.1[0] - 0.1).abs() < 1e-12);
+        assert!((control.1[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_rejects_bad_input() {
+        assert!(NearestCentroid::fit(&[], Metric::Euclidean).is_err());
+        let bad = vec![
+            Example { features: vec![1.0], label: "a".to_string() },
+            Example { features: vec![1.0, 2.0], label: "b".to_string() },
+        ];
+        assert!(NearestCentroid::fit(&bad, Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn knn_majority_vote() {
+        let label = knn_predict(&training(), &[0.3, 0.3], 3, Metric::Euclidean);
+        assert_eq!(label, "control");
+        let label = knn_predict(&training(), &[4.0, 4.0], 3, Metric::Euclidean);
+        assert_eq!(label, "disease");
+    }
+
+    #[test]
+    fn knn_k_one_is_nearest_neighbour() {
+        let label = knn_predict(&training(), &[2.4, 2.4], 1, Metric::Euclidean);
+        assert_eq!(label, "control", "slightly nearer the control blob");
+    }
+
+    #[test]
+    fn loocv_accuracy_is_perfect_on_separated_blobs() {
+        let acc = knn_loocv_accuracy(&training(), 3, Metric::Euclidean);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn loocv_on_mixed_data_is_imperfect() {
+        let mixed: Vec<Example> = (0..10)
+            .map(|i| Example {
+                features: vec![(i % 2) as f64 * 0.001],
+                label: if i < 5 { "a".to_string() } else { "b".to_string() },
+            })
+            .collect();
+        let acc = knn_loocv_accuracy(&mixed, 3, Metric::Euclidean);
+        assert!(acc < 1.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Clustering: agglomerative hierarchical clustering (the engine behind
+//! `heatmap_plot_demo.R`'s "hierarchical clustering by genes or samples")
+//! and k-means.
+
+use super::distance::{pairwise, Metric};
+
+/// Linkage criteria for hierarchical clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Unweighted average (UPGMA).
+    Average,
+}
+
+impl Linkage {
+    /// Parse from an R-style name.
+    pub fn parse(s: &str) -> Option<Linkage> {
+        match s.to_ascii_lowercase().as_str() {
+            "single" => Some(Linkage::Single),
+            "complete" => Some(Linkage::Complete),
+            "average" | "upgma" => Some(Linkage::Average),
+            _ => None,
+        }
+    }
+}
+
+/// One merge step: clusters `a` and `b` (node ids) merge at `height` into
+/// node `n_leaves + step`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First child node id.
+    pub a: usize,
+    /// Second child node id.
+    pub b: usize,
+    /// Merge height (cluster distance).
+    pub height: f64,
+}
+
+/// A dendrogram over `n` leaves: `n − 1` merges. Leaf ids are
+/// `0..n`; internal node `i` (0-based) has id `n + i`.
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    /// Number of leaves.
+    pub n_leaves: usize,
+    /// Merge list, in order of increasing height.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// The leaf ordering obtained by an in-order walk of the tree — the
+    /// order in which heatmap rows/columns are drawn.
+    pub fn leaf_order(&self) -> Vec<usize> {
+        if self.n_leaves == 0 {
+            return Vec::new();
+        }
+        if self.merges.is_empty() {
+            return (0..self.n_leaves).collect();
+        }
+        let root = self.n_leaves + self.merges.len() - 1;
+        let mut order = Vec::with_capacity(self.n_leaves);
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            if node < self.n_leaves {
+                order.push(node);
+            } else {
+                let m = &self.merges[node - self.n_leaves];
+                // Push b first so a is visited first.
+                stack.push(m.b);
+                stack.push(m.a);
+            }
+        }
+        order
+    }
+
+    /// Cut the tree into `k` clusters; returns a cluster label per leaf
+    /// (labels are arbitrary but consistent).
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k >= 1, "cut needs k >= 1");
+        let n = self.n_leaves;
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = k.min(n);
+        // Union-find over leaves, applying merges until k clusters remain.
+        let mut parent: Vec<usize> = (0..n + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let merges_to_apply = n - k;
+        for (i, m) in self.merges.iter().take(merges_to_apply).enumerate() {
+            let node = n + i;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = node;
+            parent[rb] = node;
+        }
+        // Later merge nodes map to themselves; label leaves by root.
+        let mut label_of_root = std::collections::BTreeMap::new();
+        let mut labels = Vec::with_capacity(n);
+        for leaf in 0..n {
+            let root = find(&mut parent, leaf);
+            let next = label_of_root.len();
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        labels
+    }
+}
+
+/// Agglomerative hierarchical clustering of `items` (feature vectors).
+pub fn hierarchical(items: &[Vec<f64>], metric: Metric, linkage: Linkage) -> Dendrogram {
+    let n = items.len();
+    if n == 0 {
+        return Dendrogram {
+            n_leaves: 0,
+            merges: Vec::new(),
+        };
+    }
+    let base = pairwise(items, metric);
+    // Active cluster list: (node id, member leaf indices).
+    let mut clusters: Vec<(usize, Vec<usize>)> = (0..n).map(|i| (i, vec![i])).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_node = n;
+
+    let cluster_distance = |a: &[usize], b: &[usize]| -> f64 {
+        let mut best = match linkage {
+            Linkage::Single => f64::INFINITY,
+            Linkage::Complete => f64::NEG_INFINITY,
+            Linkage::Average => 0.0,
+        };
+        let mut sum = 0.0;
+        for &i in a {
+            for &j in b {
+                let d = base[i * n + j];
+                match linkage {
+                    Linkage::Single => best = best.min(d),
+                    Linkage::Complete => best = best.max(d),
+                    Linkage::Average => sum += d,
+                }
+            }
+        }
+        match linkage {
+            Linkage::Average => sum / (a.len() * b.len()) as f64,
+            _ => best,
+        }
+    };
+
+    while clusters.len() > 1 {
+        // Find the closest pair (deterministic tie-break by index).
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = cluster_distance(&clusters[i].1, &clusters[j].1);
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, height) = best;
+        let (id_b, members_b) = clusters.remove(j);
+        let (id_a, members_a) = clusters.remove(i);
+        merges.push(Merge {
+            a: id_a,
+            b: id_b,
+            height,
+        });
+        let mut members = members_a;
+        members.extend(members_b);
+        clusters.push((next_node, members));
+        next_node += 1;
+    }
+
+    Dendrogram {
+        n_leaves: n,
+        merges,
+    }
+}
+
+/// k-means clustering with deterministic initialization (evenly spaced
+/// seeds over the input order). Returns `(assignments, centroids)`.
+pub fn kmeans(items: &[Vec<f64>], k: usize, max_iter: usize) -> (Vec<usize>, Vec<Vec<f64>>) {
+    assert!(k >= 1);
+    let n = items.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let k = k.min(n);
+    let dim = items[0].len();
+    // Deterministic seeding: evenly spaced items.
+    let mut centroids: Vec<Vec<f64>> = (0..k).map(|i| items[i * n / k].clone()).collect();
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iter {
+        // Assign.
+        let mut changed = false;
+        for (idx, item) in items.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = Metric::Euclidean.distance(item, centroid);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            if assignments[idx] != best.0 {
+                assignments[idx] = best.0;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (idx, item) in items.iter().enumerate() {
+            let c = assignments[idx];
+            counts[c] += 1;
+            for (s, v) in sums[c].iter_mut().zip(item) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (assignments, centroids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs of three points each.
+    fn blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+            vec![10.0, 10.1],
+        ]
+    }
+
+    #[test]
+    fn hierarchical_separates_blobs() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let dend = hierarchical(&blobs(), Metric::Euclidean, linkage);
+            assert_eq!(dend.merges.len(), 5);
+            let labels = dend.cut(2);
+            assert_eq!(labels[0], labels[1]);
+            assert_eq!(labels[0], labels[2]);
+            assert_eq!(labels[3], labels[4]);
+            assert_eq!(labels[3], labels[5]);
+            assert_ne!(labels[0], labels[3], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn merge_heights_are_nondecreasing_for_average() {
+        let dend = hierarchical(&blobs(), Metric::Euclidean, Linkage::Average);
+        for pair in dend.merges.windows(2) {
+            assert!(pair[0].height <= pair[1].height + 1e-12);
+        }
+        // The last merge joins the two blobs at a large height.
+        assert!(dend.merges.last().unwrap().height > 5.0);
+    }
+
+    #[test]
+    fn leaf_order_is_a_permutation_grouping_blobs() {
+        let dend = hierarchical(&blobs(), Metric::Euclidean, Linkage::Average);
+        let order = dend.leaf_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        // The first three drawn leaves are one blob (order within may vary).
+        let first: std::collections::BTreeSet<usize> = order[..3].iter().copied().collect();
+        assert!(
+            first == [0, 1, 2].into_iter().collect()
+                || first == [3, 4, 5].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let dend = hierarchical(&blobs(), Metric::Euclidean, Linkage::Complete);
+        let all_one = dend.cut(1);
+        assert!(all_one.iter().all(|&l| l == all_one[0]));
+        let all_own = dend.cut(6);
+        let distinct: std::collections::BTreeSet<_> = all_own.iter().collect();
+        assert_eq!(distinct.len(), 6);
+        // k larger than n clamps.
+        assert_eq!(dend.cut(99).len(), 6);
+    }
+
+    #[test]
+    fn singleton_and_empty_input() {
+        let dend = hierarchical(&[], Metric::Euclidean, Linkage::Single);
+        assert!(dend.leaf_order().is_empty());
+        assert!(dend.cut(1).is_empty());
+        let one = hierarchical(&[vec![1.0]], Metric::Euclidean, Linkage::Single);
+        assert_eq!(one.leaf_order(), vec![0]);
+        assert_eq!(one.cut(1), vec![0]);
+    }
+
+    #[test]
+    fn kmeans_separates_blobs() {
+        let (labels, centroids) = kmeans(&blobs(), 2, 50);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(centroids.len(), 2);
+        // Centroids land near the blob centers.
+        let near_origin = centroids
+            .iter()
+            .any(|c| c[0] < 1.0 && c[1] < 1.0);
+        let near_ten = centroids.iter().any(|c| c[0] > 9.0 && c[1] > 9.0);
+        assert!(near_origin && near_ten, "{centroids:?}");
+    }
+
+    #[test]
+    fn kmeans_k_clamps_to_n() {
+        let items = vec![vec![1.0], vec![2.0]];
+        let (labels, centroids) = kmeans(&items, 10, 10);
+        assert_eq!(labels.len(), 2);
+        assert_eq!(centroids.len(), 2);
+    }
+
+    #[test]
+    fn linkage_names_parse() {
+        assert_eq!(Linkage::parse("complete"), Some(Linkage::Complete));
+        assert_eq!(Linkage::parse("UPGMA"), Some(Linkage::Average));
+        assert_eq!(Linkage::parse("ward"), None);
+    }
+}

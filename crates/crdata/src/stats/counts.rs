@@ -1,0 +1,163 @@
+//! Count-based tests — `sequenceDifferentialExpression.R` "performs a
+//! two-sample test for RNA-sequence differential expression".
+//!
+//! For a feature with counts `(x, y)` in two libraries of sizes `(N1, N2)`,
+//! the classic exact-style test conditions on the total `x + y`: under the
+//! null, `x ~ Binomial(x + y, N1 / (N1 + N2))`. We use the normal
+//! approximation with continuity correction, which is accurate for the
+//! totals RNA-seq produces, plus CPM normalization and fold-change
+//! utilities.
+
+use super::special::normal_cdf;
+
+/// Result of a per-feature two-sample count test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountTestResult {
+    /// The z statistic.
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+    /// log₂ fold change (sample 1 over sample 2, CPM-normalized with a
+    /// 0.5 pseudo-count).
+    pub log2_fc: f64,
+}
+
+/// Two-sample proportion/count test for one feature.
+///
+/// `x1`, `x2` are the feature's counts; `n1`, `n2` the library sizes.
+pub fn two_sample_count_test(x1: u64, n1: u64, x2: u64, n2: u64) -> CountTestResult {
+    assert!(n1 > 0 && n2 > 0, "library sizes must be positive");
+    let total = (x1 + x2) as f64;
+    let p_null = n1 as f64 / (n1 + n2) as f64;
+    let log2_fc = log2_fold_change(x1, n1, x2, n2);
+    if total == 0.0 {
+        return CountTestResult {
+            z: 0.0,
+            p: 1.0,
+            log2_fc,
+        };
+    }
+    let mean = total * p_null;
+    let var = total * p_null * (1.0 - p_null);
+    if var == 0.0 {
+        return CountTestResult {
+            z: 0.0,
+            p: 1.0,
+            log2_fc,
+        };
+    }
+    // Continuity-corrected z.
+    let x = x1 as f64;
+    let diff = x - mean;
+    let corrected = (diff.abs() - 0.5).max(0.0);
+    let z = (corrected / var.sqrt()) * diff.signum();
+    let p = 2.0 * (1.0 - normal_cdf(z.abs()));
+    CountTestResult {
+        z,
+        p: p.clamp(0.0, 1.0),
+        log2_fc,
+    }
+}
+
+/// Counts-per-million normalization of one count.
+pub fn cpm(count: u64, library_size: u64) -> f64 {
+    assert!(library_size > 0);
+    count as f64 / library_size as f64 * 1e6
+}
+
+/// log₂ fold change of CPM values with a 0.5 pseudo-count.
+pub fn log2_fold_change(x1: u64, n1: u64, x2: u64, n2: u64) -> f64 {
+    let a = cpm(x1, n1) + 0.5;
+    let b = cpm(x2, n2) + 0.5;
+    (a / b).log2()
+}
+
+/// Filter features whose total CPM across samples falls below a
+/// threshold. Returns kept indices.
+pub fn filter_low_counts(
+    counts: &[Vec<u64>],
+    library_sizes: &[u64],
+    min_cpm: f64,
+    min_samples: usize,
+) -> Vec<usize> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, row)| {
+            let passing = row
+                .iter()
+                .zip(library_sizes)
+                .filter(|(c, n)| cpm(**c, **n) >= min_cpm)
+                .count();
+            passing >= min_samples
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_counts_are_null() {
+        // Equal counts in equal libraries: no evidence.
+        let r = two_sample_count_test(100, 1_000_000, 100, 1_000_000);
+        assert!(r.p > 0.9, "p={}", r.p);
+        assert!(r.z.abs() < 0.2);
+        assert!(r.log2_fc.abs() < 0.01);
+    }
+
+    #[test]
+    fn strong_difference_is_significant() {
+        let r = two_sample_count_test(500, 1_000_000, 50, 1_000_000);
+        assert!(r.p < 1e-10, "p={}", r.p);
+        assert!(r.z > 0.0);
+        assert!((r.log2_fc - (500.5f64 / 50.5).log2()).abs() < 0.01);
+    }
+
+    #[test]
+    fn library_size_normalization_matters() {
+        // 200 vs 100 counts, but the first library is twice as deep:
+        // identical rates, not significant.
+        let r = two_sample_count_test(200, 2_000_000, 100, 1_000_000);
+        assert!(r.p > 0.8, "p={}", r.p);
+        assert!(r.log2_fc.abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_counts_are_null() {
+        let r = two_sample_count_test(0, 1_000_000, 0, 2_000_000);
+        assert_eq!(r.p, 1.0);
+        assert_eq!(r.z, 0.0);
+    }
+
+    #[test]
+    fn direction_is_symmetric() {
+        let up = two_sample_count_test(300, 1_000_000, 100, 1_000_000);
+        let down = two_sample_count_test(100, 1_000_000, 300, 1_000_000);
+        assert!((up.p - down.p).abs() < 1e-12);
+        assert!((up.z + down.z).abs() < 1e-12);
+        assert!((up.log2_fc + down.log2_fc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpm_arithmetic() {
+        assert_eq!(cpm(100, 1_000_000), 100.0);
+        assert_eq!(cpm(5, 10_000_000), 0.5);
+    }
+
+    #[test]
+    fn low_count_filter() {
+        let counts = vec![
+            vec![1000, 1200],  // high in both
+            vec![0, 1],        // low everywhere
+            vec![1000, 0],     // high in one
+        ];
+        let libs = vec![1_000_000u64, 1_000_000];
+        let kept = filter_low_counts(&counts, &libs, 10.0, 2);
+        assert_eq!(kept, vec![0]);
+        let kept = filter_low_counts(&counts, &libs, 10.0, 1);
+        assert_eq!(kept, vec![0, 2]);
+    }
+}

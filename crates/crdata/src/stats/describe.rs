@@ -1,0 +1,143 @@
+//! Descriptive statistics over slices.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample variance (n−1 denominator); `None` with fewer than two values.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs);
+    Some(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() as f64 - 1.0))
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Quantile with linear interpolation, `q ∈ [0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let rank = q * (sorted.len() as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Median.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Median absolute deviation (scaled by 1.4826 for normal consistency).
+pub fn mad(xs: &[f64]) -> Option<f64> {
+    let med = median(xs)?;
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations).map(|m| m * 1.4826)
+}
+
+/// Pearson correlation of two equal-length slices; `None` for degenerate
+/// input (length < 2 or zero variance).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    if xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Min and max (None for empty input).
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const XS: [f64; 8] = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+
+    #[test]
+    fn basic_moments() {
+        assert_eq!(mean(&XS), 5.0);
+        assert!((variance(&XS).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&XS).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(40.0));
+        assert_eq!(median(&xs), Some(25.0));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn mad_is_robust() {
+        let clean = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let outlier = [1.0, 2.0, 3.0, 4.0, 500.0];
+        let m1 = mad(&clean).unwrap();
+        let m2 = mad(&outlier).unwrap();
+        // MAD barely moves; SD explodes.
+        assert!((m1 - m2).abs() / m1 < 0.5);
+        assert!(std_dev(&outlier).unwrap() > 10.0 * std_dev(&clean).unwrap());
+    }
+
+    #[test]
+    fn pearson_reference() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 4.0, 6.0, 8.0, 10.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+        let flat = [3.0; 5];
+        assert_eq!(pearson(&xs, &flat), None);
+    }
+
+    #[test]
+    fn min_max_works() {
+        assert_eq!(min_max(&XS), Some((2.0, 9.0)));
+        assert_eq!(min_max(&[]), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Distance metrics over expression profiles.
+
+use super::describe::pearson;
+
+/// Available metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Euclidean (L2).
+    Euclidean,
+    /// Manhattan (L1).
+    Manhattan,
+    /// `1 − r` correlation distance.
+    Correlation,
+}
+
+impl Metric {
+    /// Parse from an R-style name.
+    pub fn parse(s: &str) -> Option<Metric> {
+        match s.to_ascii_lowercase().as_str() {
+            "euclidean" => Some(Metric::Euclidean),
+            "manhattan" => Some(Metric::Manhattan),
+            "correlation" | "pearson" => Some(Metric::Correlation),
+            _ => None,
+        }
+    }
+
+    /// Distance between two equal-length vectors.
+    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "distance requires equal lengths");
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::Correlation => 1.0 - pearson(a, b).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Condensed pairwise distance matrix over `items` (each a feature
+/// vector). Returned as a full symmetric `n × n` row-major matrix.
+pub fn pairwise(items: &[Vec<f64>], metric: Metric) -> Vec<f64> {
+    let n = items.len();
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dist = metric.distance(&items[i], &items[j]);
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_and_manhattan() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(Metric::Euclidean.distance(&a, &b), 5.0);
+        assert_eq!(Metric::Manhattan.distance(&a, &b), 7.0);
+        assert_eq!(Metric::Euclidean.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn correlation_distance() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!(Metric::Correlation.distance(&a, &up).abs() < 1e-12);
+        assert!((Metric::Correlation.distance(&a, &down) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_is_symmetric_with_zero_diagonal() {
+        let items = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let d = pairwise(&items, Metric::Euclidean);
+        let n = 3;
+        for i in 0..n {
+            assert_eq!(d[i * n + i], 0.0);
+            for j in 0..n {
+                assert_eq!(d[i * n + j], d[j * n + i]);
+            }
+        }
+        assert_eq!(d[1], 1.0);
+        assert_eq!(d[2], 2.0);
+    }
+
+    #[test]
+    fn metric_names_parse() {
+        assert_eq!(Metric::parse("euclidean"), Some(Metric::Euclidean));
+        assert_eq!(Metric::parse("Pearson"), Some(Metric::Correlation));
+        assert_eq!(Metric::parse("hamming"), None);
+    }
+}

@@ -1,0 +1,265 @@
+//! Simple linear regression and PCA (power iteration).
+
+use super::describe::mean;
+use super::special::t_two_sided_p;
+
+/// Ordinary-least-squares fit of `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept.
+    pub intercept: f64,
+    /// Slope.
+    pub slope: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Two-sided p-value for the slope (t test with n − 2 df).
+    pub slope_p: f64,
+}
+
+/// Fit OLS; `None` for degenerate input (n < 3 or zero x-variance).
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 3 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let fit = intercept + slope * x;
+            (y - fit) * (y - fit)
+        })
+        .sum();
+    let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+    let df = (n - 2) as f64;
+    let se = (ss_res / df / sxx).sqrt();
+    let slope_p = if se == 0.0 {
+        0.0
+    } else {
+        t_two_sided_p(slope / se, df)
+    };
+    Some(LinearFit {
+        intercept,
+        slope,
+        r_squared,
+        slope_p,
+    })
+}
+
+/// First `k` principal components of row-observations `items`, via power
+/// iteration with deflation on the covariance. Returns `(components,
+/// explained_variance)`, each component a unit vector.
+pub fn principal_components(items: &[Vec<f64>], k: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let n = items.len();
+    if n < 2 || k == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let dim = items[0].len();
+    // Center.
+    let mut means = vec![0.0; dim];
+    for item in items {
+        for (m, v) in means.iter_mut().zip(item) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    let centered: Vec<Vec<f64>> = items
+        .iter()
+        .map(|item| item.iter().zip(&means).map(|(v, m)| v - m).collect())
+        .collect();
+    // Covariance (dim × dim).
+    let mut cov = vec![0.0; dim * dim];
+    for row in &centered {
+        for i in 0..dim {
+            for j in 0..dim {
+                cov[i * dim + j] += row[i] * row[j];
+            }
+        }
+    }
+    for v in &mut cov {
+        *v /= (n - 1) as f64;
+    }
+
+    let mut components = Vec::new();
+    let mut variances = Vec::new();
+    let mut work = cov;
+    for pc in 0..k.min(dim) {
+        // Power iteration with a deterministic start.
+        let mut v: Vec<f64> = (0..dim)
+            .map(|i| if i == pc % dim { 1.0 } else { 0.1 })
+            .collect();
+        let mut eigenvalue = 0.0;
+        for _ in 0..500 {
+            let mut next = vec![0.0; dim];
+            for i in 0..dim {
+                for j in 0..dim {
+                    next[i] += work[i * dim + j] * v[j];
+                }
+            }
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-12 {
+                break;
+            }
+            for x in &mut next {
+                *x /= norm;
+            }
+            let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            eigenvalue = norm;
+            if delta < 1e-12 {
+                break;
+            }
+        }
+        // Deflate.
+        for i in 0..dim {
+            for j in 0..dim {
+                work[i * dim + j] -= eigenvalue * v[i] * v[j];
+            }
+        }
+        components.push(v);
+        variances.push(eigenvalue);
+    }
+    (components, variances)
+}
+
+/// Project observations onto components, producing score vectors.
+pub fn pca_scores(items: &[Vec<f64>], components: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = items[0].len();
+    let mut means = vec![0.0; dim];
+    for item in items {
+        for (m, v) in means.iter_mut().zip(item) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+    }
+    items
+        .iter()
+        .map(|item| {
+            components
+                .iter()
+                .map(|comp| {
+                    item.iter()
+                        .zip(&means)
+                        .zip(comp)
+                        .map(|((v, m), c)| (v - m) * c)
+                        .sum()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_recovers_coefficients() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+        let fit = linear_regression(&xs, &ys).unwrap();
+        assert!((fit.intercept - 3.0).abs() < 1e-10);
+        assert!((fit.slope - 2.0).abs() < 1e-10);
+        assert!((fit.r_squared - 1.0).abs() < 1e-10);
+        assert!(fit.slope_p < 1e-10);
+    }
+
+    #[test]
+    fn noisy_line_still_detected() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 5.0).collect();
+        // Deterministic "noise".
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 + 0.8 * x + ((i * 7919 % 13) as f64 - 6.0) / 20.0)
+            .collect();
+        let fit = linear_regression(&xs, &ys).unwrap();
+        assert!((fit.slope - 0.8).abs() < 0.05, "slope={}", fit.slope);
+        assert!(fit.r_squared > 0.95);
+        assert!(fit.slope_p < 1e-10);
+    }
+
+    #[test]
+    fn flat_relationship_is_insignificant() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..20).map(|i| (i * 31 % 7) as f64).collect();
+        let fit = linear_regression(&xs, &ys).unwrap();
+        assert!(fit.slope_p > 0.05, "p={}", fit.slope_p);
+    }
+
+    #[test]
+    fn degenerate_regression_inputs() {
+        assert!(linear_regression(&[1.0, 2.0], &[1.0, 2.0]).is_none());
+        assert!(linear_regression(&[1.0; 5], &[1.0, 2.0, 3.0, 4.0, 5.0]).is_none());
+    }
+
+    #[test]
+    fn pca_finds_the_dominant_axis() {
+        // Points along the (1, 1) diagonal with small orthogonal noise.
+        let items: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let t = i as f64 / 4.0;
+                let noise = ((i * 13 % 5) as f64 - 2.0) / 50.0;
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        let (comps, vars) = principal_components(&items, 2);
+        assert_eq!(comps.len(), 2);
+        let pc1 = &comps[0];
+        // PC1 ∝ (1/√2, 1/√2).
+        let expected = 1.0 / 2.0f64.sqrt();
+        assert!(
+            (pc1[0].abs() - expected).abs() < 0.02 && (pc1[1].abs() - expected).abs() < 0.02,
+            "pc1={pc1:?}"
+        );
+        assert!(vars[0] > 10.0 * vars[1], "vars={vars:?}");
+    }
+
+    #[test]
+    fn pca_scores_separate_groups() {
+        let mut items: Vec<Vec<f64>> = Vec::new();
+        for i in 0..5 {
+            items.push(vec![i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..5 {
+            items.push(vec![10.0 + i as f64 * 0.01, 0.0]);
+        }
+        let (comps, _) = principal_components(&items, 1);
+        let scores = pca_scores(&items, &comps);
+        let a = scores[0][0];
+        let b = scores[9][0];
+        assert!((a - b).abs() > 5.0, "groups separate on PC1");
+    }
+
+    #[test]
+    fn pca_empty_and_unit_cases() {
+        let (c, v) = principal_components(&[], 2);
+        assert!(c.is_empty() && v.is_empty());
+        let (c, _) = principal_components(&[vec![1.0, 2.0]], 2);
+        assert!(c.is_empty(), "single observation has no covariance");
+    }
+}

@@ -1,0 +1,130 @@
+//! Kaplan–Meier survival estimation (the CVRG is a *cardiovascular*
+//! research grid; survival analysis is a staple of its R toolbox).
+
+/// One subject: follow-up time and whether the event occurred (`true`) or
+/// the observation was censored (`false`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Subject {
+    /// Follow-up time.
+    pub time: f64,
+    /// Event indicator (false = censored).
+    pub event: bool,
+}
+
+/// One step of the Kaplan–Meier curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KmPoint {
+    /// Event time.
+    pub time: f64,
+    /// Number at risk just before this time.
+    pub at_risk: usize,
+    /// Events at this time.
+    pub events: usize,
+    /// Survival estimate after this time.
+    pub survival: f64,
+}
+
+/// Compute the Kaplan–Meier curve. Returns points at distinct event times
+/// in increasing order.
+pub fn kaplan_meier(subjects: &[Subject]) -> Vec<KmPoint> {
+    let mut sorted: Vec<Subject> = subjects.to_vec();
+    sorted.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+    let n = sorted.len();
+    let mut curve = Vec::new();
+    let mut survival = 1.0;
+    let mut i = 0;
+    while i < n {
+        let t = sorted[i].time;
+        let at_risk = n - i;
+        let mut events = 0;
+        let mut j = i;
+        while j < n && sorted[j].time == t {
+            if sorted[j].event {
+                events += 1;
+            }
+            j += 1;
+        }
+        if events > 0 {
+            survival *= 1.0 - events as f64 / at_risk as f64;
+            curve.push(KmPoint {
+                time: t,
+                at_risk,
+                events,
+                survival,
+            });
+        }
+        i = j;
+    }
+    curve
+}
+
+/// Median survival time: the first time the curve drops to ≤ 0.5, if it
+/// does.
+pub fn median_survival(curve: &[KmPoint]) -> Option<f64> {
+    curve.iter().find(|p| p.survival <= 0.5).map(|p| p.time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(time: f64, event: bool) -> Subject {
+        Subject { time, event }
+    }
+
+    #[test]
+    fn textbook_km_example() {
+        // Classic example: times 6, 6, 6, 7, 10 (events) with censoring at
+        // 6+, 9+, 10+, ... — use a compact version:
+        // events at 6 (3 of 7 at risk after 0 censored) etc.
+        let subjects = vec![
+            s(6.0, true),
+            s(6.0, true),
+            s(6.0, true),
+            s(6.0, false),
+            s(7.0, true),
+            s(9.0, false),
+            s(10.0, true),
+            s(10.0, false),
+            s(11.0, false),
+            s(13.0, true),
+        ];
+        let curve = kaplan_meier(&subjects);
+        // First step: 3 events among 10 at risk → S = 0.7.
+        assert_eq!(curve[0].time, 6.0);
+        assert_eq!(curve[0].at_risk, 10);
+        assert_eq!(curve[0].events, 3);
+        assert!((curve[0].survival - 0.7).abs() < 1e-12);
+        // Second step at 7: 1 event among 6 at risk → S = 0.7 × 5/6.
+        assert_eq!(curve[1].at_risk, 6);
+        assert!((curve[1].survival - 0.7 * 5.0 / 6.0).abs() < 1e-12);
+        // Monotone non-increasing survival.
+        for pair in curve.windows(2) {
+            assert!(pair[1].survival <= pair[0].survival);
+        }
+    }
+
+    #[test]
+    fn censoring_only_produces_empty_curve() {
+        let subjects = vec![s(1.0, false), s(2.0, false)];
+        assert!(kaplan_meier(&subjects).is_empty());
+        assert_eq!(median_survival(&[]), None);
+    }
+
+    #[test]
+    fn all_events_reaches_zero() {
+        let subjects: Vec<Subject> = (1..=4).map(|i| s(i as f64, true)).collect();
+        let curve = kaplan_meier(&subjects);
+        assert_eq!(curve.len(), 4);
+        assert!(curve.last().unwrap().survival.abs() < 1e-12);
+        assert_eq!(median_survival(&curve), Some(2.0));
+    }
+
+    #[test]
+    fn median_none_when_curve_stays_high() {
+        let subjects = vec![s(1.0, true), s(2.0, false), s(3.0, false), s(4.0, false)];
+        let curve = kaplan_meier(&subjects);
+        assert!(curve[0].survival > 0.5);
+        assert_eq!(median_survival(&curve), None);
+    }
+}

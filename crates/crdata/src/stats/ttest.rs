@@ -1,0 +1,183 @@
+//! t-tests: the statistical engine behind `affyDifferentialExpression.R`
+//! ("conducts two-group differential expression on Affymetrix CEL files").
+
+use super::describe::{mean, variance};
+use super::special::t_two_sided_p;
+
+/// A test result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (Welch–Satterthwaite for the unequal-variance
+    /// test).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p: f64,
+    /// Mean difference (group1 − group2).
+    pub mean_diff: f64,
+}
+
+/// Welch's unequal-variance two-sample t-test.
+///
+/// Returns `None` when either group has fewer than two observations or
+/// both variances are zero.
+pub fn welch_t_test(group1: &[f64], group2: &[f64]) -> Option<TTestResult> {
+    if group1.len() < 2 || group2.len() < 2 {
+        return None;
+    }
+    let m1 = mean(group1);
+    let m2 = mean(group2);
+    let v1 = variance(group1)?;
+    let v2 = variance(group2)?;
+    let n1 = group1.len() as f64;
+    let n2 = group2.len() as f64;
+    let se2 = v1 / n1 + v2 / n2;
+    if se2 == 0.0 {
+        return None;
+    }
+    let t = (m1 - m2) / se2.sqrt();
+    let df = se2 * se2
+        / ((v1 / n1).powi(2) / (n1 - 1.0) + (v2 / n2).powi(2) / (n2 - 1.0));
+    Some(TTestResult {
+        t,
+        df,
+        p: t_two_sided_p(t, df),
+        mean_diff: m1 - m2,
+    })
+}
+
+/// Pooled-variance (Student's) two-sample t-test.
+pub fn pooled_t_test(group1: &[f64], group2: &[f64]) -> Option<TTestResult> {
+    if group1.len() < 2 || group2.len() < 2 {
+        return None;
+    }
+    let m1 = mean(group1);
+    let m2 = mean(group2);
+    let v1 = variance(group1)?;
+    let v2 = variance(group2)?;
+    let n1 = group1.len() as f64;
+    let n2 = group2.len() as f64;
+    let df = n1 + n2 - 2.0;
+    let sp2 = ((n1 - 1.0) * v1 + (n2 - 1.0) * v2) / df;
+    let se2 = sp2 * (1.0 / n1 + 1.0 / n2);
+    if se2 == 0.0 {
+        return None;
+    }
+    let t = (m1 - m2) / se2.sqrt();
+    Some(TTestResult {
+        t,
+        df,
+        p: t_two_sided_p(t, df),
+        mean_diff: m1 - m2,
+    })
+}
+
+/// Paired t-test on matched observations.
+pub fn paired_t_test(before: &[f64], after: &[f64]) -> Option<TTestResult> {
+    assert_eq!(before.len(), after.len(), "paired test needs matched data");
+    if before.len() < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = before.iter().zip(after).map(|(a, b)| a - b).collect();
+    let md = mean(&diffs);
+    let vd = variance(&diffs)?;
+    if vd == 0.0 {
+        return None;
+    }
+    let n = diffs.len() as f64;
+    let t = md / (vd / n).sqrt();
+    let df = n - 1.0;
+    Some(TTestResult {
+        t,
+        df,
+        p: t_two_sided_p(t, df),
+        mean_diff: md,
+    })
+}
+
+/// One-sample t-test against a hypothesized mean.
+pub fn one_sample_t_test(xs: &[f64], mu0: f64) -> Option<TTestResult> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs);
+    let v = variance(xs)?;
+    if v == 0.0 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let t = (m - mu0) / (v / n).sqrt();
+    let df = n - 1.0;
+    Some(TTestResult {
+        t,
+        df,
+        p: t_two_sided_p(t, df),
+        mean_diff: m - mu0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welch_reference_example() {
+        // Classic Welch example (unequal variances).
+        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
+        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 25.9];
+        let r = welch_t_test(&a, &b).unwrap();
+        // R: t.test(a, b) gives t = -2.9232, df = 27.951, p = 0.006794.
+        assert!((r.t + 2.9232).abs() < 0.001, "t={}", r.t);
+        assert!((r.df - 27.951).abs() < 0.01, "df={}", r.df);
+        assert!((r.p - 0.006794).abs() < 0.0002, "p={}", r.p);
+    }
+
+    #[test]
+    fn pooled_reference_example() {
+        let a = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99];
+        let b = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98];
+        let r = pooled_t_test(&a, &b).unwrap();
+        // R: t = 1.959, df = 10, p = 0.07857 (two-sided, var.equal=TRUE).
+        assert!((r.t - 1.959).abs() < 0.01, "t={}", r.t);
+        assert_eq!(r.df, 10.0);
+        assert!((r.p - 0.0786).abs() < 0.002, "p={}", r.p);
+    }
+
+    #[test]
+    fn paired_detects_shift() {
+        let before = [100.0, 102.0, 98.0, 101.0, 99.0, 103.0];
+        let after: Vec<f64> = before.iter().map(|x| x + 5.0 + 0.1 * (x - 100.0)).collect();
+        let r = paired_t_test(&before, &after).unwrap();
+        assert!(r.p < 0.001, "clear shift: p={}", r.p);
+        assert!(r.mean_diff < 0.0, "after is larger");
+    }
+
+    #[test]
+    fn one_sample_against_true_mean_is_insignificant() {
+        let xs = [4.9, 5.1, 5.0, 4.8, 5.2, 5.0, 5.05, 4.95];
+        let r = one_sample_t_test(&xs, 5.0).unwrap();
+        assert!(r.p > 0.5, "p={}", r.p);
+        let r2 = one_sample_t_test(&xs, 4.0).unwrap();
+        assert!(r2.p < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none(), "zero variance");
+        assert!(pooled_t_test(&[], &[]).is_none());
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0, 2.0]).is_none(), "zero diffs");
+        assert!(one_sample_t_test(&[5.0, 5.0], 5.0).is_none());
+    }
+
+    #[test]
+    fn symmetric_groups_give_symmetric_t() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let ab = welch_t_test(&a, &b).unwrap();
+        let ba = welch_t_test(&b, &a).unwrap();
+        assert!((ab.t + ba.t).abs() < 1e-12);
+        assert!((ab.p - ba.p).abs() < 1e-12);
+    }
+}

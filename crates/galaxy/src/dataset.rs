@@ -1,0 +1,200 @@
+//! Datasets — the values that flow through Galaxy analyses.
+//!
+//! Unlike the simulation-only parts of cumulus, datasets carry **real
+//! content**: a tool run in this Galaxy produces an actual table / text /
+//! image artifact computed by real Rust code, while the *time* the run
+//! takes is simulated. This split lets the test suite verify statistical
+//! outputs (does the differential-expression tool recover the planted
+//! genes?) independently of the performance model.
+
+use cumulus_net::DataSize;
+use cumulus_simkit::time::SimTime;
+
+/// Identifier for a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub u64);
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataset-{}", self.0)
+    }
+}
+
+/// Dataset lifecycle as shown in the history panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetState {
+    /// Being produced (upload or tool run in flight).
+    Pending,
+    /// Ready for use.
+    Ok,
+    /// The producing job failed.
+    Error,
+    /// Removed by the user.
+    Deleted,
+}
+
+/// The actual content of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Free text.
+    Text(String),
+    /// A table: column names plus rows.
+    Table {
+        /// Column headers.
+        columns: Vec<String>,
+        /// Rows of cells.
+        rows: Vec<Vec<String>>,
+    },
+    /// A plot, stored as SVG text.
+    Svg(String),
+    /// An archive of named members with sizes (CEL bundles, BAM sets).
+    Archive {
+        /// `(member name, bytes)` pairs.
+        members: Vec<(String, u64)>,
+    },
+    /// A numeric matrix with row/column labels (expression data).
+    Matrix {
+        /// Row labels (probes/genes).
+        row_names: Vec<String>,
+        /// Column labels (samples).
+        col_names: Vec<String>,
+        /// Row-major values.
+        values: Vec<f64>,
+    },
+    /// Content that exists remotely / was only transferred, not parsed.
+    Opaque,
+}
+
+impl Content {
+    /// Approximate serialized size of the content, used when the dataset's
+    /// declared size is not specified explicitly.
+    pub fn natural_size(&self) -> DataSize {
+        let bytes = match self {
+            Content::Text(s) => s.len() as u64,
+            Content::Svg(s) => s.len() as u64,
+            Content::Table { columns, rows } => {
+                let header: usize = columns.iter().map(|c| c.len() + 1).sum();
+                let body: usize = rows
+                    .iter()
+                    .map(|r| r.iter().map(|c| c.len() + 1).sum::<usize>())
+                    .sum();
+                (header + body) as u64
+            }
+            Content::Archive { members } => members.iter().map(|(_, b)| *b).sum(),
+            Content::Matrix { values, .. } => (values.len() * 8) as u64,
+            Content::Opaque => 0,
+        };
+        DataSize::from_bytes(bytes)
+    }
+
+    /// Table rows, if tabular.
+    pub fn as_table(&self) -> Option<(&[String], &[Vec<String>])> {
+        match self {
+            Content::Table { columns, rows } => Some((columns, rows)),
+            _ => None,
+        }
+    }
+
+    /// Matrix view, if numeric.
+    pub fn as_matrix(&self) -> Option<(&[String], &[String], &[f64])> {
+        match self {
+            Content::Matrix {
+                row_names,
+                col_names,
+                values,
+            } => Some((row_names, col_names, values)),
+            _ => None,
+        }
+    }
+}
+
+/// A dataset in a history.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Its id.
+    pub id: DatasetId,
+    /// Position within its history (Galaxy's `hid`).
+    pub hid: u32,
+    /// Display name, e.g. `fourCelFileSamples.zip`.
+    pub name: String,
+    /// Datatype extension (`zip`, `tabular`, `txt`, `svg`, `cel`, `bam`).
+    pub dtype: String,
+    /// Declared size.
+    pub size: DataSize,
+    /// Lifecycle state.
+    pub state: DatasetState,
+    /// The real content.
+    pub content: Content,
+    /// When it was created.
+    pub created_at: SimTime,
+    /// The job that produced it (None for uploads).
+    pub produced_by: Option<crate::job::GalaxyJobId>,
+}
+
+impl Dataset {
+    /// One-line history-panel entry.
+    pub fn history_line(&self) -> String {
+        let state = match self.state {
+            DatasetState::Pending => "…",
+            DatasetState::Ok => "ok",
+            DatasetState::Error => "error",
+            DatasetState::Deleted => "deleted",
+        };
+        format!("{}: {} ({}, {}) [{}]", self.hid, self.name, self.dtype, self.size, state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_sizes() {
+        assert_eq!(
+            Content::Text("hello".to_string()).natural_size(),
+            DataSize::from_bytes(5)
+        );
+        let archive = Content::Archive {
+            members: vec![("a.cel".to_string(), 100), ("b.cel".to_string(), 200)],
+        };
+        assert_eq!(archive.natural_size(), DataSize::from_bytes(300));
+        let m = Content::Matrix {
+            row_names: vec!["g1".to_string()],
+            col_names: vec!["s1".to_string(), "s2".to_string()],
+            values: vec![1.0, 2.0],
+        };
+        assert_eq!(m.natural_size(), DataSize::from_bytes(16));
+        assert_eq!(Content::Opaque.natural_size(), DataSize::ZERO);
+    }
+
+    #[test]
+    fn table_accessor() {
+        let t = Content::Table {
+            columns: vec!["probe".to_string(), "p".to_string()],
+            rows: vec![vec!["g1".to_string(), "0.01".to_string()]],
+        };
+        let (cols, rows) = t.as_table().unwrap();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(rows[0][1], "0.01");
+        assert!(Content::Opaque.as_table().is_none());
+    }
+
+    #[test]
+    fn history_line_format() {
+        let d = Dataset {
+            id: DatasetId(1),
+            hid: 3,
+            name: "fourCelFileSamples.zip".to_string(),
+            dtype: "zip".to_string(),
+            size: DataSize::from_mb_f64(10.7),
+            state: DatasetState::Ok,
+            content: Content::Opaque,
+            created_at: SimTime::ZERO,
+            produced_by: None,
+        };
+        assert_eq!(
+            d.history_line(),
+            "3: fourCelFileSamples.zip (zip, 10.7MB) [ok]"
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Histories — per-user analysis workspaces.
+
+use cumulus_simkit::time::SimTime;
+
+use crate::dataset::DatasetId;
+
+/// Identifier for a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HistoryId(pub u64);
+
+impl std::fmt::Display for HistoryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "history-{}", self.0)
+    }
+}
+
+/// A history: an ordered workspace of datasets with annotations.
+#[derive(Debug, Clone)]
+pub struct History {
+    /// Its id.
+    pub id: HistoryId,
+    /// Display name.
+    pub name: String,
+    /// Owning user.
+    pub owner: String,
+    /// Dataset ids in hid order.
+    pub items: Vec<DatasetId>,
+    /// Free-text annotation.
+    pub annotation: Option<String>,
+    /// Created at.
+    pub created_at: SimTime,
+    /// Next hid to assign.
+    next_hid: u32,
+}
+
+impl History {
+    /// A fresh history.
+    pub fn new(id: HistoryId, name: &str, owner: &str, now: SimTime) -> Self {
+        History {
+            id,
+            name: name.to_string(),
+            owner: owner.to_string(),
+            items: Vec::new(),
+            annotation: None,
+            created_at: now,
+            next_hid: 1,
+        }
+    }
+
+    /// Append a dataset; returns the hid it was given.
+    pub fn push(&mut self, dataset: DatasetId) -> u32 {
+        self.items.push(dataset);
+        let hid = self.next_hid;
+        self.next_hid += 1;
+        hid
+    }
+
+    /// Number of items (including errored/deleted ones).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the history has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Annotate (replaces any existing annotation).
+    pub fn annotate(&mut self, text: &str) {
+        self.annotation = Some(text.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hids_are_sequential_from_one() {
+        let mut h = History::new(HistoryId(1), "analysis", "boliu", SimTime::ZERO);
+        assert!(h.is_empty());
+        assert_eq!(h.push(DatasetId(10)), 1);
+        assert_eq!(h.push(DatasetId(20)), 2);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.items, vec![DatasetId(10), DatasetId(20)]);
+    }
+
+    #[test]
+    fn annotations_replace() {
+        let mut h = History::new(HistoryId(1), "x", "u", SimTime::ZERO);
+        h.annotate("first");
+        h.annotate("second");
+        assert_eq!(h.annotation.as_deref(), Some("second"));
+    }
+}

@@ -1,0 +1,47 @@
+//! `cumulus-galaxy` — a Galaxy-like scientific workflow platform.
+//!
+//! Reproduces the Galaxy features the paper relies on (§II, §IV):
+//!
+//! * [`dataset`] — datasets with **real content** (tables, matrices, SVG
+//!   plots, archives), so tool outputs are verifiable artifacts;
+//! * [`tool`] — declarative tool definitions: typed parameters (from which
+//!   the web form model is generated), outputs, a calibrated cost model,
+//!   and the real Rust behavior behind each tool;
+//! * [`registry`] — the tool panel;
+//! * [`history`] / [`user`] — per-user workspaces with quotas;
+//! * [`job`] + [`server`] — the application server: tool dispatch to a
+//!   Condor pool, pending-output lifecycle, real execution on completion,
+//!   and the three Globus Transfer tools plus FTP/HTTP uploads;
+//! * [`workflow`] — DAG workflows scheduled through the pool;
+//! * [`provenance`] — complete input/parameter/order capture per output;
+//! * [`sharing`] — histories/datasets/workflows shared via links, and
+//!   Pages embedding analysis artifacts.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod globus_tools;
+pub mod history;
+pub mod job;
+pub mod provenance;
+pub mod registry;
+pub mod server;
+pub mod sharing;
+pub mod tool;
+pub mod user;
+pub mod workflow;
+
+pub use dataset::{Content, Dataset, DatasetId, DatasetState};
+pub use globus_tools::{get_data_tool, go_transfer_tool, register_globus_tools, send_data_tool};
+pub use history::{History, HistoryId};
+pub use job::{GalaxyJob, GalaxyJobId, GalaxyJobState};
+pub use provenance::{ProvenanceRecord, ProvenanceStore};
+pub use registry::{RegistryError, ToolRegistry};
+pub use server::{GalaxyError, GalaxyServer};
+pub use sharing::{Page, ShareItem, SharingModel, Visibility};
+pub use tool::{
+    CostModel, OutputSpec, ParamKind, ParamSpec, ToolBehavior, ToolDefinition, ToolError,
+    ToolInvocation, ToolOutput,
+};
+pub use user::GalaxyUser;
+pub use workflow::{run_workflow, Binding, Workflow, WorkflowRunResult, WorkflowStep};

@@ -1,0 +1,171 @@
+//! Provenance capture.
+//!
+//! "Galaxy automatically records history and provenance information for
+//! each tool executed" and "tracks … all input, intermediate, and final
+//! datasets, as well as the parameters and the execution order of each
+//! step" (§II.2). Every completed job deposits one record per output
+//! dataset; lineage queries walk the records backwards.
+
+use std::collections::BTreeMap;
+
+use cumulus_simkit::time::SimTime;
+
+use crate::dataset::DatasetId;
+use crate::job::GalaxyJobId;
+
+/// How one dataset came to exist.
+#[derive(Debug, Clone)]
+pub struct ProvenanceRecord {
+    /// The dataset this record explains.
+    pub dataset: DatasetId,
+    /// The producing job.
+    pub job: GalaxyJobId,
+    /// Tool id and version.
+    pub tool: (String, String),
+    /// The exact parameters used.
+    pub params: BTreeMap<String, String>,
+    /// Input datasets, by parameter name.
+    pub inputs: BTreeMap<String, DatasetId>,
+    /// When the job started and finished.
+    pub span: (SimTime, SimTime),
+}
+
+/// The provenance store.
+#[derive(Debug, Clone, Default)]
+pub struct ProvenanceStore {
+    records: BTreeMap<DatasetId, ProvenanceRecord>,
+}
+
+impl ProvenanceStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ProvenanceStore::default()
+    }
+
+    /// Record how a dataset was produced.
+    pub fn record(&mut self, record: ProvenanceRecord) {
+        self.records.insert(record.dataset, record);
+    }
+
+    /// The record for a dataset, if it was tool-produced (uploads have
+    /// none).
+    pub fn of(&self, dataset: DatasetId) -> Option<&ProvenanceRecord> {
+        self.records.get(&dataset)
+    }
+
+    /// Full lineage of a dataset: every ancestor dataset id, following
+    /// input edges transitively (nearest first, deduplicated).
+    pub fn lineage(&self, dataset: DatasetId) -> Vec<DatasetId> {
+        let mut out = Vec::new();
+        let mut queue = vec![dataset];
+        while let Some(d) = queue.pop() {
+            if let Some(rec) = self.records.get(&d) {
+                for input in rec.inputs.values() {
+                    if !out.contains(input) {
+                        out.push(*input);
+                        queue.push(*input);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuild the command history needed to reproduce `dataset`: the
+    /// producing steps in execution order (oldest first).
+    pub fn replay_plan(&self, dataset: DatasetId) -> Vec<&ProvenanceRecord> {
+        let mut steps: Vec<&ProvenanceRecord> = Vec::new();
+        let mut queue = vec![dataset];
+        while let Some(d) = queue.pop() {
+            if let Some(rec) = self.records.get(&d) {
+                if !steps.iter().any(|r| r.job == rec.job) {
+                    steps.push(rec);
+                    queue.extend(rec.inputs.values().copied());
+                }
+            }
+        }
+        steps.sort_by_key(|r| r.span.0);
+        steps
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records exist.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulus_simkit::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    fn rec(
+        dataset: u64,
+        job: u64,
+        inputs: &[(&str, u64)],
+        start: u64,
+    ) -> ProvenanceRecord {
+        ProvenanceRecord {
+            dataset: DatasetId(dataset),
+            job: GalaxyJobId(job),
+            tool: ("tool".to_string(), "1.0".to_string()),
+            params: BTreeMap::new(),
+            inputs: inputs
+                .iter()
+                .map(|(k, v)| (k.to_string(), DatasetId(*v)))
+                .collect(),
+            span: (t(start), t(start + 60)),
+        }
+    }
+
+    #[test]
+    fn uploads_have_no_record() {
+        let store = ProvenanceStore::new();
+        assert!(store.of(DatasetId(1)).is_none());
+        assert!(store.lineage(DatasetId(1)).is_empty());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn lineage_walks_transitively() {
+        // upload(1) → normalize(2) → test(3); plot(4) also from 2.
+        let mut store = ProvenanceStore::new();
+        store.record(rec(2, 100, &[("input", 1)], 10));
+        store.record(rec(3, 101, &[("input", 2)], 100));
+        store.record(rec(4, 102, &[("input", 2)], 120));
+        let lin = store.lineage(DatasetId(3));
+        assert_eq!(lin, vec![DatasetId(2), DatasetId(1)]);
+        assert_eq!(store.lineage(DatasetId(2)), vec![DatasetId(1)]);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn replay_plan_is_in_execution_order() {
+        let mut store = ProvenanceStore::new();
+        store.record(rec(2, 100, &[("input", 1)], 10));
+        store.record(rec(3, 101, &[("a", 2), ("b", 1)], 100));
+        let plan = store.replay_plan(DatasetId(3));
+        let jobs: Vec<u64> = plan.iter().map(|r| r.job.0).collect();
+        assert_eq!(jobs, vec![100, 101]);
+    }
+
+    #[test]
+    fn diamond_lineage_deduplicates() {
+        // 1 → 2, 1 → 3, (2,3) → 4.
+        let mut store = ProvenanceStore::new();
+        store.record(rec(2, 100, &[("i", 1)], 10));
+        store.record(rec(3, 101, &[("i", 1)], 20));
+        store.record(rec(4, 102, &[("a", 2), ("b", 3)], 30));
+        let lin = store.lineage(DatasetId(4));
+        assert_eq!(lin.len(), 3, "1 appears once: {lin:?}");
+    }
+}

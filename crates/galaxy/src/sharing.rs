@@ -1,0 +1,255 @@
+//! Sharing: histories, workflows, and Pages.
+//!
+//! "Galaxy's sharing model, public repositories, and display framework
+//! provide users with the means to share datasets, histories, and
+//! workflows via web links, either publicly or privately" (§II.2). A Page
+//! is "a mix of text, graphs and embedded Galaxy items from analyses".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::dataset::DatasetId;
+use crate::history::HistoryId;
+
+/// What can be embedded or shared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ShareItem {
+    /// A dataset.
+    Dataset(DatasetId),
+    /// A whole history.
+    History(HistoryId),
+    /// A saved workflow, by id.
+    Workflow(u64),
+}
+
+/// Visibility of a shared item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Visibility {
+    /// Only the owner.
+    Private,
+    /// Anyone with the link.
+    LinkOnly,
+    /// Listed publicly.
+    Public,
+    /// Specific users.
+    SharedWith(BTreeSet<String>),
+}
+
+/// A Page: rich text with embedded items.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Its slug (link path).
+    pub slug: String,
+    /// Title.
+    pub title: String,
+    /// Owner.
+    pub owner: String,
+    /// Markdown-ish body.
+    pub body: String,
+    /// Embedded items in order.
+    pub embeds: Vec<ShareItem>,
+    /// Who can see it.
+    pub visibility: Visibility,
+}
+
+/// The sharing registry.
+#[derive(Debug, Clone, Default)]
+pub struct SharingModel {
+    item_visibility: BTreeMap<ShareItem, Visibility>,
+    item_owner: BTreeMap<ShareItem, String>,
+    pages: BTreeMap<String, Page>,
+}
+
+impl SharingModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        SharingModel::default()
+    }
+
+    /// Declare ownership of an item (private by default).
+    pub fn own(&mut self, item: ShareItem, owner: &str) {
+        self.item_owner.insert(item, owner.to_string());
+        self.item_visibility
+            .entry(item)
+            .or_insert(Visibility::Private);
+    }
+
+    /// Change visibility. Only the owner may do this.
+    pub fn set_visibility(
+        &mut self,
+        item: ShareItem,
+        actor: &str,
+        visibility: Visibility,
+    ) -> Result<(), String> {
+        match self.item_owner.get(&item) {
+            None => Err(format!("{item:?} is not registered")),
+            Some(owner) if owner != actor => {
+                Err(format!("{actor} does not own {item:?}"))
+            }
+            Some(_) => {
+                self.item_visibility.insert(item, visibility);
+                Ok(())
+            }
+        }
+    }
+
+    /// Can `viewer` see `item`?
+    pub fn can_view(&self, item: ShareItem, viewer: &str, has_link: bool) -> bool {
+        let owner = self.item_owner.get(&item);
+        if owner.map(String::as_str) == Some(viewer) {
+            return true;
+        }
+        match self.item_visibility.get(&item) {
+            None | Some(Visibility::Private) => false,
+            Some(Visibility::LinkOnly) => has_link,
+            Some(Visibility::Public) => true,
+            Some(Visibility::SharedWith(users)) => users.contains(viewer),
+        }
+    }
+
+    /// Publish a page. Every embed must be viewable by the page's
+    /// audience, i.e. at least link-visible when the page is public.
+    pub fn publish_page(&mut self, page: Page) -> Result<String, String> {
+        if self.pages.contains_key(&page.slug) {
+            return Err(format!("page slug {:?} taken", page.slug));
+        }
+        if page.visibility == Visibility::Public {
+            for item in &page.embeds {
+                let vis = self.item_visibility.get(item);
+                if matches!(vis, None | Some(Visibility::Private)) {
+                    return Err(format!(
+                        "cannot publish page: embedded {item:?} is private"
+                    ));
+                }
+            }
+        }
+        let link = format!("/u/{}/p/{}", page.owner, page.slug);
+        self.pages.insert(page.slug.clone(), page);
+        Ok(link)
+    }
+
+    /// Fetch a page if the viewer may see it.
+    pub fn view_page(&self, slug: &str, viewer: &str, has_link: bool) -> Option<&Page> {
+        let page = self.pages.get(slug)?;
+        let visible = page.owner == viewer
+            || match &page.visibility {
+                Visibility::Private => false,
+                Visibility::LinkOnly => has_link,
+                Visibility::Public => true,
+                Visibility::SharedWith(users) => users.contains(viewer),
+            };
+        visible.then_some(page)
+    }
+
+    /// All public page slugs.
+    pub fn public_pages(&self) -> Vec<&str> {
+        self.pages
+            .values()
+            .filter(|p| p.visibility == Visibility::Public)
+            .map(|p| p.slug.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds(n: u64) -> ShareItem {
+        ShareItem::Dataset(DatasetId(n))
+    }
+
+    #[test]
+    fn owner_always_sees_own_items() {
+        let mut s = SharingModel::new();
+        s.own(ds(1), "alice");
+        assert!(s.can_view(ds(1), "alice", false));
+        assert!(!s.can_view(ds(1), "bob", false));
+        assert!(!s.can_view(ds(1), "bob", true), "private beats link");
+    }
+
+    #[test]
+    fn link_sharing() {
+        let mut s = SharingModel::new();
+        s.own(ds(1), "alice");
+        s.set_visibility(ds(1), "alice", Visibility::LinkOnly).unwrap();
+        assert!(s.can_view(ds(1), "bob", true));
+        assert!(!s.can_view(ds(1), "bob", false));
+    }
+
+    #[test]
+    fn only_owner_changes_visibility() {
+        let mut s = SharingModel::new();
+        s.own(ds(1), "alice");
+        assert!(s
+            .set_visibility(ds(1), "mallory", Visibility::Public)
+            .is_err());
+        assert!(s
+            .set_visibility(ds(9), "alice", Visibility::Public)
+            .is_err());
+    }
+
+    #[test]
+    fn shared_with_specific_users() {
+        let mut s = SharingModel::new();
+        s.own(ds(1), "alice");
+        let mut who = BTreeSet::new();
+        who.insert("bob".to_string());
+        s.set_visibility(ds(1), "alice", Visibility::SharedWith(who))
+            .unwrap();
+        assert!(s.can_view(ds(1), "bob", false));
+        assert!(!s.can_view(ds(1), "carol", false));
+    }
+
+    #[test]
+    fn public_page_requires_visible_embeds() {
+        let mut s = SharingModel::new();
+        s.own(ds(1), "alice");
+        let page = Page {
+            slug: "cvrg-analysis".to_string(),
+            title: "CVRG differential expression".to_string(),
+            owner: "alice".to_string(),
+            body: "see embedded results".to_string(),
+            embeds: vec![ds(1)],
+            visibility: Visibility::Public,
+        };
+        assert!(s.publish_page(page.clone()).is_err(), "embed still private");
+        s.set_visibility(ds(1), "alice", Visibility::Public).unwrap();
+        let link = s.publish_page(page).unwrap();
+        assert_eq!(link, "/u/alice/p/cvrg-analysis");
+        assert!(s.view_page("cvrg-analysis", "anyone", false).is_some());
+        assert_eq!(s.public_pages(), vec!["cvrg-analysis"]);
+    }
+
+    #[test]
+    fn duplicate_slugs_rejected() {
+        let mut s = SharingModel::new();
+        let page = Page {
+            slug: "x".to_string(),
+            title: "t".to_string(),
+            owner: "a".to_string(),
+            body: String::new(),
+            embeds: vec![],
+            visibility: Visibility::LinkOnly,
+        };
+        s.publish_page(page.clone()).unwrap();
+        assert!(s.publish_page(page).is_err());
+    }
+
+    #[test]
+    fn link_only_pages_need_the_link() {
+        let mut s = SharingModel::new();
+        let page = Page {
+            slug: "quiet".to_string(),
+            title: "t".to_string(),
+            owner: "a".to_string(),
+            body: String::new(),
+            embeds: vec![],
+            visibility: Visibility::LinkOnly,
+        };
+        s.publish_page(page).unwrap();
+        assert!(s.view_page("quiet", "b", false).is_none());
+        assert!(s.view_page("quiet", "b", true).is_some());
+        assert!(s.view_page("quiet", "a", false).is_some(), "owner");
+        assert!(s.public_pages().is_empty());
+    }
+}

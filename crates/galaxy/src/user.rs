@@ -1,0 +1,74 @@
+//! User accounts.
+//!
+//! Galaxy accounts are linked by **matching username** to Globus Online
+//! accounts ("users must … register an account in Galaxy with the same
+//! username", §IV.A); the server checks transfers against that identity.
+
+use cumulus_net::DataSize;
+
+/// A registered Galaxy user.
+#[derive(Debug, Clone)]
+pub struct GalaxyUser {
+    /// Username (must match the Globus Online account for transfers).
+    pub username: String,
+    /// Email for notifications.
+    pub email: String,
+    /// API key for programmatic access.
+    pub api_key: String,
+    /// Storage quota.
+    pub quota: DataSize,
+    /// Bytes currently attributed to the user's datasets.
+    pub usage: DataSize,
+}
+
+impl GalaxyUser {
+    /// Create a user with the default 250 GB quota.
+    pub fn new(username: &str, api_key_seed: u64) -> Self {
+        GalaxyUser {
+            username: username.to_string(),
+            email: format!("{username}@example.org"),
+            api_key: format!("gx-{api_key_seed:016x}"),
+            quota: DataSize::from_gb(250),
+            usage: DataSize::ZERO,
+        }
+    }
+
+    /// Would adding `size` exceed the quota?
+    pub fn over_quota_with(&self, size: DataSize) -> bool {
+        self.usage + size > self.quota
+    }
+
+    /// Charge usage.
+    pub fn charge(&mut self, size: DataSize) {
+        self.usage += size;
+    }
+
+    /// Release usage (dataset deleted).
+    pub fn release(&mut self, size: DataSize) {
+        self.usage = self.usage.saturating_sub(size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_accounting() {
+        let mut u = GalaxyUser::new("boliu", 7);
+        assert_eq!(u.email, "boliu@example.org");
+        assert!(!u.over_quota_with(DataSize::from_gb(100)));
+        assert!(u.over_quota_with(DataSize::from_gb(251)));
+        u.charge(DataSize::from_gb(200));
+        assert!(u.over_quota_with(DataSize::from_gb(51)));
+        u.release(DataSize::from_gb(100));
+        assert!(!u.over_quota_with(DataSize::from_gb(51)));
+        u.release(DataSize::from_gb(9999));
+        assert_eq!(u.usage, DataSize::ZERO);
+    }
+
+    #[test]
+    fn api_keys_are_distinct() {
+        assert_ne!(GalaxyUser::new("a", 1).api_key, GalaxyUser::new("a", 2).api_key);
+    }
+}

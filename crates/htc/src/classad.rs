@@ -1,0 +1,699 @@
+//! ClassAd-lite: attribute lists and a matchmaking expression language.
+//!
+//! Condor matches jobs to machines by evaluating each side's `Requirements`
+//! and `Rank` expressions against the *other* side's attributes. This module
+//! implements the subset the Galaxy deployment needs: typed attribute
+//! values, and expressions with comparison, boolean, and arithmetic
+//! operators over attribute references.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! expr   := or
+//! or     := and ("||" and)*
+//! and    := not ("&&" not)*
+//! not    := "!" not | cmp
+//! cmp    := sum (("=="|"!="|"<="|">="|"<"|">") sum)?
+//! sum    := prod (("+"|"-") prod)*
+//! prod   := unary (("*"|"/") unary)*
+//! unary  := "-" unary | atom
+//! atom   := number | string | "true" | "false" | ident | "(" expr ")"
+//! ```
+//!
+//! Attribute references resolve against the *target* ad first and then the
+//! *own* ad (a simplification of Condor's `TARGET.`/`MY.` scoping that is
+//! sufficient when attribute names do not collide). Undefined attributes
+//! make comparisons false rather than erroring, mirroring ClassAd
+//! three-valued logic closely enough for scheduling.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A typed attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Undefined (missing attribute).
+    Undefined,
+}
+
+impl Value {
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Undefined => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Undefined => write!(f, "undefined"),
+        }
+    }
+}
+
+/// An attribute list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassAd {
+    attrs: BTreeMap<String, Value>,
+}
+
+impl ClassAd {
+    /// An empty ad.
+    pub fn new() -> Self {
+        ClassAd::default()
+    }
+
+    /// Set an attribute (case-insensitive key, as in Condor).
+    pub fn set(&mut self, key: &str, value: Value) -> &mut Self {
+        self.attrs.insert(key.to_ascii_lowercase(), value);
+        self
+    }
+
+    /// Builder-style set.
+    pub fn with(mut self, key: &str, value: Value) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Get an attribute.
+    pub fn get(&self, key: &str) -> Value {
+        self.attrs
+            .get(&key.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or(Value::Undefined)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+}
+
+/// A parsed expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Attribute reference.
+    Attr(String),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical not.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok.as_bytes()) {
+            // Don't split identifiers: `>=` vs `>`, handled by caller order;
+            // for word tokens ensure a non-ident boundary.
+            let end = self.pos + tok.len();
+            let is_word = tok.chars().all(|c| c.is_ascii_alphanumeric());
+            if is_word {
+                if let Some(&next) = self.src.get(end) {
+                    if next.is_ascii_alphanumeric() || next == b'_' || next == b'.' {
+                        return false;
+                    }
+                }
+            }
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or()
+    }
+
+    fn or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and()?;
+        while self.eat("||") {
+            let rhs = self.and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not()?;
+        while self.eat("&&") {
+            let rhs = self.not()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not(&mut self) -> Result<Expr, ParseError> {
+        self.skip_ws();
+        // `!` but not `!=`.
+        if self.src.get(self.pos) == Some(&b'!') && self.src.get(self.pos + 1) != Some(&b'=') {
+            self.pos += 1;
+            let inner = self.not()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(inner)));
+        }
+        self.cmp()
+    }
+
+    fn cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.sum()?;
+        for (tok, op) in [
+            ("==", BinOp::Eq),
+            ("!=", BinOp::Ne),
+            ("<=", BinOp::Le),
+            (">=", BinOp::Ge),
+            ("<", BinOp::Lt),
+            (">", BinOp::Gt),
+        ] {
+            if self.eat(tok) {
+                let rhs = self.sum()?;
+                return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.prod()?;
+        loop {
+            if self.eat("+") {
+                let rhs = self.prod()?;
+                lhs = Expr::Binary(BinOp::Add, Box::new(lhs), Box::new(rhs));
+            } else if self.eat("-") {
+                let rhs = self.prod()?;
+                lhs = Expr::Binary(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn prod(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat("*") {
+                let rhs = self.unary()?;
+                lhs = Expr::Binary(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+            } else if self.eat("/") {
+                let rhs = self.unary()?;
+                lhs = Expr::Binary(BinOp::Div, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of expression")),
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if self.peek() == Some(b')') {
+                    self.pos += 1;
+                    Ok(e)
+                } else {
+                    Err(self.err("expected ')'"))
+                }
+            }
+            Some(b'"') => self.string(),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => self.ident(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    fn string(&mut self) -> Result<Expr, ParseError> {
+        debug_assert_eq!(self.src[self.pos], b'"');
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+            self.pos += 1;
+        }
+        if self.pos >= self.src.len() {
+            return Err(self.err("unterminated string"));
+        }
+        let s = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in string"))?
+            .to_string();
+        self.pos += 1;
+        Ok(Expr::Lit(Value::Str(s)))
+    }
+
+    fn number(&mut self) -> Result<Expr, ParseError> {
+        let start = self.pos;
+        let mut saw_dot = false;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else if c == b'.' && !saw_dot {
+                saw_dot = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if saw_dot {
+            text.parse::<f64>()
+                .map(|f| Expr::Lit(Value::Float(f)))
+                .map_err(|e| self.err(e.to_string()))
+        } else {
+            text.parse::<i64>()
+                .map(|i| Expr::Lit(Value::Int(i)))
+                .map_err(|e| self.err(e.to_string()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Expr, ParseError> {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match word.to_ascii_lowercase().as_str() {
+            "true" => Ok(Expr::Lit(Value::Bool(true))),
+            "false" => Ok(Expr::Lit(Value::Bool(false))),
+            "undefined" => Ok(Expr::Lit(Value::Undefined)),
+            _ => Ok(Expr::Attr(word.to_string())),
+        }
+    }
+}
+
+impl Expr {
+    /// Parse an expression from text.
+    pub fn parse(src: &str) -> Result<Expr, ParseError> {
+        let mut p = Parser::new(src);
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(p.err("trailing input"));
+        }
+        Ok(e)
+    }
+
+    /// A constant `true` expression.
+    pub fn always() -> Expr {
+        Expr::Lit(Value::Bool(true))
+    }
+
+    /// Evaluate against `target` (the other side's ad) with `own` as
+    /// fallback scope.
+    pub fn eval(&self, target: &ClassAd, own: &ClassAd) -> Value {
+        match self {
+            Expr::Lit(v) => v.clone(),
+            Expr::Attr(name) => {
+                // Strip explicit scopes if present.
+                let (scope, bare) = match name.split_once('.') {
+                    Some((s, b)) => (Some(s.to_ascii_lowercase()), b),
+                    None => (None, name.as_str()),
+                };
+                match scope.as_deref() {
+                    Some("my") => own.get(bare),
+                    Some("target") => target.get(bare),
+                    _ => match target.get(name) {
+                        Value::Undefined => own.get(name),
+                        v => v,
+                    },
+                }
+            }
+            Expr::Unary(op, inner) => {
+                let v = inner.eval(target, own);
+                match op {
+                    UnaryOp::Not => Value::Bool(!v.truthy()),
+                    UnaryOp::Neg => match v.as_f64() {
+                        Some(f) => Value::Float(-f),
+                        None => Value::Undefined,
+                    },
+                }
+            }
+            Expr::Binary(op, l, r) => {
+                match op {
+                    BinOp::And => {
+                        let lv = l.eval(target, own);
+                        if !lv.truthy() {
+                            return Value::Bool(false);
+                        }
+                        return Value::Bool(r.eval(target, own).truthy());
+                    }
+                    BinOp::Or => {
+                        let lv = l.eval(target, own);
+                        if lv.truthy() {
+                            return Value::Bool(true);
+                        }
+                        return Value::Bool(r.eval(target, own).truthy());
+                    }
+                    _ => {}
+                }
+                let lv = l.eval(target, own);
+                let rv = r.eval(target, own);
+                match op {
+                    BinOp::Eq => Value::Bool(value_eq(&lv, &rv)),
+                    BinOp::Ne => match (&lv, &rv) {
+                        (Value::Undefined, _) | (_, Value::Undefined) => Value::Bool(false),
+                        _ => Value::Bool(!value_eq(&lv, &rv)),
+                    },
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        match (lv.as_f64(), rv.as_f64()) {
+                            (Some(a), Some(b)) => Value::Bool(match op {
+                                BinOp::Lt => a < b,
+                                BinOp::Le => a <= b,
+                                BinOp::Gt => a > b,
+                                BinOp::Ge => a >= b,
+                                _ => unreachable!(),
+                            }),
+                            _ => Value::Bool(false),
+                        }
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        match (lv.as_f64(), rv.as_f64()) {
+                            (Some(a), Some(b)) => {
+                                let x = match op {
+                                    BinOp::Add => a + b,
+                                    BinOp::Sub => a - b,
+                                    BinOp::Mul => a * b,
+                                    BinOp::Div => {
+                                        if b == 0.0 {
+                                            return Value::Undefined;
+                                        }
+                                        a / b
+                                    }
+                                    _ => unreachable!(),
+                                };
+                                Value::Float(x)
+                            }
+                            _ => Value::Undefined,
+                        }
+                    }
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a boolean (requirements semantics: undefined → false).
+    pub fn eval_bool(&self, target: &ClassAd, own: &ClassAd) -> bool {
+        self.eval(target, own).truthy()
+    }
+
+    /// Evaluate as a rank score (undefined / non-numeric → 0.0).
+    pub fn eval_rank(&self, target: &ClassAd, own: &ClassAd) -> f64 {
+        match self.eval(target, own) {
+            Value::Bool(b) => {
+                if b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            v => v.as_f64().unwrap_or(0.0),
+        }
+    }
+}
+
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => x.eq_ignore_ascii_case(y),
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Undefined, _) | (_, Value::Undefined) => false,
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> ClassAd {
+        ClassAd::new()
+            .with("Memory", Value::Int(1700))
+            .with("Cpus", Value::Int(2))
+            .with("ComputeUnits", Value::Float(2.2))
+            .with("Arch", Value::Str("X86_64".to_string()))
+            .with("OpSys", Value::Str("LINUX".to_string()))
+    }
+
+    fn job() -> ClassAd {
+        ClassAd::new()
+            .with("RequestMemory", Value::Int(1024))
+            .with("Owner", Value::Str("user1".to_string()))
+    }
+
+    #[test]
+    fn attribute_lookup_is_case_insensitive() {
+        let ad = machine();
+        assert_eq!(ad.get("memory"), Value::Int(1700));
+        assert_eq!(ad.get("MEMORY"), Value::Int(1700));
+        assert_eq!(ad.get("nope"), Value::Undefined);
+    }
+
+    #[test]
+    fn typical_requirements_expression() {
+        let e = Expr::parse(r#"Memory >= 1024 && Arch == "X86_64""#).unwrap();
+        assert!(e.eval_bool(&machine(), &job()));
+        let small = ClassAd::new()
+            .with("Memory", Value::Int(613))
+            .with("Arch", Value::Str("X86_64".to_string()));
+        assert!(!e.eval_bool(&small, &job()));
+    }
+
+    #[test]
+    fn string_compare_is_case_insensitive() {
+        let e = Expr::parse(r#"OpSys == "linux""#).unwrap();
+        assert!(e.eval_bool(&machine(), &job()));
+    }
+
+    #[test]
+    fn rank_prefers_bigger_machines() {
+        let rank = Expr::parse("ComputeUnits").unwrap();
+        let small = ClassAd::new().with("ComputeUnits", Value::Float(1.0));
+        assert!(rank.eval_rank(&machine(), &job()) > rank.eval_rank(&small, &job()));
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        let e = Expr::parse("1 + 2 * 3").unwrap();
+        assert_eq!(e.eval(&ClassAd::new(), &ClassAd::new()), Value::Float(7.0));
+        let e = Expr::parse("(1 + 2) * 3").unwrap();
+        assert_eq!(e.eval(&ClassAd::new(), &ClassAd::new()), Value::Float(9.0));
+        let e = Expr::parse("10 / 4").unwrap();
+        assert_eq!(e.eval(&ClassAd::new(), &ClassAd::new()), Value::Float(2.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_undefined() {
+        let e = Expr::parse("1 / 0").unwrap();
+        assert_eq!(e.eval(&ClassAd::new(), &ClassAd::new()), Value::Undefined);
+        assert!(!e.eval_bool(&ClassAd::new(), &ClassAd::new()));
+    }
+
+    #[test]
+    fn undefined_comparisons_are_false() {
+        let ads = (ClassAd::new(), ClassAd::new());
+        for src in ["Missing > 5", "Missing == 5", "Missing != 5"] {
+            let e = Expr::parse(src).unwrap();
+            assert!(!e.eval_bool(&ads.0, &ads.1), "{src}");
+        }
+    }
+
+    #[test]
+    fn boolean_operators_short_circuit_sanely() {
+        let e = Expr::parse("true || Missing > 1").unwrap();
+        assert!(e.eval_bool(&ClassAd::new(), &ClassAd::new()));
+        let e = Expr::parse("false && Missing > 1").unwrap();
+        assert!(!e.eval_bool(&ClassAd::new(), &ClassAd::new()));
+        let e = Expr::parse("!false").unwrap();
+        assert!(e.eval_bool(&ClassAd::new(), &ClassAd::new()));
+    }
+
+    #[test]
+    fn explicit_scopes_resolve() {
+        let target = ClassAd::new().with("X", Value::Int(1));
+        let own = ClassAd::new().with("X", Value::Int(2));
+        let t = Expr::parse("TARGET.X").unwrap();
+        let m = Expr::parse("MY.X").unwrap();
+        assert_eq!(t.eval(&target, &own), Value::Int(1));
+        assert_eq!(m.eval(&target, &own), Value::Int(2));
+        // Unscoped prefers target.
+        let u = Expr::parse("X").unwrap();
+        assert_eq!(u.eval(&target, &own), Value::Int(1));
+        // Falls back to own when target lacks it.
+        assert_eq!(u.eval(&ClassAd::new(), &own), Value::Int(2));
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        let e = Expr::parse("-3 + 1").unwrap();
+        assert_eq!(e.eval(&ClassAd::new(), &ClassAd::new()), Value::Float(-2.0));
+    }
+
+    #[test]
+    fn floats_parse() {
+        let e = Expr::parse("ComputeUnits >= 2.2").unwrap();
+        assert!(e.eval_bool(&machine(), &job()));
+    }
+
+    #[test]
+    fn keyword_literals() {
+        assert_eq!(Expr::parse("true").unwrap(), Expr::Lit(Value::Bool(true)));
+        assert_eq!(
+            Expr::parse("undefined").unwrap(),
+            Expr::Lit(Value::Undefined)
+        );
+        // `trueish` is an attribute, not the keyword.
+        assert_eq!(
+            Expr::parse("trueish").unwrap(),
+            Expr::Attr("trueish".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("(1 + 2").is_err());
+        assert!(Expr::parse("\"unterminated").is_err());
+        assert!(Expr::parse("1 ~~ 2").is_err());
+        assert!(Expr::parse("1 2").is_err(), "trailing input");
+    }
+
+    #[test]
+    fn not_equal_operator_not_confused_with_not() {
+        let e = Expr::parse("1 != 2").unwrap();
+        assert!(e.eval_bool(&ClassAd::new(), &ClassAd::new()));
+    }
+}

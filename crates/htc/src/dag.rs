@@ -1,0 +1,274 @@
+//! DAG workflows over the pool (DAGMan-lite).
+//!
+//! Galaxy workflows are DAGs of tool invocations; when a Condor scheduler
+//! is configured, each step becomes a Condor job that may only start when
+//! its parents' outputs exist. This module tracks the dependency
+//! bookkeeping: the caller submits ready nodes, reports completions, and
+//! asks which nodes became ready.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::job::JobId;
+
+/// A node name within one DAG.
+pub type NodeName = String;
+
+/// Errors from DAG construction or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Duplicate node name.
+    DuplicateNode(String),
+    /// An edge references a missing node.
+    UnknownNode(String),
+    /// The dependency graph has a cycle.
+    Cycle,
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::DuplicateNode(n) => write!(f, "duplicate DAG node {n:?}"),
+            DagError::UnknownNode(n) => write!(f, "unknown DAG node {n:?}"),
+            DagError::Cycle => write!(f, "DAG contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Per-node execution status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Waiting on parents.
+    Blocked,
+    /// All parents done; not yet submitted.
+    Ready,
+    /// Submitted to the pool.
+    Submitted,
+    /// Finished.
+    Done,
+}
+
+/// A DAG being executed.
+#[derive(Debug, Default)]
+pub struct DagRun {
+    parents: BTreeMap<NodeName, BTreeSet<NodeName>>,
+    children: BTreeMap<NodeName, BTreeSet<NodeName>>,
+    status: BTreeMap<NodeName, NodeStatus>,
+    submitted_as: BTreeMap<JobId, NodeName>,
+}
+
+impl DagRun {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        DagRun::default()
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, name: &str) -> Result<(), DagError> {
+        if self.status.contains_key(name) {
+            return Err(DagError::DuplicateNode(name.to_string()));
+        }
+        self.status.insert(name.to_string(), NodeStatus::Ready);
+        self.parents.insert(name.to_string(), BTreeSet::new());
+        self.children.insert(name.to_string(), BTreeSet::new());
+        Ok(())
+    }
+
+    /// Declare `child` depends on `parent`.
+    pub fn add_edge(&mut self, parent: &str, child: &str) -> Result<(), DagError> {
+        for n in [parent, child] {
+            if !self.status.contains_key(n) {
+                return Err(DagError::UnknownNode(n.to_string()));
+            }
+        }
+        self.parents
+            .get_mut(child)
+            .expect("checked")
+            .insert(parent.to_string());
+        self.children
+            .get_mut(parent)
+            .expect("checked")
+            .insert(child.to_string());
+        if self.status[child] == NodeStatus::Ready {
+            self.status.insert(child.to_string(), NodeStatus::Blocked);
+        }
+        self.check_acyclic()?;
+        Ok(())
+    }
+
+    fn check_acyclic(&self) -> Result<(), DagError> {
+        // Kahn's algorithm over the whole graph.
+        let mut indeg: BTreeMap<&str, usize> = self
+            .parents
+            .iter()
+            .map(|(n, ps)| (n.as_str(), ps.len()))
+            .collect();
+        let mut queue: Vec<&str> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(n, _)| *n)
+            .collect();
+        let mut seen = 0;
+        while let Some(n) = queue.pop() {
+            seen += 1;
+            for c in &self.children[n] {
+                let d = indeg.get_mut(c.as_str()).expect("known node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if seen == self.status.len() {
+            Ok(())
+        } else {
+            Err(DagError::Cycle)
+        }
+    }
+
+    /// Nodes that are ready to submit right now.
+    pub fn ready_nodes(&self) -> Vec<NodeName> {
+        self.status
+            .iter()
+            .filter(|(_, s)| **s == NodeStatus::Ready)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Record that a ready node was submitted as pool job `job`.
+    pub fn mark_submitted(&mut self, node: &str, job: JobId) -> Result<(), DagError> {
+        match self.status.get_mut(node) {
+            None => Err(DagError::UnknownNode(node.to_string())),
+            Some(s) => {
+                debug_assert_eq!(*s, NodeStatus::Ready, "submitting a non-ready node");
+                *s = NodeStatus::Submitted;
+                self.submitted_as.insert(job, node.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    /// Record a pool-job completion. Returns the nodes that became ready.
+    pub fn on_job_completed(&mut self, job: JobId) -> Vec<NodeName> {
+        let Some(node) = self.submitted_as.remove(&job) else {
+            return Vec::new();
+        };
+        self.status.insert(node.clone(), NodeStatus::Done);
+        let mut newly_ready = Vec::new();
+        for child in self.children[&node].clone() {
+            if self.status[&child] != NodeStatus::Blocked {
+                continue;
+            }
+            let all_done = self.parents[&child]
+                .iter()
+                .all(|p| self.status[p] == NodeStatus::Done);
+            if all_done {
+                self.status.insert(child.clone(), NodeStatus::Ready);
+                newly_ready.push(child);
+            }
+        }
+        newly_ready
+    }
+
+    /// Status of a node.
+    pub fn node_status(&self, node: &str) -> Option<NodeStatus> {
+        self.status.get(node).copied()
+    }
+
+    /// Is the whole DAG done?
+    pub fn is_complete(&self) -> bool {
+        self.status.values().all(|s| *s == NodeStatus::Done)
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// True when the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DagRun {
+        // a → b, a → c, b → d, c → d
+        let mut dag = DagRun::new();
+        for n in ["a", "b", "c", "d"] {
+            dag.add_node(n).unwrap();
+        }
+        dag.add_edge("a", "b").unwrap();
+        dag.add_edge("a", "c").unwrap();
+        dag.add_edge("b", "d").unwrap();
+        dag.add_edge("c", "d").unwrap();
+        dag
+    }
+
+    #[test]
+    fn initial_ready_set_is_roots() {
+        let dag = diamond();
+        assert_eq!(dag.ready_nodes(), vec!["a".to_string()]);
+        assert_eq!(dag.node_status("d"), Some(NodeStatus::Blocked));
+    }
+
+    #[test]
+    fn completion_unblocks_children() {
+        let mut dag = diamond();
+        dag.mark_submitted("a", JobId(1)).unwrap();
+        let ready = dag.on_job_completed(JobId(1));
+        assert_eq!(ready, vec!["b".to_string(), "c".to_string()]);
+        // d needs both b and c.
+        dag.mark_submitted("b", JobId(2)).unwrap();
+        assert!(dag.on_job_completed(JobId(2)).is_empty());
+        dag.mark_submitted("c", JobId(3)).unwrap();
+        assert_eq!(dag.on_job_completed(JobId(3)), vec!["d".to_string()]);
+        dag.mark_submitted("d", JobId(4)).unwrap();
+        dag.on_job_completed(JobId(4));
+        assert!(dag.is_complete());
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut dag = DagRun::new();
+        dag.add_node("x").unwrap();
+        dag.add_node("y").unwrap();
+        dag.add_edge("x", "y").unwrap();
+        assert_eq!(dag.add_edge("y", "x"), Err(DagError::Cycle));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut dag = DagRun::new();
+        dag.add_node("x").unwrap();
+        assert_eq!(dag.add_edge("x", "x"), Err(DagError::Cycle));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_nodes() {
+        let mut dag = DagRun::new();
+        dag.add_node("x").unwrap();
+        assert!(matches!(dag.add_node("x"), Err(DagError::DuplicateNode(_))));
+        assert!(matches!(
+            dag.add_edge("x", "ghost"),
+            Err(DagError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_job_completion_is_ignored() {
+        let mut dag = diamond();
+        assert!(dag.on_job_completed(JobId(99)).is_empty());
+    }
+
+    #[test]
+    fn empty_dag_is_trivially_complete() {
+        let dag = DagRun::new();
+        assert!(dag.is_empty());
+        assert!(dag.is_complete());
+    }
+}

@@ -1,0 +1,223 @@
+//! Jobs and their lifecycle.
+
+use std::fmt;
+
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use crate::classad::{ClassAd, Expr, Value};
+use crate::machine::MachineName;
+
+/// Identifier for a submitted job (cluster id, in Condor terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// How much compute a job represents.
+///
+/// Execution time on a machine with compute capacity `cu` is
+/// `serial + cu_work / cu` — the Amdahl decomposition calibrated for the
+/// paper's Figure 10 (DESIGN.md §3). The serial part models fixed R/tool
+/// startup; the scalable part grows with the input data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkSpec {
+    /// Seconds of fixed, non-scalable work.
+    pub serial_secs: f64,
+    /// Compute-unit-seconds of scalable work.
+    pub cu_work: f64,
+}
+
+impl WorkSpec {
+    /// A pure-serial job.
+    pub fn serial(secs: f64) -> Self {
+        WorkSpec {
+            serial_secs: secs,
+            cu_work: 0.0,
+        }
+    }
+
+    /// Execution duration on a machine of capacity `compute_units`.
+    pub fn duration_on(&self, compute_units: f64) -> SimDuration {
+        assert!(compute_units > 0.0, "machine must have positive capacity");
+        SimDuration::from_secs_f64(self.serial_secs + self.cu_work / compute_units)
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting to be matched.
+    Idle,
+    /// Executing on a machine.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Aborted because its machine vanished; will be rematched.
+    Evicted,
+    /// Administratively held.
+    Held,
+    /// Removed from the queue.
+    Removed,
+}
+
+/// A submitted job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Id assigned at submission.
+    pub id: JobId,
+    /// Submitting user.
+    pub owner: String,
+    /// When it entered the queue.
+    pub submitted_at: SimTime,
+    /// Matchmaking requirements (evaluated against machine ads).
+    pub requirements: Expr,
+    /// Preference among matching machines (higher is better).
+    pub rank: Expr,
+    /// The job's own ad (request attributes etc.).
+    pub ad: ClassAd,
+    /// The work it performs.
+    pub work: WorkSpec,
+    /// Current state.
+    pub state: JobState,
+    /// Where it is / was running.
+    pub running_on: Option<MachineName>,
+    /// When the current execution finishes.
+    pub finish_at: Option<SimTime>,
+    /// When it started executing (most recent match).
+    pub started_at: Option<SimTime>,
+    /// Times this job has been evicted and requeued.
+    pub evictions: u32,
+}
+
+impl Job {
+    /// Build a job ready for submission. Requirements default to `true`,
+    /// rank to the machine's compute capacity (prefer fast machines — the
+    /// behaviour the paper's use case relies on when the c1.medium node
+    /// joins the pool). Deliberately returns a builder rather than `Self`.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(owner: &str, work: WorkSpec) -> JobBuilder {
+        JobBuilder {
+            owner: owner.to_string(),
+            work,
+            requirements: Expr::always(),
+            rank: Expr::parse("ComputeUnits").expect("static expression"),
+            ad: ClassAd::new(),
+        }
+    }
+
+    /// Total queue latency: submission to completion, if completed.
+    pub fn turnaround(&self) -> Option<SimDuration> {
+        match (self.state, self.finish_at) {
+            (JobState::Completed, Some(f)) => Some(f.since(self.submitted_at)),
+            _ => None,
+        }
+    }
+}
+
+/// Builder for [`Job`].
+#[derive(Debug, Clone)]
+pub struct JobBuilder {
+    owner: String,
+    work: WorkSpec,
+    requirements: Expr,
+    rank: Expr,
+    ad: ClassAd,
+}
+
+impl JobBuilder {
+    /// Set the requirements expression.
+    pub fn requirements(mut self, src: &str) -> Self {
+        self.requirements = Expr::parse(src).expect("invalid requirements expression");
+        self
+    }
+
+    /// Set the rank expression.
+    pub fn rank(mut self, src: &str) -> Self {
+        self.rank = Expr::parse(src).expect("invalid rank expression");
+        self
+    }
+
+    /// Set a job-ad attribute.
+    pub fn attr(mut self, key: &str, value: Value) -> Self {
+        self.ad.set(key, value);
+        self
+    }
+
+    /// Finalize into a `Job` (the pool assigns the id and timestamps at
+    /// submission).
+    pub(crate) fn build(self, id: JobId, submitted_at: SimTime) -> Job {
+        let mut ad = self.ad;
+        ad.set("Owner", Value::Str(self.owner.clone()));
+        Job {
+            id,
+            owner: self.owner,
+            submitted_at,
+            requirements: self.requirements,
+            rank: self.rank,
+            ad,
+            work: self.work,
+            state: JobState::Idle,
+            running_on: None,
+            finish_at: None,
+            started_at: None,
+            evictions: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspec_amdahl_arithmetic() {
+        // Calibration sanity: the use-case payload (both datasets) on the
+        // paper's instance menu. serial = 2×112 s, cu_work = 418 s.
+        let w = WorkSpec {
+            serial_secs: 224.0,
+            cu_work: 418.0,
+        };
+        let small = w.duration_on(1.0).as_mins_f64();
+        let large = w.duration_on(4.0).as_mins_f64();
+        let xlarge = w.duration_on(8.0).as_mins_f64();
+        assert!((small - 10.7).abs() < 0.05, "small={small}");
+        assert!((large - 5.47).abs() < 0.1, "large={large}");
+        assert!((xlarge - 4.6).abs() < 0.1, "xlarge={xlarge}");
+    }
+
+    #[test]
+    fn serial_work_ignores_capacity() {
+        let w = WorkSpec::serial(60.0);
+        assert_eq!(w.duration_on(1.0), w.duration_on(8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_panics() {
+        WorkSpec::serial(1.0).duration_on(0.0);
+    }
+
+    #[test]
+    fn builder_populates_ad() {
+        let j = Job::new("user1", WorkSpec::serial(5.0))
+            .requirements("Memory >= 1024")
+            .attr("RequestMemory", Value::Int(1024))
+            .build(JobId(1), SimTime::ZERO);
+        assert_eq!(j.ad.get("owner"), Value::Str("user1".to_string()));
+        assert_eq!(j.ad.get("RequestMemory"), Value::Int(1024));
+        assert_eq!(j.state, JobState::Idle);
+    }
+
+    #[test]
+    fn turnaround_only_when_completed() {
+        let mut j = Job::new("u", WorkSpec::serial(1.0)).build(JobId(1), SimTime::ZERO);
+        assert_eq!(j.turnaround(), None);
+        j.state = JobState::Completed;
+        j.finish_at = Some(SimTime::ZERO + SimDuration::from_secs(30));
+        assert_eq!(j.turnaround(), Some(SimDuration::from_secs(30)));
+    }
+}

@@ -1,0 +1,33 @@
+//! `cumulus-htc` — a Condor-like high-throughput-computing scheduler.
+//!
+//! Galaxy "jobs are transparently assigned to Condor worker nodes for
+//! parallel execution" (§III.B). This crate reproduces the Condor features
+//! that behaviour depends on:
+//!
+//! * [`classad`] — ClassAd-lite attribute lists and the
+//!   requirements/rank expression language used for matchmaking;
+//! * [`job`] — jobs with an Amdahl work model (`serial + cu_work / CU`)
+//!   calibrated to the paper's Figure 10 execution times;
+//! * [`machine`] — execute nodes with slots and standard ads;
+//! * [`pool`] — the central manager: queue, fair-share negotiation cycles,
+//!   dynamic machine membership with draining (the mechanism behind
+//!   elastic scale-up/down), and eviction on abrupt host loss;
+//! * [`dag`] — DAGMan-lite dependency bookkeeping for workflow DAGs;
+//! * [`driver`] — an event-driven central manager running periodic
+//!   negotiation cycles inside the DES engine.
+
+#![warn(missing_docs)]
+
+pub mod classad;
+pub mod dag;
+pub mod driver;
+pub mod job;
+pub mod machine;
+pub mod pool;
+
+pub use classad::{ClassAd, Expr, Value};
+pub use driver::{drive_pool, DriveReport};
+pub use dag::{DagError, DagRun, NodeStatus};
+pub use job::{Job, JobBuilder, JobId, JobState, WorkSpec};
+pub use machine::{Machine, MachineName};
+pub use pool::{CondorPool, Match, PoolError, NEGOTIATION_INTERVAL};

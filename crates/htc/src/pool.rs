@@ -1,0 +1,566 @@
+//! The Condor pool: queue, matchmaker, and dynamic membership.
+//!
+//! The pool is a passive state machine like the rest of the substrates:
+//! the orchestrator submits jobs, calls [`negotiate`](CondorPool::negotiate)
+//! to run a matchmaking cycle, and calls [`settle`](CondorPool::settle) when
+//! simulated time reaches a completion. Machines can join at any time
+//! (the paper's `gp-instance-update` adding a c1.medium node) and leave via
+//! draining, which is what makes the Galaxy cluster elastic.
+
+use std::collections::BTreeMap;
+
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use crate::classad::Value;
+use crate::job::{Job, JobBuilder, JobId, JobState};
+use crate::machine::{Machine, MachineName};
+
+/// Errors from pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// Unknown job id.
+    UnknownJob(JobId),
+    /// Unknown machine name.
+    UnknownMachine(String),
+    /// A machine with this name already exists.
+    DuplicateMachine(String),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::UnknownJob(j) => write!(f, "unknown job {j}"),
+            PoolError::UnknownMachine(m) => write!(f, "unknown machine {m:?}"),
+            PoolError::DuplicateMachine(m) => write!(f, "machine {m:?} already in pool"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// One match made during a negotiation cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// The matched job.
+    pub job: JobId,
+    /// The machine it went to.
+    pub machine: MachineName,
+    /// When the job will finish.
+    pub finish_at: SimTime,
+}
+
+/// The central manager's state.
+#[derive(Debug, Default)]
+pub struct CondorPool {
+    jobs: BTreeMap<JobId, Job>,
+    machines: BTreeMap<MachineName, Machine>,
+    next_job_id: u64,
+    /// Accumulated per-user usage seconds (drives fair-share ordering).
+    usage: BTreeMap<String, f64>,
+}
+
+impl CondorPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        CondorPool {
+            next_job_id: 1,
+            ..CondorPool::default()
+        }
+    }
+
+    // ----- membership ------------------------------------------------
+
+    /// Add a machine to the pool.
+    pub fn add_machine(&mut self, m: Machine) -> Result<(), PoolError> {
+        if self.machines.contains_key(&m.name) {
+            return Err(PoolError::DuplicateMachine(m.name.0.clone()));
+        }
+        self.machines.insert(m.name.clone(), m);
+        Ok(())
+    }
+
+    /// Begin draining a machine: running jobs finish, no new matches, and
+    /// the machine is removed once idle. Returns `true` if it was removed
+    /// immediately (nothing running).
+    pub fn drain_machine(&mut self, name: &str) -> Result<bool, PoolError> {
+        let key = MachineName(name.to_string());
+        let m = self
+            .machines
+            .get_mut(&key)
+            .ok_or_else(|| PoolError::UnknownMachine(name.to_string()))?;
+        m.draining = true;
+        if m.busy_slots() == 0 {
+            self.machines.remove(&key);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Abruptly remove a machine (host failure / terminated instance).
+    /// Its running jobs are evicted back to Idle for rematching.
+    pub fn remove_machine(&mut self, name: &str, now: SimTime) -> Result<Vec<JobId>, PoolError> {
+        let key = MachineName(name.to_string());
+        if self.machines.remove(&key).is_none() {
+            return Err(PoolError::UnknownMachine(name.to_string()));
+        }
+        let mut evicted = Vec::new();
+        for job in self.jobs.values_mut() {
+            if job.state == JobState::Running && job.running_on.as_ref() == Some(&key) {
+                job.state = JobState::Idle;
+                job.running_on = None;
+                job.finish_at = None;
+                job.evictions += 1;
+                // Charge the user for the wasted time.
+                if let Some(started) = job.started_at.take() {
+                    *self.usage.entry(job.owner.clone()).or_insert(0.0) +=
+                        now.since(started).as_secs_f64();
+                }
+                evicted.push(job.id);
+            }
+        }
+        Ok(evicted)
+    }
+
+    /// Machines currently in the pool.
+    pub fn machines(&self) -> impl Iterator<Item = &Machine> {
+        self.machines.values()
+    }
+
+    /// Total free slots across accepting machines.
+    pub fn free_slots(&self) -> u32 {
+        self.machines
+            .values()
+            .filter(|m| m.accepting())
+            .map(|m| m.slots_free)
+            .sum()
+    }
+
+    // ----- queue ------------------------------------------------------
+
+    /// Submit a job.
+    pub fn submit(&mut self, builder: JobBuilder, now: SimTime) -> JobId {
+        let id = JobId(self.next_job_id);
+        self.next_job_id += 1;
+        let job = builder.build(id, now);
+        self.jobs.insert(id, job);
+        id
+    }
+
+    /// Look up a job.
+    pub fn job(&self, id: JobId) -> Result<&Job, PoolError> {
+        self.jobs.get(&id).ok_or(PoolError::UnknownJob(id))
+    }
+
+    /// All jobs in a given state.
+    pub fn jobs_in_state(&self, state: JobState) -> Vec<JobId> {
+        self.jobs
+            .values()
+            .filter(|j| j.state == state)
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// Number of idle jobs.
+    pub fn idle_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Idle)
+            .count()
+    }
+
+    /// Hold a job (no matching until released).
+    pub fn hold(&mut self, id: JobId) -> Result<(), PoolError> {
+        let job = self.jobs.get_mut(&id).ok_or(PoolError::UnknownJob(id))?;
+        if job.state == JobState::Idle {
+            job.state = JobState::Held;
+        }
+        Ok(())
+    }
+
+    /// Release a held job.
+    pub fn release(&mut self, id: JobId) -> Result<(), PoolError> {
+        let job = self.jobs.get_mut(&id).ok_or(PoolError::UnknownJob(id))?;
+        if job.state == JobState::Held {
+            job.state = JobState::Idle;
+        }
+        Ok(())
+    }
+
+    /// Remove a job from the queue (frees its slot if running).
+    pub fn remove_job(&mut self, id: JobId) -> Result<(), PoolError> {
+        let job = self.jobs.get_mut(&id).ok_or(PoolError::UnknownJob(id))?;
+        if job.state == JobState::Running {
+            if let Some(name) = job.running_on.clone() {
+                if let Some(m) = self.machines.get_mut(&name) {
+                    m.slots_free += 1;
+                }
+            }
+        }
+        job.state = JobState::Removed;
+        job.running_on = None;
+        job.finish_at = None;
+        Ok(())
+    }
+
+    // ----- matchmaking --------------------------------------------------
+
+    /// Run one negotiation cycle at `now`; returns the matches made.
+    ///
+    /// Users are considered in fair-share order (least accumulated usage
+    /// first); within a user, jobs go in submission order. Each idle job is
+    /// offered the accepting machine that satisfies its requirements and
+    /// maximizes its rank (ties broken by machine name for determinism).
+    ///
+    /// Execution-time model: a job runs at the machine's **full**
+    /// `ComputeUnits` regardless of slot count — slots bound concurrency,
+    /// not per-job speed. This matches the paper's single-job-per-node
+    /// workloads (GP deploys one slot per worker); for multi-slot ablations
+    /// it is an optimistic simplification.
+    pub fn negotiate(&mut self, now: SimTime) -> Vec<Match> {
+        let mut matches = Vec::new();
+
+        // Fair-share user ordering.
+        let mut users: Vec<String> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Idle)
+            .map(|j| j.owner.clone())
+            .collect();
+        users.sort();
+        users.dedup();
+        users.sort_by(|a, b| {
+            let ua = self.usage.get(a).copied().unwrap_or(0.0);
+            let ub = self.usage.get(b).copied().unwrap_or(0.0);
+            ua.partial_cmp(&ub).unwrap().then_with(|| a.cmp(b))
+        });
+
+        for user in users {
+            let job_ids: Vec<JobId> = self
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Idle && j.owner == user)
+                .map(|j| j.id)
+                .collect();
+            for id in job_ids {
+                let job = &self.jobs[&id];
+                // Pick the best accepting machine.
+                let mut best: Option<(f64, MachineName)> = None;
+                for m in self.machines.values().filter(|m| m.accepting()) {
+                    if !job.requirements.eval_bool(&m.ad, &job.ad) {
+                        continue;
+                    }
+                    let score = job.rank.eval_rank(&m.ad, &job.ad);
+                    let better = match &best {
+                        None => true,
+                        Some((s, name)) => {
+                            score > *s || (score == *s && m.name < *name)
+                        }
+                    };
+                    if better {
+                        best = Some((score, m.name.clone()));
+                    }
+                }
+                let Some((_, name)) = best else { continue };
+                let machine = self.machines.get_mut(&name).expect("chosen above");
+                machine.slots_free -= 1;
+                let capacity = match machine.ad.get("ComputeUnits") {
+                    Value::Float(f) => f,
+                    Value::Int(i) => i as f64,
+                    _ => 1.0,
+                };
+                let job = self.jobs.get_mut(&id).expect("exists");
+                let duration = job.work.duration_on(capacity);
+                job.state = JobState::Running;
+                job.running_on = Some(name.clone());
+                job.started_at = Some(now);
+                job.finish_at = Some(now + duration);
+                matches.push(Match {
+                    job: id,
+                    machine: name,
+                    finish_at: now + duration,
+                });
+            }
+        }
+        matches
+    }
+
+    /// Complete every running job whose finish time is at or before `now`;
+    /// free slots, charge usage, and drop fully-drained machines. Returns
+    /// the completed job ids.
+    pub fn settle(&mut self, now: SimTime) -> Vec<JobId> {
+        let mut completed = Vec::new();
+        for job in self.jobs.values_mut() {
+            if job.state != JobState::Running {
+                continue;
+            }
+            let Some(finish) = job.finish_at else { continue };
+            if finish > now {
+                continue;
+            }
+            job.state = JobState::Completed;
+            completed.push(job.id);
+            if let Some(started) = job.started_at {
+                *self.usage.entry(job.owner.clone()).or_insert(0.0) +=
+                    finish.since(started).as_secs_f64();
+            }
+            if let Some(name) = job.running_on.clone() {
+                if let Some(m) = self.machines.get_mut(&name) {
+                    m.slots_free += 1;
+                }
+            }
+        }
+        // Remove drained machines that are now idle.
+        let drained: Vec<MachineName> = self
+            .machines
+            .values()
+            .filter(|m| m.draining && m.busy_slots() == 0)
+            .map(|m| m.name.clone())
+            .collect();
+        for name in drained {
+            self.machines.remove(&name);
+        }
+        completed
+    }
+
+    /// When the named machine finishes its last running job, if any is
+    /// running there (used when draining a specific host).
+    pub fn machine_busy_until(&self, name: &str) -> Option<SimTime> {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .filter(|j| j.running_on.as_ref().map(|m| m.0.as_str()) == Some(name))
+            .filter_map(|j| j.finish_at)
+            .max()
+    }
+
+    /// The earliest running-job completion, if any (for event scheduling).
+    pub fn next_completion_at(&self) -> Option<SimTime> {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .filter_map(|j| j.finish_at)
+            .min()
+    }
+
+    /// A user's accumulated usage in seconds.
+    pub fn user_usage(&self, user: &str) -> f64 {
+        self.usage.get(user).copied().unwrap_or(0.0)
+    }
+
+    /// Run negotiate/settle to completion from `start`, returning the time
+    /// when the queue drains. Useful for synchronous "run this batch"
+    /// callers; event-driven callers should use `negotiate`/`settle`/
+    /// `next_completion_at` directly.
+    pub fn run_until_drained(&mut self, start: SimTime, max_cycles: u32) -> Option<SimTime> {
+        let mut now = start;
+        for _ in 0..max_cycles {
+            self.negotiate(now);
+            match self.next_completion_at() {
+                Some(next) => {
+                    now = next;
+                    self.settle(now);
+                }
+                None => {
+                    return if self.idle_count() == 0 {
+                        Some(now)
+                    } else {
+                        None // unmatched idle jobs remain (no capacity)
+                    };
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Convenience duration: time between two negotiation cycles in a real
+/// Condor deployment (the negotiator interval).
+pub const NEGOTIATION_INTERVAL: SimDuration = SimDuration::from_secs(20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::WorkSpec;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn small_machine(name: &str) -> Machine {
+        Machine::new(name, 1.0, 1700, 1)
+    }
+
+    #[test]
+    fn job_runs_and_completes() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w1")).unwrap();
+        let id = pool.submit(Job::new("user1", WorkSpec::serial(60.0)), t(0));
+        let matches = pool.negotiate(t(0));
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].finish_at, t(60));
+        assert_eq!(pool.job(id).unwrap().state, JobState::Running);
+        assert_eq!(pool.settle(t(59)), Vec::<JobId>::new());
+        assert_eq!(pool.settle(t(60)), vec![id]);
+        assert_eq!(pool.job(id).unwrap().state, JobState::Completed);
+        assert_eq!(pool.free_slots(), 1);
+    }
+
+    #[test]
+    fn rank_prefers_fastest_machine() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("slow")).unwrap();
+        pool.add_machine(Machine::new("fast", 2.2, 1700, 1)).unwrap();
+        let work = WorkSpec {
+            serial_secs: 224.0,
+            cu_work: 418.0,
+        };
+        pool.submit(Job::new("user1", work), t(0));
+        let m = pool.negotiate(t(0));
+        assert_eq!(m[0].machine.0, "fast");
+        // ≈ 6.9 minutes — the paper's scaled-up use case.
+        let mins = m[0].finish_at.as_mins_f64();
+        assert!((mins - 6.9).abs() < 0.05, "mins={mins}");
+    }
+
+    #[test]
+    fn requirements_filter_machines() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(Machine::new("tiny", 0.4, 613, 1)).unwrap();
+        let id = pool.submit(
+            Job::new("u", WorkSpec::serial(10.0)).requirements("Memory >= 1024"),
+            t(0),
+        );
+        assert!(pool.negotiate(t(0)).is_empty());
+        assert_eq!(pool.job(id).unwrap().state, JobState::Idle);
+        pool.add_machine(Machine::new("big", 4.0, 7500, 1)).unwrap();
+        let m = pool.negotiate(t(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].machine.0, "big");
+    }
+
+    #[test]
+    fn slots_limit_concurrency() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(Machine::new("w", 2.0, 4000, 2)).unwrap();
+        for _ in 0..3 {
+            pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+        }
+        let matches = pool.negotiate(t(0));
+        assert_eq!(matches.len(), 2, "two slots, two matches");
+        assert_eq!(pool.idle_count(), 1);
+        pool.settle(t(100));
+        let matches = pool.negotiate(t(100));
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn fair_share_orders_users_by_usage() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w")).unwrap();
+        // user1 consumes an hour first.
+        let j1 = pool.submit(Job::new("user1", WorkSpec::serial(3600.0)), t(0));
+        pool.negotiate(t(0));
+        pool.settle(t(3600));
+        assert_eq!(pool.job(j1).unwrap().state, JobState::Completed);
+        // Both users queue a job; user2 (no usage) should win the slot.
+        pool.submit(Job::new("user1", WorkSpec::serial(10.0)), t(3600));
+        let j3 = pool.submit(Job::new("user2", WorkSpec::serial(10.0)), t(3600));
+        let matches = pool.negotiate(t(3600));
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].job, j3);
+    }
+
+    #[test]
+    fn drain_defers_until_jobs_finish() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w")).unwrap();
+        pool.submit(Job::new("u", WorkSpec::serial(50.0)), t(0));
+        pool.negotiate(t(0));
+        let removed_now = pool.drain_machine("w").unwrap();
+        assert!(!removed_now, "busy machine keeps running");
+        // No new matches while draining.
+        pool.submit(Job::new("u", WorkSpec::serial(5.0)), t(1));
+        assert!(pool.negotiate(t(1)).is_empty());
+        pool.settle(t(50));
+        assert_eq!(pool.machines().count(), 0, "machine left after drain");
+    }
+
+    #[test]
+    fn abrupt_removal_evicts_and_rematches() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w1")).unwrap();
+        let id = pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+        pool.negotiate(t(0));
+        let evicted = pool.remove_machine("w1", t(40)).unwrap();
+        assert_eq!(evicted, vec![id]);
+        let job = pool.job(id).unwrap();
+        assert_eq!(job.state, JobState::Idle);
+        assert_eq!(job.evictions, 1);
+        // New machine picks it up; it restarts from scratch.
+        pool.add_machine(small_machine("w2")).unwrap();
+        let m = pool.negotiate(t(50));
+        assert_eq!(m[0].finish_at, t(150));
+    }
+
+    #[test]
+    fn hold_and_release() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w")).unwrap();
+        let id = pool.submit(Job::new("u", WorkSpec::serial(5.0)), t(0));
+        pool.hold(id).unwrap();
+        assert!(pool.negotiate(t(0)).is_empty());
+        pool.release(id).unwrap();
+        assert_eq!(pool.negotiate(t(1)).len(), 1);
+    }
+
+    #[test]
+    fn remove_job_frees_slot() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w")).unwrap();
+        let id = pool.submit(Job::new("u", WorkSpec::serial(500.0)), t(0));
+        pool.negotiate(t(0));
+        assert_eq!(pool.free_slots(), 0);
+        pool.remove_job(id).unwrap();
+        assert_eq!(pool.free_slots(), 1);
+        assert_eq!(pool.job(id).unwrap().state, JobState::Removed);
+    }
+
+    #[test]
+    fn run_until_drained_processes_queue() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w")).unwrap();
+        for _ in 0..5 {
+            pool.submit(Job::new("u", WorkSpec::serial(10.0)), t(0));
+        }
+        let done = pool.run_until_drained(t(0), 100).expect("drains");
+        assert_eq!(done, t(50), "serialized on one slot");
+    }
+
+    #[test]
+    fn run_until_drained_reports_starvation() {
+        let mut pool = CondorPool::new();
+        pool.submit(Job::new("u", WorkSpec::serial(10.0)), t(0));
+        assert_eq!(pool.run_until_drained(t(0), 10), None, "no machines");
+    }
+
+    #[test]
+    fn duplicate_machine_rejected() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w")).unwrap();
+        assert!(matches!(
+            pool.add_machine(small_machine("w")),
+            Err(PoolError::DuplicateMachine(_))
+        ));
+    }
+
+    #[test]
+    fn next_completion_tracks_earliest() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("a")).unwrap();
+        pool.add_machine(small_machine("b")).unwrap();
+        pool.submit(Job::new("u", WorkSpec::serial(30.0)), t(0));
+        pool.submit(Job::new("u", WorkSpec::serial(10.0)), t(0));
+        pool.negotiate(t(0));
+        assert_eq!(pool.next_completion_at(), Some(t(10)));
+    }
+}

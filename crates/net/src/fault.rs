@@ -1,0 +1,204 @@
+//! Fault injection for network paths and transfers.
+//!
+//! Globus Transfer's headline features — "retrying failures … and recovering
+//! from faults automatically" — only matter if faults exist. This module
+//! generates fault timelines that the transfer service reacts to: either a
+//! deterministic schedule of outage windows (for reproducible tests) or a
+//! Poisson process of faults (for Monte-Carlo sweeps).
+
+use cumulus_simkit::rng::RngStream;
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+/// A half-open outage window `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// When the path goes down.
+    pub start: SimTime,
+    /// When the path comes back.
+    pub end: SimTime,
+}
+
+impl Outage {
+    /// Construct; panics if `end < start`.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        assert!(end >= start, "outage ends before it starts");
+        Outage { start, end }
+    }
+
+    /// Whether `t` falls inside the outage.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// A fault plan: a sorted, non-overlapping list of outages.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    outages: Vec<Outage>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Build from explicit windows. Windows are sorted and merged if they
+    /// overlap.
+    pub fn from_windows(mut windows: Vec<Outage>) -> Self {
+        windows.sort_by_key(|o| o.start);
+        let mut merged: Vec<Outage> = Vec::with_capacity(windows.len());
+        for w in windows {
+            match merged.last_mut() {
+                Some(last) if w.start <= last.end => {
+                    if w.end > last.end {
+                        last.end = w.end;
+                    }
+                }
+                _ => merged.push(w),
+            }
+        }
+        FaultPlan { outages: merged }
+    }
+
+    /// Draw a random plan over `[0, horizon)`: faults arrive as a Poisson
+    /// process with `mean_interval` between faults, each lasting an
+    /// exponential `mean_outage` duration.
+    pub fn poisson(
+        rng: &mut RngStream,
+        horizon: SimDuration,
+        mean_interval: SimDuration,
+        mean_outage: SimDuration,
+    ) -> Self {
+        let mut windows = Vec::new();
+        let mut t = 0.0;
+        let horizon_s = horizon.as_secs_f64();
+        loop {
+            t += rng.exponential(mean_interval.as_secs_f64());
+            if t >= horizon_s {
+                break;
+            }
+            let len = rng.exponential(mean_outage.as_secs_f64()).max(0.001);
+            let start = SimTime::ZERO + SimDuration::from_secs_f64(t);
+            let end = start + SimDuration::from_secs_f64(len);
+            windows.push(Outage::new(start, end));
+            t += len;
+        }
+        FaultPlan::from_windows(windows)
+    }
+
+    /// The outage windows, sorted by start time.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Is the path down at `t`?
+    pub fn is_down(&self, t: SimTime) -> bool {
+        // Binary search over sorted windows.
+        self.outages.binary_search_by(|o| {
+            if o.contains(t) {
+                std::cmp::Ordering::Equal
+            } else if o.end <= t {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        }).is_ok()
+    }
+
+    /// The first fault at or after `t`, if any.
+    pub fn next_fault_at(&self, t: SimTime) -> Option<Outage> {
+        self.outages
+            .iter()
+            .find(|o| o.end > t)
+            .copied()
+            .filter(|o| o.start >= t || o.contains(t))
+    }
+
+    /// When the path is next usable at or after `t` (i.e. `t` itself when
+    /// up, otherwise the end of the covering outage).
+    pub fn next_up_at(&self, t: SimTime) -> SimTime {
+        match self.outages.iter().find(|o| o.contains(t)) {
+            Some(o) => o.end,
+            None => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_micros(s * 1_000_000)
+    }
+
+    #[test]
+    fn empty_plan_is_always_up() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_down(t(0)));
+        assert!(!plan.is_down(t(100)));
+        assert_eq!(plan.next_fault_at(t(0)), None);
+        assert_eq!(plan.next_up_at(t(5)), t(5));
+    }
+
+    #[test]
+    fn windows_detect_downtime() {
+        let plan = FaultPlan::from_windows(vec![
+            Outage::new(t(10), t(20)),
+            Outage::new(t(40), t(50)),
+        ]);
+        assert!(!plan.is_down(t(9)));
+        assert!(plan.is_down(t(10)));
+        assert!(plan.is_down(t(19)));
+        assert!(!plan.is_down(t(20)), "half-open interval");
+        assert!(plan.is_down(t(45)));
+        assert_eq!(plan.next_up_at(t(15)), t(20));
+        assert_eq!(plan.next_up_at(t(30)), t(30));
+    }
+
+    #[test]
+    fn overlapping_windows_merge() {
+        let plan = FaultPlan::from_windows(vec![
+            Outage::new(t(10), t(30)),
+            Outage::new(t(20), t(40)),
+            Outage::new(t(50), t(60)),
+        ]);
+        assert_eq!(plan.outages().len(), 2);
+        assert_eq!(plan.outages()[0], Outage::new(t(10), t(40)));
+    }
+
+    #[test]
+    fn next_fault_lookup() {
+        let plan = FaultPlan::from_windows(vec![Outage::new(t(10), t(20))]);
+        assert_eq!(plan.next_fault_at(t(0)), Some(Outage::new(t(10), t(20))));
+        assert_eq!(plan.next_fault_at(t(15)), Some(Outage::new(t(10), t(20))));
+        assert_eq!(plan.next_fault_at(t(25)), None);
+    }
+
+    #[test]
+    fn poisson_plan_respects_horizon() {
+        let mut rng = RngStream::derive(11, "faults");
+        let plan = FaultPlan::poisson(
+            &mut rng,
+            SimDuration::from_secs(3600),
+            SimDuration::from_secs(300),
+            SimDuration::from_secs(30),
+        );
+        assert!(!plan.outages().is_empty(), "expected some faults in an hour");
+        for o in plan.outages() {
+            assert!(o.start.as_secs() < 3600 + 600, "start inside-ish horizon");
+            assert!(o.end > o.start);
+        }
+        // Sorted and non-overlapping.
+        for pair in plan.outages().windows(2) {
+            assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outage ends before it starts")]
+    fn inverted_outage_panics() {
+        let _ = Outage::new(t(10), t(5));
+    }
+}

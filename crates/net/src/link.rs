@@ -1,0 +1,171 @@
+//! Network nodes, links, and path lookup.
+//!
+//! The deployment in the paper involves a handful of network locations: the
+//! researcher's laptop, the Globus-enabled data endpoints, and the EC2 hosts
+//! (which share a fast intra-datacenter fabric). We model the network as a
+//! small graph of named nodes joined by point-to-point links; any pair
+//! without an explicit link routes through a default "internet" path.
+
+use std::collections::HashMap;
+
+use crate::size::Rate;
+
+/// Identifier for a network node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A point-to-point link (modelled symmetric).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// One-way propagation latency, seconds.
+    pub latency_s: f64,
+    /// Usable bandwidth of the path.
+    pub bandwidth: Rate,
+    /// Random packet-loss probability (affects TCP window-limited rate).
+    pub loss: f64,
+}
+
+impl Link {
+    /// A link with the given latency (ms) and bandwidth (Mbit/s), lossless.
+    pub fn new(latency_ms: f64, bandwidth_mbps: f64) -> Self {
+        Link {
+            latency_s: latency_ms / 1e3,
+            bandwidth: Rate::from_mbps(bandwidth_mbps),
+            loss: 0.0,
+        }
+    }
+
+    /// Set the loss probability (clamped to `[0, 1)`).
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 0.999);
+        self
+    }
+
+    /// Round-trip time in seconds.
+    pub fn rtt_s(&self) -> f64 {
+        self.latency_s * 2.0
+    }
+}
+
+/// A small network graph.
+#[derive(Debug, Default)]
+pub struct Network {
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    links: HashMap<(NodeId, NodeId), Link>,
+    /// Path used when no explicit link exists.
+    default_path: Option<Link>,
+}
+
+impl Network {
+    /// An empty network with no default path.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Set the fallback link used between nodes with no explicit link
+    /// (the "public internet" path).
+    pub fn set_default_path(&mut self, link: Link) {
+        self.default_path = Some(link);
+    }
+
+    /// Add a node; returns its id. Adding an existing name returns the
+    /// existing id.
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Look up a node by name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// A node's name.
+    pub fn name(&self, id: NodeId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Connect two nodes with a symmetric link (replaces any existing link).
+    pub fn connect(&mut self, a: NodeId, b: NodeId, link: Link) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links.insert(key, link);
+    }
+
+    /// The effective path between two nodes: the explicit link if present,
+    /// otherwise the default path. A node to itself is an effectively
+    /// infinite-bandwidth local path.
+    pub fn path(&self, a: NodeId, b: NodeId) -> Option<Link> {
+        if a == b {
+            return Some(Link::new(0.01, 100_000.0));
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.links.get(&key).copied().or(self.default_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_dedupe_by_name() {
+        let mut net = Network::new();
+        let a = net.add_node("laptop");
+        let a2 = net.add_node("laptop");
+        assert_eq!(a, a2);
+        assert_eq!(net.node_count(), 1);
+        assert_eq!(net.node("laptop"), Some(a));
+        assert_eq!(net.name(a), Some("laptop"));
+        assert_eq!(net.node("nope"), None);
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, Link::new(20.0, 100.0));
+        let ab = net.path(a, b).unwrap();
+        let ba = net.path(b, a).unwrap();
+        assert_eq!(ab, ba);
+        assert!((ab.rtt_s() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_path_fallback() {
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        assert!(net.path(a, b).is_none());
+        net.set_default_path(Link::new(50.0, 20.0));
+        let p = net.path(a, b).unwrap();
+        assert_eq!(p.bandwidth.as_mbps(), 20.0);
+    }
+
+    #[test]
+    fn self_path_is_fast() {
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let p = net.path(a, a).unwrap();
+        assert!(p.bandwidth.as_mbps() >= 1e4);
+    }
+
+    #[test]
+    fn loss_clamps() {
+        let l = Link::new(1.0, 1.0).with_loss(2.0);
+        assert!(l.loss < 1.0);
+        let l = Link::new(1.0, 1.0).with_loss(-0.5);
+        assert_eq!(l.loss, 0.0);
+    }
+}

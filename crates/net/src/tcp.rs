@@ -1,0 +1,200 @@
+//! A TCP bulk-throughput model.
+//!
+//! Protocol performance in the paper (Figure 11) is governed by three
+//! classical effects, all of which this model captures:
+//!
+//! 1. **Window limiting** — a single TCP stream cannot exceed
+//!    `window / RTT`, which is why single-stream FTP crawls on a
+//!    long-latency laptop→EC2 path while GridFTP's parallel streams
+//!    multiply the window;
+//! 2. **Loss limiting** — the Mathis et al. model
+//!    `rate ≤ (MSS / RTT) · C / √p` bounds throughput under random loss;
+//! 3. **Startup** — slow-start means small files never reach the steady
+//!    rate; we charge a ramp time of `RTT · log2(BDP / IW)` before the
+//!    steady-state phase.
+//!
+//! All rates are in Mbit/s, sizes in [`DataSize`], times in seconds.
+
+use crate::link::Link;
+use crate::size::{DataSize, Rate};
+
+/// TCP stack parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpConfig {
+    /// Maximum segment size, bytes.
+    pub mss_bytes: f64,
+    /// Receive/congestion window cap per stream, bytes.
+    pub window_bytes: f64,
+    /// Initial window for the slow-start ramp estimate, bytes.
+    pub initial_window_bytes: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        // A 2012-era stack: 64 KiB default window, 1460-byte MSS, IW10.
+        TcpConfig {
+            mss_bytes: 1460.0,
+            window_bytes: 64.0 * 1024.0,
+            initial_window_bytes: 10.0 * 1460.0,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// A tuned stack with large windows (what GridFTP servers configure).
+    pub fn tuned() -> Self {
+        TcpConfig {
+            mss_bytes: 1460.0,
+            window_bytes: 4.0 * 1024.0 * 1024.0,
+            initial_window_bytes: 10.0 * 1460.0,
+        }
+    }
+
+    /// The per-stream window-limited rate on `link`, Mbit/s.
+    pub fn window_limited_mbps(&self, link: &Link) -> f64 {
+        let rtt = link.rtt_s().max(1e-6);
+        self.window_bytes * 8.0 / 1e6 / rtt
+    }
+
+    /// The Mathis loss-limited rate on `link`, Mbit/s (infinite when
+    /// lossless).
+    pub fn loss_limited_mbps(&self, link: &Link) -> f64 {
+        if link.loss <= 0.0 {
+            return f64::INFINITY;
+        }
+        let rtt = link.rtt_s().max(1e-6);
+        (self.mss_bytes * 8.0 / 1e6 / rtt) * (1.22 / link.loss.sqrt())
+    }
+
+    /// Steady aggregate rate for `streams` parallel TCP streams on `link`.
+    ///
+    /// Each stream is limited by window and loss; the aggregate is capped by
+    /// the link bandwidth.
+    pub fn steady_rate(&self, link: &Link, streams: u32) -> Rate {
+        let streams = streams.max(1) as f64;
+        let per_stream = self
+            .window_limited_mbps(link)
+            .min(self.loss_limited_mbps(link));
+        let aggregate = (per_stream * streams).min(link.bandwidth.as_mbps());
+        Rate::from_mbps(aggregate)
+    }
+
+    /// Seconds of slow-start ramp before a stream reaches its steady rate.
+    pub fn ramp_seconds(&self, link: &Link) -> f64 {
+        let rtt = link.rtt_s().max(1e-6);
+        let bdp_bytes = (link.bandwidth.as_mbps() * 1e6 / 8.0 * rtt)
+            .min(self.window_bytes)
+            .max(self.initial_window_bytes);
+        rtt * (bdp_bytes / self.initial_window_bytes).log2().max(0.0)
+    }
+
+    /// Total seconds to move `size` over `link` with `streams` parallel
+    /// streams, excluding any application-level overhead.
+    pub fn transfer_seconds(&self, size: DataSize, link: &Link, streams: u32) -> f64 {
+        if size.is_zero() {
+            return 0.0;
+        }
+        let rate = self.steady_rate(link, streams);
+        self.ramp_seconds(link) + rate.seconds_for(size)
+    }
+
+    /// The achieved end-to-end rate (size / total time) including a given
+    /// application overhead in seconds — the quantity Figure 11 plots.
+    pub fn achieved_rate(
+        &self,
+        size: DataSize,
+        link: &Link,
+        streams: u32,
+        app_overhead_s: f64,
+    ) -> Rate {
+        let total = self.transfer_seconds(size, link, streams) + app_overhead_s.max(0.0);
+        if total <= 0.0 {
+            Rate::ZERO
+        } else {
+            Rate::from_mbps(size.as_megabits_f64() / total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wan() -> Link {
+        // 60 ms RTT laptop→EC2 path, 100 Mbit/s physical.
+        Link::new(30.0, 100.0)
+    }
+
+    #[test]
+    fn window_limit_dominates_on_wan() {
+        let cfg = TcpConfig::default();
+        let l = wan();
+        // 64 KiB window over 60 ms RTT ≈ 8.7 Mbit/s.
+        let wl = cfg.window_limited_mbps(&l);
+        assert!((wl - 64.0 * 1024.0 * 8.0 / 1e6 / 0.06).abs() < 1e-9);
+        let rate = cfg.steady_rate(&l, 1);
+        assert!(rate.as_mbps() < 10.0, "rate={rate}");
+    }
+
+    #[test]
+    fn parallel_streams_multiply_until_link_cap() {
+        let cfg = TcpConfig::default();
+        let l = wan();
+        let r1 = cfg.steady_rate(&l, 1).as_mbps();
+        let r4 = cfg.steady_rate(&l, 4).as_mbps();
+        assert!((r4 - 4.0 * r1).abs() < 1e-9);
+        let r1000 = cfg.steady_rate(&l, 1000).as_mbps();
+        assert_eq!(r1000, 100.0, "capped by link bandwidth");
+    }
+
+    #[test]
+    fn loss_limits_throughput() {
+        let cfg = TcpConfig::tuned();
+        let clean = wan();
+        let lossy = wan().with_loss(0.01);
+        let rc = cfg.steady_rate(&clean, 1).as_mbps();
+        let rl = cfg.steady_rate(&lossy, 1).as_mbps();
+        assert!(rl < rc, "loss must reduce rate: {rl} vs {rc}");
+        assert_eq!(cfg.loss_limited_mbps(&clean), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_size_is_instant() {
+        let cfg = TcpConfig::default();
+        assert_eq!(cfg.transfer_seconds(DataSize::ZERO, &wan(), 1), 0.0);
+    }
+
+    #[test]
+    fn bigger_files_amortize_startup() {
+        let cfg = TcpConfig::default();
+        let l = wan();
+        let small = cfg.achieved_rate(DataSize::from_mb(1), &l, 4, 5.0);
+        let big = cfg.achieved_rate(DataSize::from_gb(1), &l, 4, 5.0);
+        assert!(
+            big.as_mbps() > small.as_mbps() * 3.0,
+            "small={small} big={big}"
+        );
+        // Asymptotically the achieved rate approaches the steady rate.
+        let steady = cfg.steady_rate(&l, 4).as_mbps();
+        assert!(big.as_mbps() <= steady);
+        assert!(big.as_mbps() > steady * 0.9);
+    }
+
+    #[test]
+    fn ramp_is_positive_and_bounded() {
+        let cfg = TcpConfig::default();
+        let ramp = cfg.ramp_seconds(&wan());
+        assert!(ramp > 0.0);
+        assert!(ramp < 2.0, "ramp unreasonably long: {ramp}");
+    }
+
+    #[test]
+    fn streams_zero_treated_as_one() {
+        let cfg = TcpConfig::default();
+        let l = wan();
+        assert_eq!(
+            cfg.steady_rate(&l, 0).as_mbps(),
+            cfg.steady_rate(&l, 1).as_mbps()
+        );
+    }
+}

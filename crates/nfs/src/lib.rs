@@ -1,0 +1,17 @@
+//! `cumulus-nfs` — the shared filesystem (NFS/NIS) substrate.
+//!
+//! Globus Provision gives every cluster a shared home/software/scratch
+//! namespace over NFS, with NIS distributing accounts. The experiments
+//! observe this subsystem in two ways: as a *namespace* shared by the
+//! Galaxy server and the Condor workers (datasets written by one host are
+//! visible to all), and as a *throughput ceiling* when several jobs stage
+//! data concurrently. Both are modelled here; user-account distribution is
+//! part of `cumulus-provision`.
+
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod tree;
+
+pub use server::{SharedFs, StreamToken};
+pub use tree::{FsError, FsNode, Tree};

@@ -1,0 +1,165 @@
+//! The `gp-instance-*` command-line facade.
+//!
+//! Reproduces the user-facing surface from the paper's §V.A:
+//!
+//! ```text
+//! $ gp-instance-create -c galaxy.conf
+//! Created new instance: gpi-02156188
+//!
+//! $ gp-instance-start gpi-02156188
+//! Starting instance gpi-02156188... done!
+//!
+//! $ gp-instance-update -t newtopology.json gpi-02156188
+//! ```
+//!
+//! Each command takes the config text (not a filesystem path) and an
+//! explicit `now`, and returns the console output it would print.
+
+use cumulus_simkit::time::SimTime;
+
+use crate::deploy::{GpCloud, GpError, GpInstanceId};
+use crate::topology::Topology;
+
+/// The CLI wrapper.
+pub struct GpCli {
+    /// The world the commands act on.
+    pub world: GpCloud,
+}
+
+impl GpCli {
+    /// Wrap a world.
+    pub fn new(world: GpCloud) -> Self {
+        GpCli { world }
+    }
+
+    /// `gp-instance-create -c <conf>`.
+    pub fn instance_create(&mut self, conf_text: &str) -> Result<(GpInstanceId, String), GpError> {
+        let topology = Topology::from_ini(conf_text)?;
+        let id = self.world.create_instance(topology);
+        let out = format!("Created new instance: {id}\n");
+        Ok((id, out))
+    }
+
+    /// `gp-instance-start <id>`.
+    pub fn instance_start(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+    ) -> Result<String, GpError> {
+        let report = self.world.start_instance(now, id)?;
+        Ok(format!(
+            "Starting instance {id}... done! ({} elapsed)\n",
+            report.duration_from(now)
+        ))
+    }
+
+    /// `gp-instance-describe <id>`.
+    pub fn instance_describe(&self, id: &GpInstanceId) -> Result<String, GpError> {
+        Ok(self.world.instance(id)?.describe())
+    }
+
+    /// `gp-instance-update -t <json> <id>`.
+    pub fn instance_update(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        json_text: &str,
+    ) -> Result<String, GpError> {
+        let target = self.world.instance(id)?.topology.with_json_update(json_text)?;
+        let report = self.world.update_instance(now, id, target)?;
+        let mut out = format!("Updating instance {id}...\n");
+        for action in &report.actions {
+            out.push_str(&format!("  {} (done at {})\n", action.description, action.done_at));
+        }
+        out.push_str("done!\n");
+        Ok(out)
+    }
+
+    /// `gp-instance-stop <id>`.
+    pub fn instance_stop(&mut self, now: SimTime, id: &GpInstanceId) -> Result<String, GpError> {
+        let at = self.world.stop_instance(now, id)?;
+        Ok(format!("Stopping instance {id}... done! (at {at})\n"))
+    }
+
+    /// `gp-instance-terminate <id>`.
+    pub fn instance_terminate(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+    ) -> Result<String, GpError> {
+        let at = self.world.terminate_instance(now, id)?;
+        Ok(format!("Terminating instance {id}... done! (at {at})\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulus_simkit::time::SimDuration;
+
+    const GALAXY_CONF: &str = "\
+[general]
+domains: simple
+[domain-simple]
+users: user1 user2
+gridftp: yes
+condor: yes
+cluster-nodes: 2
+galaxy: yes
+crdata: yes
+go-endpoint: cvrg#galaxy
+[ec2]
+keypair: gp-key
+keyfile: ~/.ec2/gp-key.pem
+ami: ami-b12ee0d8
+instance-type: t1.micro
+[globusonline]
+ssh-key: ~/.ssh/id_rsa
+";
+
+    #[test]
+    fn full_paper_session_transcript() {
+        let mut cli = GpCli::new(GpCloud::deterministic(42));
+        let (id, out) = cli.instance_create(GALAXY_CONF).unwrap();
+        assert_eq!(out, "Created new instance: gpi-02156188\n");
+
+        let out = cli.instance_start(SimTime::ZERO, &id).unwrap();
+        assert!(out.starts_with("Starting instance gpi-02156188... done!"));
+
+        let desc = cli.instance_describe(&id).unwrap();
+        assert!(desc.contains("worker-1"));
+
+        // The paper's update: add a c1.medium host.
+        let now = SimTime::ZERO + SimDuration::from_mins(30);
+        let out = cli
+            .instance_update(
+                now,
+                &id,
+                r#"{"domains":{"simple":{"cluster-nodes":3,"worker-instance-type":"c1.medium"}}}"#,
+            )
+            .unwrap();
+        assert!(out.contains("add worker-2 (c1.medium)"));
+
+        let now = now + SimDuration::from_mins(30);
+        let out = cli.instance_stop(now, &id).unwrap();
+        assert!(out.contains("Stopping"));
+
+        let now = now + SimDuration::from_mins(30);
+        let out = cli.instance_terminate(now, &id).unwrap();
+        assert!(out.contains("Terminating"));
+    }
+
+    #[test]
+    fn bad_conf_is_an_error() {
+        let mut cli = GpCli::new(GpCloud::deterministic(1));
+        assert!(cli.instance_create("not an ini at all").is_err());
+    }
+
+    #[test]
+    fn describe_unknown_instance_fails() {
+        let cli = GpCli::new(GpCloud::deterministic(1));
+        assert!(cli
+            .instance_describe(&GpInstanceId("gpi-dead".to_string()))
+            .is_err());
+    }
+}

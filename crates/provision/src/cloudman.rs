@@ -1,0 +1,253 @@
+//! A CloudMan-like restricted manager, for the §VI comparison.
+//!
+//! The paper chooses Globus Provision over CloudMan for three reasons:
+//!
+//! 1. GP allows user-specific node configuration via recipes;
+//! 2. at run time CloudMan "can only add or reduce the number of nodes",
+//!    whereas GP can also change instance types and add/remove users;
+//! 3. GP makes it convenient to extend Galaxy with arbitrary tools.
+//!
+//! [`CloudManSim`] implements exactly the restricted capability set, on
+//! top of the same substrates, so the ablation benches can measure what
+//! the extra flexibility buys (e.g. resize-in-place vs. the CloudMan
+//! workaround of adding bigger nodes while keeping the old ones).
+
+use cumulus_cloud::InstanceType;
+use cumulus_simkit::time::SimTime;
+
+use crate::deploy::{GpCloud, GpError, GpInstanceId};
+use crate::topology::Topology;
+
+/// Operations a cluster manager may support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Scale the worker count up/down.
+    ScaleNodeCount,
+    /// Change instance types at runtime.
+    ChangeInstanceType,
+    /// Add/remove users at runtime.
+    ManageUsers,
+    /// Install arbitrary software via recipes.
+    CustomRecipes,
+    /// Suspend and resume the whole platform.
+    StopResume,
+}
+
+impl Capability {
+    /// All capabilities, in display order.
+    pub const ALL: [Capability; 5] = [
+        Capability::ScaleNodeCount,
+        Capability::ChangeInstanceType,
+        Capability::ManageUsers,
+        Capability::CustomRecipes,
+        Capability::StopResume,
+    ];
+
+    /// Label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Capability::ScaleNodeCount => "scale node count",
+            Capability::ChangeInstanceType => "change instance type",
+            Capability::ManageUsers => "add/remove users",
+            Capability::CustomRecipes => "custom recipes",
+            Capability::StopResume => "stop/resume",
+        }
+    }
+
+    /// Does Globus Provision support it? (All of them.)
+    pub fn gp_supports(self) -> bool {
+        true
+    }
+
+    /// Does CloudMan support it? Only node-count scaling and suspend.
+    pub fn cloudman_supports(self) -> bool {
+        matches!(self, Capability::ScaleNodeCount | Capability::StopResume)
+    }
+}
+
+/// Errors from the CloudMan facade.
+#[derive(Debug)]
+pub enum CloudManError {
+    /// The operation isn't in CloudMan's capability set.
+    Unsupported(Capability),
+    /// The underlying operation failed.
+    Gp(GpError),
+}
+
+impl std::fmt::Display for CloudManError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudManError::Unsupported(c) => {
+                write!(f, "CloudMan does not support: {}", c.label())
+            }
+            CloudManError::Gp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudManError {}
+
+impl From<GpError> for CloudManError {
+    fn from(e: GpError) -> Self {
+        CloudManError::Gp(e)
+    }
+}
+
+/// A CloudMan-managed Galaxy cluster: same substrates, restricted surface.
+pub struct CloudManSim {
+    /// The underlying world.
+    pub world: GpCloud,
+    /// The single managed instance.
+    pub instance: GpInstanceId,
+    /// CloudMan clusters have one fixed worker type chosen at creation.
+    pub worker_type: InstanceType,
+}
+
+impl CloudManSim {
+    /// Launch a CloudMan cluster with `workers` nodes of `worker_type`.
+    pub fn launch(
+        mut world: GpCloud,
+        now: SimTime,
+        worker_type: InstanceType,
+        workers: usize,
+    ) -> Result<(Self, SimTime), CloudManError> {
+        let mut topology = Topology::single_node(worker_type);
+        topology.workers = vec![worker_type; workers];
+        // CloudMan deploys stock Galaxy — no custom toolsets.
+        topology.crdata = false;
+        let instance = world.create_instance(topology);
+        let report = world.start_instance(now, &instance)?;
+        Ok((
+            CloudManSim {
+                world,
+                instance,
+                worker_type,
+            },
+            report.ready_at,
+        ))
+    }
+
+    /// Scale to `n` workers (the one reconfiguration CloudMan offers).
+    pub fn scale_to(&mut self, now: SimTime, n: usize) -> Result<SimTime, CloudManError> {
+        let mut target = self.world.instance(&self.instance)?.topology.clone();
+        let wt = self.worker_type;
+        if n >= target.workers.len() {
+            while target.workers.len() < n {
+                target.workers.push(wt);
+            }
+        } else {
+            target.workers.truncate(n);
+        }
+        let report = self.world.update_instance(now, &self.instance, target)?;
+        Ok(report.done_at(now))
+    }
+
+    /// Changing instance types is refused.
+    pub fn change_instance_type(
+        &mut self,
+        _now: SimTime,
+        _new_type: InstanceType,
+    ) -> Result<SimTime, CloudManError> {
+        Err(CloudManError::Unsupported(Capability::ChangeInstanceType))
+    }
+
+    /// Adding users at runtime is refused.
+    pub fn add_user(&mut self, _now: SimTime, _user: &str) -> Result<SimTime, CloudManError> {
+        Err(CloudManError::Unsupported(Capability::ManageUsers))
+    }
+
+    /// Installing custom toolsets is refused.
+    pub fn install_toolset(&mut self, _now: SimTime) -> Result<SimTime, CloudManError> {
+        Err(CloudManError::Unsupported(Capability::CustomRecipes))
+    }
+
+    /// Suspend (supported).
+    pub fn stop(&mut self, now: SimTime) -> Result<SimTime, CloudManError> {
+        Ok(self.world.stop_instance(now, &self.instance)?)
+    }
+
+    /// Resume (supported).
+    pub fn resume(&mut self, now: SimTime) -> Result<SimTime, CloudManError> {
+        Ok(self.world.resume_instance(now, &self.instance)?.ready_at)
+    }
+}
+
+/// Render the §VI capability comparison as a table.
+pub fn capability_matrix() -> String {
+    let mut out = String::from("capability            globus-provision  cloudman\n");
+    for c in Capability::ALL {
+        out.push_str(&format!(
+            "{:<21} {:<17} {}\n",
+            c.label(),
+            if c.gp_supports() { "yes" } else { "no" },
+            if c.cloudman_supports() { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulus_simkit::time::{SimDuration, SimTime};
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn cloudman_launches_and_scales() {
+        let world = GpCloud::deterministic(21);
+        let (mut cm, ready) =
+            CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
+        let done = cm.scale_to(ready, 3).unwrap();
+        assert!(done > ready);
+        assert_eq!(
+            cm.world.instance(&cm.instance).unwrap().workers().len(),
+            3
+        );
+        let done2 = cm.scale_to(done, 1).unwrap();
+        assert_eq!(
+            cm.world.instance(&cm.instance).unwrap().workers().len(),
+            1
+        );
+        assert!(done2 >= done);
+    }
+
+    #[test]
+    fn cloudman_refuses_gp_only_operations() {
+        let world = GpCloud::deterministic(22);
+        let (mut cm, ready) =
+            CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
+        assert!(matches!(
+            cm.change_instance_type(ready, InstanceType::M1Large),
+            Err(CloudManError::Unsupported(Capability::ChangeInstanceType))
+        ));
+        assert!(matches!(
+            cm.add_user(ready, "user9"),
+            Err(CloudManError::Unsupported(Capability::ManageUsers))
+        ));
+        assert!(matches!(
+            cm.install_toolset(ready),
+            Err(CloudManError::Unsupported(Capability::CustomRecipes))
+        ));
+    }
+
+    #[test]
+    fn cloudman_supports_stop_resume() {
+        let world = GpCloud::deterministic(23);
+        let (mut cm, ready) =
+            CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
+        let stopped = cm.stop(ready).unwrap();
+        let resumed = cm.resume(stopped + SimDuration::from_hours(1)).unwrap();
+        assert!(resumed > stopped);
+    }
+
+    #[test]
+    fn capability_matrix_matches_the_paper() {
+        let m = capability_matrix();
+        assert!(m.contains("change instance type  yes               no"));
+        assert!(m.contains("scale node count      yes               yes"));
+        assert!(m.contains("custom recipes        yes               no"));
+    }
+}

@@ -1,0 +1,278 @@
+//! An INI-style parser for Globus Provision topology files.
+//!
+//! The paper's `galaxy.conf` (Figure 3) uses `[section]` headers with
+//! `key: value` lines. This parser accepts both `:` and `=` separators,
+//! `#` / `;` comments, and blank lines. Section and key order is preserved
+//! for faithful round-tripping.
+
+use std::collections::BTreeMap;
+
+/// A parsed INI document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IniDoc {
+    sections: Vec<(String, BTreeMap<String, String>)>,
+}
+
+/// Parse errors with line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IniError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for IniError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IniError {}
+
+impl IniDoc {
+    /// An empty document.
+    pub fn new() -> Self {
+        IniDoc::default()
+    }
+
+    /// Parse from text.
+    pub fn parse(text: &str) -> Result<IniDoc, IniError> {
+        let mut doc = IniDoc::new();
+        let mut current: Option<usize> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(IniError {
+                        line: line_no,
+                        message: "unterminated section header".to_string(),
+                    });
+                };
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(IniError {
+                        line: line_no,
+                        message: "empty section name".to_string(),
+                    });
+                }
+                current = Some(doc.ensure_section(name));
+                continue;
+            }
+            let sep = line
+                .char_indices()
+                .find(|(_, c)| *c == ':' || *c == '=')
+                .map(|(i, _)| i);
+            let Some(sep) = sep else {
+                return Err(IniError {
+                    line: line_no,
+                    message: format!("expected key: value, got {line:?}"),
+                });
+            };
+            let key = line[..sep].trim();
+            let value = line[sep + 1..].trim();
+            if key.is_empty() {
+                return Err(IniError {
+                    line: line_no,
+                    message: "empty key".to_string(),
+                });
+            }
+            let Some(idx) = current else {
+                return Err(IniError {
+                    line: line_no,
+                    message: "key outside any [section]".to_string(),
+                });
+            };
+            doc.sections[idx]
+                .1
+                .insert(key.to_string(), value.to_string());
+        }
+        Ok(doc)
+    }
+
+    fn ensure_section(&mut self, name: &str) -> usize {
+        if let Some(i) = self.sections.iter().position(|(n, _)| n == name) {
+            return i;
+        }
+        self.sections.push((name.to_string(), BTreeMap::new()));
+        self.sections.len() - 1
+    }
+
+    /// Set a key (creating the section if needed).
+    pub fn set(&mut self, section: &str, key: &str, value: &str) {
+        let idx = self.ensure_section(section);
+        self.sections[idx]
+            .1
+            .insert(key.to_string(), value.to_string());
+    }
+
+    /// Get a raw string value.
+    pub fn get(&self, section: &str, key: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == section)
+            .and_then(|(_, kv)| kv.get(key))
+            .map(String::as_str)
+    }
+
+    /// Get a whitespace-separated list.
+    pub fn get_list(&self, section: &str, key: &str) -> Vec<String> {
+        self.get(section, key)
+            .map(|v| v.split_whitespace().map(str::to_string).collect())
+            .unwrap_or_default()
+    }
+
+    /// Get a yes/no/true/false boolean.
+    pub fn get_bool(&self, section: &str, key: &str) -> Option<bool> {
+        self.get(section, key).map(|v| {
+            matches!(
+                v.to_ascii_lowercase().as_str(),
+                "yes" | "true" | "1" | "on"
+            )
+        })
+    }
+
+    /// Get an unsigned integer.
+    pub fn get_u32(&self, section: &str, key: &str) -> Option<u32> {
+        self.get(section, key).and_then(|v| v.parse().ok())
+    }
+
+    /// Section names in document order.
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Does a section exist?
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|(n, _)| n == name)
+    }
+
+    /// Render back to INI text (keys sorted within each section).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, kv) in &self.sections {
+            out.push_str(&format!("[{name}]\n"));
+            for (k, v) in kv {
+                out.push_str(&format!("{k}: {v}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 3 topology file, verbatim in structure.
+    pub const GALAXY_CONF: &str = "\
+[general]
+domains: simple
+[domain-simple]
+users: user1 user2
+gridftp: yes
+condor: yes
+cluster-nodes: 2
+galaxy: yes
+go-endpoint: cvrg#galaxy
+[ec2]
+keypair: gp-key
+keyfile: ~/.ec2/gp-key.pem
+ami: ami-b12ee0d8
+instance-type: t1.micro
+[globusonline]
+ssh-key: ~/.ssh/id_rsa
+";
+
+    #[test]
+    fn parses_the_papers_topology_file() {
+        let doc = IniDoc::parse(GALAXY_CONF).unwrap();
+        assert_eq!(
+            doc.section_names(),
+            vec!["general", "domain-simple", "ec2", "globusonline"]
+        );
+        assert_eq!(doc.get("general", "domains"), Some("simple"));
+        assert_eq!(
+            doc.get_list("domain-simple", "users"),
+            vec!["user1", "user2"]
+        );
+        assert_eq!(doc.get_bool("domain-simple", "gridftp"), Some(true));
+        assert_eq!(doc.get_u32("domain-simple", "cluster-nodes"), Some(2));
+        assert_eq!(doc.get("domain-simple", "go-endpoint"), Some("cvrg#galaxy"));
+        assert_eq!(doc.get("ec2", "instance-type"), Some("t1.micro"));
+        assert_eq!(doc.get("ec2", "ami"), Some("ami-b12ee0d8"));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let doc = IniDoc::parse("# header\n\n[s]\n; note\nx: 1\n").unwrap();
+        assert_eq!(doc.get("s", "x"), Some("1"));
+    }
+
+    #[test]
+    fn equals_separator_accepted() {
+        let doc = IniDoc::parse("[s]\nx = 7\n").unwrap();
+        assert_eq!(doc.get("s", "x"), Some("7"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = IniDoc::parse("[s]\nnonsense\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = IniDoc::parse("x: 1\n").unwrap_err();
+        assert!(err.message.contains("outside"));
+        let err = IniDoc::parse("[unterminated\n").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert!(IniDoc::parse("[]\n").is_err());
+        assert!(IniDoc::parse("[s]\n: novalue\n").is_err());
+    }
+
+    #[test]
+    fn missing_lookups_are_none_or_empty() {
+        let doc = IniDoc::parse("[s]\nx: 1\n").unwrap();
+        assert_eq!(doc.get("s", "y"), None);
+        assert_eq!(doc.get("t", "x"), None);
+        assert!(doc.get_list("s", "y").is_empty());
+        assert_eq!(doc.get_bool("s", "y"), None);
+        assert!(!doc.has_section("t"));
+    }
+
+    #[test]
+    fn bool_variants() {
+        let doc = IniDoc::parse("[s]\na: yes\nb: no\nc: TRUE\nd: off\n").unwrap();
+        assert_eq!(doc.get_bool("s", "a"), Some(true));
+        assert_eq!(doc.get_bool("s", "b"), Some(false));
+        assert_eq!(doc.get_bool("s", "c"), Some(true));
+        assert_eq!(doc.get_bool("s", "d"), Some(false));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let doc = IniDoc::parse(GALAXY_CONF).unwrap();
+        let rendered = doc.render();
+        let doc2 = IniDoc::parse(&rendered).unwrap();
+        assert_eq!(doc, doc2);
+    }
+
+    #[test]
+    fn set_creates_sections() {
+        let mut doc = IniDoc::new();
+        doc.set("ec2", "instance-type", "c1.medium");
+        assert_eq!(doc.get("ec2", "instance-type"), Some("c1.medium"));
+        doc.set("ec2", "instance-type", "m1.large");
+        assert_eq!(doc.get("ec2", "instance-type"), Some("m1.large"));
+        assert_eq!(doc.section_names(), vec!["ec2"]);
+    }
+
+    #[test]
+    fn values_may_contain_separators() {
+        // Paths with colons after the first separator are preserved.
+        let doc = IniDoc::parse("[s]\nurl: https://example.org/x\n").unwrap();
+        assert_eq!(doc.get("s", "url"), Some("https://example.org/x"));
+    }
+}

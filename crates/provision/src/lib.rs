@@ -1,0 +1,40 @@
+//! `cumulus-provision` — a Globus-Provision-like deployment and elastic
+//! reconfiguration engine.
+//!
+//! This crate ties every substrate together into the system the paper
+//! describes in §III: parse a topology file, deploy a Galaxy/Condor/GridFTP
+//! cluster onto the simulated EC2, and reshape it at runtime.
+//!
+//! * [`ini`] / [`json`] — hand-written parsers for `galaxy.conf` (Figure 3)
+//!   and the `gp-instance-update` JSON payloads;
+//! * [`topology`] — the topology model, parsing, and diffing into
+//!   [`TopologyDelta`]s;
+//! * [`deploy`] — [`GpCloud`], the orchestrator owning EC2, the network,
+//!   the transfer service, and the cookbooks; `gp-instance-create/start`;
+//! * [`reconfigure`] — `gp-instance-update` (add/remove workers, change
+//!   instance types, manage users, add software), plus stop/resume/
+//!   terminate;
+//! * [`cli`] — the `gp-instance-*` textual command surface from §V.A;
+//! * [`cloudman`] — a deliberately restricted CloudMan-like manager for
+//!   the paper's §VI comparison.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod cloudman;
+pub mod deploy;
+pub mod ini;
+pub mod json;
+pub mod reconfigure;
+pub mod topology;
+
+pub use cli::GpCli;
+pub use cloudman::{capability_matrix, Capability, CloudManError, CloudManSim};
+pub use deploy::{
+    DeployReport, GpCloud, GpError, GpInstance, GpInstanceId, GpState, HostRecord, CERT_LIFETIME,
+    FINALIZE_TIME,
+};
+pub use ini::{IniDoc, IniError};
+pub use json::{Json, JsonError};
+pub use reconfigure::{ReconfigAction, ReconfigReport};
+pub use topology::{Topology, TopologyDelta, TopologyError};

@@ -1,0 +1,819 @@
+//! Dynamic topology reconfiguration.
+//!
+//! "One unique aspect of Globus Provision is its ability to dynamically
+//! alter, during runtime, the Cloud infrastructure" (§III.C): adding and
+//! removing hosts and users, changing instance types, and adding software —
+//! all on a running instance. This module implements `gp-instance-update`,
+//! plus the stop/resume/terminate lifecycle.
+
+use cumulus_chef::{converge, Role};
+use cumulus_cloud::InstanceType;
+use cumulus_htc::Machine;
+use cumulus_simkit::prelude::*;
+
+use crate::deploy::{GpCloud, GpError, GpInstanceId, GpState, CERT_LIFETIME};
+use crate::topology::Topology;
+
+/// One action applied during an update, with its completion time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigAction {
+    /// Human-readable description (`add worker-2 (c1.medium)`).
+    pub description: String,
+    /// When the action finished.
+    pub done_at: SimTime,
+}
+
+/// The result of `gp-instance-update`.
+#[derive(Debug, Clone, Default)]
+pub struct ReconfigReport {
+    /// Everything that was done.
+    pub actions: Vec<ReconfigAction>,
+}
+
+impl ReconfigReport {
+    /// When the last action finished (equals `start` for an empty delta).
+    pub fn done_at(&self, start: SimTime) -> SimTime {
+        self.actions
+            .iter()
+            .map(|a| a.done_at)
+            .max()
+            .unwrap_or(start)
+    }
+}
+
+impl GpCloud {
+    /// `gp-instance-update -t newtopology.json <id>`: morph the running
+    /// instance to match `target`.
+    pub fn update_instance(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        target: Topology,
+    ) -> Result<ReconfigReport, GpError> {
+        let inst = self.instance(id)?;
+        if inst.state != GpState::Running {
+            return Err(GpError::InvalidState {
+                id: id.0.clone(),
+                state: inst.state,
+                op: "update",
+            });
+        }
+        let current = inst.topology.clone();
+        let delta = current.diff(&target);
+        let mut report = ReconfigReport::default();
+
+        // --- add workers -------------------------------------------------
+        for (idx, wtype) in &delta.add_workers {
+            let done = self.add_worker(now, id, *idx, *wtype, target.crdata)?;
+            report.actions.push(ReconfigAction {
+                description: format!("add worker-{idx} ({wtype})"),
+                done_at: done,
+            });
+        }
+
+        // --- remove workers ----------------------------------------------
+        for idx in &delta.remove_workers {
+            let done = self.remove_worker(now, id, *idx)?;
+            report.actions.push(ReconfigAction {
+                description: format!("remove worker-{idx}"),
+                done_at: done,
+            });
+        }
+
+        // --- change worker types -------------------------------------------
+        for (idx, new_type) in &delta.change_worker_type {
+            let done = self.change_worker_type(now, id, *idx, *new_type)?;
+            report.actions.push(ReconfigAction {
+                description: format!("resize worker-{idx} -> {new_type}"),
+                done_at: done,
+            });
+        }
+
+        // --- change head type ------------------------------------------------
+        if let Some(new_type) = delta.change_head_type {
+            let done = self.change_head_type(now, id, new_type)?;
+            report.actions.push(ReconfigAction {
+                description: format!("resize galaxy head -> {new_type}"),
+                done_at: done,
+            });
+        }
+
+        // --- users ------------------------------------------------------
+        for user in &delta.add_users {
+            let inst = self.instance_mut(id)?;
+            let cred = inst.ca.issue(user, now, CERT_LIFETIME);
+            self.transfer.credentials.register(cred);
+            report.actions.push(ReconfigAction {
+                description: format!("add user {user}"),
+                done_at: now + SimDuration::from_secs(30), // NIS map push
+            });
+        }
+        for user in &delta.remove_users {
+            report.actions.push(ReconfigAction {
+                description: format!("remove user {user}"),
+                done_at: now + SimDuration::from_secs(30),
+            });
+        }
+
+        // --- software ---------------------------------------------------
+        if delta.enable_crdata {
+            let done = self.converge_all(now, id, true)?;
+            report.actions.push(ReconfigAction {
+                description: "deploy CRData toolset".to_string(),
+                done_at: done,
+            });
+        }
+
+        let done_at = report.done_at(now);
+        self.ec2.settle(done_at);
+        let inst = self.instance_mut(id)?;
+        inst.topology = target;
+        inst.log.push(format!(
+            "Updated instance {id}: {} action(s), done at {done_at}",
+            report.actions.len()
+        ));
+        Ok(report)
+    }
+
+    /// Launch, converge, and pool-join one new worker.
+    fn add_worker(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        idx: usize,
+        wtype: InstanceType,
+        with_crdata: bool,
+    ) -> Result<SimTime, GpError> {
+        let ami = self.instance(id)?.topology.ami.clone();
+        let hostname = format!("worker-{idx}");
+        let (host, _boot, ready) = self.provision_host_public(
+            now, id, &hostname, Role::CondorWorker, Some(idx), wtype, &ami, with_crdata, now,
+        )?;
+        let machine = Machine::new(
+            &format!("{id}.{hostname}"),
+            wtype.compute_units(),
+            (wtype.memory_gb() * 1024.0) as i64,
+            1,
+        );
+        let inst = self.instance_mut(id)?;
+        inst.nfs.mount(&hostname);
+        inst.hosts.push(host);
+        inst.pool
+            .add_machine(machine)
+            .map_err(|_| GpError::InvalidState {
+                id: id.0.clone(),
+                state: GpState::Running,
+                op: "add duplicate worker",
+            })?;
+        Ok(ready)
+    }
+
+    /// Drain and terminate one worker. Returns when its EC2 instance is
+    /// gone (after any running job finishes).
+    fn remove_worker(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        idx: usize,
+    ) -> Result<SimTime, GpError> {
+        let (hostname, ec2_id) = {
+            let inst = self.instance(id)?;
+            let host = inst
+                .hosts
+                .iter()
+                .find(|h| h.role == Role::CondorWorker && h.worker_index == Some(idx))
+                .ok_or_else(|| GpError::UnknownInstance(format!("{id} worker-{idx}")))?;
+            (host.hostname.clone(), host.ec2_id)
+        };
+        let machine_name = format!("{id}.{hostname}");
+        let inst = self.instance_mut(id)?;
+
+        // When does this machine's last job finish?
+        let busy_until = inst
+            .pool
+            .machine_busy_until(&machine_name)
+            .unwrap_or(now)
+            .max(now);
+
+        let _ = inst.pool.drain_machine(&machine_name);
+        inst.pool.settle(busy_until);
+        inst.nfs.unmount(&hostname);
+        inst.hosts
+            .retain(|h| !(h.role == Role::CondorWorker && h.worker_index == Some(idx)));
+
+        let gone_at = self.ec2.terminate_instance(busy_until, ec2_id)?;
+        Ok(gone_at)
+    }
+
+    /// Stop → modify-type → start → quick re-converge → rejoin pool.
+    fn change_worker_type(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        idx: usize,
+        new_type: InstanceType,
+    ) -> Result<SimTime, GpError> {
+        let (hostname, ec2_id) = {
+            let inst = self.instance(id)?;
+            let host = inst
+                .hosts
+                .iter()
+                .find(|h| h.role == Role::CondorWorker && h.worker_index == Some(idx))
+                .ok_or_else(|| GpError::UnknownInstance(format!("{id} worker-{idx}")))?;
+            (host.hostname.clone(), host.ec2_id)
+        };
+        let machine_name = format!("{id}.{hostname}");
+        let inst = self.instance_mut(id)?;
+        let drain_until = inst
+            .pool
+            .machine_busy_until(&machine_name)
+            .unwrap_or(now)
+            .max(now);
+        let _ = inst.pool.drain_machine(&machine_name);
+        inst.pool.settle(drain_until);
+
+        let stopped = self.ec2.stop_instance(drain_until, ec2_id)?;
+        self.ec2.settle(stopped);
+        self.ec2.modify_instance_type(ec2_id, new_type)?;
+        let booted = self.ec2.start_instance(stopped, ec2_id)?;
+        self.ec2.settle(booted);
+
+        let with_crdata = self.instance(id)?.topology.crdata;
+        let ready = self.reconverge_host(id, &hostname, new_type, booted, with_crdata)?;
+
+        let inst = self.instance_mut(id)?;
+        let machine = Machine::new(
+            &machine_name,
+            new_type.compute_units(),
+            (new_type.memory_gb() * 1024.0) as i64,
+            1,
+        );
+        let _ = inst.pool.add_machine(machine);
+        if let Some(h) = inst
+            .hosts
+            .iter_mut()
+            .find(|h| h.worker_index == Some(idx) && h.role == Role::CondorWorker)
+        {
+            h.ready_at = ready;
+        }
+        Ok(ready)
+    }
+
+    /// Resize the Galaxy head node (stop → modify → start → re-converge).
+    fn change_head_type(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        new_type: InstanceType,
+    ) -> Result<SimTime, GpError> {
+        let (hostname, ec2_id) = {
+            let inst = self.instance(id)?;
+            let h = inst.head();
+            (h.hostname.clone(), h.ec2_id)
+        };
+        let machine_name = format!("{id}.{hostname}");
+        let inst = self.instance_mut(id)?;
+        let drain_until = inst
+            .pool
+            .machine_busy_until(&machine_name)
+            .unwrap_or(now)
+            .max(now);
+        let _ = inst.pool.drain_machine(&machine_name);
+        inst.pool.settle(drain_until);
+
+        let stopped = self.ec2.stop_instance(drain_until, ec2_id)?;
+        self.ec2.settle(stopped);
+        self.ec2.modify_instance_type(ec2_id, new_type)?;
+        let booted = self.ec2.start_instance(stopped, ec2_id)?;
+        self.ec2.settle(booted);
+
+        let with_crdata = self.instance(id)?.topology.crdata;
+        let ready = self.reconverge_host(id, &hostname, new_type, booted, with_crdata)?;
+        let inst = self.instance_mut(id)?;
+        let machine = Machine::new(
+            &machine_name,
+            new_type.compute_units(),
+            (new_type.memory_gb() * 1024.0) as i64,
+            1,
+        );
+        let _ = inst.pool.add_machine(machine);
+        inst.topology.head_type = new_type;
+        if let Some(h) = inst.hosts.iter_mut().find(|h| h.hostname == hostname) {
+            h.ready_at = ready;
+        }
+        Ok(ready)
+    }
+
+    /// Re-converge an existing host (idempotent — only restarts and new
+    /// resources run). Returns the completion time.
+    fn reconverge_host(
+        &mut self,
+        id: &GpInstanceId,
+        hostname: &str,
+        itype: InstanceType,
+        start: SimTime,
+        with_crdata: bool,
+    ) -> Result<SimTime, GpError> {
+        let cookbooks = std::mem::take(&mut self.cookbooks);
+        let converge_config = self.converge_config_copy();
+        let mut rng = self
+            .seeds()
+            .stream(&format!("chef-re/{id}/{hostname}"));
+        let result = {
+            let inst = self.instance_mut(id)?;
+            let host = inst
+                .hosts
+                .iter_mut()
+                .find(|h| h.hostname == hostname)
+                .ok_or_else(|| GpError::UnknownInstance(format!("{id} {hostname}")))?;
+            converge(
+                &cookbooks,
+                &mut host.chef,
+                &host.role.run_list(with_crdata),
+                itype.provision_speed(),
+                &converge_config,
+                &mut rng,
+            )
+        };
+        self.cookbooks = cookbooks;
+        let report = result?;
+        Ok(start + report.duration)
+    }
+
+    /// Converge every host against its (possibly new) run-list; used when
+    /// software is added at runtime (the CRData deployment in §IV.B).
+    /// Returns when the slowest host finishes.
+    pub fn converge_all(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        with_crdata: bool,
+    ) -> Result<SimTime, GpError> {
+        let hosts: Vec<(String, Role, Option<usize>)> = self
+            .instance(id)?
+            .hosts
+            .iter()
+            .map(|h| (h.hostname.clone(), h.role, h.worker_index))
+            .collect();
+        let topology = self.instance(id)?.topology.clone();
+        let mut done = now;
+        for (hostname, role, widx) in hosts {
+            let itype = match (role, widx) {
+                (Role::CondorWorker, Some(i)) => {
+                    topology.workers.get(i).copied().unwrap_or(topology.head_type)
+                }
+                _ => topology.head_type,
+            };
+            let _ = role;
+            let ready = self.reconverge_host(id, &hostname, itype, now, with_crdata)?;
+            done = done.max(ready);
+        }
+        let inst = self.instance_mut(id)?;
+        inst.topology.crdata = with_crdata;
+        Ok(done)
+    }
+
+    /// `gp-instance-stop <id>`: stop all EC2 hosts (resumable; billing
+    /// pauses). Running Condor jobs are evicted.
+    pub fn stop_instance(&mut self, now: SimTime, id: &GpInstanceId) -> Result<SimTime, GpError> {
+        let inst = self.instance(id)?;
+        if inst.state != GpState::Running {
+            return Err(GpError::InvalidState {
+                id: id.0.clone(),
+                state: inst.state,
+                op: "stop",
+            });
+        }
+        let ec2_ids: Vec<_> = inst.hosts.iter().map(|h| h.ec2_id).collect();
+        let machine_names: Vec<String> = inst
+            .hosts
+            .iter()
+            .map(|h| format!("{id}.{}", h.hostname))
+            .collect();
+        let inst = self.instance_mut(id)?;
+        for name in &machine_names {
+            let _ = inst.pool.remove_machine(name, now);
+        }
+        let mut stopped_at = now;
+        for ec2_id in ec2_ids {
+            let s = self.ec2.stop_instance(now, ec2_id)?;
+            stopped_at = stopped_at.max(s);
+        }
+        self.ec2.settle(stopped_at);
+        let inst = self.instance_mut(id)?;
+        inst.state = GpState::Stopped;
+        inst.log.push(format!("Stopped instance {id} at {stopped_at}"));
+        Ok(stopped_at)
+    }
+
+    /// Resume a stopped instance: restart hosts, re-converge (cheap,
+    /// idempotent), re-issue expiring credentials, rebuild the pool.
+    pub fn resume_instance(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+    ) -> Result<crate::deploy::DeployReport, GpError> {
+        let inst = self.instance(id)?;
+        if inst.state != GpState::Stopped {
+            return Err(GpError::InvalidState {
+                id: id.0.clone(),
+                state: inst.state,
+                op: "resume",
+            });
+        }
+        let topology = inst.topology.clone();
+        let hosts: Vec<(String, cumulus_cloud::InstanceId, Role, Option<usize>)> = inst
+            .hosts
+            .iter()
+            .map(|h| (h.hostname.clone(), h.ec2_id, h.role, h.worker_index))
+            .collect();
+
+        let mut host_times = Vec::new();
+        let mut ready_at = now;
+        for (hostname, ec2_id, role, widx) in hosts {
+            let booted = self.ec2.start_instance(now, ec2_id)?;
+            self.ec2.settle(booted);
+            let itype = match (role, widx) {
+                (Role::CondorWorker, Some(i)) => {
+                    topology.workers.get(i).copied().unwrap_or(topology.head_type)
+                }
+                _ => topology.head_type,
+            };
+            let ready = self.reconverge_host(id, &hostname, itype, booted, topology.crdata)?;
+            ready_at = ready_at.max(ready);
+            host_times.push((hostname.clone(), booted, ready));
+
+            let inst = self.instance_mut(id)?;
+            if topology.condor {
+                let machine = Machine::new(
+                    &format!("{id}.{hostname}"),
+                    itype.compute_units(),
+                    (itype.memory_gb() * 1024.0) as i64,
+                    1,
+                );
+                let _ = inst.pool.add_machine(machine);
+            }
+        }
+
+        // Refresh user credentials.
+        let users = topology.users.clone();
+        let creds: Vec<_> = {
+            let inst = self.instance_mut(id)?;
+            users
+                .iter()
+                .map(|user| inst.ca.issue(user, now, CERT_LIFETIME))
+                .collect()
+        };
+        for cred in creds {
+            self.transfer.credentials.register(cred);
+        }
+
+        let inst = self.instance_mut(id)?;
+        inst.state = GpState::Running;
+        inst.ready_at = Some(ready_at);
+        inst.log.push(format!("Resumed instance {id} at {ready_at}"));
+        Ok(crate::deploy::DeployReport {
+            ready_at,
+            host_times,
+        })
+    }
+
+    /// `gp-instance-terminate <id>`: release everything. Terminated
+    /// instances cannot be resumed.
+    pub fn terminate_instance(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+    ) -> Result<SimTime, GpError> {
+        let inst = self.instance(id)?;
+        if inst.state == GpState::Terminated {
+            return Err(GpError::InvalidState {
+                id: id.0.clone(),
+                state: GpState::Terminated,
+                op: "terminate",
+            });
+        }
+        let ec2_ids: Vec<_> = inst.hosts.iter().map(|h| h.ec2_id).collect();
+        let endpoint = inst.endpoint.clone();
+        let mut done = now;
+        for ec2_id in ec2_ids {
+            // Stopped instances terminate instantly; running ones shut down.
+            let d = self.ec2.terminate_instance(now, ec2_id)?;
+            done = done.max(d);
+        }
+        self.ec2.settle(done);
+        if let Some(ep) = endpoint {
+            let _ = self.transfer.endpoints.unregister(&ep);
+        }
+        let inst = self.instance_mut(id)?;
+        inst.state = GpState::Terminated;
+        inst.pool = cumulus_htc::CondorPool::new();
+        inst.log.push(format!("Terminated instance {id} at {done}"));
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::GpCloud;
+    use cumulus_cloud::BillingMode;
+    use cumulus_htc::{Job, WorkSpec};
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    fn running_world() -> (GpCloud, GpInstanceId, SimTime) {
+        let mut world = GpCloud::deterministic(11);
+        let id = world.create_instance(Topology::figure3());
+        let report = world.start_instance(t0(), &id).unwrap();
+        (world, id, report.ready_at)
+    }
+
+    #[test]
+    fn add_medium_worker_within_minutes() {
+        // §III.C: "users are able to add and remove instances from the
+        // Galaxy Condor pool within minutes."
+        let (mut world, id, ready) = running_world();
+        let target = world
+            .instance(&id)
+            .unwrap()
+            .topology
+            .with_json_update(
+                r#"{"domains":{"simple":{"cluster-nodes":3,"worker-instance-type":"c1.medium"}}}"#,
+            )
+            .unwrap();
+        let report = world.update_instance(ready, &id, target).unwrap();
+        assert_eq!(report.actions.len(), 1);
+        let mins = report.done_at(ready).since(ready).as_mins_f64();
+        assert!(mins < 8.0, "adding a worker took {mins} min");
+        assert!(mins > 1.0, "suspiciously instant: {mins} min");
+        let inst = world.instance(&id).unwrap();
+        assert_eq!(inst.workers().len(), 3);
+        assert_eq!(inst.pool.machines().count(), 4, "head + 3 workers");
+        assert_eq!(inst.topology.workers[2], InstanceType::C1Medium);
+    }
+
+    #[test]
+    fn remove_worker_releases_billing() {
+        let (mut world, id, ready) = running_world();
+        let target = world
+            .instance(&id)
+            .unwrap()
+            .topology
+            .with_json_update(r#"{"domains":{"simple":{"cluster-nodes":1}}}"#)
+            .unwrap();
+        let report = world.update_instance(ready, &id, target).unwrap();
+        assert_eq!(report.actions.len(), 1);
+        let inst = world.instance(&id).unwrap();
+        assert_eq!(inst.workers().len(), 1);
+        assert_eq!(inst.pool.machines().count(), 2);
+        // The removed instance stops costing money.
+        let done = report.done_at(ready);
+        let cost_then = world.ec2.total_cost(BillingMode::PerSecond, done);
+        let much_later = done + SimDuration::from_hours(10);
+        let cost_later = world.ec2.total_cost(BillingMode::PerSecond, much_later);
+        // Only 2 hosts keep billing: head (t1.micro) + worker (t1.micro).
+        let expected_delta = 2.0 * 0.02 * 10.0;
+        assert!(
+            ((cost_later - cost_then) - expected_delta).abs() < 0.01,
+            "delta={}",
+            cost_later - cost_then
+        );
+    }
+
+    #[test]
+    fn busy_worker_drains_before_removal() {
+        let (mut world, id, ready) = running_world();
+        // Pin a long job to worker-1.
+        {
+            let inst = world.instance_mut(&id).unwrap();
+            let machine = format!("{id}.worker-1");
+            let job = Job::new("user1", WorkSpec::serial(600.0))
+                .requirements(&format!("Machine == \"{machine}\""));
+            inst.pool.submit(job, ready);
+            inst.pool.negotiate(ready);
+        }
+        let target = world
+            .instance(&id)
+            .unwrap()
+            .topology
+            .with_json_update(r#"{"domains":{"simple":{"cluster-nodes":1}}}"#)
+            .unwrap();
+        let report = world.update_instance(ready, &id, target).unwrap();
+        let done = report.done_at(ready);
+        assert!(
+            done.since(ready).as_secs_f64() >= 600.0,
+            "removal must wait for the running job: {}",
+            done.since(ready)
+        );
+    }
+
+    #[test]
+    fn change_worker_type_cycles_through_stopped() {
+        let (mut world, id, ready) = running_world();
+        let target = world
+            .instance(&id)
+            .unwrap()
+            .topology
+            .with_json_update(r#"{"domains":{"simple":{"workers":["m1.large","t1.micro"]}}}"#)
+            .unwrap();
+        let report = world.update_instance(ready, &id, target).unwrap();
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| a.description.contains("resize worker-0 -> m1.large")));
+        let inst = world.instance(&id).unwrap();
+        assert_eq!(inst.topology.workers[0], InstanceType::M1Large);
+        // The pool machine reflects the new capacity.
+        let m = inst
+            .pool
+            .machines()
+            .find(|m| m.name.0.contains("worker-0"))
+            .unwrap();
+        assert_eq!(
+            m.ad.get("ComputeUnits"),
+            cumulus_htc::Value::Float(InstanceType::M1Large.compute_units())
+        );
+    }
+
+    #[test]
+    fn resize_is_much_faster_than_redeploy() {
+        // The resize path re-converges idempotently; it must beat a fresh
+        // deployment by a wide margin.
+        let (mut world, id, ready) = running_world();
+        let target = world
+            .instance(&id)
+            .unwrap()
+            .topology
+            .with_json_update(r#"{"ec2":{"instance-type":"m1.large"}}"#)
+            .unwrap();
+        let report = world.update_instance(ready, &id, target).unwrap();
+        let mins = report.done_at(ready).since(ready).as_mins_f64();
+        assert!(mins < 4.0, "resize took {mins} min");
+        assert_eq!(
+            world.instance(&id).unwrap().topology.head_type,
+            InstanceType::M1Large
+        );
+    }
+
+    #[test]
+    fn add_users_at_runtime() {
+        let (mut world, id, ready) = running_world();
+        let target = world
+            .instance(&id)
+            .unwrap()
+            .topology
+            .with_json_update(r#"{"domains":{"simple":{"users":["user1","user2","user3"]}}}"#)
+            .unwrap();
+        let report = world.update_instance(ready, &id, target).unwrap();
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| a.description == "add user user3"));
+        assert!(world
+            .transfer
+            .credentials
+            .verify("user3", ready + SimDuration::from_mins(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn enable_crdata_converges_all_hosts() {
+        let mut world = GpCloud::deterministic(13);
+        let mut topo = Topology::figure3();
+        topo.crdata = false;
+        let id = world.create_instance(topo);
+        let r = world.start_instance(t0(), &id).unwrap();
+        let mut target = world.instance(&id).unwrap().topology.clone();
+        target.crdata = true;
+        let report = world.update_instance(r.ready_at, &id, target).unwrap();
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| a.description.contains("CRData")));
+        // Installing R + packages takes real minutes on micro nodes.
+        let mins = report.done_at(r.ready_at).since(r.ready_at).as_mins_f64();
+        assert!(mins > 2.0, "CRData deploy took only {mins} min");
+        assert!(world.instance(&id).unwrap().topology.crdata);
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let (mut world, id, ready) = running_world();
+        let target = world.instance(&id).unwrap().topology.clone();
+        let report = world.update_instance(ready, &id, target).unwrap();
+        assert!(report.actions.is_empty());
+        assert_eq!(report.done_at(ready), ready);
+    }
+
+    #[test]
+    fn stop_resume_cycle() {
+        let (mut world, id, ready) = running_world();
+        let stopped = world.stop_instance(ready, &id).unwrap();
+        assert_eq!(world.instance(&id).unwrap().state, GpState::Stopped);
+        let cost_at_stop = world.ec2.total_cost(BillingMode::PerSecond, stopped);
+        // A weekend idle costs nothing.
+        let monday = stopped + SimDuration::from_hours(60);
+        assert_eq!(
+            world.ec2.total_cost(BillingMode::PerSecond, monday),
+            cost_at_stop
+        );
+        let report = world.resume_instance(monday, &id).unwrap();
+        assert_eq!(world.instance(&id).unwrap().state, GpState::Running);
+        // Resume is much faster than initial deployment (converge is
+        // idempotent).
+        let mins = report.ready_at.since(monday).as_mins_f64();
+        assert!(mins < 4.0, "resume took {mins} min");
+        assert_eq!(world.instance(&id).unwrap().pool.machines().count(), 3);
+    }
+
+    #[test]
+    fn start_on_stopped_instance_resumes() {
+        let (mut world, id, ready) = running_world();
+        world.stop_instance(ready, &id).unwrap();
+        let later = ready + SimDuration::from_hours(1);
+        let report = world.start_instance(later, &id).unwrap();
+        assert!(report.ready_at > later);
+        assert_eq!(world.instance(&id).unwrap().state, GpState::Running);
+    }
+
+    #[test]
+    fn terminate_releases_everything() {
+        let (mut world, id, ready) = running_world();
+        let done = world.terminate_instance(ready, &id).unwrap();
+        let inst = world.instance(&id).unwrap();
+        assert_eq!(inst.state, GpState::Terminated);
+        // Endpoint deregistered.
+        assert!(world.transfer.endpoints.get("cvrg#galaxy").is_err());
+        // No further billing.
+        let cost = world.ec2.total_cost(BillingMode::PerSecond, done);
+        let later = world
+            .ec2
+            .total_cost(BillingMode::PerSecond, done + SimDuration::from_hours(5));
+        assert_eq!(cost, later);
+        // Cannot resume or re-terminate.
+        assert!(world.resume_instance(done, &id).is_err());
+        assert!(world.terminate_instance(done, &id).is_err());
+    }
+
+    #[test]
+    fn update_requires_running_state() {
+        let mut world = GpCloud::deterministic(17);
+        let id = world.create_instance(Topology::figure3());
+        let target = Topology::figure3();
+        assert!(matches!(
+            world.update_instance(t0(), &id, target),
+            Err(GpError::InvalidState { op: "update", .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod drain_regression_tests {
+    use super::*;
+    use crate::deploy::GpCloud;
+    use crate::topology::Topology;
+    use cumulus_cloud::InstanceType;
+    use cumulus_htc::{Job, WorkSpec};
+
+    /// Regression: removing a busy worker must wait for *that worker's*
+    /// job, even when another machine finishes earlier (the old code used
+    /// the pool-wide earliest completion).
+    #[test]
+    fn removal_waits_for_the_target_machines_own_job() {
+        let mut world = GpCloud::deterministic(7700);
+        let mut topo = Topology::single_node(InstanceType::M1Small);
+        topo.workers = vec![InstanceType::T1Micro; 2];
+        let id = world.create_instance(topo);
+        let ready = world.start_instance(SimTime::ZERO, &id).unwrap().ready_at;
+
+        // A short job pinned to worker-0 and a long job pinned to worker-1.
+        {
+            let inst = world.instance_mut(&id).unwrap();
+            let short = Job::new("u", WorkSpec::serial(30.0))
+                .requirements(&format!("Machine == \"{id}.worker-0\""));
+            let long = Job::new("u", WorkSpec::serial(900.0))
+                .requirements(&format!("Machine == \"{id}.worker-1\""));
+            inst.pool.submit(short, ready);
+            inst.pool.submit(long, ready);
+            inst.pool.negotiate(ready);
+        }
+
+        // Remove worker-1 (the one running the LONG job).
+        let target = world
+            .instance(&id)
+            .unwrap()
+            .topology
+            .with_json_update(r#"{"domains":{"simple":{"cluster-nodes":1}}}"#)
+            .unwrap();
+        let report = world.update_instance(ready, &id, target).unwrap();
+        let done = report.done_at(ready);
+        assert!(
+            done.since(ready).as_secs_f64() >= 900.0,
+            "removal must wait for worker-1's 900 s job, waited only {}",
+            done.since(ready)
+        );
+    }
+}

@@ -1,0 +1,373 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Sim<W>`] owns an arbitrary *world* `W` plus a pending-event queue.
+//! Event handlers are `FnOnce(&mut Sim<W>)` closures: when an event fires, the
+//! handler receives the whole simulation, so it can inspect and mutate the
+//! world **and** schedule follow-up events. This is the classic
+//! event-scheduling world view of discrete-event simulation.
+//!
+//! Determinism guarantees:
+//! * events at equal timestamps fire in the order they were scheduled
+//!   (a monotone sequence number breaks ties);
+//! * no wall-clock time or OS entropy is consulted anywhere in the kernel;
+//! * cancellation is tombstone-based, so it cannot perturb heap order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque handle to a scheduled event; used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number (unique per simulation run).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+type Handler<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    id: EventId,
+    handler: Handler<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    // BinaryHeap is a max-heap: invert so the earliest (time, id) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Why [`Sim::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The time horizon passed; later events remain queued.
+    HorizonReached,
+    /// An event handler requested a halt via [`Sim::halt`].
+    Halted,
+    /// The step budget was exhausted (runaway-loop protection).
+    StepBudgetExhausted,
+}
+
+/// A discrete-event simulation over world state `W`.
+pub struct Sim<W> {
+    now: SimTime,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<EventId>,
+    next_id: u64,
+    steps_executed: u64,
+    halt: bool,
+    /// The world under simulation. Public: event handlers and drivers
+    /// manipulate it directly.
+    pub world: W,
+}
+
+impl<W> Sim<W> {
+    /// Create a simulation at time zero around `world`.
+    pub fn new(world: W) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+            steps_executed: 0,
+            halt: false,
+            world,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Number of events currently pending (including cancelled tombstones).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `handler` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past would break
+    /// causality and always indicates a model bug.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Sim<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={} at={}",
+            self.now,
+            at
+        );
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.queue.push(Scheduled {
+            at,
+            id,
+            handler: Box::new(handler),
+        });
+        id
+    }
+
+    /// Schedule `handler` to fire `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        handler: impl FnOnce(&mut Sim<W>) + 'static,
+    ) -> EventId {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, handler)
+    }
+
+    /// Schedule `handler` to fire at the current time, after all events
+    /// already scheduled for this instant.
+    pub fn schedule_now(&mut self, handler: impl FnOnce(&mut Sim<W>) + 'static) -> EventId {
+        self.schedule_at(self.now, handler)
+    }
+
+    /// Cancel a pending event. Returns `true` if the event had not yet fired
+    /// or been cancelled. Cancelling an already-fired event is a no-op.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        self.cancelled.insert(id)
+    }
+
+    /// Request that the run loop stop after the current event completes.
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+
+    /// Execute the single next event, if any. Returns `false` when the queue
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&ev.id) {
+                continue; // tombstone
+            }
+            debug_assert!(ev.at >= self.now, "event queue time went backwards");
+            self.now = ev.at;
+            self.steps_executed += 1;
+            (ev.handler)(self);
+            return true;
+        }
+    }
+
+    /// Run until the queue drains, `horizon` passes, a handler calls
+    /// [`halt`](Sim::halt), or `max_steps` events have executed.
+    pub fn run(&mut self, horizon: SimTime, max_steps: u64) -> RunOutcome {
+        self.halt = false;
+        let mut budget = max_steps;
+        loop {
+            if self.halt {
+                return RunOutcome::Halted;
+            }
+            if budget == 0 {
+                return RunOutcome::StepBudgetExhausted;
+            }
+            // Peek (skipping tombstones) to honour the horizon without
+            // consuming the event.
+            loop {
+                match self.queue.peek() {
+                    None => return RunOutcome::QueueEmpty,
+                    Some(ev) if self.cancelled.contains(&ev.id) => {
+                        let ev = self.queue.pop().expect("peeked");
+                        self.cancelled.remove(&ev.id);
+                    }
+                    Some(ev) => {
+                        if ev.at > horizon {
+                            return RunOutcome::HorizonReached;
+                        }
+                        break;
+                    }
+                }
+            }
+            self.step();
+            budget -= 1;
+        }
+    }
+
+    /// Run until the queue drains (with a generous step budget).
+    pub fn run_to_completion(&mut self) -> RunOutcome {
+        self.run(SimTime::MAX, u64::MAX)
+    }
+
+    /// Advance simulated time to `at` even if no event is scheduled there.
+    /// Useful for "the experiment ends at t" bookkeeping. Events scheduled
+    /// before `at` are *not* executed; prefer [`run`](Sim::run) first.
+    pub fn fast_forward(&mut self, at: SimTime) {
+        assert!(at >= self.now, "cannot fast-forward into the past");
+        self.now = at;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    fn s(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(World::default());
+        sim.schedule_at(s(30), |sim| sim.world.log.push((sim.now().as_micros(), "c")));
+        sim.schedule_at(s(10), |sim| sim.world.log.push((sim.now().as_micros(), "a")));
+        sim.schedule_at(s(20), |sim| sim.world.log.push((sim.now().as_micros(), "b")));
+        assert_eq!(sim.run_to_completion(), RunOutcome::QueueEmpty);
+        assert_eq!(sim.world.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut sim = Sim::new(World::default());
+        for (i, name) in ["first", "second", "third"].into_iter().enumerate() {
+            let _ = i;
+            sim.schedule_at(s(5), move |sim| sim.world.log.push((5, name)));
+        }
+        sim.run_to_completion();
+        let names: Vec<_> = sim.world.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        let mut sim = Sim::new(World::default());
+        sim.schedule_at(s(10), |sim| {
+            sim.world.log.push((sim.now().as_micros(), "start"));
+            sim.schedule_in(SimDuration::from_micros(15), |sim| {
+                sim.world.log.push((sim.now().as_micros(), "end"));
+            });
+        });
+        sim.run_to_completion();
+        assert_eq!(sim.world.log, vec![(10, "start"), (25, "end")]);
+    }
+
+    #[test]
+    fn cancellation_prevents_firing() {
+        let mut sim = Sim::new(World::default());
+        let id = sim.schedule_at(s(10), |sim| sim.world.log.push((10, "cancelled")));
+        sim.schedule_at(s(20), |sim| sim.world.log.push((20, "kept")));
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel reports false");
+        sim.run_to_completion();
+        assert_eq!(sim.world.log, vec![(20, "kept")]);
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut sim: Sim<World> = Sim::new(World::default());
+        assert!(!sim.cancel(EventId(999)));
+    }
+
+    #[test]
+    fn horizon_stops_without_consuming() {
+        let mut sim = Sim::new(World::default());
+        sim.schedule_at(s(10), |sim| sim.world.log.push((10, "early")));
+        sim.schedule_at(s(100), |sim| sim.world.log.push((100, "late")));
+        assert_eq!(sim.run(s(50), u64::MAX), RunOutcome::HorizonReached);
+        assert_eq!(sim.world.log, vec![(10, "early")]);
+        assert_eq!(sim.pending_events(), 1);
+        assert_eq!(sim.run_to_completion(), RunOutcome::QueueEmpty);
+        assert_eq!(sim.world.log, vec![(10, "early"), (100, "late")]);
+    }
+
+    #[test]
+    fn halt_stops_the_loop() {
+        let mut sim = Sim::new(World::default());
+        sim.schedule_at(s(10), |sim| {
+            sim.world.log.push((10, "stop"));
+            sim.halt();
+        });
+        sim.schedule_at(s(20), |sim| sim.world.log.push((20, "never")));
+        assert_eq!(sim.run_to_completion(), RunOutcome::Halted);
+        assert_eq!(sim.world.log, vec![(10, "stop")]);
+    }
+
+    #[test]
+    fn step_budget_guards_runaway_loops() {
+        let mut sim = Sim::new(World::default());
+        // An event that perpetually reschedules itself.
+        fn tick(sim: &mut Sim<World>) {
+            sim.schedule_in(SimDuration::from_micros(1), tick);
+        }
+        sim.schedule_at(s(0), tick);
+        assert_eq!(
+            sim.run(SimTime::MAX, 1000),
+            RunOutcome::StepBudgetExhausted
+        );
+        assert_eq!(sim.steps_executed(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Sim::new(World::default());
+        sim.schedule_at(s(10), |sim| {
+            sim.schedule_at(s(5), |_| {});
+        });
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn shared_state_via_rc_refcell_works() {
+        // Handlers may capture external shared state too.
+        let hits = Rc::new(RefCell::new(0));
+        let mut sim = Sim::new(());
+        for i in 0..5u64 {
+            let hits = Rc::clone(&hits);
+            sim.schedule_at(s(i), move |_| *hits.borrow_mut() += 1);
+        }
+        sim.run_to_completion();
+        assert_eq!(*hits.borrow(), 5);
+    }
+
+    #[test]
+    fn fast_forward_advances_clock() {
+        let mut sim: Sim<World> = Sim::new(World::default());
+        sim.fast_forward(s(500));
+        assert_eq!(sim.now(), s(500));
+    }
+}

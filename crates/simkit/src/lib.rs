@@ -1,0 +1,65 @@
+//! `cumulus-simkit` — a deterministic discrete-event simulation (DES) kernel.
+//!
+//! This crate is the foundation of the `cumulus` reproduction of
+//! *"Deploying Bioinformatics Workflows on Clouds with Galaxy and Globus
+//! Provision"* (SC 2012). Every higher-level subsystem — the EC2-like cloud,
+//! the Chef-like configuration engine, the Condor-like scheduler, the
+//! GridFTP/FTP/HTTP transfer models, and the Galaxy-like workflow platform —
+//! runs as event handlers inside the [`Sim`] engine defined here.
+//!
+//! Design pillars:
+//!
+//! * **Determinism.** Virtual time only ([`SimTime`]), stable tie-breaking in
+//!   the event queue, and named random streams ([`RngStream`]) derived from a
+//!   single master seed. Two runs with the same seed produce identical event
+//!   traces, and the parallel replica runner preserves this property.
+//! * **Simplicity over framework-ness.** Events are plain `FnOnce(&mut
+//!   Sim<W>)` closures; the world `W` is an ordinary struct owned by the
+//!   engine. No actor runtime, no async.
+//! * **Measurability.** [`Metrics`] and [`TraceLog`] give every subsystem a
+//!   uniform way to report what happened; [`Samples`] summarizes.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cumulus_simkit::prelude::*;
+//!
+//! struct World { arrivals: u32 }
+//!
+//! let mut sim = Sim::new(World { arrivals: 0 });
+//! sim.schedule_in(SimDuration::from_secs(5), |sim| {
+//!     sim.world.arrivals += 1;
+//!     sim.schedule_in(SimDuration::from_secs(5), |sim| sim.world.arrivals += 1);
+//! });
+//! sim.run_to_completion();
+//! assert_eq!(sim.world.arrivals, 2);
+//! assert_eq!(sim.now().as_secs(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod runner;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{EventId, RunOutcome, Sim};
+pub use metrics::Metrics;
+pub use rng::{RngStream, SeedFactory};
+pub use runner::{run_replicas, ReplicaPlan};
+pub use stats::{relative_error, Samples};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceLog, TraceRecord};
+
+/// Convenient glob-import of the types nearly every model needs.
+pub mod prelude {
+    pub use crate::engine::{EventId, RunOutcome, Sim};
+    pub use crate::metrics::Metrics;
+    pub use crate::rng::{RngStream, SeedFactory};
+    pub use crate::stats::Samples;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::TraceLog;
+}

@@ -1,0 +1,220 @@
+//! A thread-safe metrics registry.
+//!
+//! Simulation components record counters, gauges, and timing samples under
+//! string keys. The registry is `Sync` (parking_lot locks) so the parallel
+//! replica runner can aggregate metrics from worker threads.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::stats::Samples;
+use crate::time::SimDuration;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    samples: BTreeMap<String, Samples>,
+}
+
+/// Cheap-to-clone handle to a shared metrics store.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Metrics {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increment a counter by `n`.
+    pub fn incr(&self, key: &str, n: u64) {
+        let mut g = self.inner.lock();
+        *g.counters.entry(key.to_string()).or_insert(0) += n;
+    }
+
+    /// Read a counter (0 if absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.inner.lock().counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn set_gauge(&self, key: &str, value: f64) {
+        self.inner.lock().gauges.insert(key.to_string(), value);
+    }
+
+    /// Read a gauge, if it has been set.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.inner.lock().gauges.get(key).copied()
+    }
+
+    /// Record a numeric sample under `key`.
+    pub fn record(&self, key: &str, value: f64) {
+        let mut g = self.inner.lock();
+        g.samples.entry(key.to_string()).or_default().record(value);
+    }
+
+    /// Record a duration sample (stored in seconds).
+    pub fn record_duration(&self, key: &str, d: SimDuration) {
+        self.record(key, d.as_secs_f64());
+    }
+
+    /// Snapshot of the samples recorded under `key`.
+    pub fn samples(&self, key: &str) -> Samples {
+        self.inner
+            .lock()
+            .samples
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All keys that currently have any data, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let g = self.inner.lock();
+        let mut keys: Vec<String> = g
+            .counters
+            .keys()
+            .chain(g.gauges.keys())
+            .chain(g.samples.keys())
+            .cloned()
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Merge all data from `other` into `self` (counters add, gauges take the
+    /// other's value, samples concatenate).
+    pub fn merge(&self, other: &Metrics) {
+        // Lock ordering: clone other's state first to avoid holding two locks.
+        let snapshot = {
+            let g = other.inner.lock();
+            (g.counters.clone(), g.gauges.clone(), g.samples.clone())
+        };
+        let mut g = self.inner.lock();
+        for (k, v) in snapshot.0 {
+            *g.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in snapshot.1 {
+            g.gauges.insert(k, v);
+        }
+        for (k, v) in snapshot.2 {
+            g.samples.entry(k).or_default().merge(&v);
+        }
+    }
+
+    /// Multi-line human-readable dump (sorted by key).
+    pub fn report(&self) -> String {
+        let g = self.inner.lock();
+        let mut out = String::new();
+        for (k, v) in &g.counters {
+            out.push_str(&format!("counter {k} = {v}\n"));
+        }
+        for (k, v) in &g.gauges {
+            out.push_str(&format!("gauge   {k} = {v}\n"));
+        }
+        for (k, s) in &g.samples {
+            out.push_str(&format!("sample  {k}: {}\n", s.summary()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.incr("jobs", 1);
+        m.incr("jobs", 2);
+        assert_eq!(m.counter("jobs"), 3);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let m = Metrics::new();
+        assert_eq!(m.gauge("load"), None);
+        m.set_gauge("load", 0.5);
+        m.set_gauge("load", 0.9);
+        assert_eq!(m.gauge("load"), Some(0.9));
+    }
+
+    #[test]
+    fn samples_aggregate() {
+        let m = Metrics::new();
+        m.record("latency", 1.0);
+        m.record("latency", 3.0);
+        m.record_duration("latency", SimDuration::from_secs(2));
+        let s = m.samples("latency");
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.incr("x", 5);
+        assert_eq!(m.counter("x"), 5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let a = Metrics::new();
+        let b = Metrics::new();
+        a.incr("c", 1);
+        b.incr("c", 2);
+        b.set_gauge("g", 7.0);
+        b.record("s", 4.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(7.0));
+        assert_eq!(a.samples("s").count(), 1);
+    }
+
+    #[test]
+    fn keys_are_sorted_and_deduped() {
+        let m = Metrics::new();
+        m.incr("b", 1);
+        m.set_gauge("a", 1.0);
+        m.record("b", 1.0);
+        assert_eq!(m.keys(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_safe() {
+        let m = Metrics::new();
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        m.incr("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("n"), 8000);
+    }
+
+    #[test]
+    fn report_mentions_everything() {
+        let m = Metrics::new();
+        m.incr("c", 1);
+        m.set_gauge("g", 2.0);
+        m.record("s", 3.0);
+        let r = m.report();
+        assert!(r.contains("counter c = 1"));
+        assert!(r.contains("gauge   g = 2"));
+        assert!(r.contains("sample  s: n=1"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Summary statistics over samples collected during a simulation run.
+
+/// Online mean/variance accumulator (Welford's algorithm) that also retains
+/// samples for exact percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    mean: f64,
+    m2: f64,
+}
+
+impl Samples {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Record one sample. Non-finite values are rejected (and counted as
+    /// model bugs in debug builds).
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample: {x}");
+        if !x.is_finite() {
+            return;
+        }
+        self.values.push(x);
+        let n = self.values.len() as f64;
+        let delta = x - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.mean)
+    }
+
+    /// Sample variance (n-1 denominator), or `None` with fewer than two
+    /// samples.
+    pub fn variance(&self) -> Option<f64> {
+        (self.values.len() >= 2).then(|| self.m2 / (self.values.len() as f64 - 1.0))
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Exact percentile via linear interpolation between order statistics
+    /// (the same rule as numpy's default). `q` is in `[0, 100]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let rank = q / 100.0 * (sorted.len() as f64 - 1.0);
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Borrow the raw samples in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        for &v in &other.values {
+            self.record(v);
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        match self.mean() {
+            None => "n=0".to_string(),
+            Some(mean) => format!(
+                "n={} mean={:.4} sd={:.4} min={:.4} p50={:.4} p95={:.4} max={:.4}",
+                self.count(),
+                mean,
+                self.std_dev().unwrap_or(0.0),
+                self.min().unwrap(),
+                self.median().unwrap(),
+                self.percentile(95.0).unwrap(),
+                self.max().unwrap(),
+            ),
+        }
+    }
+}
+
+/// Relative error `|measured - expected| / |expected|`; useful for
+/// paper-vs-measured assertions. `expected == 0` falls back to absolute error.
+pub fn relative_error(measured: f64, expected: f64) -> f64 {
+    if expected == 0.0 {
+        measured.abs()
+    } else {
+        (measured - expected).abs() / expected.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_is_all_none() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.summary(), "n=0");
+    }
+
+    #[test]
+    fn mean_and_variance_match_formulas() {
+        let mut s = Samples::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        // Sample variance with n-1 = 32/7.
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s = Samples::new();
+        for x in [10.0, 20.0, 30.0, 40.0] {
+            s.record(x);
+        }
+        assert_eq!(s.percentile(0.0), Some(10.0));
+        assert_eq!(s.percentile(100.0), Some(40.0));
+        assert_eq!(s.median(), Some(25.0));
+        assert!((s.percentile(25.0).unwrap() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_statistics() {
+        let mut s = Samples::new();
+        s.record(3.0);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.median(), Some(3.0));
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording() {
+        let mut a = Samples::new();
+        let mut b = Samples::new();
+        let mut all = Samples::new();
+        for x in 0..10 {
+            a.record(x as f64);
+            all.record(x as f64);
+        }
+        for x in 10..20 {
+            b.record(x as f64);
+            all.record(x as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.mean(), all.mean());
+        assert_eq!(a.variance(), all.variance());
+    }
+
+    #[test]
+    fn relative_error_behaviour() {
+        assert!((relative_error(11.0, 10.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(0.5, 0.0), 0.5);
+    }
+}

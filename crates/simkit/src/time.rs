@@ -1,0 +1,289 @@
+//! Virtual time for the simulation kernel.
+//!
+//! Simulated time is a monotonically non-decreasing count of **microseconds**
+//! since the start of the simulation. A `u64` of microseconds covers roughly
+//! 584,000 years of simulated time, which is comfortably more than any cloud
+//! deployment experiment needs, while still resolving sub-millisecond events
+//! such as scheduler negotiation cycles.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An instant in simulated time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Raw microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since simulation start (fractional part truncated).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since simulation start, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Minutes since simulation start, as a float.
+    pub fn as_mins_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero rather than
+    /// panicking if `earlier` is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60 * 1_000_000)
+    }
+
+    /// Construct from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600 * 1_000_000)
+    }
+
+    /// Construct from fractional seconds. Negative or non-finite inputs
+    /// clamp to zero; values beyond the representable range clamp to `MAX`.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let us = s * 1e6;
+        if us >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(us as u64)
+        }
+    }
+
+    /// Construct from fractional minutes (clamping like [`from_secs_f64`]).
+    ///
+    /// [`from_secs_f64`]: SimDuration::from_secs_f64
+    pub fn from_mins_f64(m: f64) -> Self {
+        SimDuration::from_secs_f64(m * 60.0)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Minutes as a float.
+    pub fn as_mins_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    /// Hours as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by a non-negative float factor, clamping into range.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration underflow"))
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / 1_000_000;
+        let us = self.0 % 1_000_000;
+        let h = total_secs / 3600;
+        let m = (total_secs % 3600) / 60;
+        let s = total_secs % 60;
+        write!(f, "{h:02}:{m:02}:{s:02}.{:03}", us / 1000)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s < 1.0 {
+            write!(f, "{:.1}ms", s * 1e3)
+        } else if s < 120.0 {
+            write!(f, "{s:.2}s")
+        } else if s < 3600.0 * 2.0 {
+            write!(f, "{:.2}min", s / 60.0)
+        } else {
+            write!(f, "{:.2}h", s / 3600.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimDuration::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimDuration::from_mins(2).as_secs_f64(), 120.0);
+        assert_eq!(SimDuration::from_hours(1).as_mins_f64(), 60.0);
+        assert_eq!(SimTime::from_micros(42).as_micros(), 42);
+    }
+
+    #[test]
+    fn arithmetic_is_consistent() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_secs(10);
+        assert_eq!(t1 - t0, SimDuration::from_secs(10));
+        assert_eq!(t1.since(t0).as_secs_f64(), 10.0);
+        // since() saturates instead of panicking.
+        assert_eq!(t0.since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn float_construction_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+        let d = SimDuration::from_secs_f64(1.5);
+        assert_eq!(d.as_micros(), 1_500_000);
+    }
+
+    #[test]
+    fn mins_f64_round_trip() {
+        let d = SimDuration::from_mins_f64(10.7);
+        assert!((d.as_mins_f64() - 10.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            format!("{}", SimTime::from_micros(3_661_500_000)),
+            "01:01:01.500"
+        );
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.0ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(90)), "90.00s");
+        assert_eq!(format!("{}", SimDuration::from_mins(30)), "30.00min");
+        assert_eq!(format!("{}", SimDuration::from_hours(5)), "5.00h");
+    }
+
+    #[test]
+    fn scaling_operations() {
+        let d = SimDuration::from_secs(10);
+        assert_eq!(d * 3, SimDuration::from_secs(30));
+        assert_eq!(d / 2, SimDuration::from_secs(5));
+        assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
+        assert_eq!(d.saturating_sub(SimDuration::from_secs(20)), SimDuration::ZERO);
+    }
+}

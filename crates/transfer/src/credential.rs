@@ -1,0 +1,231 @@
+//! X.509-style credentials and their store.
+//!
+//! Before a user can move data, Globus Online must hold a credential that
+//! can "activate" the endpoints involved (§IV.A). We model the credential
+//! lifecycle — issuance by a CA (Globus Provision's per-user certificates,
+//! or a MyProxy-style short-lived proxy), expiry, and verification — without
+//! any actual cryptography: subjects and issuers are names, and signatures
+//! are modelled by construction (a credential can only be minted through a
+//! CA handle).
+
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use std::collections::BTreeMap;
+
+/// A certificate authority (Globus Provision runs one per instance).
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    /// The CA's distinguished name.
+    pub dn: String,
+    next_serial: u64,
+}
+
+impl CertificateAuthority {
+    /// Create a CA.
+    pub fn new(dn: &str) -> Self {
+        CertificateAuthority {
+            dn: dn.to_string(),
+            next_serial: 1,
+        }
+    }
+
+    /// Issue a credential for `subject`, valid for `lifetime` from `now`.
+    pub fn issue(&mut self, subject: &str, now: SimTime, lifetime: SimDuration) -> Credential {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        Credential {
+            subject: subject.to_string(),
+            issuer: self.dn.clone(),
+            serial,
+            not_before: now,
+            not_after: now + lifetime,
+        }
+    }
+}
+
+/// An issued certificate / proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// Subject DN (the user).
+    pub subject: String,
+    /// Issuer DN (the CA).
+    pub issuer: String,
+    /// Serial number, unique per CA.
+    pub serial: u64,
+    /// Validity start.
+    pub not_before: SimTime,
+    /// Validity end.
+    pub not_after: SimTime,
+}
+
+impl Credential {
+    /// Is the credential valid at `now`?
+    pub fn is_valid(&self, now: SimTime) -> bool {
+        now >= self.not_before && now < self.not_after
+    }
+
+    /// Remaining lifetime at `now` (zero if expired).
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        self.not_after.since(now)
+    }
+}
+
+/// Reasons credential verification fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CredentialError {
+    /// No credential on file for this user.
+    Missing(String),
+    /// The credential exists but has expired.
+    Expired(String),
+    /// The credential was issued by an unexpected CA.
+    UntrustedIssuer {
+        /// Who issued it.
+        issuer: String,
+        /// Who we trust.
+        trusted: String,
+    },
+}
+
+impl std::fmt::Display for CredentialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CredentialError::Missing(u) => write!(f, "no credential for user {u:?}"),
+            CredentialError::Expired(u) => write!(f, "credential for user {u:?} has expired"),
+            CredentialError::UntrustedIssuer { issuer, trusted } => {
+                write!(f, "issuer {issuer:?} is not the trusted CA {trusted:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CredentialError {}
+
+/// Per-user credential storage (the user's Globus Online profile).
+#[derive(Debug, Clone, Default)]
+pub struct CredentialStore {
+    creds: BTreeMap<String, Credential>,
+    trusted_issuer: Option<String>,
+}
+
+impl CredentialStore {
+    /// A store that accepts any issuer.
+    pub fn new() -> Self {
+        CredentialStore::default()
+    }
+
+    /// A store that only trusts one CA.
+    pub fn trusting(issuer: &str) -> Self {
+        CredentialStore {
+            creds: BTreeMap::new(),
+            trusted_issuer: Some(issuer.to_string()),
+        }
+    }
+
+    /// Register (the paper's "add the X.509 certificate to the user's
+    /// profile"). Replaces any existing credential for the subject.
+    pub fn register(&mut self, cred: Credential) {
+        self.creds.insert(cred.subject.clone(), cred);
+    }
+
+    /// Verify the user has a valid credential at `now` and return it.
+    pub fn verify(&self, user: &str, now: SimTime) -> Result<&Credential, CredentialError> {
+        let cred = self
+            .creds
+            .get(user)
+            .ok_or_else(|| CredentialError::Missing(user.to_string()))?;
+        if let Some(trusted) = &self.trusted_issuer {
+            if &cred.issuer != trusted {
+                return Err(CredentialError::UntrustedIssuer {
+                    issuer: cred.issuer.clone(),
+                    trusted: trusted.clone(),
+                });
+            }
+        }
+        if !cred.is_valid(now) {
+            return Err(CredentialError::Expired(user.to_string()));
+        }
+        Ok(cred)
+    }
+
+    /// Number of stored credentials.
+    pub fn len(&self) -> usize {
+        self.creds.len()
+    }
+
+    /// True when no credentials are stored.
+    pub fn is_empty(&self) -> bool {
+        self.creds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn ca_issues_unique_serials() {
+        let mut ca = CertificateAuthority::new("/O=GP/CN=gpi-02156188 CA");
+        let a = ca.issue("user1", t(0), SimDuration::from_hours(12));
+        let b = ca.issue("user2", t(0), SimDuration::from_hours(12));
+        assert_ne!(a.serial, b.serial);
+        assert_eq!(a.issuer, b.issuer);
+    }
+
+    #[test]
+    fn validity_window() {
+        let mut ca = CertificateAuthority::new("/CN=CA");
+        let c = ca.issue("u", t(100), SimDuration::from_secs(50));
+        assert!(!c.is_valid(t(99)));
+        assert!(c.is_valid(t(100)));
+        assert!(c.is_valid(t(149)));
+        assert!(!c.is_valid(t(150)), "not_after is exclusive");
+        assert_eq!(c.remaining(t(120)), SimDuration::from_secs(30));
+        assert_eq!(c.remaining(t(500)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn store_verifies_lifecycle() {
+        let mut ca = CertificateAuthority::new("/CN=CA");
+        let mut store = CredentialStore::new();
+        assert!(matches!(
+            store.verify("user1", t(0)),
+            Err(CredentialError::Missing(_))
+        ));
+        store.register(ca.issue("user1", t(0), SimDuration::from_hours(1)));
+        assert!(store.verify("user1", t(10)).is_ok());
+        assert!(matches!(
+            store.verify("user1", t(3600)),
+            Err(CredentialError::Expired(_))
+        ));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let mut good = CertificateAuthority::new("/CN=GoodCA");
+        let mut evil = CertificateAuthority::new("/CN=EvilCA");
+        let mut store = CredentialStore::trusting("/CN=GoodCA");
+        store.register(evil.issue("mallory", t(0), SimDuration::from_hours(1)));
+        assert!(matches!(
+            store.verify("mallory", t(1)),
+            Err(CredentialError::UntrustedIssuer { .. })
+        ));
+        store.register(good.issue("alice", t(0), SimDuration::from_hours(1)));
+        assert!(store.verify("alice", t(1)).is_ok());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut ca = CertificateAuthority::new("/CN=CA");
+        let mut store = CredentialStore::new();
+        store.register(ca.issue("u", t(0), SimDuration::from_secs(10)));
+        // Renew before expiry.
+        store.register(ca.issue("u", t(5), SimDuration::from_hours(1)));
+        assert!(store.verify("u", t(600)).is_ok());
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Globus endpoints.
+//!
+//! An endpoint is a named GridFTP server (or a Globus Connect install on a
+//! laptop) attached to a network node. Endpoints must be *activated* with a
+//! user credential before transfers can use them; activation expires with
+//! the credential.
+
+use std::collections::BTreeMap;
+
+use cumulus_net::NodeId;
+use cumulus_simkit::time::SimTime;
+
+use crate::credential::Credential;
+
+/// An endpoint name, `owner#display`, e.g. `galaxy#CVRG-Galaxy`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointName(pub String);
+
+impl EndpointName {
+    /// Parse, validating the `owner#name` shape.
+    pub fn parse(s: &str) -> Result<EndpointName, String> {
+        match s.split_once('#') {
+            Some((owner, name)) if !owner.is_empty() && !name.is_empty() => {
+                Ok(EndpointName(s.to_string()))
+            }
+            _ => Err(format!("endpoint name {s:?} must look like owner#name")),
+        }
+    }
+
+    /// The owner part.
+    pub fn owner(&self) -> &str {
+        self.0.split_once('#').map(|(o, _)| o).unwrap_or(&self.0)
+    }
+}
+
+impl std::fmt::Display for EndpointName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// What software serves the endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// A full GridFTP server (provider- or GP-deployed).
+    GridFtpServer,
+    /// Globus Connect on a personal machine.
+    GlobusConnect,
+}
+
+/// A registered endpoint.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    /// Its name.
+    pub name: EndpointName,
+    /// Which network node it lives on.
+    pub node: NodeId,
+    /// Server flavor.
+    pub kind: EndpointKind,
+    /// Current activation, if any.
+    pub activation: Option<Activation>,
+    /// Maximum parallel GridFTP streams this server allows.
+    pub max_parallel_streams: u32,
+}
+
+/// An endpoint activation.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    /// Which user activated it.
+    pub user: String,
+    /// When the activation lapses (the credential's expiry).
+    pub expires: SimTime,
+}
+
+impl Endpoint {
+    /// Is the endpoint activated (by anyone) at `now`?
+    pub fn is_active(&self, now: SimTime) -> bool {
+        self.activation
+            .as_ref()
+            .map(|a| now < a.expires)
+            .unwrap_or(false)
+    }
+
+    /// Activate with a verified credential.
+    pub fn activate(&mut self, cred: &Credential) {
+        self.activation = Some(Activation {
+            user: cred.subject.clone(),
+            expires: cred.not_after,
+        });
+    }
+}
+
+/// The endpoint directory (Globus Online's endpoint list).
+#[derive(Debug, Clone, Default)]
+pub struct EndpointRegistry {
+    endpoints: BTreeMap<EndpointName, Endpoint>,
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointError {
+    /// Bad name shape.
+    InvalidName(String),
+    /// No such endpoint.
+    NotFound(String),
+    /// Name already registered.
+    Duplicate(String),
+}
+
+impl std::fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EndpointError::InvalidName(m) => f.write_str(m),
+            EndpointError::NotFound(n) => write!(f, "no such endpoint: {n}"),
+            EndpointError::Duplicate(n) => write!(f, "endpoint already exists: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for EndpointError {}
+
+impl EndpointRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        EndpointRegistry::default()
+    }
+
+    /// Register a new endpoint.
+    pub fn register(
+        &mut self,
+        name: &str,
+        node: NodeId,
+        kind: EndpointKind,
+    ) -> Result<EndpointName, EndpointError> {
+        let name = EndpointName::parse(name).map_err(EndpointError::InvalidName)?;
+        if self.endpoints.contains_key(&name) {
+            return Err(EndpointError::Duplicate(name.0));
+        }
+        let max_parallel_streams = match kind {
+            EndpointKind::GridFtpServer => 8,
+            EndpointKind::GlobusConnect => 4,
+        };
+        self.endpoints.insert(
+            name.clone(),
+            Endpoint {
+                name: name.clone(),
+                node,
+                kind,
+                activation: None,
+                max_parallel_streams,
+            },
+        );
+        Ok(name)
+    }
+
+    /// Remove an endpoint.
+    pub fn unregister(&mut self, name: &str) -> Result<(), EndpointError> {
+        let key = EndpointName(name.to_string());
+        self.endpoints
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| EndpointError::NotFound(name.to_string()))
+    }
+
+    /// Look up an endpoint.
+    pub fn get(&self, name: &str) -> Result<&Endpoint, EndpointError> {
+        self.endpoints
+            .get(&EndpointName(name.to_string()))
+            .ok_or_else(|| EndpointError::NotFound(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Endpoint, EndpointError> {
+        self.endpoints
+            .get_mut(&EndpointName(name.to_string()))
+            .ok_or_else(|| EndpointError::NotFound(name.to_string()))
+    }
+
+    /// All endpoint names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.endpoints.keys().map(|n| n.0.clone()).collect()
+    }
+
+    /// Number of endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulus_simkit::time::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn names_must_have_owner_and_display() {
+        assert!(EndpointName::parse("galaxy#CVRG-Galaxy").is_ok());
+        assert!(EndpointName::parse("cvrg#galaxy").is_ok());
+        assert!(EndpointName::parse("nohash").is_err());
+        assert!(EndpointName::parse("#empty-owner").is_err());
+        assert!(EndpointName::parse("empty-name#").is_err());
+        assert_eq!(
+            EndpointName::parse("galaxy#CVRG-Galaxy").unwrap().owner(),
+            "galaxy"
+        );
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = EndpointRegistry::new();
+        reg.register("cvrg#galaxy", NodeId(1), EndpointKind::GridFtpServer)
+            .unwrap();
+        assert_eq!(reg.len(), 1);
+        let ep = reg.get("cvrg#galaxy").unwrap();
+        assert_eq!(ep.node, NodeId(1));
+        assert_eq!(ep.max_parallel_streams, 8);
+        assert!(matches!(
+            reg.get("no#where").unwrap_err(),
+            EndpointError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut reg = EndpointRegistry::new();
+        reg.register("a#b", NodeId(0), EndpointKind::GlobusConnect)
+            .unwrap();
+        assert!(matches!(
+            reg.register("a#b", NodeId(1), EndpointKind::GridFtpServer),
+            Err(EndpointError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn globus_connect_has_fewer_streams() {
+        let mut reg = EndpointRegistry::new();
+        reg.register("me#laptop", NodeId(0), EndpointKind::GlobusConnect)
+            .unwrap();
+        assert_eq!(reg.get("me#laptop").unwrap().max_parallel_streams, 4);
+    }
+
+    #[test]
+    fn activation_follows_credential_expiry() {
+        let mut reg = EndpointRegistry::new();
+        reg.register("a#b", NodeId(0), EndpointKind::GridFtpServer)
+            .unwrap();
+        assert!(!reg.get("a#b").unwrap().is_active(t(0)));
+        let cred = Credential {
+            subject: "user1".to_string(),
+            issuer: "/CN=CA".to_string(),
+            serial: 1,
+            not_before: t(0),
+            not_after: t(100),
+        };
+        reg.get_mut("a#b").unwrap().activate(&cred);
+        assert!(reg.get("a#b").unwrap().is_active(t(50)));
+        assert!(!reg.get("a#b").unwrap().is_active(t(100)));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let mut reg = EndpointRegistry::new();
+        reg.register("a#b", NodeId(0), EndpointKind::GridFtpServer)
+            .unwrap();
+        reg.unregister("a#b").unwrap();
+        assert!(reg.is_empty());
+        assert!(reg.unregister("a#b").is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! The three data-movement protocols compared in Figure 11.
+//!
+//! Each protocol's achieved rate emerges from the same TCP model
+//! (`cumulus-net`) plus protocol-specific configuration:
+//!
+//! * **GridFTP / Globus Transfer** — tuned TCP windows (4 MiB) and parallel
+//!   streams, with a small per-task overhead (task submission + endpoint
+//!   bookkeeping). On the calibrated laptop→EC2 path it sweeps 1.8 →
+//!   37 Mbit/s as file size grows.
+//! * **FTP (Galaxy upload)** — one stream with a stock 64 KiB window
+//!   (window-limited to ≈5.8 Mbit/s on a 90 ms RTT) and a large fixed
+//!   overhead for login plus Galaxy's post-upload import processing:
+//!   0.2 → 5.9 Mbit/s.
+//! * **HTTP (browser upload)** — Galaxy's 2012 web upload: effectively a
+//!   0.028 Mbit/s application bottleneck and a hard 2 GB request cap
+//!   ("files larger than 2GB cannot be uploaded to Galaxy directly").
+//!
+//! The calibrated default path (90 ms RTT, 37.5 Mbit/s uplink) lives in
+//! [`calibrated_wan_link`]; see DESIGN.md §3.
+
+use cumulus_net::{DataSize, Link, Rate, TcpConfig};
+use cumulus_simkit::time::SimDuration;
+
+/// A transfer protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// GridFTP via Globus Transfer, with this many parallel streams.
+    GridFtp {
+        /// Parallel TCP streams (Globus Online's default is 4).
+        streams: u32,
+    },
+    /// Plain FTP into Galaxy's upload directory.
+    Ftp,
+    /// HTTP upload through the Galaxy web form.
+    Http,
+}
+
+impl Protocol {
+    /// Globus Transfer with its default parallelism.
+    pub const GLOBUS_DEFAULT: Protocol = Protocol::GridFtp { streams: 4 };
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::GridFtp { .. } => "globus-transfer",
+            Protocol::Ftp => "ftp",
+            Protocol::Http => "http",
+        }
+    }
+
+    /// Per-task application overhead in seconds (connection setup,
+    /// authentication, service bookkeeping, post-upload processing).
+    pub fn overhead_secs(self) -> f64 {
+        match self {
+            // Task submission to the hosted service + GridFTP session setup.
+            Protocol::GridFtp { .. } => 3.6,
+            // FTP login + Galaxy's import-directory scan and copy.
+            Protocol::Ftp => 38.7,
+            // Form round-trips before the POST body starts.
+            Protocol::Http => 5.0,
+        }
+    }
+
+    /// The TCP configuration the protocol runs with.
+    pub fn tcp_config(self) -> TcpConfig {
+        match self {
+            Protocol::GridFtp { .. } => TcpConfig::tuned(),
+            Protocol::Ftp | Protocol::Http => TcpConfig::default(),
+        }
+    }
+
+    /// Parallel streams used.
+    pub fn streams(self) -> u32 {
+        match self {
+            Protocol::GridFtp { streams } => streams.max(1),
+            _ => 1,
+        }
+    }
+
+    /// Protocol-level hard size limit, if any.
+    pub fn size_limit(self) -> Option<DataSize> {
+        match self {
+            Protocol::Http => Some(DataSize::from_gb(2)),
+            _ => None,
+        }
+    }
+
+    /// Application-level throughput ceiling, if any (below whatever TCP
+    /// would deliver).
+    pub fn app_rate_cap(self) -> Option<Rate> {
+        match self {
+            // Galaxy's 2012 single-threaded web upload handler.
+            Protocol::Http => Some(Rate::from_mbps(0.028)),
+            _ => None,
+        }
+    }
+
+    /// Can an interrupted transfer resume from a byte offset? GridFTP has
+    /// restart markers; FTP/HTTP uploads start over.
+    pub fn supports_restart_markers(self) -> bool {
+        matches!(self, Protocol::GridFtp { .. })
+    }
+
+    /// Steady-state data rate on `link` (excludes per-task overhead).
+    pub fn steady_rate(self, link: &Link) -> Rate {
+        let tcp = self.tcp_config().steady_rate(link, self.streams());
+        match self.app_rate_cap() {
+            Some(cap) => tcp.min(cap),
+            None => tcp,
+        }
+    }
+
+    /// Time to move `size` over `link`, including overhead. `None` when the
+    /// protocol refuses the size outright.
+    pub fn transfer_duration(self, size: DataSize, link: &Link) -> Option<SimDuration> {
+        if let Some(limit) = self.size_limit() {
+            if size > limit {
+                return None;
+            }
+        }
+        let rate = self.steady_rate(link);
+        let ramp = self.tcp_config().ramp_seconds(link);
+        let secs = self.overhead_secs() + ramp + rate.seconds_for(size);
+        Some(SimDuration::from_secs_f64(secs))
+    }
+
+    /// The end-to-end achieved rate for `size` on `link` — the Figure 11
+    /// quantity. `None` when the size is refused.
+    pub fn achieved_rate(self, size: DataSize, link: &Link) -> Option<Rate> {
+        let d = self.transfer_duration(size, link)?;
+        let secs = d.as_secs_f64();
+        if secs <= 0.0 {
+            return Some(Rate::ZERO);
+        }
+        Some(Rate::from_mbps(size.as_megabits_f64() / secs))
+    }
+}
+
+/// The calibrated laptop → EC2 path used for Figure 11: a 90 ms RTT
+/// residential/campus uplink with 37.5 Mbit/s of usable bandwidth.
+pub fn calibrated_wan_link() -> Link {
+    Link::new(45.0, 37.5)
+}
+
+/// The fast intra-EC2 path between cluster hosts.
+pub fn intra_cloud_link() -> Link {
+    Link::new(0.5, 1000.0)
+}
+
+/// The path between two well-connected Globus endpoints (e.g. a campus
+/// GridFTP server and EC2) — used for third-party transfers.
+pub fn inter_site_link() -> Link {
+    Link::new(25.0, 400.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wan() -> Link {
+        calibrated_wan_link()
+    }
+
+    #[test]
+    fn figure11_globus_range() {
+        let p = Protocol::GLOBUS_DEFAULT;
+        let lo = p.achieved_rate(DataSize::from_mb(1), &wan()).unwrap();
+        let hi = p.achieved_rate(DataSize::from_gb(8), &wan()).unwrap();
+        assert!((lo.as_mbps() - 1.8).abs() < 0.3, "small-file GO rate {lo}");
+        assert!((hi.as_mbps() - 37.0).abs() < 1.0, "large-file GO rate {hi}");
+    }
+
+    #[test]
+    fn figure11_ftp_range() {
+        let p = Protocol::Ftp;
+        let lo = p.achieved_rate(DataSize::from_mb(1), &wan()).unwrap();
+        let hi = p.achieved_rate(DataSize::from_gb(8), &wan()).unwrap();
+        assert!((lo.as_mbps() - 0.2).abs() < 0.05, "small-file FTP rate {lo}");
+        assert!((hi.as_mbps() - 5.9).abs() < 0.3, "large-file FTP rate {hi}");
+    }
+
+    #[test]
+    fn figure11_http_is_pathological() {
+        let p = Protocol::Http;
+        for mb in [1u64, 100, 1000, 2000] {
+            let r = p.achieved_rate(DataSize::from_mb(mb), &wan()).unwrap();
+            assert!(r.as_mbps() < 0.03, "HTTP at {mb}MB: {r}");
+        }
+    }
+
+    #[test]
+    fn http_refuses_over_2gb() {
+        let p = Protocol::Http;
+        assert!(p.transfer_duration(DataSize::from_gb(2), &wan()).is_some());
+        assert!(p
+            .transfer_duration(DataSize::from_bytes(2_000_000_001), &wan())
+            .is_none());
+        assert!(p.achieved_rate(DataSize::from_gb(4), &wan()).is_none());
+    }
+
+    #[test]
+    fn globus_beats_ftp_by_an_order_of_magnitude_when_large() {
+        // The paper's §I claim: "performance improvements up to an order of
+        // magnitude".
+        let go = Protocol::GLOBUS_DEFAULT
+            .achieved_rate(DataSize::from_gb(8), &wan())
+            .unwrap();
+        let ftp = Protocol::Ftp
+            .achieved_rate(DataSize::from_gb(8), &wan())
+            .unwrap();
+        assert!(go.as_mbps() / ftp.as_mbps() > 5.0);
+        assert!(go.as_mbps() / ftp.as_mbps() < 12.0);
+    }
+
+    #[test]
+    fn rates_increase_with_size() {
+        for p in [Protocol::GLOBUS_DEFAULT, Protocol::Ftp] {
+            let mut prev = 0.0;
+            for mb in [1u64, 10, 100, 1000, 8000] {
+                let r = p
+                    .achieved_rate(DataSize::from_mb(mb), &wan())
+                    .unwrap()
+                    .as_mbps();
+                assert!(r > prev, "{p:?} at {mb} MB: {r} ≤ {prev}");
+                prev = r;
+            }
+        }
+    }
+
+    #[test]
+    fn more_streams_help_until_link_cap() {
+        let one = Protocol::GridFtp { streams: 1 }.steady_rate(&wan());
+        let four = Protocol::GridFtp { streams: 4 }.steady_rate(&wan());
+        let many = Protocol::GridFtp { streams: 64 }.steady_rate(&wan());
+        assert!(four.as_mbps() >= one.as_mbps());
+        assert!((many.as_mbps() - 37.5).abs() < 1e-9, "capped at the link");
+    }
+
+    #[test]
+    fn restart_marker_capability() {
+        assert!(Protocol::GLOBUS_DEFAULT.supports_restart_markers());
+        assert!(!Protocol::Ftp.supports_restart_markers());
+        assert!(!Protocol::Http.supports_restart_markers());
+    }
+
+    #[test]
+    fn intra_cloud_is_fast() {
+        let d = Protocol::GLOBUS_DEFAULT
+            .transfer_duration(DataSize::from_mb(190), &intra_cloud_link())
+            .unwrap();
+        assert!(d.as_secs_f64() < 30.0, "{d}");
+    }
+
+    #[test]
+    fn zero_byte_transfer_costs_only_overhead() {
+        let d = Protocol::Ftp
+            .transfer_duration(DataSize::ZERO, &wan())
+            .unwrap();
+        assert!((d.as_secs_f64() - Protocol::Ftp.overhead_secs()).abs() < 1.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the paper's §V.A command-line session, end to end.
+//!
+//! Reproduces the transcript:
+//!
+//! ```text
+//! $ gp-instance-create -c galaxy.conf
+//! Created new instance: gpi-02156188
+//! $ gp-instance-start gpi-02156188
+//! Starting instance gpi-02156188... done!
+//! $ gp-instance-update -t newtopology.json gpi-02156188
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cumulus::provision::{GpCli, GpCloud};
+use cumulus::simkit::time::{SimDuration, SimTime};
+
+/// The paper's Figure 3 topology file, verbatim.
+const GALAXY_CONF: &str = "\
+[general]
+domains: simple
+
+[domain-simple]
+users: user1 user2
+gridftp: yes
+condor: yes
+cluster-nodes: 2
+galaxy: yes
+crdata: yes
+go-endpoint: cvrg#galaxy
+
+[ec2]
+keypair: gp-key
+keyfile: ~/.ec2/gp-key.pem
+ami: ami-b12ee0d8
+instance-type: t1.micro
+
+[globusonline]
+ssh-key: ~/.ssh/id_rsa
+";
+
+/// The `gp-instance-update` payload: add a c1.medium worker.
+const NEW_TOPOLOGY_JSON: &str =
+    r#"{"domains":{"simple":{"cluster-nodes":3,"worker-instance-type":"c1.medium"}}}"#;
+
+fn main() {
+    let mut cli = GpCli::new(GpCloud::new(20120501));
+    let now = SimTime::ZERO;
+
+    println!("$ gp-instance-create -c galaxy.conf");
+    let (id, out) = cli.instance_create(GALAXY_CONF).expect("valid galaxy.conf");
+    print!("{out}");
+
+    println!("$ gp-instance-start {id}");
+    let out = cli.instance_start(now, &id).expect("deployment succeeds");
+    print!("{out}");
+
+    println!("$ gp-instance-describe {id}");
+    print!("{}", cli.instance_describe(&id).expect("instance exists"));
+
+    let later = now + SimDuration::from_mins(30);
+    println!("$ gp-instance-update -t newtopology.json {id}");
+    let out = cli
+        .instance_update(later, &id, NEW_TOPOLOGY_JSON)
+        .expect("update succeeds");
+    print!("{out}");
+
+    println!("$ gp-instance-describe {id}");
+    print!("{}", cli.instance_describe(&id).expect("instance exists"));
+
+    let evening = later + SimDuration::from_hours(8);
+    println!("$ gp-instance-stop {id}");
+    print!("{}", cli.instance_stop(evening, &id).expect("stop succeeds"));
+
+    let morning = evening + SimDuration::from_hours(12);
+    println!("$ gp-instance-start {id}   # resume");
+    print!("{}", cli.instance_start(morning, &id).expect("resume succeeds"));
+
+    let done = morning + SimDuration::from_hours(2);
+    println!("$ gp-instance-terminate {id}");
+    print!("{}", cli.instance_terminate(done, &id).expect("terminate succeeds"));
+
+    // What did the day cost?
+    let cost = cli.world.ec2.total_cost(
+        cumulus::cloud::BillingMode::PerSecond,
+        done + SimDuration::from_hours(1),
+    );
+    println!("\ntotal EC2 spend for the session: ${cost:.4}");
+    println!("(the 12-hour stopped window cost nothing — \"avoid paying for idle resources\")");
+}

@@ -1,0 +1,234 @@
+//! Property-based tests over core invariants (proptest).
+
+use proptest::prelude::*;
+
+use cumulus::cloud::{BillingLedger, BillingMode, InstanceId, InstanceType};
+use cumulus::crdata::stats::fdr::{adjust, Adjustment};
+use cumulus::crdata::stats::special::{normal_cdf, t_cdf};
+use cumulus::htc::{ClassAd, Expr, Value};
+use cumulus::net::{DataSize, Link, TcpConfig};
+use cumulus::provision::{IniDoc, Json, Topology};
+use cumulus::simkit::prelude::*;
+use cumulus::transfer::Protocol;
+
+fn instance_type_strategy() -> impl Strategy<Value = InstanceType> {
+    prop::sample::select(InstanceType::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ----- DES kernel -------------------------------------------------
+
+    #[test]
+    fn des_executes_events_in_nondecreasing_time_order(delays in prop::collection::vec(0u64..100_000, 1..60)) {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for d in delays {
+            sim.schedule_at(SimTime::from_micros(d), move |sim: &mut Sim<Vec<u64>>| {
+                let now = sim.now().as_micros();
+                sim.world.push(now);
+            });
+        }
+        sim.run_to_completion();
+        for pair in sim.world.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn des_cancellation_never_fires(delays in prop::collection::vec(1u64..10_000, 2..40)) {
+        let mut sim = Sim::new(0u32);
+        let mut ids = Vec::new();
+        for d in &delays {
+            ids.push(sim.schedule_at(SimTime::from_micros(*d), |sim: &mut Sim<u32>| {
+                sim.world += 1;
+            }));
+        }
+        // Cancel every other event.
+        let mut cancelled = 0;
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                sim.cancel(*id);
+                cancelled += 1;
+            }
+        }
+        sim.run_to_completion();
+        prop_assert_eq!(sim.world as usize, delays.len() - cancelled);
+    }
+
+    // ----- billing -----------------------------------------------------
+
+    #[test]
+    fn billing_is_monotone_and_additive(
+        itype in instance_type_strategy(),
+        start in 0u64..10_000,
+        len1 in 1u64..50_000,
+        gap in 1u64..50_000,
+        len2 in 1u64..50_000,
+    ) {
+        let mut ledger = BillingLedger::new();
+        let t = |s: u64| SimTime::ZERO + SimDuration::from_secs(s);
+        ledger.open(InstanceId(1), itype, t(start));
+        ledger.close(InstanceId(1), t(start + len1));
+        ledger.open(InstanceId(1), itype, t(start + len1 + gap));
+        ledger.close(InstanceId(1), t(start + len1 + gap + len2));
+        let end = t(start + len1 + gap + len2);
+
+        // Monotone in observation time.
+        let mut prev = 0.0;
+        for s in [start, start + len1, start + len1 + gap, start + len1 + gap + len2] {
+            let c = ledger.total_cost(BillingMode::PerSecond, t(s));
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+        // Additive: total equals the sum of the two segments; the gap is free.
+        let expected = (len1 + len2) as f64 / 3600.0 * itype.price_per_hour();
+        let total = ledger.total_cost(BillingMode::PerSecond, end);
+        prop_assert!((total - expected).abs() < 1e-9);
+        // Hourly mode never undercuts proportional mode.
+        prop_assert!(ledger.total_cost(BillingMode::HourlyRoundUp, end) >= total - 1e-12);
+    }
+
+    // ----- transfer models ----------------------------------------------
+
+    #[test]
+    fn transfer_rates_are_monotone_in_size(
+        mb_small in 1u64..100,
+        factor in 2u64..50,
+    ) {
+        let link = cumulus::transfer::calibrated_wan_link();
+        for protocol in [Protocol::GLOBUS_DEFAULT, Protocol::Ftp] {
+            let small = protocol.achieved_rate(DataSize::from_mb(mb_small), &link).unwrap();
+            let large = protocol.achieved_rate(DataSize::from_mb(mb_small * factor), &link).unwrap();
+            prop_assert!(large.as_mbps() >= small.as_mbps());
+            // And never exceeds the steady-state rate.
+            prop_assert!(large.as_mbps() <= protocol.steady_rate(&link).as_mbps() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tcp_rate_monotone_in_bandwidth_and_streams(
+        bw in 1.0f64..1000.0,
+        streams in 1u32..16,
+    ) {
+        let cfg = TcpConfig::default();
+        let slow = Link::new(30.0, bw);
+        let fast = Link::new(30.0, bw * 2.0);
+        prop_assert!(cfg.steady_rate(&fast, streams).as_mbps() >= cfg.steady_rate(&slow, streams).as_mbps());
+        prop_assert!(cfg.steady_rate(&slow, streams + 1).as_mbps() >= cfg.steady_rate(&slow, streams).as_mbps());
+    }
+
+    // ----- statistics ----------------------------------------------------
+
+    #[test]
+    fn bh_adjustment_invariants(ps in prop::collection::vec(0.0f64..=1.0, 1..80)) {
+        let adj = adjust(&ps, Adjustment::BenjaminiHochberg);
+        prop_assert_eq!(adj.len(), ps.len());
+        for (raw, a) in ps.iter().zip(&adj) {
+            prop_assert!(*a >= *raw - 1e-12, "adjustment reduced a p-value");
+            prop_assert!(*a <= 1.0 + 1e-12);
+        }
+        // Order preservation.
+        let mut idx: Vec<usize> = (0..ps.len()).collect();
+        idx.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).unwrap());
+        for pair in idx.windows(2) {
+            prop_assert!(adj[pair[0]] <= adj[pair[1]] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_bounded(z1 in -6.0f64..6.0, z2 in -6.0f64..6.0, df in 1.0f64..200.0) {
+        let (lo, hi) = if z1 <= z2 { (z1, z2) } else { (z2, z1) };
+        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+        prop_assert!(t_cdf(lo, df) <= t_cdf(hi, df) + 1e-12);
+        for z in [lo, hi] {
+            prop_assert!((0.0..=1.0).contains(&normal_cdf(z)));
+            prop_assert!((0.0..=1.0).contains(&t_cdf(z, df)));
+        }
+        // Symmetry.
+        prop_assert!((normal_cdf(lo) + normal_cdf(-lo) - 1.0).abs() < 1e-9);
+        prop_assert!((t_cdf(lo, df) + t_cdf(-lo, df) - 1.0).abs() < 1e-9);
+    }
+
+    // ----- ClassAd expressions ------------------------------------------
+
+    #[test]
+    fn classad_numeric_comparisons_match_rust(a in -1000i64..1000, b in -1000i64..1000) {
+        let target = ClassAd::new().with("A", Value::Int(a)).with("B", Value::Int(b));
+        let own = ClassAd::new();
+        let cases = [
+            ("A > B", a > b),
+            ("A >= B", a >= b),
+            ("A < B", a < b),
+            ("A <= B", a <= b),
+            ("A == B", a == b),
+            ("A != B", a != b),
+        ];
+        for (src, expected) in cases {
+            let e = Expr::parse(src).unwrap();
+            prop_assert_eq!(e.eval_bool(&target, &own), expected, "{}", src);
+        }
+    }
+
+    // ----- config parsers -------------------------------------------------
+
+    #[test]
+    fn ini_round_trips_arbitrary_settings(
+        values in prop::collection::vec("[a-z]{1,10}", 1..10),
+    ) {
+        let mut doc = IniDoc::new();
+        for (i, v) in values.iter().enumerate() {
+            doc.set("section", &format!("key{i}"), v);
+        }
+        let parsed = IniDoc::parse(&doc.render()).unwrap();
+        prop_assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn json_round_trips_strings(s in "[ -~]{0,60}") {
+        let v = Json::str(&s);
+        let rendered = v.render();
+        prop_assert_eq!(Json::parse(&rendered).unwrap(), v);
+    }
+
+    // ----- topology diff/apply convergence --------------------------------
+
+    #[test]
+    fn topology_diff_of_identical_is_empty_and_diff_apply_converges(
+        initial_workers in 0usize..5,
+        target_workers in 0usize..5,
+        head in instance_type_strategy(),
+        wtype in instance_type_strategy(),
+    ) {
+        let mut a = Topology::single_node(head);
+        a.workers = vec![wtype; initial_workers];
+        prop_assert!(a.diff(&a.clone()).is_empty());
+
+        let mut b = a.clone();
+        b.workers = vec![wtype; target_workers];
+        let delta = a.diff(&b);
+        // The delta sizes match the worker count difference.
+        if target_workers >= initial_workers {
+            prop_assert_eq!(delta.add_workers.len(), target_workers - initial_workers);
+            prop_assert!(delta.remove_workers.is_empty());
+        } else {
+            prop_assert_eq!(delta.remove_workers.len(), initial_workers - target_workers);
+            prop_assert!(delta.add_workers.is_empty());
+        }
+        // Applying the "update" then diffing again is empty.
+        prop_assert!(b.diff(&b.clone()).is_empty());
+    }
+
+    // ----- data sizes -----------------------------------------------------
+
+    #[test]
+    fn data_size_arithmetic_is_consistent(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let da = DataSize::from_bytes(a);
+        let db = DataSize::from_bytes(b);
+        prop_assert_eq!((da + db).as_bytes(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_bytes(), a.saturating_sub(b));
+        prop_assert_eq!(da.min(db).as_bytes(), a.min(b));
+        let mb = da.as_mb_f64();
+        prop_assert!((mb * 1e6 - a as f64).abs() < 1.0);
+    }
+}
