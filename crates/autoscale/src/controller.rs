@@ -1,0 +1,696 @@
+//! The closed-loop controller and the episode driver that runs it
+//! inside the DES.
+//!
+//! Each control tick the [`AutoScaler`] samples the pool into its signal
+//! window, asks its policy for a desired worker count, and actuates the
+//! difference through the provision layer's delta-based scaling API. Two
+//! safety rules are enforced here, not in policies:
+//!
+//! * **no double-scaling** — while a reconfiguration is in flight the
+//!   controller holds, whatever the policy wants;
+//! * **drain-before-remove** — scale-in only releases trailing workers
+//!   that are not executing a job; a busy tail blocks (and the provision
+//!   layer drains regardless, so a running job can never be lost).
+//!
+//! Every tick produces a [`Decision`] appended to an [`ActivityLog`]
+//! whose rendering is byte-for-byte deterministic for a given seed — the
+//! audit trail the determinism suite fingerprints.
+
+use cumulus_cloud::InstanceType;
+use cumulus_provision::deploy::{GpCloud, GpError, GpInstanceId};
+use cumulus_provision::Topology;
+use cumulus_simkit::engine::Sim;
+use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use crate::policy::ScalingPolicy;
+use crate::signal::{percentile, SignalSample, SignalWindow};
+use crate::workload::Workload;
+
+/// Metrics keys the controller records (see [`cumulus_simkit::metrics`]).
+pub mod keys {
+    /// Counter: control ticks evaluated.
+    pub const TICKS: &str = "autoscale/ticks";
+    /// Counter: scale-out actions issued.
+    pub const SCALE_OUT: &str = "autoscale/scale_out";
+    /// Counter: scale-in actions issued.
+    pub const SCALE_IN: &str = "autoscale/scale_in";
+    /// Counter: ticks held because a reconfiguration was in flight.
+    pub const HOLD_IN_FLIGHT: &str = "autoscale/hold_in_flight";
+    /// Counter: scale-ins blocked because the tail worker was busy.
+    pub const HOLD_DRAIN: &str = "autoscale/hold_drain_blocked";
+    /// Gauge: workers after the most recent tick.
+    pub const WORKERS: &str = "autoscale/workers";
+}
+
+/// Why a tick did not change the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HoldReason {
+    /// A previous reconfiguration has not completed yet.
+    InFlight,
+    /// The policy is satisfied with the current size.
+    NoChange,
+    /// Scale-in wanted, but every removable (tail) worker is busy.
+    DrainBlocked,
+}
+
+/// What a control tick did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Nothing actuated.
+    Hold(HoldReason),
+    /// Workers added: `from` → `to`.
+    ScaleOut {
+        /// Workers before.
+        from: usize,
+        /// Workers after.
+        to: usize,
+    },
+    /// Workers released: `from` → `to`.
+    ScaleIn {
+        /// Workers before.
+        from: usize,
+        /// Workers after.
+        to: usize,
+    },
+}
+
+/// One audited control decision.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Tick time.
+    pub at: SimTime,
+    /// The signals the decision was made on.
+    pub sample: SignalSample,
+    /// What the policy asked for (current size on an in-flight hold,
+    /// where the policy is not consulted).
+    pub desired: usize,
+    /// What was done.
+    pub action: Action,
+    /// When the actuated reconfiguration completes, for scale actions.
+    pub done_at: Option<SimTime>,
+}
+
+impl Decision {
+    fn render(&self) -> String {
+        let s = &self.sample;
+        let action = match &self.action {
+            Action::Hold(HoldReason::InFlight) => "hold (reconfig in flight)".to_string(),
+            Action::Hold(HoldReason::NoChange) => "hold".to_string(),
+            Action::Hold(HoldReason::DrainBlocked) => "hold (drain blocked)".to_string(),
+            Action::ScaleOut { from, to } => format!("scale-out {from}->{to}"),
+            Action::ScaleIn { from, to } => format!("scale-in {from}->{to}"),
+        };
+        let done = match self.done_at {
+            Some(d) => format!(" (done {d})"),
+            None => String::new(),
+        };
+        format!(
+            "[{at}] q={q} r={r} w={w} util={u:.2} p95w={p:.1}s desired={d} | {action}{done}",
+            at = self.at,
+            q = s.queue_depth,
+            r = s.running,
+            w = s.workers,
+            u = s.utilization,
+            p = s.wait_p95_secs,
+            d = self.desired,
+        )
+    }
+}
+
+/// The append-only scaling-activity log: every decision of a run, in tick
+/// order, renderable to a deterministic text audit trail.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityLog {
+    /// Decisions in tick order.
+    pub entries: Vec<Decision>,
+}
+
+impl ActivityLog {
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no decision was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Scale-out actions recorded.
+    pub fn scale_outs(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|d| matches!(d.action, Action::ScaleOut { .. }))
+            .count()
+    }
+
+    /// Scale-in actions recorded.
+    pub fn scale_ins(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|d| matches!(d.action, Action::ScaleIn { .. }))
+            .count()
+    }
+
+    /// Render the audit trail, one line per decision. For a fixed seed the
+    /// output is byte-identical run to run (the determinism suite relies
+    /// on this).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.entries {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Controller parameters.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Control-loop period.
+    pub tick: SimDuration,
+    /// Signal-window capacity, in samples.
+    pub window: usize,
+    /// Instance type for workers the controller launches.
+    pub worker_type: InstanceType,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            tick: SimDuration::from_secs(60),
+            window: 5,
+            worker_type: InstanceType::C1Medium,
+        }
+    }
+}
+
+/// The closed-loop elasticity controller.
+pub struct AutoScaler {
+    policy: Box<dyn ScalingPolicy>,
+    /// Active configuration.
+    pub config: ControllerConfig,
+    window: SignalWindow,
+    in_flight_until: Option<SimTime>,
+    /// Audit trail of every decision taken.
+    pub log: ActivityLog,
+    /// Counters and gauges (see [`keys`]).
+    pub metrics: Metrics,
+}
+
+impl AutoScaler {
+    /// A controller driving `policy` under `config`.
+    pub fn new(policy: Box<dyn ScalingPolicy>, config: ControllerConfig) -> AutoScaler {
+        let window = SignalWindow::new(config.window);
+        AutoScaler {
+            policy,
+            config,
+            window,
+            in_flight_until: None,
+            log: ActivityLog::default(),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// The policy's log name.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Whether a reconfiguration issued earlier is still in flight at `now`.
+    pub fn in_flight(&self, now: SimTime) -> bool {
+        self.in_flight_until.is_some_and(|until| now < until)
+    }
+
+    /// Run one control tick against the instance: sample, decide, actuate.
+    /// Returns the recorded decision (also appended to [`log`][Self::log]).
+    pub fn tick(
+        &mut self,
+        now: SimTime,
+        cloud: &mut GpCloud,
+        id: &GpInstanceId,
+    ) -> Result<Decision, GpError> {
+        self.metrics.incr(keys::TICKS, 1);
+        let inst = cloud.instance(id)?;
+        let workers = inst.topology.workers.len();
+        let sample = SignalSample::observe(now, &inst.pool, workers);
+        self.window.push(sample.clone());
+
+        // Rule 1: never stack reconfigurations. The policy is not even
+        // consulted, so stateful policies (one-shot latches, cooldown
+        // clocks) see only actionable ticks.
+        if let Some(until) = self.in_flight_until {
+            if now < until {
+                self.metrics.incr(keys::HOLD_IN_FLIGHT, 1);
+                return Ok(self.record(Decision {
+                    at: now,
+                    sample,
+                    desired: workers,
+                    action: Action::Hold(HoldReason::InFlight),
+                    done_at: None,
+                }));
+            }
+            self.in_flight_until = None;
+        }
+
+        let desired = self.policy.desired_workers(&self.window);
+        let decision = if desired > workers {
+            let report = cloud.scale_workers(now, id, desired, self.config.worker_type)?;
+            let done = report.done_at(now);
+            self.in_flight_until = Some(done);
+            self.metrics.incr(keys::SCALE_OUT, 1);
+            Decision {
+                at: now,
+                sample,
+                desired,
+                action: Action::ScaleOut {
+                    from: workers,
+                    to: desired,
+                },
+                done_at: Some(done),
+            }
+        } else if desired < workers {
+            // Rule 2: only release trailing workers that are idle. Removal
+            // is positional from the tail, so stop at the first busy one.
+            let mut to = workers;
+            while to > desired && !cloud.worker_busy(id, to - 1)? {
+                to -= 1;
+            }
+            if to == workers {
+                self.metrics.incr(keys::HOLD_DRAIN, 1);
+                Decision {
+                    at: now,
+                    sample,
+                    desired,
+                    action: Action::Hold(HoldReason::DrainBlocked),
+                    done_at: None,
+                }
+            } else {
+                let report = cloud.scale_workers(now, id, to, self.config.worker_type)?;
+                let done = report.done_at(now);
+                self.in_flight_until = Some(done);
+                self.metrics.incr(keys::SCALE_IN, 1);
+                Decision {
+                    at: now,
+                    sample,
+                    desired,
+                    action: Action::ScaleIn { from: workers, to },
+                    done_at: Some(done),
+                }
+            }
+        } else {
+            Decision {
+                at: now,
+                sample,
+                desired,
+                action: Action::Hold(HoldReason::NoChange),
+                done_at: None,
+            }
+        };
+        let after = cloud.instance(id)?.topology.workers.len();
+        self.metrics.set_gauge(keys::WORKERS, after as f64);
+        Ok(self.record(decision))
+    }
+
+    fn record(&mut self, decision: Decision) -> Decision {
+        self.log.entries.push(decision.clone());
+        decision
+    }
+}
+
+// ---------------------------------------------------------------------
+// Episode driver
+// ---------------------------------------------------------------------
+
+/// Everything measured over one workload episode.
+#[derive(Debug, Clone)]
+pub struct EpisodeReport {
+    /// Policy log name.
+    pub policy: String,
+    /// Workload trace name.
+    pub workload: String,
+    /// When the deployment was ready (episode start).
+    pub ready_at: SimTime,
+    /// When the queue drained and the cluster was torn down.
+    pub end_at: SimTime,
+    /// Ready → last job completion, minutes.
+    pub makespan_mins: f64,
+    /// EC2 spend over `[ready_at, end_at]`, dollars.
+    pub cost_usd: f64,
+    /// Median job wait (submission → start), minutes.
+    pub wait_p50_mins: f64,
+    /// 95th-percentile job wait, minutes.
+    pub wait_p95_mins: f64,
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Largest worker count the controller reached.
+    pub peak_workers: usize,
+    /// The full audit trail.
+    pub log: ActivityLog,
+}
+
+struct EpisodeWorld {
+    cloud: GpCloud,
+    scaler: AutoScaler,
+    total_jobs: usize,
+    submitted: usize,
+    end_at: Option<SimTime>,
+}
+
+/// Deploy a single-node Galaxy instance, run `workload` through it under
+/// `policy`, and tear the cluster down when the queue drains.
+///
+/// The whole episode runs inside the DES: arrivals are events, the
+/// controller is a recurring tick, and worker *joins are deferred* — a
+/// scaled-out worker only starts accepting jobs once its provisioning
+/// (boot + converge) completes, so reaction lag is paid honestly by every
+/// policy.
+///
+/// # Panics
+/// Panics if the deployment fails or the episode exceeds its step budget
+/// (both indicate a model bug, not a data-dependent condition).
+pub fn run_episode(
+    seed: u64,
+    policy: Box<dyn ScalingPolicy>,
+    config: ControllerConfig,
+    workload: &Workload,
+) -> EpisodeReport {
+    let mut cloud = GpCloud::deterministic(seed);
+    let id = cloud.create_instance(Topology::single_node(InstanceType::M1Small));
+    let ready = cloud
+        .start_instance(SimTime::ZERO, &id)
+        .expect("single-node deployment succeeds")
+        .ready_at;
+    let scaler = AutoScaler::new(policy, config.clone());
+    let policy_name = scaler.policy_name();
+
+    let mut sim = Sim::new(EpisodeWorld {
+        cloud,
+        scaler,
+        total_jobs: workload.len(),
+        submitted: 0,
+        end_at: None,
+    });
+    sim.fast_forward(ready);
+
+    // Arrivals: submit and negotiate immediately (job starts are not
+    // quantized to the control tick; completions settle each tick).
+    for a in &workload.arrivals {
+        let aid = id.clone();
+        let owner = a.owner.clone();
+        let work = a.work;
+        sim.schedule_at(ready + a.at, move |sim| {
+            let now = sim.now();
+            let w = &mut sim.world;
+            if let Ok(inst) = w.cloud.instance_mut(&aid) {
+                inst.pool.submit(cumulus_htc::Job::new(&owner, work), now);
+                inst.pool.settle(now);
+                inst.pool.negotiate(now);
+            }
+            w.submitted += 1;
+        });
+    }
+
+    // The control loop.
+    let tid = id.clone();
+    sim.schedule_every(ready, config.tick, move |sim| {
+        let now = sim.now();
+        let decision = {
+            let w = &mut sim.world;
+            if let Ok(inst) = w.cloud.instance_mut(&tid) {
+                inst.pool.settle(now);
+            }
+            w.scaler
+                .tick(now, &mut w.cloud, &tid)
+                .expect("controller tick against a running instance")
+        };
+
+        // Deferred join: freshly-launched workers leave the pool until
+        // their provisioning completes, then an event re-adds them. This
+        // must happen before the queue is renegotiated below — otherwise
+        // jobs match onto machines that are still provisioning.
+        if let (Action::ScaleOut { from, to }, Some(done)) = (&decision.action, decision.done_at) {
+            for idx in *from..*to {
+                let machine_name = format!("{tid}.worker-{idx}");
+                let wtype = {
+                    let w = &mut sim.world;
+                    let inst = w.cloud.instance_mut(&tid).expect("instance exists");
+                    let _ = inst.pool.drain_machine(&machine_name);
+                    inst.topology.workers[idx]
+                };
+                let jid = tid.clone();
+                sim.schedule_at(done, move |sim| {
+                    let w = &mut sim.world;
+                    let Ok(inst) = w.cloud.instance_mut(&jid) else {
+                        return;
+                    };
+                    // The worker may have been scaled away again meanwhile.
+                    if inst.topology.workers.len() <= idx {
+                        return;
+                    }
+                    let machine = cumulus_htc::Machine::new(
+                        &format!("{jid}.worker-{idx}"),
+                        wtype.compute_units(),
+                        (wtype.memory_gb() * 1024.0) as i64,
+                        1,
+                    );
+                    let _ = inst.pool.add_machine(machine);
+                    let now = sim.now();
+                    if let Ok(inst) = sim.world.cloud.instance_mut(&jid) {
+                        inst.pool.negotiate(now);
+                    }
+                });
+            }
+        }
+
+        // Match queued jobs onto whatever capacity is actually online.
+        let w = &mut sim.world;
+        if let Ok(inst) = w.cloud.instance_mut(&tid) {
+            inst.pool.negotiate(now);
+        }
+
+        // Episode end: everything submitted and drained → tear down.
+        let inst = w.cloud.instance(&tid).expect("instance exists");
+        let drained = w.submitted == w.total_jobs
+            && inst.pool.idle_count() == 0
+            && inst.pool.running_count() == 0;
+        if drained {
+            let wtype = w.scaler.config.worker_type;
+            let _ = w.cloud.scale_workers(now, &tid, 0, wtype);
+            w.end_at = Some(now);
+            false
+        } else {
+            true
+        }
+    });
+
+    let _ = sim.run(SimTime::MAX, 50_000_000);
+    let end_at = sim.world.end_at.expect("episode drains within budget");
+
+    let world = sim.world;
+    let pool = &world.cloud.instance(&id).expect("instance exists").pool;
+    let waits_mins: Vec<f64> = pool
+        .completed_waits()
+        .iter()
+        .map(|d| d.as_mins_f64())
+        .collect();
+    let makespan_mins = pool
+        .last_completion_at()
+        .map(|t| t.since(ready).as_mins_f64())
+        .unwrap_or(0.0);
+    let log = world.scaler.log;
+    EpisodeReport {
+        policy: policy_name,
+        workload: workload.name.clone(),
+        ready_at: ready,
+        end_at,
+        makespan_mins,
+        cost_usd: world.cloud.ec2.ledger.window_cost(ready, end_at),
+        wait_p50_mins: percentile(&waits_mins, 0.50),
+        wait_p95_mins: percentile(&waits_mins, 0.95),
+        jobs: waits_mins.len(),
+        peak_workers: log
+            .entries
+            .iter()
+            .map(|d| d.sample.workers)
+            .max()
+            .unwrap_or(0),
+        log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Fixed, Hysteresis, HysteresisConfig, QueueStep};
+    use cumulus_htc::{Job, JobState, WorkSpec};
+
+    fn running_single(seed: u64) -> (GpCloud, GpInstanceId, SimTime) {
+        let mut cloud = GpCloud::deterministic(seed);
+        let id = cloud.create_instance(Topology::single_node(InstanceType::M1Small));
+        let ready = cloud.start_instance(SimTime::ZERO, &id).unwrap().ready_at;
+        (cloud, id, ready)
+    }
+
+    fn queue_jobs(cloud: &mut GpCloud, id: &GpInstanceId, n: usize, at: SimTime) {
+        let inst = cloud.instance_mut(id).unwrap();
+        for _ in 0..n {
+            inst.pool.submit(
+                Job::new("u", WorkSpec::serial(3600.0)).requirements("ComputeUnits >= 2"),
+                at,
+            );
+        }
+    }
+
+    #[test]
+    fn no_decision_issued_while_reconfig_in_flight() {
+        let (mut cloud, id, ready) = running_single(101);
+        let mut scaler = AutoScaler::new(Box::new(QueueStep::new(1)), ControllerConfig::default());
+        queue_jobs(&mut cloud, &id, 4, ready);
+        let d1 = scaler.tick(ready, &mut cloud, &id).unwrap();
+        assert!(matches!(d1.action, Action::ScaleOut { from: 0, to: 4 }));
+        let done = d1.done_at.unwrap();
+        assert!(done > ready, "provisioning takes time");
+        assert!(scaler.in_flight(ready + SimDuration::from_secs(1)));
+
+        // More work shows up mid-flight: the controller must hold.
+        queue_jobs(&mut cloud, &id, 6, ready + SimDuration::from_secs(60));
+        let d2 = scaler
+            .tick(ready + SimDuration::from_secs(60), &mut cloud, &id)
+            .unwrap();
+        assert_eq!(d2.action, Action::Hold(HoldReason::InFlight));
+        assert_eq!(cloud.worker_count(&id).unwrap(), 4, "no double-scaling");
+        assert_eq!(scaler.metrics.counter(keys::HOLD_IN_FLIGHT), 1);
+
+        // Once the reconfiguration lands the controller acts again.
+        let after = done + SimDuration::from_secs(1);
+        assert!(!scaler.in_flight(after));
+        let d3 = scaler.tick(after, &mut cloud, &id).unwrap();
+        assert!(
+            matches!(d3.action, Action::ScaleOut { from: 4, .. }),
+            "got {:?}",
+            d3.action
+        );
+        assert!(scaler.in_flight(after), "the new reconfig is in flight");
+    }
+
+    #[test]
+    fn scale_in_never_terminates_a_machine_with_a_running_job() {
+        let (mut cloud, id, ready) = running_single(102);
+        cloud
+            .scale_workers(ready, &id, 2, InstanceType::C1Medium)
+            .unwrap();
+        let start = ready + SimDuration::from_mins(20);
+        // Pin a long job to the TAIL worker.
+        let jid = {
+            let inst = cloud.instance_mut(&id).unwrap();
+            let machine = format!("{id}.worker-1");
+            let jid = inst.pool.submit(
+                Job::new("u", WorkSpec::serial(7200.0))
+                    .requirements(&format!("Machine == \"{machine}\"")),
+                start,
+            );
+            inst.pool.negotiate(start);
+            jid
+        };
+        let mut scaler = AutoScaler::new(Box::new(Fixed(0)), ControllerConfig::default());
+        let d = scaler.tick(start, &mut cloud, &id).unwrap();
+        // The busy tail blocks the whole scale-in.
+        assert_eq!(d.action, Action::Hold(HoldReason::DrainBlocked));
+        assert_eq!(cloud.worker_count(&id).unwrap(), 2);
+        let job = cloud.instance(&id).unwrap().pool.job(jid).unwrap();
+        assert_eq!(job.state, JobState::Running);
+        assert_eq!(job.evictions, 0);
+        assert_eq!(scaler.metrics.counter(keys::HOLD_DRAIN), 1);
+    }
+
+    #[test]
+    fn scale_in_releases_only_the_idle_tail() {
+        let (mut cloud, id, ready) = running_single(103);
+        cloud
+            .scale_workers(ready, &id, 3, InstanceType::C1Medium)
+            .unwrap();
+        let start = ready + SimDuration::from_mins(20);
+        // Busy worker-0, idle workers 1 and 2.
+        let jid = {
+            let inst = cloud.instance_mut(&id).unwrap();
+            let machine = format!("{id}.worker-0");
+            let jid = inst.pool.submit(
+                Job::new("u", WorkSpec::serial(7200.0))
+                    .requirements(&format!("Machine == \"{machine}\"")),
+                start,
+            );
+            inst.pool.negotiate(start);
+            jid
+        };
+        let mut scaler = AutoScaler::new(Box::new(Fixed(0)), ControllerConfig::default());
+        let d = scaler.tick(start, &mut cloud, &id).unwrap();
+        assert_eq!(d.action, Action::ScaleIn { from: 3, to: 1 });
+        assert_eq!(cloud.worker_count(&id).unwrap(), 1);
+        let job = cloud.instance(&id).unwrap().pool.job(jid).unwrap();
+        assert_eq!(job.state, JobState::Running, "running job untouched");
+        assert_eq!(job.evictions, 0);
+    }
+
+    #[test]
+    fn steady_state_holds_and_logs() {
+        let (mut cloud, id, ready) = running_single(104);
+        let mut scaler = AutoScaler::new(Box::new(Fixed(0)), ControllerConfig::default());
+        for k in 0..3u64 {
+            let d = scaler
+                .tick(ready + SimDuration::from_secs(60 * k), &mut cloud, &id)
+                .unwrap();
+            assert_eq!(d.action, Action::Hold(HoldReason::NoChange));
+        }
+        assert_eq!(scaler.log.len(), 3);
+        assert_eq!(scaler.log.scale_outs(), 0);
+        assert_eq!(scaler.metrics.counter(keys::TICKS), 3);
+        let rendered = scaler.log.render();
+        assert_eq!(rendered.lines().count(), 3);
+        assert!(rendered.contains("| hold"), "log:\n{rendered}");
+    }
+
+    #[test]
+    fn episode_runs_a_burst_through_the_closed_loop() {
+        let work = WorkSpec {
+            serial_secs: 112.0,
+            cu_work: 418.0,
+        };
+        let workload = Workload::burst("burst-8", 8, SimDuration::ZERO, work);
+        let policy = Hysteresis::new(
+            QueueStep::new(2),
+            HysteresisConfig {
+                min_workers: 0,
+                max_workers: 8,
+                scale_out_cooldown: SimDuration::from_mins(2),
+                scale_in_cooldown: SimDuration::from_mins(5),
+            },
+        );
+        let report = run_episode(7, Box::new(policy), ControllerConfig::default(), &workload);
+        assert_eq!(report.jobs, 8);
+        assert!(report.peak_workers >= 2, "peak={}", report.peak_workers);
+        assert!(report.log.scale_outs() >= 1);
+        assert!(report.log.scale_ins() >= 1, "cluster torn back down");
+        assert!(report.cost_usd > 0.0);
+        assert!(report.makespan_mins > 5.0, "provisioning lag is real");
+        assert!(report.makespan_mins < 60.0, "but the burst still drains");
+        // The teardown left nothing behind.
+        assert_eq!(report.log.entries.last().unwrap().sample.queue_depth, 0);
+    }
+
+    #[test]
+    fn episode_with_no_workload_ends_immediately() {
+        let workload = Workload::burst("empty", 0, SimDuration::ZERO, WorkSpec::serial(1.0));
+        let report = run_episode(
+            8,
+            Box::new(Fixed(0)),
+            ControllerConfig::default(),
+            &workload,
+        );
+        assert_eq!(report.jobs, 0);
+        assert_eq!(report.makespan_mins, 0.0);
+        assert_eq!(report.end_at, report.ready_at);
+    }
+}

@@ -1,0 +1,448 @@
+//! Scaling policies: signals in, desired worker count out.
+//!
+//! A [`ScalingPolicy`] is a pure sizing function — it never touches the
+//! cloud. The controller clamps and actuates its output, so policies stay
+//! small and composable:
+//!
+//! * [`QueueStep`] — proportional-to-backlog (CloudMan-style queue steps);
+//! * [`TargetTracking`] — hold pool utilization near a setpoint
+//!   (EC2-auto-scaling-style target tracking);
+//! * [`Scheduled`] — time-of-day worker counts, ignoring load;
+//! * [`OneShot`] — size once from the first non-empty observation and
+//!   never look again (the open-loop strawman the paper's manual
+//!   `gp-instance-update` workflow corresponds to);
+//! * [`Fixed`] — a constant cluster (the static baseline);
+//! * [`Hysteresis`] — wraps any policy with min/max bounds and separate
+//!   scale-out/scale-in cooldowns.
+
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use crate::signal::SignalWindow;
+
+/// A worker-count recommendation engine. Implementations may keep state
+/// (cooldowns, one-shot latches), hence `&mut self`.
+pub trait ScalingPolicy {
+    /// Short stable name used in the scaling-activity log.
+    fn name(&self) -> String;
+
+    /// Desired worker count given the observed signal window. The window
+    /// always holds at least one sample when the controller calls this.
+    fn desired_workers(&mut self, window: &SignalWindow) -> usize;
+}
+
+/// Keep `jobs_per_worker` jobs (queued + running) per worker: desired is
+/// `ceil(backlog / jobs_per_worker)`. An empty system wants zero workers.
+#[derive(Debug, Clone)]
+pub struct QueueStep {
+    /// Backlog each worker is expected to absorb.
+    pub jobs_per_worker: usize,
+}
+
+impl QueueStep {
+    /// Policy with the given per-worker backlog target (at least 1).
+    pub fn new(jobs_per_worker: usize) -> QueueStep {
+        QueueStep {
+            jobs_per_worker: jobs_per_worker.max(1),
+        }
+    }
+}
+
+impl ScalingPolicy for QueueStep {
+    fn name(&self) -> String {
+        format!("queue-step/{}", self.jobs_per_worker)
+    }
+
+    fn desired_workers(&mut self, window: &SignalWindow) -> usize {
+        let backlog = window.latest().map(|s| s.backlog()).unwrap_or(0);
+        backlog.div_ceil(self.jobs_per_worker)
+    }
+}
+
+/// Hold mean utilization near `target`: desired is
+/// `ceil(workers × utilization / target)` — the standard target-tracking
+/// rearrangement (with N workers at utilization u, N·u/target workers
+/// would run at exactly the setpoint). Bootstraps to one worker when work
+/// is queued against an empty cluster, and releases everything when the
+/// system is empty.
+#[derive(Debug, Clone)]
+pub struct TargetTracking {
+    /// Utilization setpoint in `(0, 1]`.
+    pub target: f64,
+}
+
+impl TargetTracking {
+    /// Policy tracking the given utilization setpoint (clamped sane).
+    pub fn new(target: f64) -> TargetTracking {
+        TargetTracking {
+            target: target.clamp(0.05, 1.0),
+        }
+    }
+}
+
+impl ScalingPolicy for TargetTracking {
+    fn name(&self) -> String {
+        format!("target-tracking/{:.2}", self.target)
+    }
+
+    fn desired_workers(&mut self, window: &SignalWindow) -> usize {
+        let Some(latest) = window.latest() else {
+            return 0;
+        };
+        if latest.backlog() == 0 {
+            return 0;
+        }
+        if latest.workers == 0 {
+            return 1; // nothing measured yet: bootstrap and re-observe
+        }
+        let util = window.mean_utilization();
+        (latest.workers as f64 * util / self.target).ceil() as usize
+    }
+}
+
+/// Time-of-day schedule: worker counts by offset into a repeating period,
+/// load-blind. The entry with the largest offset at or before
+/// `t mod period` wins; before the first entry the last one applies
+/// (the schedule wraps).
+#[derive(Debug, Clone)]
+pub struct Scheduled {
+    period: SimDuration,
+    /// `(offset into period, workers)`, sorted by offset.
+    points: Vec<(SimDuration, usize)>,
+    epoch: Option<SimTime>,
+}
+
+impl Scheduled {
+    /// Build a schedule over `period` from `(offset, workers)` points.
+    /// Offsets beyond the period are folded into it. Offsets are measured
+    /// from the first sample the policy sees (deployment-relative, so the
+    /// same schedule works wherever the episode starts).
+    ///
+    /// # Panics
+    /// Panics on an empty point list or a zero period.
+    pub fn new(period: SimDuration, mut points: Vec<(SimDuration, usize)>) -> Scheduled {
+        assert!(
+            period > SimDuration::ZERO,
+            "schedule period must be positive"
+        );
+        assert!(!points.is_empty(), "schedule needs at least one point");
+        let period_us = period.as_micros();
+        for p in &mut points {
+            *p = (SimDuration::from_micros(p.0.as_micros() % period_us), p.1);
+        }
+        points.sort_by_key(|p| p.0);
+        points.dedup_by_key(|p| p.0);
+        Scheduled {
+            period,
+            points,
+            epoch: None,
+        }
+    }
+
+    fn workers_at(&self, offset: SimDuration) -> usize {
+        let folded = offset.as_micros() % self.period.as_micros();
+        self.points
+            .iter()
+            .rev()
+            .find(|(o, _)| o.as_micros() <= folded)
+            .or(self.points.last())
+            .map(|(_, w)| *w)
+            .expect("non-empty by construction")
+    }
+}
+
+impl ScalingPolicy for Scheduled {
+    fn name(&self) -> String {
+        format!("scheduled/{}pt", self.points.len())
+    }
+
+    fn desired_workers(&mut self, window: &SignalWindow) -> usize {
+        let Some(latest) = window.latest() else {
+            return 0;
+        };
+        let epoch = *self.epoch.get_or_insert(latest.at);
+        self.workers_at(latest.at.since(epoch))
+    }
+}
+
+/// Size the cluster once, from the first observation with a non-empty
+/// backlog, then never react again. This is the open-loop baseline: what
+/// an operator gets by eyeballing the queue and running one manual
+/// `gp-instance-update`.
+#[derive(Debug, Clone)]
+pub struct OneShot {
+    /// Backlog each worker is sized for at the single decision point.
+    pub jobs_per_worker: usize,
+    /// Hard cap on the chosen size.
+    pub cap: usize,
+    chosen: Option<usize>,
+}
+
+impl OneShot {
+    /// Open-loop sizing with the given per-worker backlog and cap.
+    pub fn new(jobs_per_worker: usize, cap: usize) -> OneShot {
+        OneShot {
+            jobs_per_worker: jobs_per_worker.max(1),
+            cap,
+            chosen: None,
+        }
+    }
+}
+
+impl ScalingPolicy for OneShot {
+    fn name(&self) -> String {
+        format!("one-shot/{}", self.jobs_per_worker)
+    }
+
+    fn desired_workers(&mut self, window: &SignalWindow) -> usize {
+        if let Some(chosen) = self.chosen {
+            return chosen;
+        }
+        let backlog = window.latest().map(|s| s.backlog()).unwrap_or(0);
+        if backlog == 0 {
+            return 0; // nothing seen yet; keep waiting for the first work
+        }
+        let size = backlog.div_ceil(self.jobs_per_worker).min(self.cap);
+        self.chosen = Some(size);
+        size
+    }
+}
+
+/// A constant cluster size — the static baseline every elastic policy is
+/// judged against.
+#[derive(Debug, Clone)]
+pub struct Fixed(pub usize);
+
+impl ScalingPolicy for Fixed {
+    fn name(&self) -> String {
+        format!("fixed/{}", self.0)
+    }
+
+    fn desired_workers(&mut self, _window: &SignalWindow) -> usize {
+        self.0
+    }
+}
+
+/// Bounds and damping for [`Hysteresis`].
+#[derive(Debug, Clone)]
+pub struct HysteresisConfig {
+    /// Never fewer workers than this.
+    pub min_workers: usize,
+    /// Never more workers than this.
+    pub max_workers: usize,
+    /// Minimum time between scale-out recommendations.
+    pub scale_out_cooldown: SimDuration,
+    /// Minimum time between scale-in recommendations (typically longer:
+    /// adding capacity is urgent, releasing it is not).
+    pub scale_in_cooldown: SimDuration,
+}
+
+impl Default for HysteresisConfig {
+    fn default() -> Self {
+        HysteresisConfig {
+            min_workers: 0,
+            max_workers: 8,
+            scale_out_cooldown: SimDuration::from_mins(2),
+            scale_in_cooldown: SimDuration::from_mins(10),
+        }
+    }
+}
+
+/// Wraps an inner policy with min/max clamping and directional cooldowns.
+///
+/// While a cooldown is active, the wrapper reports the *current* worker
+/// count (no change) rather than the inner recommendation, so the
+/// controller sees a steady state instead of a thrashing one. Cooldown
+/// clocks start when a changed recommendation is surfaced; the controller
+/// only consults the policy when it is free to act, so a surfaced change
+/// is an actuated one.
+#[derive(Debug, Clone)]
+pub struct Hysteresis<P> {
+    inner: P,
+    /// The active bounds and cooldowns.
+    pub config: HysteresisConfig,
+    last_scale_out: Option<SimTime>,
+    last_scale_in: Option<SimTime>,
+}
+
+impl<P: ScalingPolicy> Hysteresis<P> {
+    /// Wrap `inner` with `config`.
+    pub fn new(inner: P, config: HysteresisConfig) -> Hysteresis<P> {
+        Hysteresis {
+            inner,
+            config,
+            last_scale_out: None,
+            last_scale_in: None,
+        }
+    }
+
+    fn cooling(last: Option<SimTime>, now: SimTime, cooldown: SimDuration) -> bool {
+        last.is_some_and(|at| now.since(at) < cooldown)
+    }
+}
+
+impl<P: ScalingPolicy> ScalingPolicy for Hysteresis<P> {
+    fn name(&self) -> String {
+        format!("{}+hysteresis", self.inner.name())
+    }
+
+    fn desired_workers(&mut self, window: &SignalWindow) -> usize {
+        let current = window.latest().map(|s| s.workers).unwrap_or(0);
+        let raw = self.inner.desired_workers(window);
+        let clamped = raw.clamp(self.config.min_workers, self.config.max_workers);
+        let now = match window.latest() {
+            Some(s) => s.at,
+            None => return clamped,
+        };
+        if clamped > current {
+            if Self::cooling(self.last_scale_out, now, self.config.scale_out_cooldown) {
+                return current;
+            }
+            self.last_scale_out = Some(now);
+            clamped
+        } else if clamped < current {
+            if Self::cooling(self.last_scale_in, now, self.config.scale_in_cooldown) {
+                return current;
+            }
+            self.last_scale_in = Some(now);
+            clamped
+        } else {
+            clamped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{SignalSample, SignalWindow};
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn window_with(
+        at_secs: u64,
+        queue: usize,
+        running: usize,
+        workers: usize,
+        util: f64,
+    ) -> SignalWindow {
+        let mut w = SignalWindow::new(4);
+        w.push(SignalSample {
+            at: t(at_secs),
+            queue_depth: queue,
+            running,
+            workers,
+            free_slots: 0,
+            utilization: util,
+            wait_p50_secs: 0.0,
+            wait_p95_secs: 0.0,
+        });
+        w
+    }
+
+    #[test]
+    fn queue_step_sizes_by_backlog() {
+        let mut p = QueueStep::new(2);
+        assert_eq!(p.desired_workers(&window_with(0, 0, 0, 3, 0.0)), 0);
+        assert_eq!(p.desired_workers(&window_with(0, 1, 0, 0, 0.0)), 1);
+        assert_eq!(p.desired_workers(&window_with(0, 5, 2, 0, 0.0)), 4);
+    }
+
+    #[test]
+    fn target_tracking_converges_on_setpoint() {
+        let mut p = TargetTracking::new(0.7);
+        // Empty system releases everything.
+        assert_eq!(p.desired_workers(&window_with(0, 0, 0, 4, 0.0)), 0);
+        // Bootstraps from zero workers.
+        assert_eq!(p.desired_workers(&window_with(0, 3, 0, 0, 0.0)), 1);
+        // Saturated 4 workers at target 0.7 → grow to ceil(4/0.7) = 6.
+        assert_eq!(p.desired_workers(&window_with(0, 8, 4, 4, 1.0)), 6);
+        // Underused cluster shrinks: 6 workers at 0.2 → ceil(6·0.2/0.7) = 2.
+        assert_eq!(p.desired_workers(&window_with(0, 0, 1, 6, 0.2)), 2);
+    }
+
+    #[test]
+    fn scheduled_follows_time_of_day() {
+        let day = SimDuration::from_hours(24);
+        let mut p = Scheduled::new(
+            day,
+            vec![
+                (SimDuration::from_hours(8), 6),
+                (SimDuration::from_hours(18), 1),
+            ],
+        );
+        // Epoch = first observation. Before 08:00 the schedule wraps to the
+        // 18:00 entry.
+        assert_eq!(p.desired_workers(&window_with(0, 0, 0, 0, 0.0)), 1);
+        assert_eq!(p.desired_workers(&window_with(9 * 3600, 0, 0, 0, 0.0)), 6);
+        assert_eq!(p.desired_workers(&window_with(20 * 3600, 0, 0, 0, 0.0)), 1);
+        // Next day, same shape.
+        assert_eq!(p.desired_workers(&window_with(33 * 3600, 0, 0, 0, 0.0)), 6);
+    }
+
+    #[test]
+    fn one_shot_latches_its_first_decision() {
+        let mut p = OneShot::new(2, 8);
+        // Empty observations before the work arrives do not latch.
+        assert_eq!(p.desired_workers(&window_with(0, 0, 0, 0, 0.0)), 0);
+        assert_eq!(p.desired_workers(&window_with(60, 5, 0, 0, 0.0)), 3);
+        // Later, much bigger backlog: the one-shot never reacts.
+        assert_eq!(p.desired_workers(&window_with(600, 40, 3, 3, 1.0)), 3);
+    }
+
+    #[test]
+    fn one_shot_respects_cap() {
+        let mut p = OneShot::new(1, 4);
+        assert_eq!(p.desired_workers(&window_with(0, 100, 0, 0, 0.0)), 4);
+    }
+
+    #[test]
+    fn hysteresis_clamps_to_bounds() {
+        let cfg = HysteresisConfig {
+            min_workers: 1,
+            max_workers: 4,
+            scale_out_cooldown: SimDuration::ZERO,
+            scale_in_cooldown: SimDuration::ZERO,
+        };
+        let mut p = Hysteresis::new(QueueStep::new(1), cfg);
+        assert_eq!(p.desired_workers(&window_with(0, 100, 0, 2, 1.0)), 4);
+        assert_eq!(p.desired_workers(&window_with(1, 0, 0, 2, 0.0)), 1);
+    }
+
+    #[test]
+    fn hysteresis_cooldowns_are_directional() {
+        let cfg = HysteresisConfig {
+            min_workers: 0,
+            max_workers: 10,
+            scale_out_cooldown: SimDuration::from_secs(100),
+            scale_in_cooldown: SimDuration::from_secs(1000),
+        };
+        let mut p = Hysteresis::new(QueueStep::new(1), cfg);
+        // First scale-out goes through and starts the out-cooldown.
+        assert_eq!(p.desired_workers(&window_with(0, 4, 0, 0, 0.0)), 4);
+        // 50 s later a bigger queue is held by the out-cooldown.
+        assert_eq!(p.desired_workers(&window_with(50, 8, 0, 4, 1.0)), 4);
+        // 150 s later the out-cooldown expired.
+        assert_eq!(p.desired_workers(&window_with(150, 8, 0, 4, 1.0)), 8);
+        // Queue empties at 300 s: scale-in allowed (first one) …
+        assert_eq!(p.desired_workers(&window_with(300, 0, 0, 8, 0.0)), 0);
+        // … but if workers linger, a repeat scale-in inside 1000 s is held.
+        assert_eq!(p.desired_workers(&window_with(500, 0, 0, 8, 0.0)), 8);
+        // A scale-out during the in-cooldown is still allowed (clamped to
+        // the max bound).
+        assert_eq!(p.desired_workers(&window_with(600, 12, 0, 8, 1.0)), 10);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(QueueStep::new(2).name(), "queue-step/2");
+        assert_eq!(TargetTracking::new(0.7).name(), "target-tracking/0.70");
+        assert_eq!(OneShot::new(2, 8).name(), "one-shot/2");
+        assert_eq!(Fixed(0).name(), "fixed/0");
+        assert_eq!(
+            Hysteresis::new(QueueStep::new(2), HysteresisConfig::default()).name(),
+            "queue-step/2+hysteresis"
+        );
+    }
+}

@@ -1,16 +1,21 @@
-//! Criterion microbenchmarks of the DES kernel: the event throughput every
-//! higher-level experiment rides on.
+//! Microbenchmarks of the DES kernel: the event throughput every
+//! higher-level experiment rides on. Plain `Instant`-based harness
+//! (`harness = false`; the build environment ships no criterion).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use cumulus_simkit::prelude::*;
 
 /// Schedule-and-drain N independent events.
 fn drain_events(n: u64) -> u64 {
     let mut sim = Sim::new(0u64);
     for i in 0..n {
-        sim.schedule_at(SimTime::from_micros(i * 7 % 1_000_000), |sim: &mut Sim<u64>| {
-            sim.world += 1;
-        });
+        sim.schedule_at(
+            SimTime::from_micros(i * 7 % 1_000_000),
+            |sim: &mut Sim<u64>| {
+                sim.world += 1;
+            },
+        );
     }
     sim.run_to_completion();
     sim.world
@@ -36,9 +41,11 @@ fn cancel_half(n: u64) -> u64 {
     let mut sim = Sim::new(0u64);
     let mut ids = Vec::with_capacity((2 * n) as usize);
     for i in 0..2 * n {
-        ids.push(sim.schedule_at(SimTime::from_micros(i), |sim: &mut Sim<u64>| {
-            sim.world += 1;
-        }));
+        ids.push(
+            sim.schedule_at(SimTime::from_micros(i), |sim: &mut Sim<u64>| {
+                sim.world += 1;
+            }),
+        );
     }
     for id in ids.iter().step_by(2) {
         sim.cancel(*id);
@@ -47,40 +54,40 @@ fn cancel_half(n: u64) -> u64 {
     sim.world
 }
 
-fn bench_des(c: &mut Criterion) {
-    let mut group = c.benchmark_group("des_kernel");
-    for n in [1_000u64, 10_000, 100_000] {
-        group.bench_with_input(BenchmarkId::new("drain_events", n), &n, |b, &n| {
-            b.iter(|| drain_events(black_box(n)))
-        });
+/// Time `f` over `iters` iterations and report mean wall time per call.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
     }
-    group.bench_function("event_chain_10k", |b| b.iter(|| event_chain(black_box(10_000))));
-    group.bench_function("cancel_half_10k", |b| b.iter(|| cancel_half(black_box(10_000))));
-    group.finish();
-
-    let mut group = c.benchmark_group("rng_streams");
-    group.bench_function("derive_and_draw_1k", |b| {
-        b.iter(|| {
-            let mut rng = RngStream::derive(black_box(42), "bench");
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += rng.uniform();
-            }
-            acc
-        })
-    });
-    group.bench_function("normal_1k", |b| {
-        b.iter(|| {
-            let mut rng = RngStream::derive(black_box(42), "bench");
-            let mut acc = 0.0;
-            for _ in 0..1000 {
-                acc += rng.normal(0.0, 1.0);
-            }
-            acc
-        })
-    });
-    group.finish();
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<28} {:>12.1} us/iter", per * 1e6);
 }
 
-criterion_group!(benches, bench_des);
-criterion_main!(benches);
+fn main() {
+    println!("== des_kernel ==");
+    for n in [1_000u64, 10_000, 100_000] {
+        bench(&format!("drain_events/{n}"), 20, || drain_events(n));
+    }
+    bench("event_chain_10k", 20, || event_chain(10_000));
+    bench("cancel_half_10k", 20, || cancel_half(10_000));
+
+    println!("== rng_streams ==");
+    bench("derive_and_draw_1k", 200, || {
+        let mut rng = RngStream::derive(42, "bench");
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += rng.uniform();
+        }
+        acc
+    });
+    bench("normal_1k", 200, || {
+        let mut rng = RngStream::derive(42, "bench");
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            acc += rng.normal(0.0, 1.0);
+        }
+        acc
+    });
+}

@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the platform simulator itself: how fast do the
-//! paper's experiments run, and how do Monte-Carlo sweeps scale across
-//! threads?
+//! Benchmarks of the platform simulator itself: how fast do the paper's
+//! experiments run, and how do Monte-Carlo sweeps scale across threads?
+//! Plain `Instant`-based harness (`harness = false`; no criterion offline).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use cumulus::cloud::InstanceType;
 use cumulus::net::DataSize;
 use cumulus::provision::{GpCloud, Topology};
@@ -32,66 +33,59 @@ fn deploy_and_update(seed: u64) -> f64 {
         )
         .unwrap();
     let reconfig = world.update_instance(report.ready_at, &id, target).unwrap();
-    reconfig.done_at(report.ready_at).since(report.ready_at).as_mins_f64()
+    reconfig
+        .done_at(report.ready_at)
+        .since(report.ready_at)
+        .as_mins_f64()
 }
 
-fn bench_platform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("provision");
-    group.sample_size(20);
-    group.bench_function("deploy_single_node", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(deploy_once(seed))
-        })
-    });
-    group.bench_function("deploy_figure3_and_scale", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(deploy_and_update(seed))
-        })
-    });
-    group.finish();
+/// Time `f` over `iters` iterations and report mean wall time per call.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<28} {:>12.1} us/iter", per * 1e6);
+}
 
-    let mut group = c.benchmark_group("transfer_model");
+fn main() {
+    println!("== provision ==");
+    let mut seed = 0u64;
+    bench("deploy_single_node", 20, || {
+        seed += 1;
+        deploy_once(seed)
+    });
+    let mut seed2 = 0u64;
+    bench("deploy_figure3_and_scale", 20, || {
+        seed2 += 1;
+        deploy_and_update(seed2)
+    });
+
+    println!("== transfer_model ==");
     let link = calibrated_wan_link();
-    group.bench_function("fig11_full_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for mb in [1u64, 10, 100, 500, 1000, 2000, 4000, 8000] {
-                for p in [Protocol::GLOBUS_DEFAULT, Protocol::Ftp, Protocol::Http] {
-                    if let Some(r) = p.achieved_rate(DataSize::from_mb(mb), &link) {
-                        acc += r.as_mbps();
-                    }
+    bench("fig11_full_sweep", 50, || {
+        let mut acc = 0.0;
+        for mb in [1u64, 10, 100, 500, 1000, 2000, 4000, 8000] {
+            for p in [Protocol::GLOBUS_DEFAULT, Protocol::Ftp, Protocol::Http] {
+                if let Some(r) = p.achieved_rate(DataSize::from_mb(mb), &link) {
+                    acc += r.as_mbps();
                 }
             }
-            black_box(acc)
-        })
+        }
+        acc
     });
-    group.finish();
 
-    // Parallel replica scaling: the same 16-deployment sweep on 1 vs all
+    // Parallel replica scaling: the same 16-deployment sweep on 1 vs 4
     // threads.
-    let mut group = c.benchmark_group("replica_runner");
-    group.sample_size(10);
+    println!("== replica_runner ==");
     for threads in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("deploy_sweep_16", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let out = run_replicas(
-                        ReplicaPlan::new(99, 16).with_threads(threads),
-                        |i, _| deploy_once(5000 + i as u64),
-                    );
-                    black_box(out.len())
-                })
-            },
-        );
+        bench(&format!("deploy_sweep_16/t{threads}"), 5, || {
+            run_replicas(ReplicaPlan::new(99, 16).with_threads(threads), |i, _| {
+                deploy_once(5000 + i as u64)
+            })
+            .len()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_platform);
-criterion_main!(benches);

@@ -1,7 +1,9 @@
-//! Criterion benchmarks of the statistical kernels the CRData tools are
-//! built on, at realistic expression-analysis sizes.
+//! Benchmarks of the statistical kernels the CRData tools are built on, at
+//! realistic expression-analysis sizes. Plain `Instant`-based harness
+//! (`harness = false`; the build environment ships no criterion).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use cumulus_crdata::datagen::{generate_cel_bundle, CelBundleSpec};
 use cumulus_crdata::stats::cluster::{hierarchical, Linkage};
 use cumulus_crdata::stats::distance::Metric;
@@ -22,62 +24,62 @@ fn bundle(probes: usize, per_group: usize) -> cumulus_crdata::CelBundle {
     generate_cel_bundle(&spec, &mut RngStream::derive(5, "bench"))
 }
 
-fn bench_stats(c: &mut Criterion) {
-    let mut group = c.benchmark_group("normalization");
+/// Time `f` over `iters` iterations and report mean wall time per call.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f()); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / iters as f64;
+    println!("{name:<28} {:>12.1} us/iter", per * 1e6);
+}
+
+fn main() {
+    println!("== normalization ==");
     for probes in [2_000usize, 10_000] {
         let b = bundle(probes, 4);
-        group.bench_with_input(
-            BenchmarkId::new("rma_like", probes),
-            &b,
-            |bench, bundle| {
-                bench.iter(|| {
-                    let mut m = bundle.matrix.clone();
-                    norm::rma_like(&mut m);
-                    black_box(m.values[0])
-                })
-            },
-        );
+        bench(&format!("rma_like/{probes}"), 20, || {
+            let mut m = b.matrix.clone();
+            norm::rma_like(&mut m);
+            m.values[0]
+        });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("per_probe_tests");
+    println!("== per_probe_tests ==");
     let b = bundle(10_000, 4);
-    group.bench_function("welch_10k_probes", |bench| {
-        bench.iter(|| {
-            let m = &b.matrix;
-            let mut sig = 0usize;
-            for r in 0..m.nrows() {
-                let row = m.row(r);
-                let (g1, g2) = row.split_at(4);
-                if let Some(t) = welch_t_test(g1, g2) {
-                    if t.p < 0.05 {
-                        sig += 1;
-                    }
+    bench("welch_10k_probes", 20, || {
+        let m = &b.matrix;
+        let mut sig = 0usize;
+        for r in 0..m.nrows() {
+            let row = m.row(r);
+            let (g1, g2) = row.split_at(4);
+            if let Some(t) = welch_t_test(g1, g2) {
+                if t.p < 0.05 {
+                    sig += 1;
                 }
             }
-            black_box(sig)
-        })
+        }
+        sig
     });
-    let pvals: Vec<f64> = (0..10_000).map(|i| ((i * 7919) % 10_000) as f64 / 10_000.0).collect();
-    group.bench_function("bh_adjust_10k", |bench| {
-        bench.iter(|| black_box(adjust(black_box(&pvals), Adjustment::BenjaminiHochberg)))
+    let pvals: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 7919) % 10_000) as f64 / 10_000.0)
+        .collect();
+    bench("bh_adjust_10k", 50, || {
+        adjust(&pvals, Adjustment::BenjaminiHochberg)
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("clustering");
+    println!("== clustering ==");
     let b = bundle(200, 8);
     let items: Vec<Vec<f64>> = (0..b.matrix.nrows())
         .map(|r| b.matrix.row(r).to_vec())
         .collect();
-    group.bench_function("hierarchical_200_genes", |bench| {
-        bench.iter(|| {
-            let dend = hierarchical(black_box(&items), Metric::Correlation, Linkage::Average);
-            black_box(dend.leaf_order())
-        })
+    bench("hierarchical_200_genes", 10, || {
+        let dend = hierarchical(&items, Metric::Correlation, Linkage::Average);
+        dend.leaf_order()
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("read_counting");
+    println!("== read_counting ==");
     let rs = cumulus_crdata::generate_read_set(
         &cumulus_crdata::ReadSetSpec {
             transcripts: 200,
@@ -88,11 +90,7 @@ fn bench_stats(c: &mut Criterion) {
         &mut RngStream::derive(6, "bench"),
     );
     let index = cumulus_crdata::genomics::FeatureIndex::build(rs.annotation.clone());
-    group.bench_function("count_100k_reads_200_tx", |bench| {
-        bench.iter(|| black_box(index.count_reads(black_box(&rs.library1))))
+    bench("count_100k_reads_200_tx", 10, || {
+        index.count_reads(&rs.library1)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_stats);
-criterion_main!(benches);

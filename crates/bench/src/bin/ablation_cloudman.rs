@@ -1,4 +1,5 @@
 //! The §VI GP-vs-CloudMan ablation (experiment E8).
 fn main() {
-    print!("{}", cumulus_bench::experiments::cloudman::run(cumulus_bench::REPORT_SEED));
+    let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
+    print!("{}", cumulus_bench::experiments::cloudman::run(seed));
 }

@@ -1,9 +1,7 @@
 //! Run every experiment and print the full report (the content of
 //! EXPERIMENTS.md's measured columns).
 fn main() {
-    let replicas: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(16);
-    print!("{}", cumulus_bench::full_report(replicas));
+    let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
+    let replicas = cumulus_bench::positional_from_args(16);
+    print!("{}", cumulus_bench::full_report_seeded(seed, replicas));
 }

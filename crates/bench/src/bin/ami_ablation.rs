@@ -1,4 +1,5 @@
 //! Deployment-time-by-image ablation (experiment E10).
 fn main() {
-    print!("{}", cumulus_bench::experiments::ami::run(cumulus_bench::REPORT_SEED));
+    let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
+    print!("{}", cumulus_bench::experiments::ami::run(seed));
 }

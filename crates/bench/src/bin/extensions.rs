@@ -1,14 +1,30 @@
-//! Extension experiments (E9): stream sweep, fault sensitivity, autoscaling.
+//! Extension experiments (E9): stream sweep, fault sensitivity,
+//! autoscaling, scaling-policy sweep.
 fn main() {
-    let replicas: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(16);
-    print!("{}", cumulus_bench::experiments::extensions::run_stream_sweep());
+    let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
+    let replicas = cumulus_bench::positional_from_args(16);
+    print!(
+        "{}",
+        cumulus_bench::experiments::extensions::run_stream_sweep()
+    );
     println!();
-    print!("{}", cumulus_bench::experiments::extensions::run_fault_sensitivity(replicas));
+    print!(
+        "{}",
+        cumulus_bench::experiments::extensions::run_fault_sensitivity(replicas)
+    );
     println!();
-    print!("{}", cumulus_bench::experiments::extensions::run_autoscale(cumulus_bench::REPORT_SEED));
+    print!(
+        "{}",
+        cumulus_bench::experiments::extensions::run_autoscale(seed)
+    );
     println!();
-    print!("{}", cumulus_bench::experiments::extensions::run_nfs_contention());
+    print!(
+        "{}",
+        cumulus_bench::experiments::extensions::run_policy_sweep(seed)
+    );
+    println!();
+    print!(
+        "{}",
+        cumulus_bench::experiments::extensions::run_nfs_contention()
+    );
 }

@@ -1,4 +1,5 @@
 //! Regenerate Figure 10 (experiments E2–E4).
 fn main() {
-    print!("{}", cumulus_bench::experiments::fig10::run(cumulus_bench::REPORT_SEED));
+    let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
+    print!("{}", cumulus_bench::experiments::fig10::run(seed));
 }

@@ -1,4 +1,7 @@
 //! Regenerate Figure 11 (experiments E5 + E7).
 fn main() {
+    // Figure 11 is pure calibration — no synthetic data — so the seed is
+    // parsed (for interface uniformity and flag validation) but unused.
+    let _seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
     print!("{}", cumulus_bench::experiments::fig11::run());
 }

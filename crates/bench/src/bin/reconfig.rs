@@ -1,4 +1,5 @@
 //! Measure runtime reconfiguration latency (experiment E6).
 fn main() {
-    print!("{}", cumulus_bench::experiments::reconfig::run(cumulus_bench::REPORT_SEED));
+    let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
+    print!("{}", cumulus_bench::experiments::reconfig::run(seed));
 }

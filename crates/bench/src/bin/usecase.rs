@@ -1,4 +1,5 @@
 //! Regenerate the §V.A use-case numbers (experiment E1).
 fn main() {
-    print!("{}", cumulus_bench::experiments::usecase::run(cumulus_bench::REPORT_SEED));
+    let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
+    print!("{}", cumulus_bench::experiments::usecase::run(seed));
 }

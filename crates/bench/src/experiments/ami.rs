@@ -100,8 +100,18 @@ mod tests {
     #[test]
     fn richer_images_deploy_strictly_faster() {
         let rows = measure(7600);
-        assert!(rows[0].1 > rows[1].1, "bare {} vs gp {}", rows[0].1, rows[1].1);
-        assert!(rows[1].1 > rows[2].1, "gp {} vs custom {}", rows[1].1, rows[2].1);
+        assert!(
+            rows[0].1 > rows[1].1,
+            "bare {} vs gp {}",
+            rows[0].1,
+            rows[1].1
+        );
+        assert!(
+            rows[1].1 > rows[2].1,
+            "gp {} vs custom {}",
+            rows[1].1,
+            rows[2].1
+        );
         // The bare image pays the full Globus/Condor toolchain install —
         // several minutes more.
         assert!(rows[0].1 - rows[1].1 > 3.0);

@@ -51,8 +51,12 @@ pub fn measure_gp(seed: u64) -> AblationOutcome {
     let resized = reconfig.done_at(start);
 
     let inst = world.instance_mut(&id).unwrap();
-    inst.pool.submit(Job::new("user1", big_serial_job()), resized);
-    let done = inst.pool.run_until_drained(resized, 1000).expect("drains");
+    inst.pool
+        .submit(Job::new("user1", big_serial_job()), resized);
+    let done = inst
+        .pool
+        .try_run_until_drained(resized, 1000)
+        .unwrap_or_else(|e| panic!("E8 GP workload must drain: {e}"));
 
     AblationOutcome {
         completion_mins: done.since(start).as_mins_f64(),
@@ -65,14 +69,20 @@ pub fn measure_gp(seed: u64) -> AblationOutcome {
 /// still runs at 1 CU.
 pub fn measure_cloudman(seed: u64, extra_nodes: usize) -> AblationOutcome {
     let world = GpCloud::deterministic(seed);
-    let (mut cm, ready) = CloudManSim::launch(world, SimTime::ZERO, InstanceType::M1Small, 0)
-        .expect("launches");
+    let (mut cm, ready) =
+        CloudManSim::launch(world, SimTime::ZERO, InstanceType::M1Small, 0).expect("launches");
     let start = ready;
-    let scaled = cm.scale_to(start, extra_nodes).expect("scaling is supported");
+    let scaled = cm
+        .scale_to(start, extra_nodes)
+        .expect("scaling is supported");
 
     let inst = cm.world.instance_mut(&cm.instance).unwrap();
-    inst.pool.submit(Job::new("user1", big_serial_job()), scaled);
-    let done = inst.pool.run_until_drained(scaled, 1000).expect("drains");
+    inst.pool
+        .submit(Job::new("user1", big_serial_job()), scaled);
+    let done = inst
+        .pool
+        .try_run_until_drained(scaled, 1000)
+        .unwrap_or_else(|e| panic!("E8 CloudMan workload must drain: {e}"));
 
     AblationOutcome {
         completion_mins: done.since(start).as_mins_f64(),
@@ -153,7 +163,9 @@ mod tests {
         let world = GpCloud::deterministic(7401);
         let (mut cm, ready) =
             CloudManSim::launch(world, SimTime::ZERO, InstanceType::M1Small, 1).unwrap();
-        assert!(cm.change_instance_type(ready, InstanceType::M1Xlarge).is_err());
+        assert!(cm
+            .change_instance_type(ready, InstanceType::M1Xlarge)
+            .is_err());
     }
 
     #[test]

@@ -3,18 +3,22 @@
 //! * E9a — GridFTP parallel-stream sweep (why 4 streams is a good default);
 //! * E9b — fault-rate sensitivity of GO vs FTP (Monte Carlo over the
 //!   parallel replica runner);
-//! * E9c — queue-driven autoscaling vs a static cluster;
-//! * E9d — NFS staging contention as concurrent jobs grow.
+//! * E9c — closed-loop autoscaling vs a static cluster on a bursty queue;
+//! * E9d — NFS staging contention as concurrent jobs grow;
+//! * E9e — scaling-policy sweep (static / one-shot / closed-loop) across
+//!   bursty and diurnal arrival traces.
 
-use cumulus::cloud::InstanceType;
-use cumulus::htc::{Job, WorkSpec};
+use cumulus::autoscale::{
+    run_episode, ControllerConfig, EpisodeReport, Fixed, Hysteresis, HysteresisConfig, OneShot,
+    QueueStep, ScalingPolicy, Workload,
+};
+use cumulus::htc::WorkSpec;
 use cumulus::net::{DataSize, FaultPlan, Network};
-use cumulus::provision::{GpCloud, Topology};
 use cumulus::simkit::time::{SimDuration, SimTime};
 use cumulus::simkit::{run_replicas, ReplicaPlan, Samples};
 use cumulus::transfer::{
-    calibrated_wan_link, CertificateAuthority, EndpointKind, Protocol, TaskStatus,
-    TransferRequest, TransferService,
+    calibrated_wan_link, CertificateAuthority, EndpointKind, Protocol, TaskStatus, TransferRequest,
+    TransferService,
 };
 
 use crate::table::{mbps, mins, Table};
@@ -82,9 +86,11 @@ pub fn fault_sensitivity(
                     .register("g#server", server, EndpointKind::GridFtpServer)
                     .unwrap();
                 let mut ca = CertificateAuthority::new("/CN=mc");
-                service
-                    .credentials
-                    .register(ca.issue("u", SimTime::ZERO, SimDuration::from_hours(48)));
+                service.credentials.register(ca.issue(
+                    "u",
+                    SimTime::ZERO,
+                    SimDuration::from_hours(48),
+                ));
                 let mut rng = seeds.stream("faults");
                 service.set_fault_plan(
                     "u#laptop",
@@ -129,7 +135,12 @@ pub fn fault_sensitivity(
 pub fn run_fault_sensitivity(replicas: usize) -> String {
     let mut t = Table::new(
         "E9b — 1 GB transfer under Poisson faults (Monte Carlo)",
-        &["mean fault interval", "protocol", "mean rate (Mbit/s)", "success"],
+        &[
+            "mean fault interval",
+            "protocol",
+            "mean rate (Mbit/s)",
+            "success",
+        ],
     );
     for interval in [3600.0f64, 600.0, 120.0] {
         for (name, rate, success) in fault_sensitivity(interval, replicas) {
@@ -150,99 +161,73 @@ pub fn run_fault_sensitivity(replicas: usize) -> String {
 
 // ----- E9c: autoscaling -----------------------------------------------------
 
-/// Outcome of one scaling policy on a bursty queue.
-#[derive(Debug, Clone, Copy)]
-pub struct AutoscaleOutcome {
-    /// Minutes from burst arrival to empty queue.
-    pub makespan_mins: f64,
-    /// Dollars spent over the episode.
-    pub cost: f64,
-}
-
-fn submit_burst(world: &mut GpCloud, id: &cumulus::provision::GpInstanceId, at: SimTime, n: usize) {
-    let inst = world.instance_mut(id).unwrap();
-    for _ in 0..n {
-        inst.pool.submit(
-            Job::new(
-                "user1",
-                WorkSpec {
-                    serial_secs: 112.0,
-                    cu_work: 418.0,
-                },
-            ),
-            at,
-        );
+/// The calibrated CRData tool shape used by the burst experiments: 112 s of
+/// serial startup plus 418 CU·s of scalable work (~8.8 min on an m1.small,
+/// ~5.0 min on a c1.medium).
+fn burst_work() -> WorkSpec {
+    WorkSpec {
+        serial_secs: 112.0,
+        cu_work: 418.0,
     }
 }
 
-/// Static policy: the cluster stays as deployed (1 head).
-pub fn measure_static(seed: u64, burst: usize) -> AutoscaleOutcome {
-    let mut world = GpCloud::deterministic(seed);
-    let id = world.create_instance(Topology::single_node(InstanceType::M1Small));
-    let ready = world.start_instance(SimTime::ZERO, &id).unwrap().ready_at;
-    submit_burst(&mut world, &id, ready, burst);
-    let done = world
-        .instance_mut(&id)
-        .unwrap()
-        .pool
-        .run_until_drained(ready, 10_000)
-        .expect("drains eventually");
-    AutoscaleOutcome {
-        makespan_mins: done.since(ready).as_mins_f64(),
-        cost: world.ec2.ledger.window_cost(ready, done),
-    }
+/// The closed-loop policy every extension experiment uses: one c1.medium
+/// worker per 3 backlogged jobs, capped at 8, with hysteresis so the
+/// controller neither flaps nor double-scales. The short scale-in
+/// cooldown matters on diurnal traces: releasing idle workers quickly
+/// after each peak is where the closed loop's cost advantage comes from.
+fn closed_loop() -> Box<dyn ScalingPolicy> {
+    Box::new(Hysteresis::new(
+        QueueStep::new(3),
+        HysteresisConfig {
+            min_workers: 0,
+            max_workers: 8,
+            scale_out_cooldown: SimDuration::from_mins(3),
+            scale_in_cooldown: SimDuration::from_mins(6),
+        },
+    ))
 }
 
-/// Queue-driven policy: one c1.medium worker per 2 queued jobs (capped),
-/// scaled in once the queue drains.
-pub fn measure_autoscale(seed: u64, burst: usize) -> AutoscaleOutcome {
-    let mut world = GpCloud::deterministic(seed);
-    let id = world.create_instance(Topology::single_node(InstanceType::M1Small));
-    let ready = world.start_instance(SimTime::ZERO, &id).unwrap().ready_at;
-    submit_burst(&mut world, &id, ready, burst);
+/// Static baseline: the cluster stays as deployed (1 m1.small head, zero
+/// workers) for the whole episode.
+pub fn measure_static(seed: u64, burst: usize) -> EpisodeReport {
+    let trace = Workload::burst(
+        &format!("burst-{burst}"),
+        burst,
+        SimDuration::ZERO,
+        burst_work(),
+    );
+    run_episode(
+        seed,
+        Box::new(Fixed(0)),
+        ControllerConfig::default(),
+        &trace,
+    )
+}
 
-    // Policy decision: workers = ceil(queue / 2), capped at 8.
-    let queued = world.instance(&id).unwrap().pool.idle_count();
-    let workers = queued.div_ceil(2).min(8);
-    let target = world
-        .instance(&id)
-        .unwrap()
-        .topology
-        .with_json_update(&format!(
-            r#"{{"domains":{{"simple":{{"cluster-nodes":{workers},"worker-instance-type":"c1.medium"}}}}}}"#
-        ))
-        .unwrap();
-    let reconfig = world.update_instance(ready, &id, target).unwrap();
-    let scaled = reconfig.done_at(ready);
-
-    let done = world
-        .instance_mut(&id)
-        .unwrap()
-        .pool
-        .run_until_drained(scaled, 10_000)
-        .expect("drains");
-
-    // Scale back in.
-    let target = world
-        .instance(&id)
-        .unwrap()
-        .topology
-        .with_json_update(r#"{"domains":{"simple":{"cluster-nodes":0}}}"#)
-        .unwrap();
-    let reconfig = world.update_instance(done, &id, target).unwrap();
-    let idle = reconfig.done_at(done);
-
-    AutoscaleOutcome {
-        makespan_mins: done.since(ready).as_mins_f64(),
-        cost: world.ec2.ledger.window_cost(ready, idle),
-    }
+/// Closed-loop autoscaling on the same burst, via the `cumulus-autoscale`
+/// controller running inside the DES.
+pub fn measure_autoscale(seed: u64, burst: usize) -> EpisodeReport {
+    let trace = Workload::burst(
+        &format!("burst-{burst}"),
+        burst,
+        SimDuration::ZERO,
+        burst_work(),
+    );
+    run_episode(seed, closed_loop(), ControllerConfig::default(), &trace)
 }
 
 /// Render E9c.
 pub fn run_autoscale(seed: u64) -> String {
     let mut t = Table::new(
-        "E9c — bursty queue: static single node vs queue-driven autoscaling",
-        &["burst", "policy", "makespan (min)", "cost ($)"],
+        "E9c — bursty queue: static single node vs closed-loop autoscaling",
+        &[
+            "burst",
+            "policy",
+            "makespan (min)",
+            "cost ($)",
+            "peak workers",
+        ],
     );
     for burst in [4usize, 8, 16] {
         let st = measure_static(seed, burst);
@@ -251,13 +236,15 @@ pub fn run_autoscale(seed: u64) -> String {
             burst.to_string(),
             "static (1 x m1.small)".to_string(),
             mins(st.makespan_mins),
-            format!("{:.4}", st.cost),
+            format!("{:.4}", st.cost_usd),
+            st.peak_workers.to_string(),
         ]);
         t.row(&[
             burst.to_string(),
-            "autoscale (c1.medium pool)".to_string(),
+            "closed-loop (c1.medium pool)".to_string(),
             mins(au.makespan_mins),
-            format!("{:.4}", au.cost),
+            format!("{:.4}", au.cost_usd),
+            au.peak_workers.to_string(),
         ]);
     }
     format!(
@@ -267,62 +254,94 @@ pub fn run_autoscale(seed: u64) -> String {
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+// ----- E9e: scaling-policy sweep --------------------------------------------
 
-    #[test]
-    fn stream_sweep_scales_then_saturates() {
-        let sweep = stream_sweep();
-        for pair in sweep.windows(2) {
-            assert!(pair[1].1 >= pair[0].1 - 1e-9, "rate must not fall");
+/// The diurnal job shape: 60 s serial + 240 CU·s (5.0 min on an m1.small,
+/// ~2.8 min on a c1.medium).
+fn diurnal_work() -> WorkSpec {
+    WorkSpec {
+        serial_secs: 60.0,
+        cu_work: 240.0,
+    }
+}
+
+/// The bursty E9e trace: a lab dumps 24 jobs on the queue at once.
+pub fn bursty_trace() -> Workload {
+    Workload::burst("bursty-24", 24, SimDuration::ZERO, burst_work())
+}
+
+/// The diurnal E9e trace: arrivals swing between 2/h (night) and 60/h
+/// (mid-day) on a 6 h period over 12 h, with 4 jobs already queued when
+/// the trace starts. The initial backlog is what an open-loop one-shot
+/// policy sizes against — and it under-estimates the coming peak.
+pub fn diurnal_trace(seed: u64) -> Workload {
+    Workload::diurnal(
+        "diurnal-12h",
+        seed,
+        2.0,
+        60.0,
+        SimDuration::from_hours(6),
+        SimDuration::from_hours(12),
+        diurnal_work(),
+    )
+    .with_initial_burst(4, diurnal_work())
+}
+
+/// The three policies under test. `one-shot` reacts once to the first
+/// backlog it sees and then never changes — the paper's "operator runs
+/// `gp-instance-update` when jobs pile up" workflow, automated but still
+/// open-loop.
+fn sweep_policies() -> Vec<Box<dyn ScalingPolicy>> {
+    vec![
+        Box::new(Fixed(0)),
+        Box::new(OneShot::new(2, 8)),
+        closed_loop(),
+    ]
+}
+
+/// Run every policy against one trace.
+pub fn policy_sweep(seed: u64, trace: &Workload) -> Vec<EpisodeReport> {
+    sweep_policies()
+        .into_iter()
+        .map(|policy| run_episode(seed, policy, ControllerConfig::default(), trace))
+        .collect()
+}
+
+/// Render E9e.
+pub fn run_policy_sweep(seed: u64) -> String {
+    let mut t = Table::new(
+        "E9e — scaling policies across arrival shapes",
+        &[
+            "trace",
+            "policy",
+            "makespan (min)",
+            "cost ($)",
+            "p95 wait (min)",
+            "peak workers",
+            "scale out/in",
+        ],
+    );
+    for trace in [bursty_trace(), diurnal_trace(seed)] {
+        for r in policy_sweep(seed, &trace) {
+            t.row(&[
+                r.workload.clone(),
+                r.policy.clone(),
+                mins(r.makespan_mins),
+                format!("{:.4}", r.cost_usd),
+                mins(r.wait_p95_mins),
+                r.peak_workers.to_string(),
+                format!("{}/{}", r.log.scale_outs(), r.log.scale_ins()),
+            ]);
         }
-        let one = sweep[0].1;
-        let four = sweep.iter().find(|(s, _)| *s == 4).unwrap().1;
-        let last = sweep.last().unwrap().1;
-        assert!(four > 2.5 * one, "parallel streams must pay off under loss");
-        assert!(last < 37.5, "cannot exceed the uplink");
     }
-
-    #[test]
-    fn fault_sensitivity_favors_gridftp() {
-        let results = fault_sensitivity(300.0, 8);
-        let go = results.iter().find(|(n, _, _)| *n == "globus-transfer").unwrap();
-        let ftp = results.iter().find(|(n, _, _)| *n == "ftp").unwrap();
-        assert!(go.1 > ftp.1, "GO rate {} vs FTP {}", go.1, ftp.1);
-        assert!(go.2 >= ftp.2, "GO success {} vs FTP {}", go.2, ftp.2);
-    }
-
-    #[test]
-    fn autoscaling_wins_on_makespan() {
-        let st = measure_static(7500, 8);
-        let au = measure_autoscale(7500, 8);
-        assert!(
-            au.makespan_mins < st.makespan_mins / 2.0,
-            "autoscale {} vs static {}",
-            au.makespan_mins,
-            st.makespan_mins
-        );
-    }
-
-    #[test]
-    fn nfs_contention_scales_linearly() {
-        let rows = nfs_contention();
-        let base = rows[0].1;
-        for (c, secs) in &rows {
-            assert!((secs - base * *c as f64).abs() < 1e-6, "fair sharing");
-        }
-        // 190.3 MB at 400 Mbit/s ≈ 3.8 s alone.
-        assert!((base - 3.806).abs() < 0.01, "base={base}");
-    }
-
-    #[test]
-    fn reports_render() {
-        assert!(run_stream_sweep().contains("E9a"));
-        assert!(run_autoscale(7501).contains("E9c"));
-        assert!(run_fault_sensitivity(4).contains("E9b"));
-        assert!(run_nfs_contention().contains("E9d"));
-    }
+    format!(
+        "{}\non a burst, sizing once is enough — one-shot matches the closed loop. \
+         On a diurnal trace the one-shot latches a compromise size: too small for \
+         the daily peak (worse p95 wait) yet running all night (higher cost). The \
+         closed loop is strictly better on both axes at once, which is the case \
+         for taking the operator out of the loop.\n",
+        t.render()
+    )
 }
 
 // ----- E9d: NFS contention ---------------------------------------------------
@@ -358,4 +377,108 @@ pub fn run_nfs_contention() -> String {
          the bottleneck at cluster sizes the paper's 2-node use case never reaches.\n",
         t.render()
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_sweep_scales_then_saturates() {
+        let sweep = stream_sweep();
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 >= pair[0].1 - 1e-9, "rate must not fall");
+        }
+        let one = sweep[0].1;
+        let four = sweep.iter().find(|(s, _)| *s == 4).unwrap().1;
+        let last = sweep.last().unwrap().1;
+        assert!(four > 2.5 * one, "parallel streams must pay off under loss");
+        assert!(last < 37.5, "cannot exceed the uplink");
+    }
+
+    #[test]
+    fn fault_sensitivity_favors_gridftp() {
+        let results = fault_sensitivity(300.0, 8);
+        let go = results
+            .iter()
+            .find(|(n, _, _)| *n == "globus-transfer")
+            .unwrap();
+        let ftp = results.iter().find(|(n, _, _)| *n == "ftp").unwrap();
+        assert!(go.1 > ftp.1, "GO rate {} vs FTP {}", go.1, ftp.1);
+        assert!(go.2 >= ftp.2, "GO success {} vs FTP {}", go.2, ftp.2);
+    }
+
+    #[test]
+    fn autoscaling_wins_on_makespan() {
+        let st = measure_static(7500, 8);
+        let au = measure_autoscale(7500, 8);
+        assert!(
+            au.makespan_mins < st.makespan_mins / 2.0,
+            "autoscale {} vs static {}",
+            au.makespan_mins,
+            st.makespan_mins
+        );
+    }
+
+    #[test]
+    fn closed_loop_beats_static_on_the_bursty_trace() {
+        let trace = bursty_trace();
+        let reports = policy_sweep(7502, &trace);
+        let fixed = &reports[0];
+        let closed = &reports[2];
+        assert!(fixed.policy.starts_with("fixed"), "sweep order changed");
+        assert!(closed.policy.contains("queue-step"), "sweep order changed");
+        assert!(
+            closed.makespan_mins < fixed.makespan_mins,
+            "closed {} vs static {}",
+            closed.makespan_mins,
+            fixed.makespan_mins
+        );
+    }
+
+    #[test]
+    fn closed_loop_strictly_dominates_one_shot_on_the_diurnal_trace() {
+        let trace = diurnal_trace(7503);
+        let reports = policy_sweep(7503, &trace);
+        let one_shot = &reports[1];
+        let closed = &reports[2];
+        assert!(
+            one_shot.policy.starts_with("one-shot"),
+            "sweep order changed"
+        );
+        assert!(closed.policy.contains("queue-step"), "sweep order changed");
+        // Strict domination: cheaper AND no worse on p95 job wait.
+        assert!(
+            closed.cost_usd < one_shot.cost_usd,
+            "closed ${} vs one-shot ${}",
+            closed.cost_usd,
+            one_shot.cost_usd
+        );
+        assert!(
+            closed.wait_p95_mins <= one_shot.wait_p95_mins,
+            "closed p95 {} vs one-shot p95 {}",
+            closed.wait_p95_mins,
+            one_shot.wait_p95_mins
+        );
+    }
+
+    #[test]
+    fn nfs_contention_scales_linearly() {
+        let rows = nfs_contention();
+        let base = rows[0].1;
+        for (c, secs) in &rows {
+            assert!((secs - base * *c as f64).abs() < 1e-6, "fair sharing");
+        }
+        // 190.3 MB at 400 Mbit/s ≈ 3.8 s alone.
+        assert!((base - 3.806).abs() < 0.01, "base={base}");
+    }
+
+    #[test]
+    fn reports_render() {
+        assert!(run_stream_sweep().contains("E9a"));
+        assert!(run_autoscale(7501).contains("E9c"));
+        assert!(run_fault_sensitivity(4).contains("E9b"));
+        assert!(run_nfs_contention().contains("E9d"));
+        assert!(run_policy_sweep(7501).contains("E9e"));
+    }
 }

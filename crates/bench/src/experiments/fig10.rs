@@ -68,14 +68,10 @@ pub const SWEEP: [InstanceType; 4] = [
 
 /// Run the whole figure and render the report tables.
 pub fn run(seed: u64) -> String {
-    let rows: Vec<Fig10Row> = SWEEP
-        .iter()
-        .map(|t| measure(*t, seed))
-        .collect();
+    let rows: Vec<Fig10Row> = SWEEP.iter().map(|t| measure(*t, seed)).collect();
 
-    let fmt_opt = |v: Option<f64>, f: fn(f64) -> String| {
-        v.map(f).unwrap_or_else(|| "-".to_string())
-    };
+    let fmt_opt =
+        |v: Option<f64>, f: fn(f64) -> String| v.map(f).unwrap_or_else(|| "-".to_string());
     let fmt_err = |measured: f64, paper: Option<f64>| {
         paper
             .map(|p| err_pct(measured, p))

@@ -71,10 +71,7 @@ pub fn run() -> String {
             format!("{:.1}x", r.globus / r.ftp),
         ]);
     }
-    let max_ratio = rows
-        .iter()
-        .map(|r| r.globus / r.ftp)
-        .fold(0.0f64, f64::max);
+    let max_ratio = rows.iter().map(|r| r.globus / r.ftp).fold(0.0f64, f64::max);
     let vs_http = rows
         .iter()
         .filter_map(|r| r.http.map(|h| r.globus / h))

@@ -86,7 +86,12 @@ pub fn measure(seed: u64) -> Vec<ReconfigMeasurement> {
 
     {
         let (mut world, id, ready) = deploy(seed, 0);
-        let latency = update_latency(&mut world, &id, ready, r#"{"ec2":{"instance-type":"m1.xlarge"}}"#);
+        let latency = update_latency(
+            &mut world,
+            &id,
+            ready,
+            r#"{"ec2":{"instance-type":"m1.xlarge"}}"#,
+        );
         out.push(ReconfigMeasurement {
             action: "resize head m1.small -> m1.xlarge".to_string(),
             latency_mins: latency,

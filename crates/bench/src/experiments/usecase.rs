@@ -35,8 +35,7 @@ pub fn measure(seed: u64) -> UseCaseMeasurement {
     let (_, t4) = s.run_differential_expression(t3, ds_large).unwrap();
     let small_exec_mins = (t2.since(t1) + t4.since(t3)).as_mins_f64();
     let small_exec_cost = s.window_cost(t1, t2) + s.window_cost(t3, t4);
-    let transfer_secs =
-        (t1.since(report.ready_at) + t3.since(t2)).as_secs_f64();
+    let transfer_secs = (t1.since(report.ready_at) + t3.since(t2)).as_secs_f64();
 
     // Phase 2: add the c1.medium node, rerun.
     let joined = s.add_medium_worker(t4).unwrap();
@@ -111,10 +110,26 @@ mod tests {
     fn use_case_numbers_hold() {
         let m = measure(7100);
         assert!((m.deploy_mins - 8.8).abs() < 0.45, "{}", m.deploy_mins);
-        assert!((m.small_exec_mins - 10.7).abs() < 0.2, "{}", m.small_exec_mins);
-        assert!((m.medium_exec_mins - 6.9).abs() < 0.2, "{}", m.medium_exec_mins);
-        assert!(m.update_mins > 1.0 && m.update_mins < 8.0, "{}", m.update_mins);
-        assert!((m.small_exec_cost - 0.007).abs() < 0.002, "{}", m.small_exec_cost);
+        assert!(
+            (m.small_exec_mins - 10.7).abs() < 0.2,
+            "{}",
+            m.small_exec_mins
+        );
+        assert!(
+            (m.medium_exec_mins - 6.9).abs() < 0.2,
+            "{}",
+            m.medium_exec_mins
+        );
+        assert!(
+            m.update_mins > 1.0 && m.update_mins < 8.0,
+            "{}",
+            m.update_mins
+        );
+        assert!(
+            (m.small_exec_cost - 0.007).abs() < 0.002,
+            "{}",
+            m.small_exec_cost
+        );
         assert!(m.transfer_secs < 60.0, "{}", m.transfer_secs);
     }
 

@@ -8,12 +8,13 @@
 //! | E5, E7 | Figure 11 + order-of-magnitude claim | `fig11` |
 //! | E6 | §III.C reconfiguration latency | `reconfig` |
 //! | E8 | §VI CloudMan comparison | `ablation_cloudman` |
-//! | E9 | extensions (streams, faults, autoscaling) | `extensions` |
+//! | E9 | extensions (streams, faults, autoscaling, policy sweep) | `extensions` |
 //! | E10 | AMI-baking deployment ablation | `ami_ablation` |
 //!
 //! `cargo run --release -p cumulus-bench --bin all_experiments` prints the
-//! full report recorded in EXPERIMENTS.md. Criterion benches
-//! (`cargo bench`) measure the simulator's own performance.
+//! full report recorded in EXPERIMENTS.md; every binary accepts
+//! `--seed N` to vary the synthetic data. Benches (`cargo bench`)
+//! measure the simulator's own performance.
 
 pub mod experiments {
     //! Experiment implementations, one module per paper artifact.
@@ -32,28 +33,89 @@ pub mod table;
 /// calibrated timings; the seed only varies synthetic data).
 pub const REPORT_SEED: u64 = 20120512;
 
+/// Parse `--seed N` (or `--seed=N`) from the process arguments, falling
+/// back to `default`. Every report binary accepts this flag so a sweep
+/// over seeds is a shell loop away. Panics with a usage message on a
+/// malformed value rather than silently benchmarking the wrong thing.
+pub fn seed_from_args(default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        let value = if arg == "--seed" {
+            i += 1;
+            args.get(i).cloned()
+        } else if let Some(v) = arg.strip_prefix("--seed=") {
+            Some(v.to_string())
+        } else {
+            i += 1;
+            continue;
+        };
+        let Some(value) = value else {
+            panic!("--seed requires a value, e.g. --seed 42");
+        };
+        return value
+            .parse()
+            .unwrap_or_else(|_| panic!("--seed expects an unsigned integer, got {value:?}"));
+    }
+    default
+}
+
+/// First positional argument (ignoring `--seed`/`--seed=N` and the seed
+/// value), parsed, or `default`. The replica-count argument of the
+/// Monte-Carlo binaries.
+pub fn positional_from_args(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--seed" {
+            i += 2;
+            continue;
+        }
+        if arg.starts_with("--seed=") {
+            i += 1;
+            continue;
+        }
+        return arg
+            .parse()
+            .unwrap_or_else(|_| panic!("expected a replica count, got {arg:?}"));
+    }
+    default
+}
+
 /// Assemble the full experiment report (what EXPERIMENTS.md records).
 pub fn full_report(fault_replicas: usize) -> String {
+    full_report_seeded(REPORT_SEED, fault_replicas)
+}
+
+/// [`full_report`] with an explicit seed (the `--seed` flag of
+/// `all_experiments`).
+pub fn full_report_seeded(seed: u64, fault_replicas: usize) -> String {
     let mut out = String::new();
     out.push_str("# cumulus experiment report\n\n");
-    out.push_str(&experiments::usecase::run(REPORT_SEED));
+    out.push_str(&experiments::usecase::run(seed));
     out.push('\n');
-    out.push_str(&experiments::fig10::run(REPORT_SEED));
+    out.push_str(&experiments::fig10::run(seed));
     out.push('\n');
     out.push_str(&experiments::fig11::run());
     out.push('\n');
-    out.push_str(&experiments::reconfig::run(REPORT_SEED));
+    out.push_str(&experiments::reconfig::run(seed));
     out.push('\n');
-    out.push_str(&experiments::cloudman::run(REPORT_SEED));
+    out.push_str(&experiments::cloudman::run(seed));
     out.push('\n');
     out.push_str(&experiments::extensions::run_stream_sweep());
     out.push('\n');
-    out.push_str(&experiments::extensions::run_fault_sensitivity(fault_replicas));
+    out.push_str(&experiments::extensions::run_fault_sensitivity(
+        fault_replicas,
+    ));
     out.push('\n');
-    out.push_str(&experiments::extensions::run_autoscale(REPORT_SEED));
+    out.push_str(&experiments::extensions::run_autoscale(seed));
+    out.push('\n');
+    out.push_str(&experiments::extensions::run_policy_sweep(seed));
     out.push('\n');
     out.push_str(&experiments::extensions::run_nfs_contention());
     out.push('\n');
-    out.push_str(&experiments::ami::run(REPORT_SEED));
+    out.push_str(&experiments::ami::run(seed));
     out
 }

@@ -132,7 +132,10 @@ fn apply_duration(
 
 /// Sum of base durations for an expanded run-list on a fresh node at unit
 /// speed — the calibration quantity quoted in DESIGN.md.
-pub fn base_workload(store: &CookbookStore, run_list: &[RecipeRef]) -> Result<SimDuration, RunListError> {
+pub fn base_workload(
+    store: &CookbookStore,
+    run_list: &[RecipeRef],
+) -> Result<SimDuration, RunListError> {
     let resources = store.expand_run_list(run_list)?;
     Ok(resources
         .iter()
@@ -159,10 +162,7 @@ mod tests {
         s
     }
 
-    fn run(
-        node: &mut NodeState,
-        speed: f64,
-    ) -> ConvergeReport {
+    fn run(node: &mut NodeState, speed: f64) -> ConvergeReport {
         let s = store();
         let mut rng = RngStream::derive(5, "chef");
         converge(
@@ -219,10 +219,7 @@ mod tests {
         let mut node = NodeState::from_image("h", &pkgs);
         let report = run(&mut node, 1.0);
         assert_eq!(report.skipped, 1);
-        assert!(report
-            .applied
-            .iter()
-            .all(|a| a.name != "postgresql"));
+        assert!(report.applied.iter().all(|a| a.name != "postgresql"));
     }
 
     #[test]

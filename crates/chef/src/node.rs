@@ -29,7 +29,10 @@ impl NodeState {
 
     /// A node booted from an image with `preinstalled` packages: their
     /// `pkg:` keys are pre-marked as applied.
-    pub fn from_image<'a>(hostname: &str, preinstalled: impl IntoIterator<Item = &'a String>) -> Self {
+    pub fn from_image<'a>(
+        hostname: &str,
+        preinstalled: impl IntoIterator<Item = &'a String>,
+    ) -> Self {
         let mut n = NodeState::new(hostname);
         for pkg in preinstalled {
             n.applied.insert(format!("pkg:{pkg}"));

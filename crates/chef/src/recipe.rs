@@ -277,7 +277,10 @@ mod tests {
             }
         );
         assert_eq!(RecipeRef::parse("base").recipe, "default");
-        assert_eq!(RecipeRef::parse("galaxy::server").to_string(), "galaxy::server");
+        assert_eq!(
+            RecipeRef::parse("galaxy::server").to_string(),
+            "galaxy::server"
+        );
     }
 
     #[test]
@@ -309,12 +312,8 @@ mod tests {
     #[test]
     fn cycles_are_detected() {
         let mut s = CookbookStore::new();
-        s.add(
-            Cookbook::new("a").recipe(Recipe::new("default").include("b")),
-        );
-        s.add(
-            Cookbook::new("b").recipe(Recipe::new("default").include("a")),
-        );
+        s.add(Cookbook::new("a").recipe(Recipe::new("default").include("b")));
+        s.add(Cookbook::new("b").recipe(Recipe::new("default").include("a")));
         let err = s.expand_run_list(&parse_run_list("a")).unwrap_err();
         assert!(matches!(err, RunListError::IncludeCycle(_)));
     }
@@ -327,7 +326,8 @@ mod tests {
             RunListError::UnknownCookbook("nope".to_string())
         );
         assert!(matches!(
-            s.expand_run_list(&parse_run_list("galaxy::nope")).unwrap_err(),
+            s.expand_run_list(&parse_run_list("galaxy::nope"))
+                .unwrap_err(),
             RunListError::UnknownRecipe(_)
         ));
     }
@@ -336,6 +336,9 @@ mod tests {
     fn attributes_merge_across_cookbooks() {
         let s = store();
         let attrs = s.merged_attributes(&parse_run_list("base galaxy::server"));
-        assert_eq!(attrs.get("nfs/server").map(String::as_str), Some("simple-nfs"));
+        assert_eq!(
+            attrs.get("nfs/server").map(String::as_str),
+            Some("simple-nfs")
+        );
     }
 }

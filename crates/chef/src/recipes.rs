@@ -150,11 +150,7 @@ fn provision_cookbook() -> Cookbook {
             Recipe::new("nfs-client")
                 .resource(Resource::package("nfs-common", 20.0))
                 .resource(Resource::template("/etc/fstab"))
-                .resource(Resource::execute(
-                    "mount /nfs",
-                    4.0,
-                    Some("/nfs/.mounted"),
-                )),
+                .resource(Resource::execute("mount /nfs", 4.0, Some("/nfs/.mounted"))),
         )
         .recipe(
             Recipe::new("nis-server")
@@ -173,7 +169,10 @@ fn provision_cookbook() -> Cookbook {
 fn galaxy_cookbook() -> Cookbook {
     Cookbook::new("galaxy")
         .attribute("galaxy/user", "galaxy")
-        .attribute("galaxy/repo", "https://bitbucket.org/globusonline/galaxy-globus")
+        .attribute(
+            "galaxy/repo",
+            "https://bitbucket.org/globusonline/galaxy-globus",
+        )
         .recipe(
             // "galaxy-globus-common.rb": common requirements for the Globus
             // fork of Galaxy.
@@ -189,7 +188,9 @@ fn galaxy_cookbook() -> Cookbook {
                     20.0,
                     Some("/nfs/software/galaxy/tools/globus"),
                 ))
-                .resource(Resource::file("/nfs/software/galaxy/universe_wsgi.ini.sample"))
+                .resource(Resource::file(
+                    "/nfs/software/galaxy/universe_wsgi.ini.sample",
+                ))
                 .resource(Resource::file("/nfs/software/galaxy/setup_galaxy.sh")),
         )
         .recipe(
@@ -233,7 +234,9 @@ fn galaxy_cookbook() -> Cookbook {
                 .resource(Resource::r_package("affy", 12.0))
                 .resource(Resource::r_package("DESeq", 8.0))
                 .resource(Resource::r_package("GenomicFeatures", 6.0))
-                .resource(Resource::file("/nfs/software/galaxy/tools/crdata/tool_conf.xml"))
+                .resource(Resource::file(
+                    "/nfs/software/galaxy/tools/crdata/tool_conf.xml",
+                ))
                 .resource(Resource::execute(
                     "register crdata tools",
                     3.0,

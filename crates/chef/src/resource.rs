@@ -176,9 +176,7 @@ impl Resource {
             ResourceKind::Template => Some(format!("tmpl:{}", self.name)),
             ResourceKind::Directory => Some(format!("dir:{}", self.name)),
             ResourceKind::User => Some(format!("user:{}", self.name)),
-            ResourceKind::Execute { creates } => {
-                creates.as_ref().map(|c| format!("creates:{c}"))
-            }
+            ResourceKind::Execute { creates } => creates.as_ref().map(|c| format!("creates:{c}")),
             ResourceKind::GitClone => Some(format!("git:{}", self.name)),
             ResourceKind::PipInstall => Some(format!("pip:{}", self.name)),
             ResourceKind::RPackage => Some(format!("rpkg:{}", self.name)),
@@ -192,7 +190,10 @@ mod tests {
 
     #[test]
     fn constructors_set_kinds() {
-        assert_eq!(Resource::package("condor", 90.0).kind, ResourceKind::Package);
+        assert_eq!(
+            Resource::package("condor", 90.0).kind,
+            ResourceKind::Package
+        );
         assert!(matches!(
             Resource::execute("init-db", 45.0, Some("/galaxy/db")).kind,
             ResourceKind::Execute { creates: Some(_) }

@@ -1,24 +1,25 @@
-//! Property tests of the converge engine: idempotency, speed scaling, and
-//! AMI-preinstall accounting.
-
-use proptest::prelude::*;
+//! Property-style tests of the converge engine: idempotency, speed scaling,
+//! and AMI-preinstall accounting. Cases are generated from deterministic
+//! seeded streams (the offline build ships no proptest).
 
 use cumulus_chef::{converge, gp_cookbooks, ConvergeConfig, NodeState, Role};
 use cumulus_simkit::rng::RngStream;
 
-fn role_strategy() -> impl Strategy<Value = Role> {
-    prop::sample::select(Role::ALL.to_vec())
+const CASES: u64 = 48;
+
+fn pick_role(rng: &mut RngStream) -> Role {
+    let all = Role::ALL;
+    all[rng.uniform_int(0, all.len() as u64 - 1) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn second_converge_is_idempotent_and_much_cheaper() {
+    for case in 0..CASES {
+        let mut gen = RngStream::derive(case, "chef-prop/gen");
+        let role = pick_role(&mut gen);
+        let with_crdata = gen.chance(0.5);
+        let seed = gen.uniform_int(0, 999);
 
-    #[test]
-    fn second_converge_is_idempotent_and_much_cheaper(
-        role in role_strategy(),
-        with_crdata in any::<bool>(),
-        seed in 0u64..1000,
-    ) {
         let store = gp_cookbooks();
         let config = ConvergeConfig::deterministic();
         let mut node = NodeState::new("host");
@@ -32,27 +33,36 @@ proptest! {
         // Second run applies only keyless resources (restarts/executes
         // without `creates`).
         for a in &second.applied {
-            prop_assert!(
+            assert!(
                 first.applied.iter().any(|f| f.name == a.name),
-                "second run applied something new: {}", a.name
+                "case {case}: second run applied something new: {}",
+                a.name
             );
         }
-        prop_assert!(second.applied.len() < first.applied.len().max(1));
+        assert!(
+            second.applied.len() < first.applied.len().max(1),
+            "case {case}"
+        );
         // Node state is unchanged by the second run.
-        prop_assert_eq!(node.applied_count(), applied_after_first);
+        assert_eq!(node.applied_count(), applied_after_first, "case {case}");
         // And far cheaper.
-        prop_assert!(second.duration.as_secs_f64() <= first.duration.as_secs_f64() / 2.0 + 30.0);
+        assert!(
+            second.duration.as_secs_f64() <= first.duration.as_secs_f64() / 2.0 + 30.0,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn converge_duration_scales_inversely_with_speed(
-        role in role_strategy(),
-        speed_x10 in 11u32..80, // 1.1 .. 8.0
-    ) {
+#[test]
+fn converge_duration_scales_inversely_with_speed() {
+    for case in 0..CASES {
+        let mut gen = RngStream::derive(case, "chef-prop/speed");
+        let role = pick_role(&mut gen);
+        let speed = gen.uniform_int(11, 79) as f64 / 10.0; // 1.1 .. 7.9
+
         let store = gp_cookbooks();
         let config = ConvergeConfig::deterministic();
         let run_list = role.run_list(true);
-        let speed = speed_x10 as f64 / 10.0;
 
         let mut slow_node = NodeState::new("slow");
         let mut fast_node = NodeState::new("fast");
@@ -60,24 +70,33 @@ proptest! {
         let mut rng2 = RngStream::derive(1, "p");
         let slow = converge(&store, &mut slow_node, &run_list, 1.0, &config, &mut rng1).unwrap();
         let fast = converge(&store, &mut fast_node, &run_list, speed, &config, &mut rng2).unwrap();
-        prop_assert!(fast.duration < slow.duration);
+        assert!(fast.duration < slow.duration, "case {case}");
         // Applied work divides exactly by the speed (overhead is fixed).
         let slow_work = slow.duration.as_secs_f64() - 15.0;
         let fast_work = fast.duration.as_secs_f64() - 15.0;
-        prop_assert!((fast_work - slow_work / speed).abs() < 1.0);
+        assert!((fast_work - slow_work / speed).abs() < 1.0, "case {case}");
     }
+}
 
-    #[test]
-    fn preinstalled_packages_only_reduce_work(
-        role in role_strategy(),
-        preinstall_mask in 0u32..256,
-    ) {
+#[test]
+fn preinstalled_packages_only_reduce_work() {
+    for case in 0..CASES {
+        let mut gen = RngStream::derive(case, "chef-prop/preinstall");
+        let role = pick_role(&mut gen);
+        let preinstall_mask = gen.uniform_int(0, 255) as u32;
+
         let store = gp_cookbooks();
         let config = ConvergeConfig::deterministic();
         let run_list = role.run_list(true);
         let all_packages = [
-            "globus-toolkit", "gridftp-server", "condor", "python2.7",
-            "postgresql", "r-base", "nfs-common", "nis",
+            "globus-toolkit",
+            "gridftp-server",
+            "condor",
+            "python2.7",
+            "postgresql",
+            "r-base",
+            "nfs-common",
+            "nis",
         ];
         let preinstalled: Vec<String> = all_packages
             .iter()
@@ -93,17 +112,24 @@ proptest! {
         let bare_run = converge(&store, &mut bare, &run_list, 1.0, &config, &mut rng1).unwrap();
         let baked_run = converge(&store, &mut baked, &run_list, 1.0, &config, &mut rng2).unwrap();
 
-        prop_assert!(baked_run.duration <= bare_run.duration);
-        prop_assert!(baked_run.applied.len() <= bare_run.applied.len());
-        prop_assert!(baked_run.skipped >= bare_run.skipped);
+        assert!(baked_run.duration <= bare_run.duration, "case {case}");
+        assert!(
+            baked_run.applied.len() <= bare_run.applied.len(),
+            "case {case}"
+        );
+        assert!(baked_run.skipped >= bare_run.skipped, "case {case}");
         // Both nodes converge to the same configuration for everything the
         // run-list declares (the baked node may additionally carry
         // preinstalled packages the run-list never mentions).
-        prop_assert!(baked.applied_count() >= bare.applied_count());
+        assert!(baked.applied_count() >= bare.applied_count(), "case {case}");
         for pkg in &preinstalled {
-            prop_assert!(baked.has_package(pkg));
+            assert!(baked.has_package(pkg), "case {case}: missing {pkg}");
         }
         // Spot-check run-list-declared state on both.
-        prop_assert_eq!(bare.has_package("openssl"), baked.has_package("openssl"));
+        assert_eq!(
+            bare.has_package("openssl"),
+            baked.has_package("openssl"),
+            "case {case}"
+        );
     }
 }

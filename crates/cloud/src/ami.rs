@@ -77,17 +77,16 @@ impl AmiCatalog {
         let mut cat = AmiCatalog::new();
         cat.register(Ami::bare("ami-00000001", "ubuntu-11.10-server"));
         cat.register(
-            Ami::bare(GP_PUBLIC_AMI, "globus-provision-0.4")
-                .with_preinstalled([
-                    "globus-toolkit",
-                    "gridftp-server",
-                    "myproxy",
-                    "condor",
-                    "nfs-common",
-                    "nis",
-                    "python2.7",
-                    "postgresql",
-                ]),
+            Ami::bare(GP_PUBLIC_AMI, "globus-provision-0.4").with_preinstalled([
+                "globus-toolkit",
+                "gridftp-server",
+                "myproxy",
+                "condor",
+                "nfs-common",
+                "nis",
+                "python2.7",
+                "postgresql",
+            ]),
         );
         cat
     }
@@ -105,7 +104,13 @@ impl AmiCatalog {
     /// Derive a new image from a running configuration: the paper's
     /// "Create/Update GP AMI" step. The new image bakes in `extra_packages`
     /// on top of the base image's set.
-    pub fn derive(&mut self, base: &str, new_id: &str, name: &str, extra_packages: &[String]) -> Option<AmiId> {
+    pub fn derive(
+        &mut self,
+        base: &str,
+        new_id: &str,
+        name: &str,
+        extra_packages: &[String],
+    ) -> Option<AmiId> {
         let base_ami = self.get(base)?.clone();
         let derived = Ami {
             id: AmiId(new_id.to_string()),

@@ -165,9 +165,7 @@ impl Ec2Sim {
             let id = InstanceId(self.next_id);
             self.next_id += 1;
             let jitter = self.rng.jitter(self.config.boot_jitter);
-            let ready = now
-                + self.config.api_latency
-                + self.config.boot_time.mul_f64(jitter);
+            let ready = now + self.config.api_latency + self.config.boot_time.mul_f64(jitter);
             last_ready = last_ready.max(ready);
             let inst = Instance {
                 id,
@@ -460,7 +458,10 @@ mod tests {
         let cost_at_stop = ec2.total_cost(BillingMode::PerSecond, stopped_at);
         // A long idle gap while stopped costs nothing.
         let much_later = t(3600 * 24);
-        assert_eq!(ec2.total_cost(BillingMode::PerSecond, much_later), cost_at_stop);
+        assert_eq!(
+            ec2.total_cost(BillingMode::PerSecond, much_later),
+            cost_at_stop
+        );
         // Resume.
         let ready2 = ec2.start_instance(much_later, ids[0]).unwrap();
         ec2.settle(ready2);
@@ -478,7 +479,13 @@ mod tests {
         let err = ec2
             .modify_instance_type(ids[0], InstanceType::M1Large)
             .unwrap_err();
-        assert!(matches!(err, Ec2Error::InvalidState { op: "modify-instance-type", .. }));
+        assert!(matches!(
+            err,
+            Ec2Error::InvalidState {
+                op: "modify-instance-type",
+                ..
+            }
+        ));
         let stopped = ec2.stop_instance(ready, ids[0]).unwrap();
         ec2.settle(stopped);
         ec2.modify_instance_type(ids[0], InstanceType::M1Large)
@@ -499,11 +506,7 @@ mod tests {
         let stopped = ec2.stop_instance(ready, ids[0]).unwrap();
         ec2.settle(stopped);
         ec2.terminate_instance(stopped, ids[0]).unwrap();
-        assert!(ec2
-            .describe_instance(ids[0])
-            .unwrap()
-            .state
-            .is_terminated());
+        assert!(ec2.describe_instance(ids[0]).unwrap().state.is_terminated());
     }
 
     #[test]

@@ -163,10 +163,7 @@ impl BillingLedger {
                 s.cost(mode, as_of)
             ));
         }
-        out.push_str(&format!(
-            "total: ${:.4}\n",
-            self.total_cost(mode, as_of)
-        ));
+        out.push_str(&format!("total: ${:.4}\n", self.total_cost(mode, as_of)));
         out
     }
 }

@@ -220,7 +220,10 @@ mod tests {
         assert_eq!(bundle.matrix.nrows(), spec.probes);
         assert_eq!(bundle.planted.len(), spec.differential);
         assert_eq!(bundle.archive_size, DataSize::from_mb_f64(10.7));
-        assert!(bundle.matrix.values.iter().all(|v| *v > 0.0), "intensities positive");
+        assert!(
+            bundle.matrix.values.iter().all(|v| *v > 0.0),
+            "intensities positive"
+        );
         let (groups, idx) = bundle.matrix.groups_from_col_names();
         assert_eq!(groups, vec!["g1", "g2"]);
         assert_eq!(idx[0].len(), 2);

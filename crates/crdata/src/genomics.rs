@@ -232,10 +232,7 @@ mod tests {
 
     #[test]
     fn transcript_exonic_length_and_overlap() {
-        let t = Transcript::new(
-            "TP53",
-            vec![iv(100, 200), iv(500, 700)],
-        );
+        let t = Transcript::new("TP53", vec![iv(100, 200), iv(500, 700)]);
         assert_eq!(t.exonic_length(), 300);
         assert!(t.overlaps(&iv(150, 160)));
         assert!(t.overlaps(&iv(690, 800)));
@@ -268,10 +265,10 @@ mod tests {
         ];
         let index = FeatureIndex::build(transcripts);
         let reads = vec![
-            Read { span: iv(110, 140) },  // A only
-            Read { span: iv(160, 190) },  // A and B
-            Read { span: iv(250, 280) },  // B only
-            Read { span: iv(400, 430) },  // neither
+            Read { span: iv(110, 140) }, // A only
+            Read { span: iv(160, 190) }, // A and B
+            Read { span: iv(250, 280) }, // B only
+            Read { span: iv(400, 430) }, // neither
         ];
         let counts = index.count_reads(&reads);
         assert_eq!(counts, vec![("A".to_string(), 2), ("B".to_string(), 2)]);

@@ -208,11 +208,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimensions disagree")]
     fn dimension_mismatch_panics() {
-        LabelledMatrix::new(
-            vec!["r".to_string()],
-            vec!["c".to_string()],
-            vec![1.0, 2.0],
-        );
+        LabelledMatrix::new(vec!["r".to_string()], vec!["c".to_string()], vec![1.0, 2.0]);
     }
 
     #[test]

@@ -129,12 +129,30 @@ mod tests {
 
     fn training() -> Vec<Example> {
         vec![
-            Example { features: vec![0.0, 0.0], label: "control".to_string() },
-            Example { features: vec![0.2, 0.1], label: "control".to_string() },
-            Example { features: vec![0.1, 0.2], label: "control".to_string() },
-            Example { features: vec![5.0, 5.0], label: "disease".to_string() },
-            Example { features: vec![5.2, 4.9], label: "disease".to_string() },
-            Example { features: vec![4.9, 5.1], label: "disease".to_string() },
+            Example {
+                features: vec![0.0, 0.0],
+                label: "control".to_string(),
+            },
+            Example {
+                features: vec![0.2, 0.1],
+                label: "control".to_string(),
+            },
+            Example {
+                features: vec![0.1, 0.2],
+                label: "control".to_string(),
+            },
+            Example {
+                features: vec![5.0, 5.0],
+                label: "disease".to_string(),
+            },
+            Example {
+                features: vec![5.2, 4.9],
+                label: "disease".to_string(),
+            },
+            Example {
+                features: vec![4.9, 5.1],
+                label: "disease".to_string(),
+            },
         ]
     }
 
@@ -161,8 +179,14 @@ mod tests {
     fn fit_rejects_bad_input() {
         assert!(NearestCentroid::fit(&[], Metric::Euclidean).is_err());
         let bad = vec![
-            Example { features: vec![1.0], label: "a".to_string() },
-            Example { features: vec![1.0, 2.0], label: "b".to_string() },
+            Example {
+                features: vec![1.0],
+                label: "a".to_string(),
+            },
+            Example {
+                features: vec![1.0, 2.0],
+                label: "b".to_string(),
+            },
         ];
         assert!(NearestCentroid::fit(&bad, Metric::Euclidean).is_err());
     }
@@ -192,7 +216,11 @@ mod tests {
         let mixed: Vec<Example> = (0..10)
             .map(|i| Example {
                 features: vec![(i % 2) as f64 * 0.001],
-                label: if i < 5 { "a".to_string() } else { "b".to_string() },
+                label: if i < 5 {
+                    "a".to_string()
+                } else {
+                    "b".to_string()
+                },
             })
             .collect();
         let acc = knn_loocv_accuracy(&mixed, 3, Metric::Euclidean);

@@ -287,8 +287,7 @@ mod tests {
         // The first three drawn leaves are one blob (order within may vary).
         let first: std::collections::BTreeSet<usize> = order[..3].iter().copied().collect();
         assert!(
-            first == [0, 1, 2].into_iter().collect()
-                || first == [3, 4, 5].into_iter().collect()
+            first == [0, 1, 2].into_iter().collect() || first == [3, 4, 5].into_iter().collect()
         );
     }
 
@@ -322,9 +321,7 @@ mod tests {
         assert_ne!(labels[0], labels[3]);
         assert_eq!(centroids.len(), 2);
         // Centroids land near the blob centers.
-        let near_origin = centroids
-            .iter()
-            .any(|c| c[0] < 1.0 && c[1] < 1.0);
+        let near_origin = centroids.iter().any(|c| c[0] < 1.0 && c[1] < 1.0);
         let near_ten = centroids.iter().any(|c| c[0] > 9.0 && c[1] > 9.0);
         assert!(near_origin && near_ten, "{centroids:?}");
     }

@@ -150,9 +150,9 @@ mod tests {
     #[test]
     fn low_count_filter() {
         let counts = vec![
-            vec![1000, 1200],  // high in both
-            vec![0, 1],        // low everywhere
-            vec![1000, 0],     // high in one
+            vec![1000, 1200], // high in both
+            vec![0, 1],       // low everywhere
+            vec![1000, 0],    // high in one
         ];
         let libs = vec![1_000_000u64, 1_000_000];
         let kept = filter_low_counts(&counts, &libs, 10.0, 2);

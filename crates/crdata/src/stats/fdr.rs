@@ -39,10 +39,7 @@ pub fn adjust(pvalues: &[f64], method: Adjustment) -> Vec<f64> {
     }
     match method {
         Adjustment::None => pvalues.to_vec(),
-        Adjustment::Bonferroni => pvalues
-            .iter()
-            .map(|p| (p * n as f64).min(1.0))
-            .collect(),
+        Adjustment::Bonferroni => pvalues.iter().map(|p| (p * n as f64).min(1.0)).collect(),
         Adjustment::Holm => {
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| pvalues[a].partial_cmp(&pvalues[b]).expect("finite p"));
@@ -98,7 +95,16 @@ mod tests {
         //    method="BH") = 0.008 0.032 0.0672 0.0672 0.0672 0.08 0.08457 0.205
         let p = [0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205];
         let adj = adjust(&p, Adjustment::BenjaminiHochberg);
-        let expect = [0.008, 0.032, 0.0672, 0.0672, 0.0672, 0.08, 0.084_571_43, 0.205];
+        let expect = [
+            0.008,
+            0.032,
+            0.0672,
+            0.0672,
+            0.0672,
+            0.08,
+            0.084_571_43,
+            0.205,
+        ];
         for (a, e) in adj.iter().zip(&expect) {
             assert!((a - e).abs() < 1e-6, "{adj:?}");
         }
@@ -162,9 +168,15 @@ mod tests {
     #[test]
     fn method_names_parse() {
         assert_eq!(Adjustment::parse("BH"), Some(Adjustment::BenjaminiHochberg));
-        assert_eq!(Adjustment::parse("fdr"), Some(Adjustment::BenjaminiHochberg));
+        assert_eq!(
+            Adjustment::parse("fdr"),
+            Some(Adjustment::BenjaminiHochberg)
+        );
         assert_eq!(Adjustment::parse("holm"), Some(Adjustment::Holm));
-        assert_eq!(Adjustment::parse("bonferroni"), Some(Adjustment::Bonferroni));
+        assert_eq!(
+            Adjustment::parse("bonferroni"),
+            Some(Adjustment::Bonferroni)
+        );
         assert_eq!(Adjustment::parse("none"), Some(Adjustment::None));
         assert_eq!(Adjustment::parse("magic"), None);
     }

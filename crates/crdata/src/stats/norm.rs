@@ -70,7 +70,11 @@ pub fn zscore_rows(m: &mut LabelledMatrix) {
         let mean = super::describe::mean(&row);
         let sd = super::describe::std_dev(&row).unwrap_or(0.0);
         for c in 0..ncols {
-            let z = if sd > 0.0 { (m.get(r, c) - mean) / sd } else { 0.0 };
+            let z = if sd > 0.0 {
+                (m.get(r, c) - mean) / sd
+            } else {
+                0.0
+            };
             m.set(r, c, z);
         }
     }
@@ -116,7 +120,9 @@ mod tests {
     #[test]
     fn quantile_normalization_equalizes_distributions() {
         // Column 1 is a scaled/shifted version of column 0.
-        let mut m = matrix(50, 3, |r, c| (r as f64 + 1.0) * (c as f64 + 1.0) + c as f64 * 10.0);
+        let mut m = matrix(50, 3, |r, c| {
+            (r as f64 + 1.0) * (c as f64 + 1.0) + c as f64 * 10.0
+        });
         quantile_normalize(&mut m);
         // After normalization all columns have identical sorted values.
         let mut c0 = m.col(0);

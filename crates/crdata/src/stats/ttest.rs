@@ -37,8 +37,7 @@ pub fn welch_t_test(group1: &[f64], group2: &[f64]) -> Option<TTestResult> {
         return None;
     }
     let t = (m1 - m2) / se2.sqrt();
-    let df = se2 * se2
-        / ((v1 / n1).powi(2) / (n1 - 1.0) + (v2 / n2).powi(2) / (n2 - 1.0));
+    let df = se2 * se2 / ((v1 / n1).powi(2) / (n1 - 1.0) + (v2 / n2).powi(2) / (n2 - 1.0));
     Some(TTestResult {
         t,
         df,
@@ -124,8 +123,14 @@ mod tests {
     #[test]
     fn welch_reference_example() {
         // Classic Welch example (unequal variances).
-        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
-        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 25.9];
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5,
+            25.9,
+        ];
         let r = welch_t_test(&a, &b).unwrap();
         // R: t.test(a, b) gives t = -2.9232, df = 27.951, p = 0.006794.
         assert!((r.t + 2.9232).abs() < 0.001, "t={}", r.t);
@@ -165,9 +170,15 @@ mod tests {
     #[test]
     fn degenerate_inputs_return_none() {
         assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
-        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none(), "zero variance");
+        assert!(
+            welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none(),
+            "zero variance"
+        );
         assert!(pooled_t_test(&[], &[]).is_none());
-        assert!(paired_t_test(&[1.0, 2.0], &[1.0, 2.0]).is_none(), "zero diffs");
+        assert!(
+            paired_t_test(&[1.0, 2.0], &[1.0, 2.0]).is_none(),
+            "zero diffs"
+        );
         assert!(one_sample_t_test(&[5.0, 5.0], 5.0).is_none());
     }
 

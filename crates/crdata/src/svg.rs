@@ -208,8 +208,16 @@ mod tests {
     #[test]
     fn scatter_contains_points_and_labels() {
         let points = vec![
-            PlotPoint { x: 0.0, y: 0.0, highlight: false },
-            PlotPoint { x: 1.0, y: 2.0, highlight: true },
+            PlotPoint {
+                x: 0.0,
+                y: 0.0,
+                highlight: false,
+            },
+            PlotPoint {
+                x: 1.0,
+                y: 2.0,
+                highlight: true,
+            },
         ];
         let svg = scatter_plot("MA plot", "A", "M", &points);
         assert!(svg.starts_with("<svg"));
@@ -228,7 +236,11 @@ mod tests {
             "flat",
             "x",
             "y",
-            &[PlotPoint { x: 1.0, y: 1.0, highlight: false }],
+            &[PlotPoint {
+                x: 1.0,
+                y: 1.0,
+                highlight: false,
+            }],
         );
         assert!(svg.contains("<circle"));
     }
@@ -257,6 +269,9 @@ mod tests {
         let svg = boxplot("expression", &groups);
         assert!(svg.contains("g1"));
         assert!(svg.contains("g2"));
-        assert!(svg.matches("stroke-width=\"2\"").count() == 2, "two medians");
+        assert!(
+            svg.matches("stroke-width=\"2\"").count() == 2,
+            "two medians"
+        );
     }
 }

@@ -117,7 +117,12 @@ fn affy_differential_expression() -> ToolDefinition {
         params: vec![
             ParamSpec::dataset("input", "CEL file archive"),
             ParamSpec::select("normalize", "Normalize first", &["yes", "no"], "yes"),
-            ParamSpec::select("adjust", "P-value adjustment", &["BH", "holm", "bonferroni", "none"], "BH"),
+            ParamSpec::select(
+                "adjust",
+                "P-value adjustment",
+                &["BH", "holm", "bonferroni", "none"],
+                "BH",
+            ),
             ParamSpec::integer("top", "Top table size", 50, Some(1), Some(100_000)),
         ],
         outputs: vec![out("toptable", "tabular"), out("plot", "svg")],
@@ -154,11 +159,21 @@ fn affy_differential_expression() -> ToolDefinition {
                 })
                 .collect();
             Ok(vec![
-                table_output("toptable", "top table (differential expression)", columns, rows),
+                table_output(
+                    "toptable",
+                    "top table (differential expression)",
+                    columns,
+                    rows,
+                ),
                 svg_output(
                     "plot",
                     "volcano plot",
-                    svg::scatter_plot("affyDifferentialExpression", "log2 fold change", "-log10 p", &points),
+                    svg::scatter_plot(
+                        "affyDifferentialExpression",
+                        "log2 fold change",
+                        "-log10 p",
+                        &points,
+                    ),
                 ),
             ])
         }),
@@ -186,11 +201,7 @@ fn affy_classify() -> ToolDefinition {
             let examples: Vec<Example> = (0..m.ncols())
                 .map(|c| Example {
                     features: m.col(c),
-                    label: m.col_names[c]
-                        .split('_')
-                        .next()
-                        .unwrap_or("?")
-                        .to_string(),
+                    label: m.col_names[c].split('_').next().unwrap_or("?").to_string(),
                 })
                 .collect();
             let method = inv.param("method").unwrap_or("centroid").to_string();
@@ -198,8 +209,8 @@ fn affy_classify() -> ToolDefinition {
             let mut rows = Vec::with_capacity(examples.len());
             match method.as_str() {
                 "centroid" => {
-                    let model = NearestCentroid::fit(&examples, Metric::Correlation)
-                        .map_err(ToolError)?;
+                    let model =
+                        NearestCentroid::fit(&examples, Metric::Correlation).map_err(ToolError)?;
                     for (c, ex) in examples.iter().enumerate() {
                         let (label, d) = model.predict(&ex.features);
                         rows.push(vec![
@@ -321,11 +332,17 @@ fn heatmap_plot_demo() -> ToolDefinition {
         id: "crdata_heatmap_plot_demo".to_string(),
         name: "heatmap_plot_demo.R".to_string(),
         version: "1.0".to_string(),
-        description: "hierarchical clustering by genes or samples, plotted as a heatmap".to_string(),
+        description: "hierarchical clustering by genes or samples, plotted as a heatmap"
+            .to_string(),
         params: vec![
             ParamSpec::dataset("input", "Expression matrix"),
             ParamSpec::select("by", "Cluster by", &["genes", "samples"], "genes"),
-            ParamSpec::select("linkage", "Linkage", &["average", "complete", "single"], "average"),
+            ParamSpec::select(
+                "linkage",
+                "Linkage",
+                &["average", "complete", "single"],
+                "average",
+            ),
             ParamSpec::integer("top", "Most-variable genes to draw", 40, Some(2), Some(500)),
         ],
         outputs: vec![out("heatmap", "svg"), out("order", "tabular")],
@@ -419,7 +436,10 @@ fn affy_boxplot() -> ToolDefinition {
                 .map(|c| {
                     let col = m.col(c);
                     let q = |p: f64| describe::quantile(&col, p).unwrap_or(0.0);
-                    (m.col_names[c].clone(), [q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)])
+                    (
+                        m.col_names[c].clone(),
+                        [q(0.0), q(0.25), q(0.5), q(0.75), q(1.0)],
+                    )
                 })
                 .collect();
             Ok(vec![svg_output(
@@ -462,7 +482,12 @@ fn affy_ma_plot() -> ToolDefinition {
             Ok(vec![svg_output(
                 "plot",
                 "MA plot",
-                svg::scatter_plot("affyMAPlot", "A (mean log2 intensity)", "M (log2 ratio)", &points),
+                svg::scatter_plot(
+                    "affyMAPlot",
+                    "A (mean log2 intensity)",
+                    "M (log2 ratio)",
+                    &points,
+                ),
             )])
         }),
     }
@@ -549,7 +574,10 @@ fn affy_pca() -> ToolDefinition {
                 table_output(
                     "scores",
                     "PCA scores",
-                    ["sample", "PC1", "PC2"].iter().map(|s| s.to_string()).collect(),
+                    ["sample", "PC1", "PC2"]
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect(),
                     table_rows,
                 ),
                 svg_output(
@@ -651,7 +679,12 @@ fn affy_cluster_samples() -> ToolDefinition {
         params: vec![
             ParamSpec::dataset("input", "Expression matrix"),
             ParamSpec::integer("k", "Clusters", 2, Some(1), Some(20)),
-            ParamSpec::select("linkage", "Linkage", &["average", "complete", "single"], "average"),
+            ParamSpec::select(
+                "linkage",
+                "Linkage",
+                &["average", "complete", "single"],
+                "average",
+            ),
         ],
         outputs: vec![out("clusters", "tabular")],
         cost: CostModel::CRDATA_R,
@@ -730,8 +763,12 @@ mod tests {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
-        params.entry("normalize".to_string()).or_insert("yes".to_string());
-        params.entry("adjust".to_string()).or_insert("BH".to_string());
+        params
+            .entry("normalize".to_string())
+            .or_insert("yes".to_string());
+        params
+            .entry("adjust".to_string())
+            .or_insert("BH".to_string());
         params.entry("top".to_string()).or_insert("50".to_string());
         ToolInvocation {
             params,
@@ -774,12 +811,18 @@ mod tests {
                 idx < 25
             })
             .count();
-        assert!(planted_hits >= 20, "only {planted_hits}/25 planted probes in top table");
+        assert!(
+            planted_hits >= 20,
+            "only {planted_hits}/25 planted probes in top table"
+        );
         // Adjusted p of the best hit is tiny.
         let p: f64 = rows[0][4].parse().unwrap();
         assert!(p < 0.01, "best adj.P {p}");
         // Figure output is SVG.
-        assert!(matches!(outputs[1].content, cumulus_galaxy::Content::Svg(_)));
+        assert!(matches!(
+            outputs[1].content,
+            cumulus_galaxy::Content::Svg(_)
+        ));
     }
 
     #[test]
@@ -800,9 +843,15 @@ mod tests {
 
     #[test]
     fn heatmap_and_order_outputs() {
-        let inv = invocation_for(&spec(), &[("by", "genes"), ("linkage", "average"), ("top", "30")]);
+        let inv = invocation_for(
+            &spec(),
+            &[("by", "genes"), ("linkage", "average"), ("top", "30")],
+        );
         let outputs = heatmap_plot_demo().behavior.run(&inv).unwrap();
-        assert!(matches!(outputs[0].content, cumulus_galaxy::Content::Svg(_)));
+        assert!(matches!(
+            outputs[0].content,
+            cumulus_galaxy::Content::Svg(_)
+        ));
         let rows = match &outputs[1].content {
             cumulus_galaxy::Content::Table { rows, .. } => rows,
             _ => panic!(),
@@ -818,11 +867,7 @@ mod tests {
             cumulus_galaxy::Content::Table { rows, .. } => rows,
             _ => panic!(),
         };
-        let pc1: Vec<f64> = rows
-            .iter()
-            .take(8)
-            .map(|r| r[1].parse().unwrap())
-            .collect();
+        let pc1: Vec<f64> = rows.iter().take(8).map(|r| r[1].parse().unwrap()).collect();
         let g1 = crate::stats::describe::mean(&pc1[..4]);
         let g2 = crate::stats::describe::mean(&pc1[4..]);
         assert!((g1 - g2).abs() > 1.0, "groups overlap on PC1: {pc1:?}");
@@ -851,9 +896,11 @@ mod tests {
         let inv = invocation_for(&spec(), &[("min_mean", "7.0"), ("min_var", "0.0")]);
         let outputs = affy_gene_filter().behavior.run(&inv).unwrap();
         let (rows, _cols) = match &outputs[0].content {
-            cumulus_galaxy::Content::Matrix { row_names, col_names, .. } => {
-                (row_names.len(), col_names.len())
-            }
+            cumulus_galaxy::Content::Matrix {
+                row_names,
+                col_names,
+                ..
+            } => (row_names.len(), col_names.len()),
             _ => panic!(),
         };
         assert!(rows < 400, "some probes filtered: {rows}");
@@ -899,7 +946,10 @@ mod tests {
     #[test]
     fn wrong_input_kind_is_a_tool_error() {
         let mut inputs = BTreeMap::new();
-        inputs.insert("input".to_string(), cumulus_galaxy::Content::Text("hi".to_string()));
+        inputs.insert(
+            "input".to_string(),
+            cumulus_galaxy::Content::Text("hi".to_string()),
+        );
         let inv = ToolInvocation {
             params: [("normalize", "yes"), ("adjust", "BH"), ("top", "10")]
                 .iter()
@@ -908,7 +958,10 @@ mod tests {
             inputs,
             input_size: DataSize::ZERO,
         };
-        let err = affy_differential_expression().behavior.run(&inv).unwrap_err();
+        let err = affy_differential_expression()
+            .behavior
+            .run(&inv)
+            .unwrap_err();
         assert!(err.0.contains("expected an expression matrix"));
     }
 
@@ -926,7 +979,10 @@ mod tests {
             inputs,
             input_size: DataSize::ZERO,
         };
-        let err = affy_differential_expression().behavior.run(&inv).unwrap_err();
+        let err = affy_differential_expression()
+            .behavior
+            .run(&inv)
+            .unwrap_err();
         assert!(err.0.contains("2 groups"), "{}", err.0);
     }
 }

@@ -14,7 +14,7 @@ use crate::stats::ttest::{one_sample_t_test, paired_t_test, pooled_t_test, welch
 use crate::svg::{self, PlotPoint};
 
 use super::{
-    fmt, float_param, int_param, matrix_content, matrix_input, svg_output, table_input,
+    float_param, fmt, int_param, matrix_content, matrix_input, svg_output, table_input,
     table_output,
 };
 
@@ -76,7 +76,12 @@ fn two_group_t_test() -> ToolDefinition {
             ParamSpec::dataset("input", "Table"),
             ParamSpec::text("column1", "First column", "group1"),
             ParamSpec::text("column2", "Second column", "group2"),
-            ParamSpec::select("variance", "Variance assumption", &["welch", "pooled"], "welch"),
+            ParamSpec::select(
+                "variance",
+                "Variance assumption",
+                &["welch", "pooled"],
+                "welch",
+            ),
         ],
         outputs: vec![out("result", "tabular")],
         cost: CostModel::CRDATA_R,
@@ -89,7 +94,9 @@ fn two_group_t_test() -> ToolDefinition {
             } else {
                 welch_t_test(&a, &b)
             }
-            .ok_or_else(|| ToolError("degenerate input (need ≥2 values with variance)".to_string()))?;
+            .ok_or_else(|| {
+                ToolError("degenerate input (need ≥2 values with variance)".to_string())
+            })?;
             Ok(vec![table_output(
                 "result",
                 "t-test result",
@@ -97,7 +104,12 @@ fn two_group_t_test() -> ToolDefinition {
                     .iter()
                     .map(|s| s.to_string())
                     .collect(),
-                vec![vec![fmt(result.t), fmt(result.df), fmt(result.p), fmt(result.mean_diff)]],
+                vec![vec![
+                    fmt(result.t),
+                    fmt(result.df),
+                    fmt(result.p),
+                    fmt(result.mean_diff),
+                ]],
             )])
         }),
     }
@@ -133,7 +145,12 @@ fn paired_t_test_tool() -> ToolDefinition {
                     .iter()
                     .map(|s| s.to_string())
                     .collect(),
-                vec![vec![fmt(result.t), fmt(result.df), fmt(result.p), fmt(result.mean_diff)]],
+                vec![vec![
+                    fmt(result.t),
+                    fmt(result.df),
+                    fmt(result.p),
+                    fmt(result.mean_diff),
+                ]],
             )])
         }),
     }
@@ -166,7 +183,12 @@ fn one_sample_t_test_tool() -> ToolDefinition {
                     .iter()
                     .map(|s| s.to_string())
                     .collect(),
-                vec![vec![fmt(result.t), fmt(result.df), fmt(result.p), fmt(result.mean_diff)]],
+                vec![vec![
+                    fmt(result.t),
+                    fmt(result.df),
+                    fmt(result.p),
+                    fmt(result.mean_diff),
+                ]],
             )])
         }),
     }
@@ -205,7 +227,12 @@ fn multiple_testing_correction() -> ToolDefinition {
                     r
                 })
                 .collect();
-            Ok(vec![table_output("adjusted", "adjusted p-values", cols, new_rows)])
+            Ok(vec![table_output(
+                "adjusted",
+                "adjusted p-values",
+                cols,
+                new_rows,
+            )])
         }),
     }
 }
@@ -331,10 +358,12 @@ fn descriptive_statistics() -> ToolDefinition {
             Ok(vec![table_output(
                 "summary",
                 "descriptive statistics",
-                ["column", "n", "mean", "sd", "min", "q1", "median", "q3", "max"]
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect(),
+                [
+                    "column", "n", "mean", "sd", "min", "q1", "median", "q3", "max",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
                 out_rows,
             )])
         }),
@@ -370,7 +399,10 @@ fn correlation_test() -> ToolDefinition {
             Ok(vec![table_output(
                 "result",
                 "correlation test",
-                ["r", "t", "df", "p.value"].iter().map(|s| s.to_string()).collect(),
+                ["r", "t", "df", "p.value"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
                 vec![vec![fmt(r), fmt(t), fmt(n - 2.0), fmt(p)]],
             )])
         }),
@@ -452,8 +484,8 @@ fn histogram_plot() -> ToolDefinition {
             let (cols, rows) = table_input(inv, "input")?;
             let xs = numeric_column(&cols, &rows, inv.param("column").unwrap_or("value"))?;
             let bins = int_param(inv, "bins")? as usize;
-            let (lo, hi) = describe::min_max(&xs)
-                .ok_or_else(|| ToolError("empty column".to_string()))?;
+            let (lo, hi) =
+                describe::min_max(&xs).ok_or_else(|| ToolError("empty column".to_string()))?;
             let width = ((hi - lo) / bins as f64).max(1e-12);
             let mut counts = vec![0u64; bins];
             for &x in &xs {
@@ -505,7 +537,11 @@ fn scatter_plot_tool() -> ToolDefinition {
             let points: Vec<PlotPoint> = xs
                 .iter()
                 .zip(&ys)
-                .map(|(&x, &y)| PlotPoint { x, y, highlight: false })
+                .map(|(&x, &y)| PlotPoint {
+                    x,
+                    y,
+                    highlight: false,
+                })
                 .collect();
             Ok(vec![svg_output(
                 "plot",
@@ -560,7 +596,12 @@ fn survival_kaplan_meier() -> ToolDefinition {
             let med = median_survival(&curve)
                 .map(fmt)
                 .unwrap_or_else(|| "NA".to_string());
-            out_rows.push(vec!["(median)".to_string(), String::new(), String::new(), med]);
+            out_rows.push(vec![
+                "(median)".to_string(),
+                String::new(),
+                String::new(),
+                med,
+            ]);
             Ok(vec![table_output(
                 "curve",
                 "Kaplan–Meier curve",
@@ -613,7 +654,6 @@ mod tests {
     use super::*;
     use cumulus_galaxy::Content;
     use cumulus_net::DataSize;
-    
 
     fn table(cols: &[&str], rows: Vec<Vec<&str>>) -> Content {
         Content::Table {
@@ -674,8 +714,7 @@ mod tests {
                     let b = 100.0 + i as f64;
                     vec![
                         Box::leak(format!("{b}").into_boxed_str()) as &str,
-                        Box::leak(format!("{}", b + 3.0 + 0.1 * i as f64).into_boxed_str())
-                            as &str,
+                        Box::leak(format!("{}", b + 3.0 + 0.1 * i as f64).into_boxed_str()) as &str,
                     ]
                 })
                 .collect(),
@@ -685,7 +724,16 @@ mod tests {
         let p: f64 = rows[0][2].parse().unwrap();
         assert!(p < 0.001);
 
-        let t = table(&["value"], vec![vec!["5.1"], vec!["4.9"], vec!["5.0"], vec!["5.2"], vec!["4.8"]]);
+        let t = table(
+            &["value"],
+            vec![
+                vec!["5.1"],
+                vec!["4.9"],
+                vec!["5.0"],
+                vec!["5.2"],
+                vec!["4.8"],
+            ],
+        );
         let outputs = one_sample_t_test_tool()
             .behavior
             .run(&inv(t, &[("mu", "5.0")]))
@@ -836,14 +884,20 @@ mod tests {
             col_names: vec!["a_1".to_string(), "b_1".to_string()],
             values: vec![1.0, 5.0, 2.0, 10.0],
         };
-        let outputs = zscore_normalize().behavior.run(&inv(m.clone(), &[])).unwrap();
+        let outputs = zscore_normalize()
+            .behavior
+            .run(&inv(m.clone(), &[]))
+            .unwrap();
         match &outputs[0].content {
             Content::Matrix { values, .. } => {
                 assert!((values[0] + values[1]).abs() < 1e-12, "row sums to zero");
             }
             _ => panic!(),
         }
-        let outputs = quantile_normalize_tool().behavior.run(&inv(m, &[])).unwrap();
+        let outputs = quantile_normalize_tool()
+            .behavior
+            .run(&inv(m, &[]))
+            .unwrap();
         assert!(matches!(outputs[0].content, Content::Matrix { .. }));
     }
 
@@ -888,7 +942,10 @@ mod tests {
             columns: vec!["x".to_string(), "y".to_string()],
             rows,
         };
-        let outputs = scatter_plot_tool().behavior.run(&inv(content, &[])).unwrap();
+        let outputs = scatter_plot_tool()
+            .behavior
+            .run(&inv(content, &[]))
+            .unwrap();
         match &outputs[0].content {
             Content::Svg(svg) => {
                 assert_eq!(svg.matches("<circle").count(), 25);

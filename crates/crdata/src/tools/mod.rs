@@ -55,10 +55,7 @@ pub fn register_all(registry: &mut ToolRegistry) -> Result<(), RegistryError> {
 // ----- shared input/output plumbing --------------------------------------
 
 /// Extract a matrix input.
-pub(crate) fn matrix_input(
-    inv: &ToolInvocation,
-    name: &str,
-) -> Result<LabelledMatrix, ToolError> {
+pub(crate) fn matrix_input(inv: &ToolInvocation, name: &str) -> Result<LabelledMatrix, ToolError> {
     match inv.input(name) {
         Some(Content::Matrix {
             row_names,

@@ -18,7 +18,7 @@ use crate::stats::counts::{cpm, filter_low_counts, log2_fold_change, two_sample_
 use crate::stats::fdr::{adjust, Adjustment};
 use crate::svg::{self, PlotPoint};
 
-use super::{fmt, float_param, int_param, table_input, table_output, svg_output};
+use super::{float_param, fmt, int_param, svg_output, table_input, table_output};
 
 /// All sequencing tools.
 pub fn tools() -> Vec<ToolDefinition> {
@@ -69,17 +69,19 @@ fn parse_reads(columns: &[String], rows: &[Vec<String>]) -> Result<Vec<Read>, To
 }
 
 /// Parse a features table into transcripts.
-fn parse_features(
-    columns: &[String],
-    rows: &[Vec<String>],
-) -> Result<Vec<Transcript>, ToolError> {
+fn parse_features(columns: &[String], rows: &[Vec<String>]) -> Result<Vec<Transcript>, ToolError> {
     let find = |name: &str| {
         columns
             .iter()
             .position(|c| c == name)
             .ok_or_else(|| ToolError(format!("features table missing column {name:?}")))
     };
-    let (ti, ci, si, ei) = (find("transcript")?, find("chrom")?, find("start")?, find("end")?);
+    let (ti, ci, si, ei) = (
+        find("transcript")?,
+        find("chrom")?,
+        find("start")?,
+        find("end")?,
+    );
     let mut order: Vec<String> = Vec::new();
     let mut exons: std::collections::BTreeMap<String, Vec<Interval>> =
         std::collections::BTreeMap::new();
@@ -226,7 +228,12 @@ fn sequence_differential_expression() -> ToolDefinition {
         description: "two-sample test for RNA-sequence differential expression".to_string(),
         params: vec![
             ParamSpec::dataset("counts", "Counts table (feature, lib1, lib2)"),
-            ParamSpec::select("adjust", "P-value adjustment", &["BH", "holm", "bonferroni", "none"], "BH"),
+            ParamSpec::select(
+                "adjust",
+                "P-value adjustment",
+                &["BH", "holm", "bonferroni", "none"],
+                "BH",
+            ),
         ],
         outputs: vec![out("toptable", "tabular")],
         cost: CostModel::CRDATA_R,
@@ -266,10 +273,18 @@ fn sequence_differential_expression() -> ToolDefinition {
             Ok(vec![table_output(
                 "toptable",
                 "differential expression (counts)",
-                ["feature", "count1", "count2", "log2FC", "z", "P.Value", "adj.P.Val"]
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect(),
+                [
+                    "feature",
+                    "count1",
+                    "count2",
+                    "log2FC",
+                    "z",
+                    "P.Value",
+                    "adj.P.Val",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
                 table_rows,
             )])
         }),
@@ -360,7 +375,10 @@ fn sequence_library_stats() -> ToolDefinition {
             let rows = vec![
                 vec!["total_reads".to_string(), n.to_string()],
                 vec!["mean_read_length".to_string(), fmt(mean_len)],
-                vec!["distinct_start_positions".to_string(), positions.len().to_string()],
+                vec![
+                    "distinct_start_positions".to_string(),
+                    positions.len().to_string(),
+                ],
                 vec!["duplication_rate".to_string(), fmt(duplication)],
             ];
             Ok(vec![table_output(
@@ -391,14 +409,16 @@ fn sequence_normalize_counts() -> ToolDefinition {
             let out_rows: Vec<Vec<String>> = features
                 .iter()
                 .enumerate()
-                .map(|(i, f)| {
-                    vec![f.clone(), fmt(cpm(c1[i], n1)), fmt(cpm(c2[i], n2))]
-                })
+                .map(|(i, f)| vec![f.clone(), fmt(cpm(c1[i], n1)), fmt(cpm(c2[i], n2))])
                 .collect();
             Ok(vec![table_output(
                 "cpm",
                 "CPM-normalized counts",
-                vec!["feature".to_string(), "cpm1".to_string(), "cpm2".to_string()],
+                vec![
+                    "feature".to_string(),
+                    "cpm1".to_string(),
+                    "cpm2".to_string(),
+                ],
                 out_rows,
             )])
         }),
@@ -415,7 +435,13 @@ fn sequence_filter_low_counts() -> ToolDefinition {
         params: vec![
             ParamSpec::dataset("counts", "Counts table"),
             ParamSpec::float("min_cpm", "Minimum CPM", 1.0),
-            ParamSpec::integer("min_samples", "In at least this many libraries", 2, Some(1), Some(2)),
+            ParamSpec::integer(
+                "min_samples",
+                "In at least this many libraries",
+                2,
+                Some(1),
+                Some(2),
+            ),
         ],
         outputs: vec![out("filtered", "tabular")],
         cost: CostModel::CRDATA_R,
@@ -425,25 +451,20 @@ fn sequence_filter_low_counts() -> ToolDefinition {
             let min_cpm = float_param(inv, "min_cpm")?;
             let min_samples = int_param(inv, "min_samples")? as usize;
             let libs = [c1.iter().sum::<u64>().max(1), c2.iter().sum::<u64>().max(1)];
-            let per_feature: Vec<Vec<u64>> = c1
-                .iter()
-                .zip(&c2)
-                .map(|(&a, &b)| vec![a, b])
-                .collect();
+            let per_feature: Vec<Vec<u64>> =
+                c1.iter().zip(&c2).map(|(&a, &b)| vec![a, b]).collect();
             let kept = filter_low_counts(&per_feature, &libs, min_cpm, min_samples);
             let out_rows: Vec<Vec<String>> = kept
                 .iter()
-                .map(|&i| {
-                    vec![
-                        features[i].clone(),
-                        c1[i].to_string(),
-                        c2[i].to_string(),
-                    ]
-                })
+                .map(|&i| vec![features[i].clone(), c1[i].to_string(), c2[i].to_string()])
                 .collect();
             Ok(vec![table_output(
                 "filtered",
-                &format!("filtered counts ({} of {} kept)", kept.len(), features.len()),
+                &format!(
+                    "filtered counts ({} of {} kept)",
+                    kept.len(),
+                    features.len()
+                ),
                 cols,
                 out_rows,
             )])
@@ -482,7 +503,12 @@ fn sequence_ma_plot() -> ToolDefinition {
             Ok(vec![svg_output(
                 "plot",
                 "MA plot (counts)",
-                svg::scatter_plot("sequenceMAPlot", "A (mean log2 CPM)", "M (log2 FC)", &points),
+                svg::scatter_plot(
+                    "sequenceMAPlot",
+                    "A (mean log2 CPM)",
+                    "M (log2 FC)",
+                    &points,
+                ),
             )])
         }),
     }
@@ -506,9 +532,7 @@ fn sequence_fold_change() -> ToolDefinition {
             let out_rows: Vec<Vec<String>> = features
                 .iter()
                 .enumerate()
-                .map(|(i, f)| {
-                    vec![f.clone(), fmt(log2_fold_change(c2[i], n2, c1[i], n1))]
-                })
+                .map(|(i, f)| vec![f.clone(), fmt(log2_fold_change(c2[i], n2, c1[i], n1))])
                 .collect();
             Ok(vec![table_output(
                 "fc",
@@ -527,7 +551,6 @@ mod tests {
     use cumulus_galaxy::Content;
     use cumulus_net::DataSize;
     use cumulus_simkit::rng::RngStream;
-    
 
     fn read_set() -> crate::datagen::ReadSet {
         generate_read_set(&ReadSetSpec::small(), &mut RngStream::derive(3, "seq-test"))
@@ -550,7 +573,11 @@ mod tests {
             .map(|((name, a), (_, b))| vec![name.clone(), a.to_string(), b.to_string()])
             .collect();
         table(
-            vec!["feature".to_string(), "lib1".to_string(), "lib2".to_string()],
+            vec![
+                "feature".to_string(),
+                "lib1".to_string(),
+                "lib2".to_string(),
+            ],
             rows,
         )
     }
@@ -695,10 +722,7 @@ mod tests {
             _ => panic!(),
         };
         // Planted transcripts (TX0000..) have positive log2FC.
-        let planted_fc: f64 = fc_rows
-            .iter()
-            .find(|r| r[0] == rs.planted[0])
-            .unwrap()[1]
+        let planted_fc: f64 = fc_rows.iter().find(|r| r[0] == rs.planted[0]).unwrap()[1]
             .parse()
             .unwrap();
         assert!(planted_fc > 0.8, "planted FC {planted_fc}");
@@ -717,10 +741,7 @@ mod tests {
             vec![vec!["chr1".to_string(), "10".to_string()]],
         );
         let (fc, fr) = annotation_to_table(&read_set().annotation);
-        let invocation = inv(
-            vec![("reads", bad_reads), ("features", table(fc, fr))],
-            &[],
-        );
+        let invocation = inv(vec![("reads", bad_reads), ("features", table(fc, fr))], &[]);
         let err = sequence_counts_per_transcript()
             .behavior
             .run(&invocation)

@@ -140,7 +140,10 @@ impl Dataset {
             DatasetState::Error => "error",
             DatasetState::Deleted => "deleted",
         };
-        format!("{}: {} ({}, {}) [{}]", self.hid, self.name, self.dtype, self.size, state)
+        format!(
+            "{}: {} ({}, {}) [{}]",
+            self.hid, self.name, self.dtype, self.size, state
+        )
     }
 }
 

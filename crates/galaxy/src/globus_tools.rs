@@ -169,9 +169,18 @@ mod tests {
     fn receipt_reflects_the_request() {
         let tool = go_transfer_tool();
         let mut params = BTreeMap::new();
-        params.insert("source_endpoint".to_string(), "galaxy#CVRG-Galaxy".to_string());
-        params.insert("path".to_string(), "/home/boliu/fourCelFileSamples.zip".to_string());
-        params.insert("destination_endpoint".to_string(), "cvrg#galaxy".to_string());
+        params.insert(
+            "source_endpoint".to_string(),
+            "galaxy#CVRG-Galaxy".to_string(),
+        );
+        params.insert(
+            "path".to_string(),
+            "/home/boliu/fourCelFileSamples.zip".to_string(),
+        );
+        params.insert(
+            "destination_endpoint".to_string(),
+            "cvrg#galaxy".to_string(),
+        );
         let resolved = tool.resolve_params(&params).unwrap();
         let inv = ToolInvocation {
             params: resolved,

@@ -108,12 +108,7 @@ mod tests {
         SimTime::ZERO + SimDuration::from_secs(s)
     }
 
-    fn rec(
-        dataset: u64,
-        job: u64,
-        inputs: &[(&str, u64)],
-        start: u64,
-    ) -> ProvenanceRecord {
+    fn rec(dataset: u64, job: u64, inputs: &[(&str, u64)], start: u64) -> ProvenanceRecord {
         ProvenanceRecord {
             dataset: DatasetId(dataset),
             job: GalaxyJobId(job),

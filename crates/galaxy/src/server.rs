@@ -187,7 +187,9 @@ impl GalaxyServer {
 
     /// Look up a dataset.
     pub fn dataset(&self, id: DatasetId) -> Result<&Dataset, GalaxyError> {
-        self.datasets.get(&id).ok_or(GalaxyError::UnknownDataset(id))
+        self.datasets
+            .get(&id)
+            .ok_or(GalaxyError::UnknownDataset(id))
     }
 
     /// Look up a job.
@@ -232,11 +234,7 @@ impl GalaxyServer {
         }
         let id = DatasetId(self.next_dataset);
         self.next_dataset += 1;
-        let hid = self
-            .histories
-            .get_mut(&history)
-            .expect("checked")
-            .push(id);
+        let hid = self.histories.get_mut(&history).expect("checked").push(id);
         self.datasets.insert(
             id,
             Dataset {
@@ -265,7 +263,16 @@ impl GalaxyServer {
         size: DataSize,
         content: Content,
     ) -> Result<DatasetId, GalaxyError> {
-        self.insert_dataset(now, history, name, dtype, size, content, DatasetState::Ok, None)
+        self.insert_dataset(
+            now,
+            history,
+            name,
+            dtype,
+            size,
+            content,
+            DatasetState::Ok,
+            None,
+        )
     }
 
     // ----- uploads -------------------------------------------------------
@@ -291,7 +298,16 @@ impl GalaxyServer {
             .transfer_duration(size, &link)
             .ok_or(GalaxyError::UploadTooLarge(size))?;
         let done = now + duration;
-        let id = self.insert_dataset(done, history, name, dtype, size, content, DatasetState::Ok, None)?;
+        let id = self.insert_dataset(
+            done,
+            history,
+            name,
+            dtype,
+            size,
+            content,
+            DatasetState::Ok,
+            None,
+        )?;
         Ok((id, done))
     }
 
@@ -315,7 +331,16 @@ impl GalaxyServer {
             .transfer_duration(size, &link)
             .expect("FTP has no size cap");
         let done = now + duration;
-        let id = self.insert_dataset(done, history, name, dtype, size, content, DatasetState::Ok, None)?;
+        let id = self.insert_dataset(
+            done,
+            history,
+            name,
+            dtype,
+            size,
+            content,
+            DatasetState::Ok,
+            None,
+        )?;
         Ok((id, done))
     }
 
@@ -341,12 +366,7 @@ impl GalaxyServer {
             .endpoint
             .clone()
             .ok_or_else(|| GalaxyError::UnknownUser("galaxy server has no endpoint".to_string()))?;
-        let file_name = source
-            .1
-            .rsplit('/')
-            .next()
-            .unwrap_or(source.1)
-            .to_string();
+        let file_name = source.1.rsplit('/').next().unwrap_or(source.1).to_string();
         let mut request = TransferRequest::globus(
             username,
             source,
@@ -363,7 +383,9 @@ impl GalaxyServer {
             _ => (DatasetState::Error, task.finished_at),
         };
         let dtype = file_name.rsplit('.').next().unwrap_or("data").to_string();
-        let id = self.insert_dataset(when, history, &file_name, &dtype, size, content, state, None)?;
+        let id = self.insert_dataset(
+            when, history, &file_name, &dtype, size, content, state, None,
+        )?;
         Ok((id, task_id, when))
     }
 
@@ -571,7 +593,9 @@ impl GalaxyServer {
         match tool.behavior.run(&invocation) {
             Ok(outputs) => {
                 for (i, out) in outputs.into_iter().enumerate() {
-                    let Some(ds_id) = output_ids.get(i) else { break };
+                    let Some(ds_id) = output_ids.get(i) else {
+                        break;
+                    };
                     let size = out.size.unwrap_or_else(|| out.content.natural_size());
                     if let Some(ds) = self.datasets.get_mut(ds_id) {
                         ds.name = out.dataset_name;
@@ -736,7 +760,8 @@ mod tests {
             )
             .unwrap();
         let mut pool = CondorPool::new();
-        pool.add_machine(Machine::new("galaxy", 1.0, 1700, 1)).unwrap();
+        pool.add_machine(Machine::new("galaxy", 1.0, 1700, 1))
+            .unwrap();
         Fixture {
             server,
             pool,

@@ -82,9 +82,7 @@ impl SharingModel {
     ) -> Result<(), String> {
         match self.item_owner.get(&item) {
             None => Err(format!("{item:?} is not registered")),
-            Some(owner) if owner != actor => {
-                Err(format!("{actor} does not own {item:?}"))
-            }
+            Some(owner) if owner != actor => Err(format!("{actor} does not own {item:?}")),
             Some(_) => {
                 self.item_visibility.insert(item, visibility);
                 Ok(())
@@ -116,9 +114,7 @@ impl SharingModel {
             for item in &page.embeds {
                 let vis = self.item_visibility.get(item);
                 if matches!(vis, None | Some(Visibility::Private)) {
-                    return Err(format!(
-                        "cannot publish page: embedded {item:?} is private"
-                    ));
+                    return Err(format!("cannot publish page: embedded {item:?} is private"));
                 }
             }
         }
@@ -171,7 +167,8 @@ mod tests {
     fn link_sharing() {
         let mut s = SharingModel::new();
         s.own(ds(1), "alice");
-        s.set_visibility(ds(1), "alice", Visibility::LinkOnly).unwrap();
+        s.set_visibility(ds(1), "alice", Visibility::LinkOnly)
+            .unwrap();
         assert!(s.can_view(ds(1), "bob", true));
         assert!(!s.can_view(ds(1), "bob", false));
     }
@@ -213,7 +210,8 @@ mod tests {
             visibility: Visibility::Public,
         };
         assert!(s.publish_page(page.clone()).is_err(), "embed still private");
-        s.set_visibility(ds(1), "alice", Visibility::Public).unwrap();
+        s.set_visibility(ds(1), "alice", Visibility::Public)
+            .unwrap();
         let link = s.publish_page(page).unwrap();
         assert_eq!(link, "/u/alice/p/cvrg-analysis");
         assert!(s.view_page("cvrg-analysis", "anyone", false).is_some());

@@ -93,7 +93,13 @@ impl ParamSpec {
     }
 
     /// An integer parameter.
-    pub fn integer(name: &str, label: &str, default: i64, min: Option<i64>, max: Option<i64>) -> ParamSpec {
+    pub fn integer(
+        name: &str,
+        label: &str,
+        default: i64,
+        min: Option<i64>,
+        max: Option<i64>,
+    ) -> ParamSpec {
         ParamSpec {
             name: name.to_string(),
             label: label.to_string(),
@@ -142,10 +148,7 @@ impl ParamSpec {
                 if options.iter().any(|o| o == value) {
                     Ok(())
                 } else {
-                    Err(format!(
-                        "{}: {value:?} not in {:?}",
-                        self.name, options
-                    ))
+                    Err(format!("{}: {value:?} not in {:?}", self.name, options))
                 }
             }
             ParamKind::Boolean => match value {
@@ -338,7 +341,10 @@ impl ToolDefinition {
 
     /// The rendered form model (what Galaxy auto-generates as a web UI).
     pub fn form_model(&self) -> String {
-        let mut out = format!("Tool: {} (v{})\n{}\n", self.name, self.version, self.description);
+        let mut out = format!(
+            "Tool: {} (v{})\n{}\n",
+            self.name, self.version, self.description
+        );
         for p in &self.params {
             let kind = match &p.kind {
                 ParamKind::Text => "text".to_string(),

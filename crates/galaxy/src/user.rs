@@ -69,6 +69,9 @@ mod tests {
 
     #[test]
     fn api_keys_are_distinct() {
-        assert_ne!(GalaxyUser::new("a", 1).api_key, GalaxyUser::new("a", 2).api_key);
+        assert_ne!(
+            GalaxyUser::new("a", 1).api_key,
+            GalaxyUser::new("a", 2).api_key
+        );
     }
 }

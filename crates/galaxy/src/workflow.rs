@@ -187,11 +187,8 @@ pub fn run_workflow(
         }
     }
 
-    let step_by_id: BTreeMap<&str, &WorkflowStep> = workflow
-        .steps
-        .iter()
-        .map(|s| (s.id.as_str(), s))
-        .collect();
+    let step_by_id: BTreeMap<&str, &WorkflowStep> =
+        workflow.steps.iter().map(|s| (s.id.as_str(), s)).collect();
 
     let mut step_jobs: BTreeMap<String, GalaxyJobId> = BTreeMap::new();
     let mut step_outputs: BTreeMap<String, Vec<DatasetId>> = BTreeMap::new();
@@ -199,49 +196,48 @@ pub fn run_workflow(
     let mut clock = now;
 
     // Submit whatever is ready.
-    let submit_ready =
-        |server: &mut GalaxyServer,
-         pool: &mut CondorPool,
-         dag: &mut DagRun,
-         condor_to_step: &mut BTreeMap<cumulus_htc::JobId, String>,
-         step_jobs: &mut BTreeMap<String, GalaxyJobId>,
-         step_outputs: &BTreeMap<String, Vec<DatasetId>>,
-         at: SimTime|
-         -> Result<(), GalaxyError> {
-            for node in dag.ready_nodes() {
-                let step = step_by_id[node.as_str()];
-                let mut params = step.params.clone();
-                for (pname, binding) in &step.bindings {
-                    let ds = match binding {
-                        Binding::Input(name) => inputs[name],
-                        Binding::StepOutput(src, idx) => {
-                            let outs = step_outputs.get(src).ok_or_else(|| {
-                                GalaxyError::Tool(crate::tool::ToolError(format!(
-                                    "step {src:?} has no outputs yet"
-                                )))
-                            })?;
-                            *outs.get(*idx).ok_or_else(|| {
-                                GalaxyError::Tool(crate::tool::ToolError(format!(
-                                    "step {src:?} has no output #{idx}"
-                                )))
-                            })?
-                        }
-                    };
-                    params.insert(pname.clone(), ds.0.to_string());
-                }
-                let job_id = server.run_tool(at, username, history, &step.tool_id, &params, pool)?;
-                let condor_id = server
-                    .job(job_id)
-                    .expect("just created")
-                    .condor_job
-                    .expect("dispatched");
-                dag.mark_submitted(&node, condor_id)
-                    .map_err(|e| GalaxyError::Tool(crate::tool::ToolError(e.to_string())))?;
-                condor_to_step.insert(condor_id, node.clone());
-                step_jobs.insert(node.clone(), job_id);
+    let submit_ready = |server: &mut GalaxyServer,
+                        pool: &mut CondorPool,
+                        dag: &mut DagRun,
+                        condor_to_step: &mut BTreeMap<cumulus_htc::JobId, String>,
+                        step_jobs: &mut BTreeMap<String, GalaxyJobId>,
+                        step_outputs: &BTreeMap<String, Vec<DatasetId>>,
+                        at: SimTime|
+     -> Result<(), GalaxyError> {
+        for node in dag.ready_nodes() {
+            let step = step_by_id[node.as_str()];
+            let mut params = step.params.clone();
+            for (pname, binding) in &step.bindings {
+                let ds = match binding {
+                    Binding::Input(name) => inputs[name],
+                    Binding::StepOutput(src, idx) => {
+                        let outs = step_outputs.get(src).ok_or_else(|| {
+                            GalaxyError::Tool(crate::tool::ToolError(format!(
+                                "step {src:?} has no outputs yet"
+                            )))
+                        })?;
+                        *outs.get(*idx).ok_or_else(|| {
+                            GalaxyError::Tool(crate::tool::ToolError(format!(
+                                "step {src:?} has no output #{idx}"
+                            )))
+                        })?
+                    }
+                };
+                params.insert(pname.clone(), ds.0.to_string());
             }
-            Ok(())
-        };
+            let job_id = server.run_tool(at, username, history, &step.tool_id, &params, pool)?;
+            let condor_id = server
+                .job(job_id)
+                .expect("just created")
+                .condor_job
+                .expect("dispatched");
+            dag.mark_submitted(&node, condor_id)
+                .map_err(|e| GalaxyError::Tool(crate::tool::ToolError(e.to_string())))?;
+            condor_to_step.insert(condor_id, node.clone());
+            step_jobs.insert(node.clone(), job_id);
+        }
+        Ok(())
+    };
 
     submit_ready(
         server,
@@ -309,8 +305,8 @@ mod tests {
     use crate::tool::{
         CostModel, OutputSpec, ParamSpec, ToolDefinition, ToolInvocation, ToolOutput,
     };
-    use cumulus_net::{DataSize, NodeId};
     use cumulus_htc::Machine;
+    use cumulus_net::{DataSize, NodeId};
     use std::sync::Arc;
 
     fn text_tool(id: &str, f: impl Fn(&str) -> String + Send + Sync + 'static) -> ToolDefinition {
@@ -346,10 +342,7 @@ mod tests {
             name: "join".to_string(),
             version: "1.0".to_string(),
             description: "joins two texts".to_string(),
-            params: vec![
-                ParamSpec::dataset("a", "A"),
-                ParamSpec::dataset("b", "B"),
-            ],
+            params: vec![ParamSpec::dataset("a", "A"), ParamSpec::dataset("b", "B")],
             outputs: vec![OutputSpec {
                 name: "out".to_string(),
                 dtype: "txt".to_string(),
@@ -389,9 +382,7 @@ mod tests {
             .unwrap();
         server.registry.register("Text", join_tool()).unwrap();
         server.register_user("boliu");
-        let history = server
-            .create_history(SimTime::ZERO, "boliu", "wf")
-            .unwrap();
+        let history = server.create_history(SimTime::ZERO, "boliu", "wf").unwrap();
         let input = server
             .add_dataset(
                 SimTime::ZERO,

@@ -26,8 +26,8 @@ pub mod machine;
 pub mod pool;
 
 pub use classad::{ClassAd, Expr, Value};
-pub use driver::{drive_pool, DriveReport};
 pub use dag::{DagError, DagRun, NodeStatus};
+pub use driver::{drive_pool, DriveReport};
 pub use job::{Job, JobBuilder, JobId, JobState, WorkSpec};
 pub use machine::{Machine, MachineName};
 pub use pool::{CondorPool, Match, PoolError, NEGOTIATION_INTERVAL};

@@ -24,6 +24,14 @@ pub enum PoolError {
     UnknownMachine(String),
     /// A machine with this name already exists.
     DuplicateMachine(String),
+    /// The queue failed to drain within the cycle budget: either idle jobs
+    /// are unmatchable (no capacity) or the budget was too small.
+    NotDrained {
+        /// Idle jobs left in the queue.
+        idle: usize,
+        /// Jobs still executing.
+        running: usize,
+    },
 }
 
 impl std::fmt::Display for PoolError {
@@ -32,6 +40,10 @@ impl std::fmt::Display for PoolError {
             PoolError::UnknownJob(j) => write!(f, "unknown job {j}"),
             PoolError::UnknownMachine(m) => write!(f, "unknown machine {m:?}"),
             PoolError::DuplicateMachine(m) => write!(f, "machine {m:?} already in pool"),
+            PoolError::NotDrained { idle, running } => write!(
+                f,
+                "queue failed to drain: {idle} idle / {running} running job(s) remain"
+            ),
         }
     }
 }
@@ -133,6 +145,79 @@ impl CondorPool {
             .filter(|m| m.accepting())
             .map(|m| m.slots_free)
             .sum()
+    }
+
+    /// Look up a machine by name.
+    pub fn machine(&self, name: &str) -> Option<&Machine> {
+        self.machines.get(&MachineName(name.to_string()))
+    }
+
+    /// Whether the named machine has a job executing right now. Unknown
+    /// machines report `false` (nothing can be running there).
+    pub fn machine_busy(&self, name: &str) -> bool {
+        self.machine(name)
+            .map(|m| m.busy_slots() > 0)
+            .unwrap_or(false)
+    }
+
+    // ----- observables (autoscaling signals) --------------------------
+
+    /// Total execution slots across all machines, draining or not.
+    pub fn total_slots(&self) -> u32 {
+        self.machines.values().map(|m| m.slots_total).sum()
+    }
+
+    /// Slots currently executing a job.
+    pub fn busy_slots(&self) -> u32 {
+        self.machines.values().map(|m| m.busy_slots()).sum()
+    }
+
+    /// Fraction of slots busy, in `[0, 1]`. An empty pool reports 0.
+    pub fn utilization(&self) -> f64 {
+        let total = self.total_slots();
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_slots() as f64 / total as f64
+        }
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count()
+    }
+
+    /// How long each idle job has been waiting as of `now`, in submission
+    /// order. The distribution an autoscaler turns into wait-time
+    /// percentiles.
+    pub fn idle_waits(&self, now: SimTime) -> Vec<SimDuration> {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Idle)
+            .map(|j| now.since(j.submitted_at))
+            .collect()
+    }
+
+    /// Queue latency (submission to most recent start) of every completed
+    /// job, in submission order.
+    pub fn completed_waits(&self) -> Vec<SimDuration> {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Completed)
+            .filter_map(|j| j.started_at.map(|s| s.since(j.submitted_at)))
+            .collect()
+    }
+
+    /// Latest completion time over all completed jobs, if any.
+    pub fn last_completion_at(&self) -> Option<SimTime> {
+        self.jobs
+            .values()
+            .filter(|j| j.state == JobState::Completed)
+            .filter_map(|j| j.finish_at)
+            .max()
     }
 
     // ----- queue ------------------------------------------------------
@@ -252,9 +337,7 @@ impl CondorPool {
                     let score = job.rank.eval_rank(&m.ad, &job.ad);
                     let better = match &best {
                         None => true,
-                        Some((s, name)) => {
-                            score > *s || (score == *s && m.name < *name)
-                        }
+                        Some((s, name)) => score > *s || (score == *s && m.name < *name),
                     };
                     if better {
                         best = Some((score, m.name.clone()));
@@ -293,7 +376,9 @@ impl CondorPool {
             if job.state != JobState::Running {
                 continue;
             }
-            let Some(finish) = job.finish_at else { continue };
+            let Some(finish) = job.finish_at else {
+                continue;
+            };
             if finish > now {
                 continue;
             }
@@ -371,6 +456,22 @@ impl CondorPool {
         }
         None
     }
+
+    /// Like [`run_until_drained`](CondorPool::run_until_drained), but a
+    /// failure to drain is a typed [`PoolError::NotDrained`] carrying the
+    /// leftover queue state instead of a bare `None` the caller has to
+    /// `.expect()` on.
+    pub fn try_run_until_drained(
+        &mut self,
+        start: SimTime,
+        max_cycles: u32,
+    ) -> Result<SimTime, PoolError> {
+        self.run_until_drained(start, max_cycles)
+            .ok_or(PoolError::NotDrained {
+                idle: self.idle_count(),
+                running: self.running_count(),
+            })
+    }
 }
 
 /// Convenience duration: time between two negotiation cycles in a real
@@ -409,7 +510,8 @@ mod tests {
     fn rank_prefers_fastest_machine() {
         let mut pool = CondorPool::new();
         pool.add_machine(small_machine("slow")).unwrap();
-        pool.add_machine(Machine::new("fast", 2.2, 1700, 1)).unwrap();
+        pool.add_machine(Machine::new("fast", 2.2, 1700, 1))
+            .unwrap();
         let work = WorkSpec {
             serial_secs: 224.0,
             cu_work: 418.0,
@@ -551,6 +653,58 @@ mod tests {
             pool.add_machine(small_machine("w")),
             Err(PoolError::DuplicateMachine(_))
         ));
+    }
+
+    #[test]
+    fn observables_track_pool_state() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(Machine::new("a", 1.0, 1700, 2)).unwrap();
+        pool.add_machine(small_machine("b")).unwrap();
+        assert_eq!(pool.total_slots(), 3);
+        assert_eq!(pool.busy_slots(), 0);
+        assert_eq!(pool.utilization(), 0.0);
+        for _ in 0..4 {
+            pool.submit(Job::new("u", WorkSpec::serial(30.0)), t(0));
+        }
+        pool.negotiate(t(0));
+        assert_eq!(pool.busy_slots(), 3);
+        assert_eq!(pool.running_count(), 3);
+        assert!((pool.utilization() - 1.0).abs() < 1e-12);
+        assert!(pool.machine_busy("a"));
+        assert!(!pool.machine_busy("nonexistent"));
+        // One job still idle, waiting since t(0).
+        let waits = pool.idle_waits(t(10));
+        assert_eq!(waits.len(), 1);
+        assert_eq!(waits[0], SimDuration::from_secs(10));
+        pool.settle(t(30));
+        assert_eq!(pool.completed_waits().len(), 3);
+        assert_eq!(pool.last_completion_at(), Some(t(30)));
+        assert_eq!(pool.utilization(), 0.0);
+    }
+
+    #[test]
+    fn empty_pool_utilization_is_zero() {
+        let pool = CondorPool::new();
+        assert_eq!(pool.utilization(), 0.0);
+        assert_eq!(pool.total_slots(), 0);
+    }
+
+    #[test]
+    fn try_run_until_drained_reports_typed_error() {
+        let mut pool = CondorPool::new();
+        pool.submit(Job::new("u", WorkSpec::serial(10.0)), t(0));
+        pool.submit(Job::new("u", WorkSpec::serial(10.0)), t(0));
+        let err = pool.try_run_until_drained(t(0), 10).unwrap_err();
+        assert_eq!(
+            err,
+            PoolError::NotDrained {
+                idle: 2,
+                running: 0
+            }
+        );
+        // With a machine it succeeds like the untyped variant.
+        pool.add_machine(small_machine("w")).unwrap();
+        assert_eq!(pool.try_run_until_drained(t(0), 100), Ok(t(20)));
     }
 
     #[test]

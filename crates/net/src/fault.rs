@@ -95,15 +95,17 @@ impl FaultPlan {
     /// Is the path down at `t`?
     pub fn is_down(&self, t: SimTime) -> bool {
         // Binary search over sorted windows.
-        self.outages.binary_search_by(|o| {
-            if o.contains(t) {
-                std::cmp::Ordering::Equal
-            } else if o.end <= t {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Greater
-            }
-        }).is_ok()
+        self.outages
+            .binary_search_by(|o| {
+                if o.contains(t) {
+                    std::cmp::Ordering::Equal
+                } else if o.end <= t {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            })
+            .is_ok()
     }
 
     /// The first fault at or after `t`, if any.
@@ -144,10 +146,8 @@ mod tests {
 
     #[test]
     fn windows_detect_downtime() {
-        let plan = FaultPlan::from_windows(vec![
-            Outage::new(t(10), t(20)),
-            Outage::new(t(40), t(50)),
-        ]);
+        let plan =
+            FaultPlan::from_windows(vec![Outage::new(t(10), t(20)), Outage::new(t(40), t(50))]);
         assert!(!plan.is_down(t(9)));
         assert!(plan.is_down(t(10)));
         assert!(plan.is_down(t(19)));
@@ -185,7 +185,10 @@ mod tests {
             SimDuration::from_secs(300),
             SimDuration::from_secs(30),
         );
-        assert!(!plan.outages().is_empty(), "expected some faults in an hour");
+        assert!(
+            !plan.outages().is_empty(),
+            "expected some faults in an hour"
+        );
         for o in plan.outages() {
             assert!(o.start.as_secs() < 3600 + 600, "start inside-ish horizon");
             assert!(o.end > o.start);

@@ -155,8 +155,12 @@ mod tests {
     #[test]
     fn put_writes_into_tree() {
         let mut fs = SharedFs::new(400.0);
-        fs.put("/nfs/home/user1/data.zip", 10_700_000, "ds-1").unwrap();
-        assert_eq!(fs.tree.file_size("/nfs/home/user1/data.zip").unwrap(), 10_700_000);
+        fs.put("/nfs/home/user1/data.zip", 10_700_000, "ds-1")
+            .unwrap();
+        assert_eq!(
+            fs.tree.file_size("/nfs/home/user1/data.zip").unwrap(),
+            10_700_000
+        );
     }
 
     #[test]

@@ -79,9 +79,7 @@ impl Tree {
                 .or_insert_with(|| FsNode::Dir(BTreeMap::new()));
             match entry {
                 FsNode::Dir(children) => cur = children,
-                FsNode::File { .. } => {
-                    return Err(FsError::NotADirectory(parts[..=i].join("/")))
-                }
+                FsNode::File { .. } => return Err(FsError::NotADirectory(parts[..=i].join("/"))),
             }
         }
         Ok(())
@@ -184,9 +182,7 @@ impl Tree {
         for part in dirs {
             match cur.get_mut(*part) {
                 Some(FsNode::Dir(children)) => cur = children,
-                Some(FsNode::File { .. }) => {
-                    return Err(FsError::NotADirectory(part.to_string()))
-                }
+                Some(FsNode::File { .. }) => return Err(FsError::NotADirectory(part.to_string())),
                 None => return Err(FsError::NotFound(path.to_string())),
             }
         }
@@ -258,7 +254,10 @@ mod tests {
             t.write_file("/a/dir", 1, "t"),
             Err(FsError::AlreadyExists(_))
         ));
-        assert!(matches!(t.file_size("/a/dir"), Err(FsError::IsADirectory(_))));
+        assert!(matches!(
+            t.file_size("/a/dir"),
+            Err(FsError::IsADirectory(_))
+        ));
         assert!(matches!(t.list("/a/file"), Err(FsError::NotADirectory(_))));
     }
 

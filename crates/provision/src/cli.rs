@@ -41,11 +41,7 @@ impl GpCli {
     }
 
     /// `gp-instance-start <id>`.
-    pub fn instance_start(
-        &mut self,
-        now: SimTime,
-        id: &GpInstanceId,
-    ) -> Result<String, GpError> {
+    pub fn instance_start(&mut self, now: SimTime, id: &GpInstanceId) -> Result<String, GpError> {
         let report = self.world.start_instance(now, id)?;
         Ok(format!(
             "Starting instance {id}... done! ({} elapsed)\n",
@@ -65,11 +61,18 @@ impl GpCli {
         id: &GpInstanceId,
         json_text: &str,
     ) -> Result<String, GpError> {
-        let target = self.world.instance(id)?.topology.with_json_update(json_text)?;
+        let target = self
+            .world
+            .instance(id)?
+            .topology
+            .with_json_update(json_text)?;
         let report = self.world.update_instance(now, id, target)?;
         let mut out = format!("Updating instance {id}...\n");
         for action in &report.actions {
-            out.push_str(&format!("  {} (done at {})\n", action.description, action.done_at));
+            out.push_str(&format!(
+                "  {} (done at {})\n",
+                action.description, action.done_at
+            ));
         }
         out.push_str("done!\n");
         Ok(out)

@@ -198,27 +198,19 @@ mod tests {
     #[test]
     fn cloudman_launches_and_scales() {
         let world = GpCloud::deterministic(21);
-        let (mut cm, ready) =
-            CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
+        let (mut cm, ready) = CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
         let done = cm.scale_to(ready, 3).unwrap();
         assert!(done > ready);
-        assert_eq!(
-            cm.world.instance(&cm.instance).unwrap().workers().len(),
-            3
-        );
+        assert_eq!(cm.world.instance(&cm.instance).unwrap().workers().len(), 3);
         let done2 = cm.scale_to(done, 1).unwrap();
-        assert_eq!(
-            cm.world.instance(&cm.instance).unwrap().workers().len(),
-            1
-        );
+        assert_eq!(cm.world.instance(&cm.instance).unwrap().workers().len(), 1);
         assert!(done2 >= done);
     }
 
     #[test]
     fn cloudman_refuses_gp_only_operations() {
         let world = GpCloud::deterministic(22);
-        let (mut cm, ready) =
-            CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
+        let (mut cm, ready) = CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
         assert!(matches!(
             cm.change_instance_type(ready, InstanceType::M1Large),
             Err(CloudManError::Unsupported(Capability::ChangeInstanceType))
@@ -236,8 +228,7 @@ mod tests {
     #[test]
     fn cloudman_supports_stop_resume() {
         let world = GpCloud::deterministic(23);
-        let (mut cm, ready) =
-            CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
+        let (mut cm, ready) = CloudManSim::launch(world, t0(), InstanceType::M1Small, 1).unwrap();
         let stopped = cm.stop(ready).unwrap();
         let resumed = cm.resume(stopped + SimDuration::from_hours(1)).unwrap();
         assert!(resumed > stopped);

@@ -23,9 +23,7 @@ use cumulus_htc::{CondorPool, Machine};
 use cumulus_net::{Network, NodeId};
 use cumulus_nfs::SharedFs;
 use cumulus_simkit::prelude::*;
-use cumulus_transfer::{
-    CertificateAuthority, EndpointKind, TransferService,
-};
+use cumulus_transfer::{CertificateAuthority, EndpointKind, TransferService};
 
 use crate::topology::{Topology, TopologyError};
 
@@ -343,9 +341,7 @@ impl GpCloud {
         let fq_host = format!("{instance_id}.{hostname}");
         let mut chef = NodeState::from_image(&fq_host, preinstalled.iter());
 
-        let mut rng = self
-            .seeds
-            .stream(&format!("chef/{instance_id}/{hostname}"));
+        let mut rng = self.seeds.stream(&format!("chef/{instance_id}/{hostname}"));
         let report = converge(
             &self.cookbooks,
             &mut chef,
@@ -437,7 +433,9 @@ impl GpCloud {
             topology.head_type,
             &ami,
             topology.crdata,
-            nfs_ready.min(now).max(if topology.nfs_node { nfs_ready } else { now }),
+            nfs_ready
+                .min(now)
+                .max(if topology.nfs_node { nfs_ready } else { now }),
         )?;
         host_times.push(("galaxy".to_string(), head_boot, head_ready));
         let head_node_ready = head_ready;
@@ -535,9 +533,11 @@ impl GpCloud {
                 Ok(_) => {}
                 Err(cumulus_transfer::EndpointError::Duplicate(_)) => {
                     self.transfer.endpoints.unregister(&ep_name)?;
-                    self.transfer
-                        .endpoints
-                        .register(&ep_name, head_node, EndpointKind::GridFtpServer)?;
+                    self.transfer.endpoints.register(
+                        &ep_name,
+                        head_node,
+                        EndpointKind::GridFtpServer,
+                    )?;
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -548,8 +548,9 @@ impl GpCloud {
         let inst = self.instances.get_mut(id).expect("exists");
         inst.state = GpState::Running;
         inst.ready_at = Some(ready_at);
-        inst.log
-            .push(format!("Starting instance {id}... done! (ready at {ready_at})"));
+        inst.log.push(format!(
+            "Starting instance {id}... done! (ready at {ready_at})"
+        ));
 
         Ok(DeployReport {
             ready_at,
@@ -605,7 +606,10 @@ mod tests {
         let small_mins = rs.duration_from(t0()).as_mins_f64();
         let xl_mins = rx.duration_from(t0()).as_mins_f64();
         assert!(xl_mins < small_mins);
-        assert!((xl_mins - 4.9).abs() < 0.5, "xlarge deploy {xl_mins} min, paper 4.9");
+        assert!(
+            (xl_mins - 4.9).abs() < 0.5,
+            "xlarge deploy {xl_mins} min, paper 4.9"
+        );
     }
 
     #[test]

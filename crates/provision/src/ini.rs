@@ -128,12 +128,8 @@ impl IniDoc {
 
     /// Get a yes/no/true/false boolean.
     pub fn get_bool(&self, section: &str, key: &str) -> Option<bool> {
-        self.get(section, key).map(|v| {
-            matches!(
-                v.to_ascii_lowercase().as_str(),
-                "yes" | "true" | "1" | "on"
-            )
-        })
+        self.get(section, key)
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "yes" | "true" | "1" | "on"))
     }
 
     /// Get an unsigned integer.

@@ -78,12 +78,7 @@ impl Json {
 
     /// Build an object from pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Build a string value.
@@ -363,7 +358,14 @@ impl<'a> JsonParser<'a> {
         while self
             .src
             .get(self.pos)
-            .map(|c| c.is_ascii_digit() || *c == b'.' || *c == b'e' || *c == b'E' || *c == b'+' || *c == b'-')
+            .map(|c| {
+                c.is_ascii_digit()
+                    || *c == b'.'
+                    || *c == b'e'
+                    || *c == b'E'
+                    || *c == b'+'
+                    || *c == b'-'
+            })
             .unwrap_or(false)
         {
             self.pos += 1;

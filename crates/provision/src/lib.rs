@@ -26,6 +26,7 @@ pub mod deploy;
 pub mod ini;
 pub mod json;
 pub mod reconfigure;
+pub mod scale;
 pub mod topology;
 
 pub use cli::GpCli;

@@ -147,7 +147,15 @@ impl GpCloud {
         let ami = self.instance(id)?.topology.ami.clone();
         let hostname = format!("worker-{idx}");
         let (host, _boot, ready) = self.provision_host_public(
-            now, id, &hostname, Role::CondorWorker, Some(idx), wtype, &ami, with_crdata, now,
+            now,
+            id,
+            &hostname,
+            Role::CondorWorker,
+            Some(idx),
+            wtype,
+            &ami,
+            with_crdata,
+            now,
         )?;
         let machine = Machine::new(
             &format!("{id}.{hostname}"),
@@ -316,9 +324,7 @@ impl GpCloud {
     ) -> Result<SimTime, GpError> {
         let cookbooks = std::mem::take(&mut self.cookbooks);
         let converge_config = self.converge_config_copy();
-        let mut rng = self
-            .seeds()
-            .stream(&format!("chef-re/{id}/{hostname}"));
+        let mut rng = self.seeds().stream(&format!("chef-re/{id}/{hostname}"));
         let result = {
             let inst = self.instance_mut(id)?;
             let host = inst
@@ -359,9 +365,11 @@ impl GpCloud {
         let mut done = now;
         for (hostname, role, widx) in hosts {
             let itype = match (role, widx) {
-                (Role::CondorWorker, Some(i)) => {
-                    topology.workers.get(i).copied().unwrap_or(topology.head_type)
-                }
+                (Role::CondorWorker, Some(i)) => topology
+                    .workers
+                    .get(i)
+                    .copied()
+                    .unwrap_or(topology.head_type),
                 _ => topology.head_type,
             };
             let _ = role;
@@ -402,7 +410,8 @@ impl GpCloud {
         self.ec2.settle(stopped_at);
         let inst = self.instance_mut(id)?;
         inst.state = GpState::Stopped;
-        inst.log.push(format!("Stopped instance {id} at {stopped_at}"));
+        inst.log
+            .push(format!("Stopped instance {id} at {stopped_at}"));
         Ok(stopped_at)
     }
 
@@ -434,9 +443,11 @@ impl GpCloud {
             let booted = self.ec2.start_instance(now, ec2_id)?;
             self.ec2.settle(booted);
             let itype = match (role, widx) {
-                (Role::CondorWorker, Some(i)) => {
-                    topology.workers.get(i).copied().unwrap_or(topology.head_type)
-                }
+                (Role::CondorWorker, Some(i)) => topology
+                    .workers
+                    .get(i)
+                    .copied()
+                    .unwrap_or(topology.head_type),
                 _ => topology.head_type,
             };
             let ready = self.reconverge_host(id, &hostname, itype, booted, topology.crdata)?;
@@ -471,7 +482,8 @@ impl GpCloud {
         let inst = self.instance_mut(id)?;
         inst.state = GpState::Running;
         inst.ready_at = Some(ready_at);
-        inst.log.push(format!("Resumed instance {id} at {ready_at}"));
+        inst.log
+            .push(format!("Resumed instance {id} at {ready_at}"));
         Ok(crate::deploy::DeployReport {
             ready_at,
             host_times,

@@ -1,0 +1,218 @@
+//! Delta-based worker scaling.
+//!
+//! [`update_instance`](GpCloud::update_instance) morphs a running instance
+//! toward an arbitrary target [`Topology`] — the right primitive for
+//! `gp-instance-update` driven by a JSON file, but a clumsy one for a
+//! programmatic controller that only wants "two more workers" or "drop to
+//! three". This module adds that narrower API: incremental worker deltas
+//! expressed directly, with the target topology built in place rather than
+//! round-tripped through JSON strings.
+//!
+//! Worker removal is positional from the tail (`worker-{n-1}` first), which
+//! matches how [`Topology::diff`] pairs workers and keeps instance naming
+//! dense. Removal always drains: a worker with a running job keeps it to
+//! completion before its EC2 instance is terminated.
+
+use cumulus_cloud::InstanceType;
+use cumulus_simkit::time::SimTime;
+
+use crate::deploy::{GpCloud, GpError, GpInstanceId};
+use crate::reconfigure::ReconfigReport;
+
+impl GpCloud {
+    /// Number of Condor workers in the instance's current topology.
+    pub fn worker_count(&self, id: &GpInstanceId) -> Result<usize, GpError> {
+        Ok(self.instance(id)?.topology.workers.len())
+    }
+
+    /// Whether `worker-{idx}`'s pool machine is executing a job right now.
+    /// Workers that never joined (or already left) the pool report `false`.
+    pub fn worker_busy(&self, id: &GpInstanceId, idx: usize) -> Result<bool, GpError> {
+        let inst = self.instance(id)?;
+        Ok(inst.pool.machine_busy(&format!("{id}.worker-{idx}")))
+    }
+
+    /// Scale the worker cluster to exactly `target` nodes.
+    ///
+    /// Growth appends workers of type `wtype`; shrinkage drains and removes
+    /// from the tail. Existing workers are never retyped — only the delta
+    /// is touched, so a heterogeneous cluster stays heterogeneous. A
+    /// `target` equal to the current count is a no-op returning an empty
+    /// report.
+    pub fn scale_workers(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        target: usize,
+        wtype: InstanceType,
+    ) -> Result<ReconfigReport, GpError> {
+        let mut topo = self.instance(id)?.topology.clone();
+        if target >= topo.workers.len() {
+            topo.workers.resize(target, wtype);
+        } else {
+            topo.workers.truncate(target);
+        }
+        self.update_instance(now, id, topo)
+    }
+
+    /// Add `n` workers of type `wtype`.
+    pub fn add_workers(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        n: usize,
+        wtype: InstanceType,
+    ) -> Result<ReconfigReport, GpError> {
+        let current = self.worker_count(id)?;
+        self.scale_workers(now, id, current + n, wtype)
+    }
+
+    /// Drain and remove the `n` tail workers (clamped to the cluster size).
+    pub fn remove_workers(
+        &mut self,
+        now: SimTime,
+        id: &GpInstanceId,
+        n: usize,
+    ) -> Result<ReconfigReport, GpError> {
+        let current = self.worker_count(id)?;
+        let head_type = self.instance(id)?.topology.head_type;
+        self.scale_workers(now, id, current.saturating_sub(n), head_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use cumulus_htc::{Job, WorkSpec};
+    use cumulus_simkit::time::SimDuration;
+
+    fn running_single(seed: u64) -> (GpCloud, GpInstanceId, SimTime) {
+        let mut world = GpCloud::deterministic(seed);
+        let id = world.create_instance(Topology::single_node(InstanceType::M1Small));
+        let ready = world.start_instance(SimTime::ZERO, &id).unwrap().ready_at;
+        (world, id, ready)
+    }
+
+    #[test]
+    fn scale_out_appends_typed_workers() {
+        let (mut world, id, ready) = running_single(41);
+        assert_eq!(world.worker_count(&id).unwrap(), 0);
+        let report = world
+            .scale_workers(ready, &id, 3, InstanceType::C1Medium)
+            .unwrap();
+        assert_eq!(report.actions.len(), 3);
+        assert_eq!(world.worker_count(&id).unwrap(), 3);
+        let inst = world.instance(&id).unwrap();
+        assert!(inst
+            .topology
+            .workers
+            .iter()
+            .all(|w| *w == InstanceType::C1Medium));
+        assert_eq!(inst.pool.machines().count(), 4, "head + 3 workers");
+        // Workers take minutes to provision, not hours and not zero.
+        let mins = report.done_at(ready).since(ready).as_mins_f64();
+        assert!((1.0..20.0).contains(&mins), "provisioned in {mins} min");
+    }
+
+    #[test]
+    fn scale_in_removes_from_the_tail() {
+        let (mut world, id, ready) = running_single(42);
+        world
+            .scale_workers(ready, &id, 3, InstanceType::C1Medium)
+            .unwrap();
+        let later = ready + SimDuration::from_mins(30);
+        let report = world.remove_workers(later, &id, 2).unwrap();
+        assert_eq!(world.worker_count(&id).unwrap(), 1);
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| a.description.contains("remove worker-2")));
+        assert!(report
+            .actions
+            .iter()
+            .any(|a| a.description.contains("remove worker-1")));
+        let inst = world.instance(&id).unwrap();
+        assert_eq!(inst.pool.machines().count(), 2, "head + worker-0");
+    }
+
+    #[test]
+    fn growth_preserves_existing_worker_types() {
+        let (mut world, id, ready) = running_single(43);
+        world
+            .scale_workers(ready, &id, 1, InstanceType::C1Medium)
+            .unwrap();
+        let later = ready + SimDuration::from_mins(20);
+        world
+            .scale_workers(later, &id, 2, InstanceType::M1Large)
+            .unwrap();
+        let workers = &world.instance(&id).unwrap().topology.workers;
+        assert_eq!(workers[0], InstanceType::C1Medium);
+        assert_eq!(workers[1], InstanceType::M1Large);
+    }
+
+    #[test]
+    fn same_target_is_a_no_op() {
+        let (mut world, id, ready) = running_single(44);
+        world
+            .scale_workers(ready, &id, 2, InstanceType::C1Medium)
+            .unwrap();
+        let later = ready + SimDuration::from_mins(20);
+        let report = world
+            .scale_workers(later, &id, 2, InstanceType::C1Medium)
+            .unwrap();
+        assert!(report.actions.is_empty());
+        assert_eq!(report.done_at(later), later);
+    }
+
+    #[test]
+    fn worker_busy_reflects_pinned_job() {
+        let (mut world, id, ready) = running_single(45);
+        world
+            .scale_workers(ready, &id, 2, InstanceType::C1Medium)
+            .unwrap();
+        {
+            let inst = world.instance_mut(&id).unwrap();
+            let machine = format!("{id}.worker-1");
+            inst.pool.submit(
+                Job::new("u", WorkSpec::serial(500.0))
+                    .requirements(&format!("Machine == \"{machine}\"")),
+                ready,
+            );
+            inst.pool.negotiate(ready);
+        }
+        assert!(world.worker_busy(&id, 1).unwrap());
+        assert!(!world.worker_busy(&id, 0).unwrap());
+        // Out-of-range worker is simply not busy.
+        assert!(!world.worker_busy(&id, 9).unwrap());
+    }
+
+    #[test]
+    fn removal_drains_busy_tail_worker() {
+        let (mut world, id, ready) = running_single(46);
+        world
+            .scale_workers(ready, &id, 1, InstanceType::C1Medium)
+            .unwrap();
+        let start = ready + SimDuration::from_mins(20);
+        let jid = {
+            let inst = world.instance_mut(&id).unwrap();
+            let machine = format!("{id}.worker-0");
+            let jid = inst.pool.submit(
+                Job::new("u", WorkSpec::serial(600.0))
+                    .requirements(&format!("Machine == \"{machine}\"")),
+                start,
+            );
+            inst.pool.negotiate(start);
+            jid
+        };
+        let report = world.remove_workers(start, &id, 1).unwrap();
+        let done = report.done_at(start);
+        assert!(
+            done.since(start).as_secs_f64() >= 600.0,
+            "drain must wait for the running job"
+        );
+        let job = world.instance(&id).unwrap().pool.job(jid).unwrap().clone();
+        assert_eq!(job.evictions, 0, "drained removal never evicts");
+        assert_eq!(job.state, cumulus_htc::JobState::Completed);
+    }
+}

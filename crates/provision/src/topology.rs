@@ -129,11 +129,7 @@ impl Topology {
         doc.set(&section, "galaxy", if self.galaxy { "yes" } else { "no" });
         doc.set(&section, "crdata", if self.crdata { "yes" } else { "no" });
         doc.set(&section, "nfs", if self.nfs_node { "yes" } else { "no" });
-        doc.set(
-            &section,
-            "cluster-nodes",
-            &self.workers.len().to_string(),
-        );
+        doc.set(&section, "cluster-nodes", &self.workers.len().to_string());
         if let Some(ep) = &self.go_endpoint {
             doc.set(&section, "go-endpoint", ep);
         }
@@ -160,10 +156,7 @@ impl Topology {
         let v = Json::parse(text).map_err(TopologyError::Json)?;
         let mut next = self.clone();
 
-        if let Some(domain) = v
-            .get("domains")
-            .and_then(|d| d.get(&self.domain))
-        {
+        if let Some(domain) = v.get("domains").and_then(|d| d.get(&self.domain)) {
             if let Some(users) = domain.get("users").and_then(Json::as_arr) {
                 next.users = users
                     .iter()
@@ -175,7 +168,11 @@ impl Topology {
                     .iter()
                     .map(|w| {
                         w.as_str()
-                            .ok_or_else(|| TopologyError::Invalid("workers entries must be strings".to_string()))
+                            .ok_or_else(|| {
+                                TopologyError::Invalid(
+                                    "workers entries must be strings".to_string(),
+                                )
+                            })
                             .and_then(parse_type)
                     })
                     .collect::<Result<_, _>>()?;
@@ -420,9 +417,7 @@ ssh-key: ~/.ssh/id_rsa
     fn json_update_users_and_flags() {
         let t = Topology::figure3();
         let next = t
-            .with_json_update(
-                r#"{"domains":{"simple":{"users":["user1","user3"],"crdata":true}}}"#,
-            )
+            .with_json_update(r#"{"domains":{"simple":{"users":["user1","user3"],"crdata":true}}}"#)
             .unwrap();
         let delta = t.diff(&next);
         assert_eq!(delta.add_users, vec!["user3"]);

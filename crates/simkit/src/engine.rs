@@ -51,10 +51,7 @@ impl<W> PartialOrd for Scheduled<W> {
 impl<W> Ord for Scheduled<W> {
     // BinaryHeap is a max-heap: invert so the earliest (time, id) pops first.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.id.cmp(&self.id))
+        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
     }
 }
 
@@ -155,6 +152,46 @@ impl<W> Sim<W> {
         self.schedule_at(self.now, handler)
     }
 
+    /// Schedule `handler` to fire at `start` and then every `interval`
+    /// thereafter, for as long as it returns `true`. Returning `false`
+    /// stops the recurrence (no further firing is queued).
+    ///
+    /// This is the standard shape of a periodic control loop — a metrics
+    /// scraper, a Condor negotiator cycle, an autoscaler tick — written as
+    /// a self-rescheduling event so it composes with ordinary events under
+    /// the same determinism guarantees.
+    ///
+    /// Returns the [`EventId`] of the *first* firing; cancelling it before
+    /// it fires cancels the whole recurrence.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero (the recurrence would never advance
+    /// time and instantly exhaust any step budget).
+    pub fn schedule_every(
+        &mut self,
+        start: SimTime,
+        interval: SimDuration,
+        handler: impl FnMut(&mut Sim<W>) -> bool + 'static,
+    ) -> EventId
+    where
+        W: 'static,
+    {
+        assert!(
+            interval > SimDuration::ZERO,
+            "recurring events need a positive interval"
+        );
+        /// A boxed recurring handler: fires, and re-queues while it
+        /// returns `true`.
+        type Recurring<W> = Box<dyn FnMut(&mut Sim<W>) -> bool>;
+        fn fire<W: 'static>(sim: &mut Sim<W>, interval: SimDuration, mut handler: Recurring<W>) {
+            if handler(sim) {
+                sim.schedule_in(interval, move |sim| fire(sim, interval, handler));
+            }
+        }
+        let boxed: Recurring<W> = Box::new(handler);
+        self.schedule_at(start, move |sim| fire(sim, interval, boxed))
+    }
+
     /// Cancel a pending event. Returns `true` if the event had not yet fired
     /// or been cancelled. Cancelling an already-fired event is a no-op.
     pub fn cancel(&mut self, id: EventId) -> bool {
@@ -253,9 +290,15 @@ mod tests {
     #[test]
     fn events_fire_in_time_order() {
         let mut sim = Sim::new(World::default());
-        sim.schedule_at(s(30), |sim| sim.world.log.push((sim.now().as_micros(), "c")));
-        sim.schedule_at(s(10), |sim| sim.world.log.push((sim.now().as_micros(), "a")));
-        sim.schedule_at(s(20), |sim| sim.world.log.push((sim.now().as_micros(), "b")));
+        sim.schedule_at(s(30), |sim| {
+            sim.world.log.push((sim.now().as_micros(), "c"))
+        });
+        sim.schedule_at(s(10), |sim| {
+            sim.world.log.push((sim.now().as_micros(), "a"))
+        });
+        sim.schedule_at(s(20), |sim| {
+            sim.world.log.push((sim.now().as_micros(), "b"))
+        });
         assert_eq!(sim.run_to_completion(), RunOutcome::QueueEmpty);
         assert_eq!(sim.world.log, vec![(10, "a"), (20, "b"), (30, "c")]);
     }
@@ -334,10 +377,7 @@ mod tests {
             sim.schedule_in(SimDuration::from_micros(1), tick);
         }
         sim.schedule_at(s(0), tick);
-        assert_eq!(
-            sim.run(SimTime::MAX, 1000),
-            RunOutcome::StepBudgetExhausted
-        );
+        assert_eq!(sim.run(SimTime::MAX, 1000), RunOutcome::StepBudgetExhausted);
         assert_eq!(sim.steps_executed(), 1000);
     }
 
@@ -362,6 +402,52 @@ mod tests {
         }
         sim.run_to_completion();
         assert_eq!(*hits.borrow(), 5);
+    }
+
+    #[test]
+    fn schedule_every_repeats_until_false() {
+        let mut sim = Sim::new(World::default());
+        sim.schedule_every(s(10), SimDuration::from_micros(5), |sim| {
+            sim.world.log.push((sim.now().as_micros(), "tick"));
+            sim.world.log.len() < 4
+        });
+        assert_eq!(sim.run_to_completion(), RunOutcome::QueueEmpty);
+        let times: Vec<u64> = sim.world.log.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times, vec![10, 15, 20, 25]);
+    }
+
+    #[test]
+    fn schedule_every_interleaves_with_other_events() {
+        let mut sim = Sim::new(World::default());
+        sim.schedule_every(s(0), SimDuration::from_micros(10), |sim| {
+            sim.world.log.push((sim.now().as_micros(), "tick"));
+            sim.now().as_micros() < 20
+        });
+        sim.schedule_at(s(15), |sim| sim.world.log.push((15, "mid")));
+        sim.run_to_completion();
+        assert_eq!(
+            sim.world.log,
+            vec![(0, "tick"), (10, "tick"), (15, "mid"), (20, "tick")]
+        );
+    }
+
+    #[test]
+    fn cancelling_first_firing_stops_recurrence() {
+        let mut sim = Sim::new(World::default());
+        let id = sim.schedule_every(s(10), SimDuration::from_micros(5), |sim| {
+            sim.world.log.push((sim.now().as_micros(), "tick"));
+            true
+        });
+        assert!(sim.cancel(id));
+        assert_eq!(sim.run_to_completion(), RunOutcome::QueueEmpty);
+        assert!(sim.world.log.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive interval")]
+    fn zero_interval_recurrence_panics() {
+        let mut sim: Sim<World> = Sim::new(World::default());
+        sim.schedule_every(s(0), SimDuration::ZERO, |_| true);
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! A thread-safe metrics registry.
 //!
 //! Simulation components record counters, gauges, and timing samples under
-//! string keys. The registry is `Sync` (parking_lot locks) so the parallel
+//! string keys. The registry is `Sync` (std mutexes) so the parallel
 //! replica runner can aggregate metrics from worker threads.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::stats::Samples;
 use crate::time::SimDuration;
@@ -33,28 +33,43 @@ impl Metrics {
 
     /// Increment a counter by `n`.
     pub fn incr(&self, key: &str, n: u64) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().expect("metrics lock poisoned");
         *g.counters.entry(key.to_string()).or_insert(0) += n;
     }
 
     /// Read a counter (0 if absent).
     pub fn counter(&self, key: &str) -> u64 {
-        self.inner.lock().counters.get(key).copied().unwrap_or(0)
+        self.inner
+            .lock()
+            .expect("metrics lock poisoned")
+            .counters
+            .get(key)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Set a gauge to an absolute value.
     pub fn set_gauge(&self, key: &str, value: f64) {
-        self.inner.lock().gauges.insert(key.to_string(), value);
+        self.inner
+            .lock()
+            .expect("metrics lock poisoned")
+            .gauges
+            .insert(key.to_string(), value);
     }
 
     /// Read a gauge, if it has been set.
     pub fn gauge(&self, key: &str) -> Option<f64> {
-        self.inner.lock().gauges.get(key).copied()
+        self.inner
+            .lock()
+            .expect("metrics lock poisoned")
+            .gauges
+            .get(key)
+            .copied()
     }
 
     /// Record a numeric sample under `key`.
     pub fn record(&self, key: &str, value: f64) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().expect("metrics lock poisoned");
         g.samples.entry(key.to_string()).or_default().record(value);
     }
 
@@ -67,6 +82,7 @@ impl Metrics {
     pub fn samples(&self, key: &str) -> Samples {
         self.inner
             .lock()
+            .expect("metrics lock poisoned")
             .samples
             .get(key)
             .cloned()
@@ -75,7 +91,7 @@ impl Metrics {
 
     /// All keys that currently have any data, sorted.
     pub fn keys(&self) -> Vec<String> {
-        let g = self.inner.lock();
+        let g = self.inner.lock().expect("metrics lock poisoned");
         let mut keys: Vec<String> = g
             .counters
             .keys()
@@ -93,10 +109,10 @@ impl Metrics {
     pub fn merge(&self, other: &Metrics) {
         // Lock ordering: clone other's state first to avoid holding two locks.
         let snapshot = {
-            let g = other.inner.lock();
+            let g = other.inner.lock().expect("metrics lock poisoned");
             (g.counters.clone(), g.gauges.clone(), g.samples.clone())
         };
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().expect("metrics lock poisoned");
         for (k, v) in snapshot.0 {
             *g.counters.entry(k).or_insert(0) += v;
         }
@@ -110,7 +126,7 @@ impl Metrics {
 
     /// Multi-line human-readable dump (sorted by key).
     pub fn report(&self) -> String {
-        let g = self.inner.lock();
+        let g = self.inner.lock().expect("metrics lock poisoned");
         let mut out = String::new();
         for (k, v) in &g.counters {
             out.push_str(&format!("counter {k} = {v}\n"));

@@ -6,21 +6,62 @@
 //! draws seen by existing components — the classic "common random numbers"
 //! discipline for comparable experiments.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// xoshiro256++ — a small, fast, well-tested PRNG implemented locally so the
+/// kernel has zero external dependencies (the build environment is offline).
+/// Not cryptographic; plenty for Monte-Carlo simulation.
+#[derive(Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed the full 256-bit state from a 64-bit seed via SplitMix64, as
+    /// recommended by the xoshiro authors.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = splitmix64(z);
+        }
+        // All-zero state would be a fixed point; splitmix64 of distinct
+        // increments cannot produce it, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Xoshiro256 { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
 
 /// A named, seeded random stream.
 ///
-/// Wraps a `SmallRng` and adds the handful of distributions the simulator
-/// needs (the offline `rand` build does not ship `rand_distr`).
+/// Wraps a locally-implemented xoshiro256++ generator and adds the handful
+/// of distributions the simulator needs.
 pub struct RngStream {
-    rng: SmallRng,
+    rng: Xoshiro256,
     name: String,
 }
 
 impl std::fmt::Debug for RngStream {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RngStream").field("name", &self.name).finish()
+        f.debug_struct("RngStream")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -49,7 +90,7 @@ impl RngStream {
     pub fn derive(master_seed: u64, name: &str) -> Self {
         let mixed = splitmix64(master_seed ^ fnv1a(name.as_bytes()));
         RngStream {
-            rng: SmallRng::seed_from_u64(mixed),
+            rng: Xoshiro256::seed_from_u64(mixed),
             name: name.to_string(),
         }
     }
@@ -61,7 +102,8 @@ impl RngStream {
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 high-quality bits into the mantissa: uniform over [0, 1).
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`. Requires `lo <= hi`.
@@ -70,10 +112,22 @@ impl RngStream {
         lo + (hi - lo) * self.uniform()
     }
 
-    /// Uniform integer in `[lo, hi]` inclusive.
+    /// Uniform integer in `[lo, hi]` inclusive (unbiased via rejection).
     pub fn uniform_int(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi);
-        self.rng.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.rng.next_u64();
+        }
+        let range = span + 1;
+        // Reject draws below the threshold so the modulo is unbiased.
+        let threshold = range.wrapping_neg() % range;
+        loop {
+            let x = self.rng.next_u64();
+            if x >= threshold {
+                return lo + (x % range);
+            }
+        }
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
@@ -256,8 +310,7 @@ mod tests {
         let mut r = RngStream::derive(4, "pois");
         for lambda in [0.5, 4.0, 50.0] {
             let n = 10_000;
-            let mean: f64 =
-                (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - lambda).abs() < lambda.max(1.0) * 0.1,
                 "lambda={lambda} mean={mean}"
@@ -303,6 +356,9 @@ mod tests {
         assert_ne!(a.next_u64(), b.next_u64());
         // Children are deterministic.
         let mut a2 = f.child(0).stream("x");
-        assert_eq!(RngStream::derive(f.child(0).master_seed(), "x").next_u64(), a2.next_u64());
+        assert_eq!(
+            RngStream::derive(f.child(0).master_seed(), "x").next_u64(),
+            a2.next_u64()
+        );
     }
 }

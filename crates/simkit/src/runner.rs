@@ -2,10 +2,10 @@
 //!
 //! Monte-Carlo experiments run the same simulation many times under different
 //! seeds. Replicas are completely independent, so they parallelize perfectly:
-//! this module fans replicas out over a crossbeam scope, one logical chunk of
-//! replica indices per worker thread, and collects results in replica order
-//! (so results are independent of thread interleaving — determinism survives
-//! parallelism).
+//! this module fans replicas out over `std::thread::scope`, workers claiming
+//! replica indices from a shared atomic counter, and collects results in
+//! replica order (so results are independent of thread interleaving —
+//! determinism survives parallelism).
 
 use crate::rng::SeedFactory;
 
@@ -77,29 +77,32 @@ where
     // Split the result buffer into one-cell mutable references so each
     // replica's writer has exclusive access to its own slot without locking
     // the data path; claiming a slot takes a brief mutex.
-    let cells: Vec<parking_lot::Mutex<Option<&mut Option<R>>>> = slots
+    let cells: Vec<std::sync::Mutex<Option<&mut Option<R>>>> = slots
         .iter_mut()
-        .map(|slot| parking_lot::Mutex::new(Some(slot)))
+        .map(|slot| std::sync::Mutex::new(Some(slot)))
         .collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let f = &f;
         let counter = &counter;
         let cells = &cells;
         for _ in 0..threads {
             // Work-stealing via a shared atomic index: each worker claims
             // the next unclaimed replica.
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let cell = cells[i].lock().take().expect("each replica claimed once");
+                let cell = cells[i]
+                    .lock()
+                    .expect("claim lock poisoned")
+                    .take()
+                    .expect("each replica claimed once");
                 *cell = Some(f(i, root.child(i as u64)));
             });
         }
-    })
-    .expect("replica worker panicked");
+    });
 
     drop(cells);
 

@@ -284,6 +284,9 @@ mod tests {
         assert_eq!(d * 3, SimDuration::from_secs(30));
         assert_eq!(d / 2, SimDuration::from_secs(5));
         assert_eq!(d.mul_f64(0.5), SimDuration::from_secs(5));
-        assert_eq!(d.saturating_sub(SimDuration::from_secs(20)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(20)),
+            SimDuration::ZERO
+        );
     }
 }

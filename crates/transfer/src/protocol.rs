@@ -175,7 +175,10 @@ mod tests {
         let p = Protocol::Ftp;
         let lo = p.achieved_rate(DataSize::from_mb(1), &wan()).unwrap();
         let hi = p.achieved_rate(DataSize::from_gb(8), &wan()).unwrap();
-        assert!((lo.as_mbps() - 0.2).abs() < 0.05, "small-file FTP rate {lo}");
+        assert!(
+            (lo.as_mbps() - 0.2).abs() < 0.05,
+            "small-file FTP rate {lo}"
+        );
         assert!((hi.as_mbps() - 5.9).abs() < 0.3, "large-file FTP rate {hi}");
     }
 

@@ -603,11 +603,21 @@ mod tests {
     #[test]
     fn endpoints_auto_activate() {
         let mut f = fixture();
-        assert!(!f.service.endpoints.get("cvrg#galaxy").unwrap().is_active(t(0)));
+        assert!(!f
+            .service
+            .endpoints
+            .get("cvrg#galaxy")
+            .unwrap()
+            .is_active(t(0)));
         f.service
             .submit(t(0), &f.network, request(DataSize::from_mb(1)))
             .unwrap();
-        assert!(f.service.endpoints.get("cvrg#galaxy").unwrap().is_active(t(1)));
+        assert!(f
+            .service
+            .endpoints
+            .get("cvrg#galaxy")
+            .unwrap()
+            .is_active(t(1)));
     }
 
     #[test]
@@ -616,7 +626,10 @@ mod tests {
         let req = request(DataSize::from_gb(4)).with_protocol(Protocol::Http);
         assert!(matches!(
             f.service.submit(t(0), &f.network, req).unwrap_err(),
-            TransferError::SizeRefused { protocol: "http", .. }
+            TransferError::SizeRefused {
+                protocol: "http",
+                ..
+            }
         ));
     }
 
@@ -693,8 +706,11 @@ mod tests {
         let windows: Vec<Outage> = (0..40)
             .map(|i| Outage::new(t(i * 20), t(i * 20 + 19)))
             .collect();
-        f.service
-            .set_fault_plan("boliu#laptop", "cvrg#galaxy", FaultPlan::from_windows(windows));
+        f.service.set_fault_plan(
+            "boliu#laptop",
+            "cvrg#galaxy",
+            FaultPlan::from_windows(windows),
+        );
         let service = std::mem::replace(
             &mut f.service,
             TransferService::new().with_retry(RetryPolicy {

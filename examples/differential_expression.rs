@@ -26,10 +26,7 @@ fn main() {
     println!("  Endpoint: {}", s.remote_endpoint);
     println!("  Path:     /home/boliu/fourCelFileSamples.zip (10.7 MB)");
     let (small_ds, t1) = s.transfer_four_cel_samples(report.ready_at).unwrap();
-    println!(
-        "  transferred in {}",
-        t1.since(report.ready_at)
-    );
+    println!("  transferred in {}", t1.since(report.ready_at));
 
     println!("\n== Step 3: affyDifferentialExpression.R on the small dataset ==");
     let (job, t2) = s.run_differential_expression(t1, small_ds).unwrap();
@@ -54,7 +51,10 @@ fn main() {
     let joined = s.add_medium_worker(t2).unwrap();
     println!("  c1.medium worker joined after {}", joined.since(t2));
     let (large_ds, t3) = s.transfer_affy_cel_samples(joined).unwrap();
-    println!("  affyCelFileSamples.zip transferred in {}", t3.since(joined));
+    println!(
+        "  affyCelFileSamples.zip transferred in {}",
+        t3.since(joined)
+    );
     let (_job2, t4) = s.run_differential_expression(t3, large_ds).unwrap();
     println!("  execution took {}", t4.since(t3));
 

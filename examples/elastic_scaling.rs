@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example elastic_scaling`
 
+use cumulus::autoscale::{
+    run_episode, ControllerConfig, Hysteresis, HysteresisConfig, QueueStep, Workload,
+};
 use cumulus::cloud::{BillingMode, InstanceType};
 use cumulus::htc::{Job, WorkSpec};
 use cumulus::provision::{GpCloud, Topology};
@@ -27,11 +30,16 @@ fn main() {
     println!("\n== burst: 12 CRData jobs land on 1 execute node ==");
     for i in 0..12 {
         let user = if i % 2 == 0 { "user1" } else { "user2" };
-        world
-            .instance_mut(&id)
-            .unwrap()
-            .pool
-            .submit(Job::new(user, WorkSpec { serial_secs: 112.0, cu_work: 418.0 }), now);
+        world.instance_mut(&id).unwrap().pool.submit(
+            Job::new(
+                user,
+                WorkSpec {
+                    serial_secs: 112.0,
+                    cu_work: 418.0,
+                },
+            ),
+            now,
+        );
     }
     {
         let pool = &mut world.instance_mut(&id).unwrap().pool;
@@ -55,10 +63,12 @@ fn main() {
     }
     now = reconfig.done_at(now);
 
-    // Drain the queue.
+    // Drain the queue. The typed error names what is still stuck if the
+    // pool ever stalls, instead of a bare "didn't drain" panic.
     let drained = {
         let pool = &mut world.instance_mut(&id).unwrap().pool;
-        pool.run_until_drained(now, 10_000).expect("queue drains")
+        pool.try_run_until_drained(now, 10_000)
+            .unwrap_or_else(|e| panic!("burst must drain: {e}"))
     };
     println!(
         "queue drained at {} ({} after the workers joined)",
@@ -117,4 +127,34 @@ fn main() {
         world.ec2.total_cost(BillingMode::PerSecond, stopped),
     );
     println!("\nstopped overnight: 10 idle hours cost $0.0000");
+
+    // Everything above was an operator issuing gp-instance-update by hand.
+    // cumulus-autoscale closes the loop: a controller inside the DES
+    // watches the queue and issues the same reconfigurations itself.
+    println!("\n== closed loop: the same burst, no operator ==");
+    let trace = Workload::burst(
+        "burst-12",
+        12,
+        SimDuration::ZERO,
+        WorkSpec {
+            serial_secs: 112.0,
+            cu_work: 418.0,
+        },
+    );
+    let policy = Hysteresis::new(
+        QueueStep::new(2),
+        HysteresisConfig {
+            max_workers: 8,
+            ..HysteresisConfig::default()
+        },
+    );
+    let report = run_episode(7, Box::new(policy), ControllerConfig::default(), &trace);
+    println!(
+        "policy {} drained {} jobs in {:.1} min for ${:.4} (peak {} workers)",
+        report.policy, report.jobs, report.makespan_mins, report.cost_usd, report.peak_workers
+    );
+    println!("scaling decisions (holds elided):");
+    for line in report.log.render().lines().filter(|l| l.contains("scale-")) {
+        println!("  {line}");
+    }
 }

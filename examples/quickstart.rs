@@ -70,15 +70,25 @@ fn main() {
 
     let evening = later + SimDuration::from_hours(8);
     println!("$ gp-instance-stop {id}");
-    print!("{}", cli.instance_stop(evening, &id).expect("stop succeeds"));
+    print!(
+        "{}",
+        cli.instance_stop(evening, &id).expect("stop succeeds")
+    );
 
     let morning = evening + SimDuration::from_hours(12);
     println!("$ gp-instance-start {id}   # resume");
-    print!("{}", cli.instance_start(morning, &id).expect("resume succeeds"));
+    print!(
+        "{}",
+        cli.instance_start(morning, &id).expect("resume succeeds")
+    );
 
     let done = morning + SimDuration::from_hours(2);
     println!("$ gp-instance-terminate {id}");
-    print!("{}", cli.instance_terminate(done, &id).expect("terminate succeeds"));
+    print!(
+        "{}",
+        cli.instance_terminate(done, &id)
+            .expect("terminate succeeds")
+    );
 
     // What did the day cost?
     let cost = cli.world.ec2.total_cost(

@@ -15,7 +15,10 @@ fn main() {
     println!("laptop -> Galaxy server path: 90 ms RTT, 37.5 Mbit/s usable\n");
 
     println!("== Figure 11: achieved transfer rate (Mbit/s) by method and file size ==");
-    println!("{:>10} {:>16} {:>10} {:>10}", "size", "globus-transfer", "ftp", "http");
+    println!(
+        "{:>10} {:>16} {:>10} {:>10}",
+        "size", "globus-transfer", "ftp", "http"
+    );
     let sizes = [
         DataSize::from_mb(1),
         DataSize::from_mb(10),

@@ -21,6 +21,7 @@
 //! | [`htc`] | Condor: ClassAds, matchmaking, dynamic pools, DAGs |
 //! | [`transfer`] | GridFTP/FTP/HTTP + the Globus Online transfer service |
 //! | [`provision`] | Globus Provision: topologies, deploy, elastic update |
+//! | [`autoscale`] | closed-loop elasticity: policies, controller, workloads |
 //! | [`galaxy`] | Galaxy: tools, histories, workflows, provenance, sharing |
 //! | [`crdata`] | the 35 CRData statistical tools + bioinformatics substrate |
 //!
@@ -40,6 +41,7 @@
 //! assert!(done > arrived);
 //! ```
 
+pub use cumulus_autoscale as autoscale;
 pub use cumulus_chef as chef;
 pub use cumulus_cloud as cloud;
 pub use cumulus_crdata as crdata;

@@ -122,9 +122,11 @@ impl UseCaseScenario {
         );
 
         let laptop_node = world.network.add_node("boliu-laptop");
-        world
-            .network
-            .connect(laptop_node, head_node, cumulus_transfer::calibrated_wan_link());
+        world.network.connect(
+            laptop_node,
+            head_node,
+            cumulus_transfer::calibrated_wan_link(),
+        );
         let laptop_endpoint = "boliu#laptop".to_string();
         let _ = world.transfer.endpoints.register(
             &laptop_endpoint,
@@ -154,7 +156,11 @@ impl UseCaseScenario {
         &mut self,
         now: SimTime,
     ) -> Result<(DatasetId, SimTime), ScenarioError> {
-        self.transfer_bundle(now, &CelBundleSpec::four_cel_samples(), "fourCelFileSamples.zip")
+        self.transfer_bundle(
+            now,
+            &CelBundleSpec::four_cel_samples(),
+            "fourCelFileSamples.zip",
+        )
     }
 
     /// Step 4's larger dataset: `affyCelFileSamples.zip` (190.3 MB).
@@ -162,7 +168,11 @@ impl UseCaseScenario {
         &mut self,
         now: SimTime,
     ) -> Result<(DatasetId, SimTime), ScenarioError> {
-        self.transfer_bundle(now, &CelBundleSpec::affy_cel_samples(), "affyCelFileSamples.zip")
+        self.transfer_bundle(
+            now,
+            &CelBundleSpec::affy_cel_samples(),
+            "affyCelFileSamples.zip",
+        )
     }
 
     /// Transfer a generated CEL bundle from the remote endpoint.
@@ -172,10 +182,7 @@ impl UseCaseScenario {
         spec: &CelBundleSpec,
         file_name: &str,
     ) -> Result<(DatasetId, SimTime), ScenarioError> {
-        let mut rng = self
-            .world
-            .seeds()
-            .stream(&format!("bundle/{file_name}"));
+        let mut rng = self.world.seeds().stream(&format!("bundle/{file_name}"));
         let bundle = generate_cel_bundle(spec, &mut rng);
         let content = cumulus_crdata::matrix_to_content(bundle.matrix);
         let GpCloud {

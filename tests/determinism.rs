@@ -72,6 +72,53 @@ fn des_event_traces_are_reproducible() {
     assert_ne!(trace(3), trace(4));
 }
 
+/// One closed-loop autoscaling episode on a seeded diurnal trace, reduced
+/// to its rendered scaling-activity log. Both the trace generation and the
+/// controller's decisions depend on the seed, so this exercises the whole
+/// autoscale stack.
+fn scaling_activity_log(seed: u64) -> String {
+    use cumulus::autoscale::{
+        run_episode, ControllerConfig, Hysteresis, HysteresisConfig, QueueStep, Workload,
+    };
+    use cumulus::htc::WorkSpec;
+
+    let work = WorkSpec {
+        serial_secs: 60.0,
+        cu_work: 240.0,
+    };
+    let trace = Workload::diurnal(
+        "diurnal",
+        seed,
+        2.0,
+        40.0,
+        SimDuration::from_hours(2),
+        SimDuration::from_hours(4),
+        work,
+    )
+    .with_initial_burst(4, work);
+    let policy = Hysteresis::new(QueueStep::new(2), HysteresisConfig::default());
+    let report = run_episode(seed, Box::new(policy), ControllerConfig::default(), &trace);
+    report.log.render()
+}
+
+#[test]
+fn identical_seeds_give_byte_identical_scaling_logs() {
+    let a = scaling_activity_log(21);
+    let b = scaling_activity_log(21);
+    assert_eq!(a, b, "same seed must replay the same scaling decisions");
+    assert!(a.contains("scale-out"), "episode never scaled:\n{a}");
+    let c = scaling_activity_log(22);
+    assert_ne!(a, c, "different seeds produced identical scaling logs");
+}
+
+#[test]
+fn scaling_logs_survive_the_parallel_replica_runner() {
+    let work = |i: usize, _seeds: cumulus::simkit::SeedFactory| scaling_activity_log(30 + i as u64);
+    let sequential = run_replicas(ReplicaPlan::new(9, 4).with_threads(1), work);
+    let parallel = run_replicas(ReplicaPlan::new(9, 4).with_threads(4), work);
+    assert_eq!(sequential, parallel);
+}
+
 #[test]
 fn metrics_merge_is_order_independent_for_counters() {
     let a = Metrics::new();

@@ -26,11 +26,21 @@ fn worker_loss_evicts_and_reruns_the_job() {
         let pool = &mut s.world.instance_mut(&s.instance).unwrap().pool;
         let job = s
             .galaxy
-            .run_tool(t1, "boliu", s.history, "crdata_affyDifferentialExpression", &params, pool)
+            .run_tool(
+                t1,
+                "boliu",
+                s.history,
+                "crdata_affyDifferentialExpression",
+                &params,
+                pool,
+            )
             .unwrap();
         let matches = pool.negotiate(t1);
         assert_eq!(matches.len(), 1);
-        assert!(matches[0].machine.0.contains("worker-0"), "ranked to the medium node");
+        assert!(
+            matches[0].machine.0.contains("worker-0"),
+            "ranked to the medium node"
+        );
         job
     };
 
@@ -53,7 +63,10 @@ fn worker_loss_evicts_and_reruns_the_job() {
 
     // The head node picks the job up and finishes it.
     let pool = &mut s.world.instance_mut(&s.instance).unwrap().pool;
-    let done = s.galaxy.drive_jobs(crash_at, pool, 10_000).expect("job reruns on the head");
+    let done = s
+        .galaxy
+        .drive_jobs(crash_at, pool, 10_000)
+        .expect("job reruns on the head");
     assert!(done > crash_at);
     assert_eq!(s.galaxy.job(job).unwrap().state, GalaxyJobState::Ok);
 }
@@ -106,10 +119,8 @@ fn deadline_failures_surface_in_the_history_panel() {
     let start = report.ready_at;
     let deadline = start + SimDuration::from_secs(2); // far too tight
     let spec = cumulus::crdata::CelBundleSpec::affy_cel_samples();
-    let bundle = cumulus::crdata::generate_cel_bundle(
-        &spec,
-        &mut s.world.seeds().stream("deadline-bundle"),
-    );
+    let bundle =
+        cumulus::crdata::generate_cel_bundle(&spec, &mut s.world.seeds().stream("deadline-bundle"));
     let content = cumulus::crdata::matrix_to_content(bundle.matrix);
     let (ds, _task, when) = {
         let transfer = &mut s.world.transfer;
@@ -134,7 +145,10 @@ fn deadline_failures_surface_in_the_history_panel() {
         cumulus::galaxy::DatasetState::Error
     );
     let panel = s.galaxy.history_panel(s.history).unwrap();
-    assert!(panel.contains("[error]"), "history shows the error: {panel}");
+    assert!(
+        panel.contains("[error]"),
+        "history shows the error: {panel}"
+    );
 }
 
 #[test]

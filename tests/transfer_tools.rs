@@ -74,7 +74,14 @@ fn sending_a_pending_dataset_is_refused() {
         let pool = &mut s.world.instance_mut(&s.instance).unwrap().pool;
         let job = s
             .galaxy
-            .run_tool(t1, "boliu", s.history, "crdata_affyDifferentialExpression", &params, pool)
+            .run_tool(
+                t1,
+                "boliu",
+                s.history,
+                "crdata_affyDifferentialExpression",
+                &params,
+                pool,
+            )
             .unwrap();
         s.galaxy.job(job).unwrap().outputs[0]
     };

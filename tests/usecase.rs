@@ -46,7 +46,10 @@ fn full_use_case_reproduces_paper_numbers() {
     // Scale up: the medium node join must land "within minutes".
     let joined = s.add_medium_worker(t4).unwrap();
     let join_mins = joined.since(t4).as_mins_f64();
-    assert!(join_mins < 8.0 && join_mins > 1.0, "join took {join_mins} min");
+    assert!(
+        join_mins < 8.0 && join_mins > 1.0,
+        "join took {join_mins} min"
+    );
 
     // Rerun both datasets: now ≈ 6.9 minutes.
     let (ds_small2, u1) = s.transfer_four_cel_samples(joined).unwrap();
@@ -154,7 +157,10 @@ fn concurrent_users_share_the_cluster_fairly() {
 fn stop_resume_preserves_the_instance_and_pauses_billing() {
     let (mut s, report) = UseCaseScenario::deploy(104, SimTime::ZERO).unwrap();
     let stopped = s.world.stop_instance(report.ready_at, &s.instance).unwrap();
-    assert_eq!(s.world.instance(&s.instance).unwrap().state, GpState::Stopped);
+    assert_eq!(
+        s.world.instance(&s.instance).unwrap().state,
+        GpState::Stopped
+    );
     let cost_at_stop = s.world.ec2.total_cost(BillingMode::PerSecond, stopped);
 
     let weekend = stopped + cumulus::simkit::time::SimDuration::from_hours(48);
@@ -165,7 +171,10 @@ fn stop_resume_preserves_the_instance_and_pauses_billing() {
     );
 
     let resumed = s.world.resume_instance(weekend, &s.instance).unwrap();
-    assert_eq!(s.world.instance(&s.instance).unwrap().state, GpState::Running);
+    assert_eq!(
+        s.world.instance(&s.instance).unwrap().state,
+        GpState::Running
+    );
 
     // The cluster still works after resume: run the analysis again.
     let (ds, t1) = s.transfer_four_cel_samples(resumed.ready_at).unwrap();

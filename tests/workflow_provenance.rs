@@ -6,9 +6,7 @@
 use std::collections::BTreeMap;
 
 use cumulus::cloud::InstanceType;
-use cumulus::galaxy::{
-    run_workflow, Content, ShareItem, Visibility, Workflow, WorkflowStep,
-};
+use cumulus::galaxy::{run_workflow, Content, ShareItem, Visibility, Workflow, WorkflowStep};
 use cumulus::provision::Topology;
 use cumulus::scenario::UseCaseScenario;
 use cumulus::simkit::time::SimTime;
@@ -45,8 +43,16 @@ fn crdata_workflow_runs_end_to_end_with_full_provenance() {
     let result = {
         let instance = s.instance.clone();
         let pool = &mut s.world.instance_mut(&instance).unwrap().pool;
-        run_workflow(&mut s.galaxy, pool, t1, "boliu", s.history, &analysis_workflow(), &inputs)
-            .unwrap()
+        run_workflow(
+            &mut s.galaxy,
+            pool,
+            t1,
+            "boliu",
+            s.history,
+            &analysis_workflow(),
+            &inputs,
+        )
+        .unwrap()
     };
     assert_eq!(result.step_jobs.len(), 4);
     assert!(result.finished_at > t1);
@@ -78,7 +84,10 @@ fn crdata_workflow_runs_end_to_end_with_full_provenance() {
     // Provenance: the corrected table's lineage reaches the uploaded CEL
     // bundle through the normalized matrix and the DE table.
     let lineage = s.galaxy.provenance.lineage(corrected);
-    assert!(lineage.contains(&cel), "lineage misses the upload: {lineage:?}");
+    assert!(
+        lineage.contains(&cel),
+        "lineage misses the upload: {lineage:?}"
+    );
     assert!(lineage.len() >= 3, "lineage too shallow: {lineage:?}");
     // Replay plan is in execution order and starts at the normalizer.
     let plan = s.galaxy.provenance.replay_plan(corrected);
@@ -112,7 +121,10 @@ fn parallel_workflow_branches_use_multiple_workers() {
     // Workflow: one normalize, then 3 independent analyses.
     let wf = Workflow::new("fan-out", &["cel_data"])
         .step(WorkflowStep::new("norm", "crdata_affyNormalize").input("input", "cel_data"))
-        .step(WorkflowStep::new("de", "crdata_affyDifferentialExpression").from_step("input", "norm", 0))
+        .step(
+            WorkflowStep::new("de", "crdata_affyDifferentialExpression")
+                .from_step("input", "norm", 0),
+        )
         .step(WorkflowStep::new("qc", "crdata_affyQC").from_step("input", "norm", 0))
         .step(WorkflowStep::new("pca", "crdata_affyPCA").from_step("input", "norm", 0));
 
@@ -140,7 +152,10 @@ fn parallel_workflow_branches_use_multiple_workers() {
             .map(|m| m.0)
             .collect()
     };
-    assert!(machines.len() >= 2, "all jobs ran on one machine: {machines:?}");
+    assert!(
+        machines.len() >= 2,
+        "all jobs ran on one machine: {machines:?}"
+    );
 }
 
 #[test]
@@ -151,7 +166,10 @@ fn results_can_be_published_as_a_page() {
     let table = s.galaxy.job(job).unwrap().outputs[0];
 
     // Private by default: another user cannot see it.
-    assert!(!s.galaxy.sharing.can_view(ShareItem::Dataset(table), "reviewer", true));
+    assert!(!s
+        .galaxy
+        .sharing
+        .can_view(ShareItem::Dataset(table), "reviewer", true));
 
     // Publishing a public page with a private embed is refused.
     let page = cumulus::galaxy::Page {
@@ -175,7 +193,11 @@ fn results_can_be_published_as_a_page() {
         .unwrap();
     let link = s.galaxy.sharing.publish_page(page).unwrap();
     assert_eq!(link, "/u/boliu/p/cvrg-de");
-    let viewed = s.galaxy.sharing.view_page("cvrg-de", "reviewer", false).unwrap();
+    let viewed = s
+        .galaxy
+        .sharing
+        .view_page("cvrg-de", "reviewer", false)
+        .unwrap();
     assert_eq!(viewed.embeds.len(), 2);
 }
 
@@ -191,8 +213,16 @@ fn workflow_rerun_reproduces_identical_results() {
         let result = {
             let instance = s.instance.clone();
             let pool = &mut s.world.instance_mut(&instance).unwrap().pool;
-            run_workflow(&mut s.galaxy, pool, t1, "boliu", s.history, &analysis_workflow(), &inputs)
-                .unwrap()
+            run_workflow(
+                &mut s.galaxy,
+                pool,
+                t1,
+                "boliu",
+                s.history,
+                &analysis_workflow(),
+                &inputs,
+            )
+            .unwrap()
         };
         let corrected = result.step_outputs["correct"][0];
         match &s.galaxy.dataset(corrected).unwrap().content {
