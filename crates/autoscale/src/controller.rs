@@ -21,6 +21,7 @@ use cumulus_provision::deploy::{GpCloud, GpError, GpInstanceId};
 use cumulus_provision::Topology;
 use cumulus_simkit::engine::Sim;
 use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::runner::{run_replicas, ReplicaPlan};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
 use crate::policy::ScalingPolicy;
@@ -519,6 +520,33 @@ pub fn run_episode(
             .unwrap_or(0),
         log,
     }
+}
+
+/// Run `combos` independent policy episodes against the same workload and
+/// seed, fanned out over the parallel replica runner, and return the
+/// reports **in combo order**.
+///
+/// Each combo `i` runs `run_episode(seed, make_policy(i), …)` — the same
+/// call a serial loop would make, with the same seed, so a parallel sweep
+/// is byte-identical to a serial one (episodes are fully deterministic
+/// given their seed, and the runner merges results by combo index, not by
+/// completion order). `threads == 0` sizes the pool to the machine; pass
+/// `1` to force a serial sweep.
+pub fn run_sweep<F>(
+    seed: u64,
+    combos: usize,
+    make_policy: F,
+    config: &ControllerConfig,
+    workload: &Workload,
+    threads: usize,
+) -> Vec<EpisodeReport>
+where
+    F: Fn(usize) -> Box<dyn ScalingPolicy> + Sync,
+{
+    let plan = ReplicaPlan::new(seed, combos).with_threads(threads);
+    run_replicas(plan, |i, _seeds| {
+        run_episode(seed, make_policy(i), config.clone(), workload)
+    })
 }
 
 #[cfg(test)]

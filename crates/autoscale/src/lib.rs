@@ -44,8 +44,8 @@ pub mod signal;
 pub mod workload;
 
 pub use controller::{
-    run_episode, Action, ActivityLog, AutoScaler, ControllerConfig, Decision, EpisodeReport,
-    HoldReason,
+    run_episode, run_sweep, Action, ActivityLog, AutoScaler, ControllerConfig, Decision,
+    EpisodeReport, HoldReason,
 };
 pub use policy::{
     Fixed, Hysteresis, HysteresisConfig, OneShot, QueueStep, ScalingPolicy, Scheduled,
@@ -57,8 +57,8 @@ pub use workload::{JobArrival, Workload};
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::controller::{
-        run_episode, Action, ActivityLog, AutoScaler, ControllerConfig, Decision, EpisodeReport,
-        HoldReason,
+        run_episode, run_sweep, Action, ActivityLog, AutoScaler, ControllerConfig, Decision,
+        EpisodeReport, HoldReason,
     };
     pub use crate::policy::{
         Fixed, Hysteresis, HysteresisConfig, OneShot, QueueStep, ScalingPolicy, Scheduled,

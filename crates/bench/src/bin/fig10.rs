@@ -1,5 +1,10 @@
-//! Regenerate Figure 10 (experiments E2–E4).
+//! Regenerate Figure 10 (experiments E2–E4). `--threads N` sizes the
+//! parallel sweep pool (0 = auto, 1 = serial; identical output either way).
 fn main() {
     let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
-    print!("{}", cumulus_bench::experiments::fig10::run(seed));
+    let threads = cumulus_bench::threads_from_args(0);
+    print!(
+        "{}",
+        cumulus_bench::experiments::fig10::run_threads(seed, threads)
+    );
 }

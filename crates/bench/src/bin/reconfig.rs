@@ -1,5 +1,11 @@
-//! Measure runtime reconfiguration latency (experiment E6).
+//! Measure runtime reconfiguration latency (experiment E6). `--threads N`
+//! sizes the parallel battery pool (0 = auto, 1 = serial; identical
+//! output either way).
 fn main() {
     let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
-    print!("{}", cumulus_bench::experiments::reconfig::run(seed));
+    let threads = cumulus_bench::threads_from_args(0);
+    print!(
+        "{}",
+        cumulus_bench::experiments::reconfig::run_threads(seed, threads)
+    );
 }

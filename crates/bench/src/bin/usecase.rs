@@ -1,5 +1,17 @@
-//! Regenerate the §V.A use-case numbers (experiment E1).
+//! Regenerate the §V.A use-case numbers (experiment E1). An optional
+//! positional replica count adds a Monte-Carlo stability summary over
+//! derived seeds, fanned out over the replica runner (`--threads N`;
+//! 0 = auto, 1 = serial — identical output either way).
 fn main() {
     let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
+    let threads = cumulus_bench::threads_from_args(0);
+    let replicas = cumulus_bench::positional_from_args(0);
     print!("{}", cumulus_bench::experiments::usecase::run(seed));
+    if replicas > 0 {
+        println!();
+        print!(
+            "{}",
+            cumulus_bench::experiments::usecase::run_replica_summary(seed, replicas, threads)
+        );
+    }
 }

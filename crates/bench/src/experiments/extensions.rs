@@ -9,8 +9,8 @@
 //!   bursty and diurnal arrival traces.
 
 use cumulus::autoscale::{
-    run_episode, ControllerConfig, EpisodeReport, Fixed, Hysteresis, HysteresisConfig, OneShot,
-    QueueStep, ScalingPolicy, Workload,
+    run_episode, run_sweep, ControllerConfig, EpisodeReport, Fixed, Hysteresis, HysteresisConfig,
+    OneShot, QueueStep, ScalingPolicy, Workload,
 };
 use cumulus::htc::WorkSpec;
 use cumulus::net::{DataSize, FaultPlan, Network};
@@ -287,28 +287,58 @@ pub fn diurnal_trace(seed: u64) -> Workload {
     .with_initial_burst(4, diurnal_work())
 }
 
-/// The three policies under test. `one-shot` reacts once to the first
-/// backlog it sees and then never changes — the paper's "operator runs
-/// `gp-instance-update` when jobs pile up" workflow, automated but still
-/// open-loop.
-fn sweep_policies() -> Vec<Box<dyn ScalingPolicy>> {
-    vec![
-        Box::new(Fixed(0)),
-        Box::new(OneShot::new(2, 8)),
-        closed_loop(),
-    ]
+/// How many policies the E9e sweep covers.
+pub const SWEEP_POLICIES: usize = 3;
+
+/// The `i`-th policy under test (sweep order: fixed, one-shot, closed
+/// loop). `one-shot` reacts once to the first backlog it sees and then
+/// never changes — the paper's "operator runs `gp-instance-update` when
+/// jobs pile up" workflow, automated but still open-loop.
+fn sweep_policy(i: usize) -> Box<dyn ScalingPolicy> {
+    match i {
+        0 => Box::new(Fixed(0)),
+        1 => Box::new(OneShot::new(2, 8)),
+        _ => closed_loop(),
+    }
 }
 
-/// Run every policy against one trace.
+/// Run every policy against one trace — episodes fan out over the
+/// parallel replica runner (`threads == 0` → one per CPU; `1` → serial).
+/// Reports come back in sweep order either way, and each episode is
+/// seed-deterministic, so the output is identical at any thread count.
+pub fn policy_sweep_threads(seed: u64, trace: &Workload, threads: usize) -> Vec<EpisodeReport> {
+    run_sweep(
+        seed,
+        SWEEP_POLICIES,
+        sweep_policy,
+        &ControllerConfig::default(),
+        trace,
+        threads,
+    )
+}
+
+/// [`policy_sweep_threads`] with an auto-sized thread pool.
 pub fn policy_sweep(seed: u64, trace: &Workload) -> Vec<EpisodeReport> {
-    sweep_policies()
-        .into_iter()
-        .map(|policy| run_episode(seed, policy, ControllerConfig::default(), trace))
-        .collect()
+    policy_sweep_threads(seed, trace, 0)
 }
 
-/// Render E9e.
-pub fn run_policy_sweep(seed: u64) -> String {
+/// Render E9e (`threads` as in [`policy_sweep_threads`]). The full
+/// trace × policy grid fans out at once (6 episodes), not one trace at a
+/// time, so the parallel win is bounded by the slowest episode rather
+/// than the slowest trace.
+pub fn run_policy_sweep_threads(seed: u64, threads: usize) -> String {
+    let traces = [bursty_trace(), diurnal_trace(seed)];
+    let reports: Vec<EpisodeReport> = run_replicas(
+        ReplicaPlan::new(seed, traces.len() * SWEEP_POLICIES).with_threads(threads),
+        |i, _seeds| {
+            run_episode(
+                seed,
+                sweep_policy(i % SWEEP_POLICIES),
+                ControllerConfig::default(),
+                &traces[i / SWEEP_POLICIES],
+            )
+        },
+    );
     let mut t = Table::new(
         "E9e — scaling policies across arrival shapes",
         &[
@@ -321,18 +351,16 @@ pub fn run_policy_sweep(seed: u64) -> String {
             "scale out/in",
         ],
     );
-    for trace in [bursty_trace(), diurnal_trace(seed)] {
-        for r in policy_sweep(seed, &trace) {
-            t.row(&[
-                r.workload.clone(),
-                r.policy.clone(),
-                mins(r.makespan_mins),
-                format!("{:.4}", r.cost_usd),
-                mins(r.wait_p95_mins),
-                r.peak_workers.to_string(),
-                format!("{}/{}", r.log.scale_outs(), r.log.scale_ins()),
-            ]);
-        }
+    for r in reports {
+        t.row(&[
+            r.workload.clone(),
+            r.policy.clone(),
+            mins(r.makespan_mins),
+            format!("{:.4}", r.cost_usd),
+            mins(r.wait_p95_mins),
+            r.peak_workers.to_string(),
+            format!("{}/{}", r.log.scale_outs(), r.log.scale_ins()),
+        ]);
     }
     format!(
         "{}\non a burst, sizing once is enough — one-shot matches the closed loop. \
@@ -342,6 +370,11 @@ pub fn run_policy_sweep(seed: u64) -> String {
          for taking the operator out of the loop.\n",
         t.render()
     )
+}
+
+/// Render E9e with an auto-sized thread pool.
+pub fn run_policy_sweep(seed: u64) -> String {
+    run_policy_sweep_threads(seed, 0)
 }
 
 // ----- E9d: NFS contention ---------------------------------------------------
@@ -418,6 +451,24 @@ mod tests {
             au.makespan_mins,
             st.makespan_mins
         );
+    }
+
+    #[test]
+    fn parallel_policy_sweep_matches_serial() {
+        let trace = bursty_trace();
+        let serial = policy_sweep_threads(7504, &trace, 1);
+        let parallel = policy_sweep_threads(7504, &trace, 3);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.policy, p.policy);
+            assert_eq!(s.makespan_mins.to_bits(), p.makespan_mins.to_bits());
+            assert_eq!(s.cost_usd.to_bits(), p.cost_usd.to_bits());
+            assert_eq!(
+                s.log.render(),
+                p.log.render(),
+                "activity log must be byte-identical under parallel sweep"
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@ use cumulus::cloud::InstanceType;
 use cumulus::provision::Topology;
 use cumulus::scenario::UseCaseScenario;
 use cumulus::simkit::time::SimTime;
+use cumulus::simkit::{run_replicas, ReplicaPlan};
 
 use crate::table::{dollars, err_pct, mins, Table};
 
@@ -66,9 +67,21 @@ pub const SWEEP: [InstanceType; 4] = [
     InstanceType::M1Xlarge,
 ];
 
-/// Run the whole figure and render the report tables.
-pub fn run(seed: u64) -> String {
-    let rows: Vec<Fig10Row> = SWEEP.iter().map(|t| measure(*t, seed)).collect();
+/// Measure the whole sweep, one instance type per replica-runner slot
+/// (`threads == 0` → auto, `1` → serial). Each measurement is
+/// seed-deterministic and results merge in sweep order, so the rows are
+/// identical at any thread count.
+pub fn measure_sweep(seed: u64, threads: usize) -> Vec<Fig10Row> {
+    run_replicas(
+        ReplicaPlan::new(seed, SWEEP.len()).with_threads(threads),
+        |i, _seeds| measure(SWEEP[i], seed),
+    )
+}
+
+/// Run the whole figure and render the report tables (`threads` as in
+/// [`measure_sweep`]).
+pub fn run_threads(seed: u64, threads: usize) -> String {
+    let rows = measure_sweep(seed, threads);
 
     let fmt_opt =
         |v: Option<f64>, f: fn(f64) -> String| v.map(f).unwrap_or_else(|| "-".to_string());
@@ -118,6 +131,11 @@ pub fn run(seed: u64) -> String {
         deploy.render(),
         cost.render()
     )
+}
+
+/// [`run_threads`] with an auto-sized thread pool.
+pub fn run(seed: u64) -> String {
+    run_threads(seed, 0)
 }
 
 #[cfg(test)]
@@ -170,6 +188,19 @@ mod tests {
         let speedup = rows[0].exec_mins / rows[3].exec_mins;
         let cost_ratio = rows[3].exec_cost / rows[0].exec_cost;
         assert!(cost_ratio > speedup, "{cost_ratio} vs {speedup}");
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let serial = measure_sweep(9003, 1);
+        let parallel = measure_sweep(9003, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.instance_type, p.instance_type);
+            assert_eq!(s.exec_mins.to_bits(), p.exec_mins.to_bits());
+            assert_eq!(s.deploy_mins.to_bits(), p.deploy_mins.to_bits());
+            assert_eq!(s.exec_cost.to_bits(), p.exec_cost.to_bits());
+        }
     }
 
     #[test]

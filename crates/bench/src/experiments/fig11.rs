@@ -2,6 +2,7 @@
 //! file size, plus the §I "order of magnitude" speed-up claim.
 
 use cumulus::net::DataSize;
+use cumulus::simkit::{run_replicas, ReplicaPlan};
 use cumulus::transfer::{calibrated_wan_link, Protocol};
 
 use crate::table::{mbps, Table};
@@ -33,26 +34,38 @@ pub struct Fig11Row {
     pub http: Option<f64>,
 }
 
-/// Measure the whole sweep on the calibrated laptop→EC2 path.
+/// Measure the whole sweep on the calibrated laptop→EC2 path, one file
+/// size per replica-runner slot (`threads == 0` → auto, `1` → serial).
+/// The rate model is closed-form, so rows are identical at any thread
+/// count and come back in size order.
+pub fn measure_threads(threads: usize) -> Vec<Fig11Row> {
+    let sizes = sweep_sizes();
+    run_replicas(
+        ReplicaPlan::new(0, sizes.len()).with_threads(threads),
+        |i, _seeds| {
+            let link = calibrated_wan_link();
+            let size = sizes[i];
+            Fig11Row {
+                size,
+                globus: Protocol::GLOBUS_DEFAULT
+                    .achieved_rate(size, &link)
+                    .expect("no cap")
+                    .as_mbps(),
+                ftp: Protocol::Ftp
+                    .achieved_rate(size, &link)
+                    .expect("no cap")
+                    .as_mbps(),
+                http: Protocol::Http
+                    .achieved_rate(size, &link)
+                    .map(|r| r.as_mbps()),
+            }
+        },
+    )
+}
+
+/// [`measure_threads`] with an auto-sized thread pool.
 pub fn measure() -> Vec<Fig11Row> {
-    let link = calibrated_wan_link();
-    sweep_sizes()
-        .into_iter()
-        .map(|size| Fig11Row {
-            size,
-            globus: Protocol::GLOBUS_DEFAULT
-                .achieved_rate(size, &link)
-                .expect("no cap")
-                .as_mbps(),
-            ftp: Protocol::Ftp
-                .achieved_rate(size, &link)
-                .expect("no cap")
-                .as_mbps(),
-            http: Protocol::Http
-                .achieved_rate(size, &link)
-                .map(|r| r.as_mbps()),
-        })
-        .collect()
+    measure_threads(0)
 }
 
 /// Render the report, including the GO/FTP ratio column (E7).

@@ -4,6 +4,7 @@
 use cumulus::cloud::InstanceType;
 use cumulus::provision::{GpCloud, GpInstanceId, Topology};
 use cumulus::simkit::time::SimTime;
+use cumulus::simkit::{run_replicas, ReplicaPlan};
 
 use crate::table::{mins, Table};
 
@@ -36,88 +37,73 @@ fn update_latency(world: &mut GpCloud, id: &GpInstanceId, now: SimTime, json: &s
     report.done_at(now).since(now).as_mins_f64()
 }
 
-/// Measure a battery of reconfigurations, each on a fresh cluster.
-pub fn measure(seed: u64) -> Vec<ReconfigMeasurement> {
-    let mut out = Vec::new();
-
+/// One case of the battery: display name, workers on the fresh cluster,
+/// and the `gp-instance-update` JSON to apply.
+fn battery() -> Vec<(String, usize, String)> {
+    let mut cases = Vec::new();
     for n in [1usize, 2, 4, 8] {
-        let (mut world, id, ready) = deploy(seed, 0);
-        let latency = update_latency(
-            &mut world,
-            &id,
-            ready,
-            &format!(
+        cases.push((
+            format!("add {n} x c1.medium worker(s)"),
+            0,
+            format!(
                 r#"{{"domains":{{"simple":{{"cluster-nodes":{n},"worker-instance-type":"c1.medium"}}}}}}"#
             ),
-        );
-        out.push(ReconfigMeasurement {
-            action: format!("add {n} x c1.medium worker(s)"),
-            latency_mins: latency,
-        });
+        ));
     }
-
     for n in [1usize, 4] {
-        let (mut world, id, ready) = deploy(seed, n);
-        let latency = update_latency(
-            &mut world,
-            &id,
-            ready,
-            r#"{"domains":{"simple":{"cluster-nodes":0}}}"#,
-        );
-        out.push(ReconfigMeasurement {
-            action: format!("remove {n} idle worker(s)"),
-            latency_mins: latency,
-        });
+        cases.push((
+            format!("remove {n} idle worker(s)"),
+            n,
+            r#"{"domains":{"simple":{"cluster-nodes":0}}}"#.to_string(),
+        ));
     }
-
-    {
-        let (mut world, id, ready) = deploy(seed, 1);
-        let latency = update_latency(
-            &mut world,
-            &id,
-            ready,
-            r#"{"domains":{"simple":{"workers":["m1.large"]}}}"#,
-        );
-        out.push(ReconfigMeasurement {
-            action: "resize worker t1.micro -> m1.large".to_string(),
-            latency_mins: latency,
-        });
-    }
-
-    {
-        let (mut world, id, ready) = deploy(seed, 0);
-        let latency = update_latency(
-            &mut world,
-            &id,
-            ready,
-            r#"{"ec2":{"instance-type":"m1.xlarge"}}"#,
-        );
-        out.push(ReconfigMeasurement {
-            action: "resize head m1.small -> m1.xlarge".to_string(),
-            latency_mins: latency,
-        });
-    }
-
-    {
-        let (mut world, id, ready) = deploy(seed, 1);
-        let latency = update_latency(
-            &mut world,
-            &id,
-            ready,
-            r#"{"domains":{"simple":{"users":["user1","boliu","newuser1","newuser2"]}}}"#,
-        );
-        out.push(ReconfigMeasurement {
-            action: "add 2 users".to_string(),
-            latency_mins: latency,
-        });
-    }
-
-    out
+    cases.push((
+        "resize worker t1.micro -> m1.large".to_string(),
+        1,
+        r#"{"domains":{"simple":{"workers":["m1.large"]}}}"#.to_string(),
+    ));
+    cases.push((
+        "resize head m1.small -> m1.xlarge".to_string(),
+        0,
+        r#"{"ec2":{"instance-type":"m1.xlarge"}}"#.to_string(),
+    ));
+    cases.push((
+        "add 2 users".to_string(),
+        1,
+        r#"{"domains":{"simple":{"users":["user1","boliu","newuser1","newuser2"]}}}"#.to_string(),
+    ));
+    cases
 }
 
-/// Render the report.
-pub fn run(seed: u64) -> String {
-    let rows = measure(seed);
+/// Measure a battery of reconfigurations, each on a fresh cluster, fanned
+/// out over the replica runner (`threads == 0` → auto, `1` → serial).
+/// Every case deploys and measures its own world from the same seed, so
+/// results are identical at any thread count and come back in battery
+/// order.
+pub fn measure_threads(seed: u64, threads: usize) -> Vec<ReconfigMeasurement> {
+    let cases = battery();
+    run_replicas(
+        ReplicaPlan::new(seed, cases.len()).with_threads(threads),
+        |i, _seeds| {
+            let (action, workers, json) = &cases[i];
+            let (mut world, id, ready) = deploy(seed, *workers);
+            let latency = update_latency(&mut world, &id, ready, json);
+            ReconfigMeasurement {
+                action: action.clone(),
+                latency_mins: latency,
+            }
+        },
+    )
+}
+
+/// [`measure_threads`] with an auto-sized thread pool.
+pub fn measure(seed: u64) -> Vec<ReconfigMeasurement> {
+    measure_threads(seed, 0)
+}
+
+/// Render the report (`threads` as in [`measure_threads`]).
+pub fn run_threads(seed: u64, threads: usize) -> String {
+    let rows = measure_threads(seed, threads);
     let mut t = Table::new(
         "E6 — runtime reconfiguration latency (paper claim: \"within minutes\")",
         &["action", "latency (min)"],
@@ -131,6 +117,11 @@ pub fn run(seed: u64) -> String {
          note adds are parallel (latency ~flat in node count).\n",
         t.render()
     )
+}
+
+/// [`run_threads`] with an auto-sized thread pool.
+pub fn run(seed: u64) -> String {
+    run_threads(seed, 0)
 }
 
 #[cfg(test)]
@@ -178,6 +169,17 @@ mod tests {
             .unwrap()
             .latency_mins;
         assert!(users < 1.1, "user add took {users} min");
+    }
+
+    #[test]
+    fn parallel_battery_matches_serial() {
+        let serial = measure_threads(7304, 1);
+        let parallel = measure_threads(7304, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.action, p.action);
+            assert_eq!(s.latency_mins.to_bits(), p.latency_mins.to_bits());
+        }
     }
 
     #[test]

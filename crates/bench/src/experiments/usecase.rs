@@ -2,6 +2,7 @@
 
 use cumulus::scenario::UseCaseScenario;
 use cumulus::simkit::time::SimTime;
+use cumulus::simkit::{run_replicas, ReplicaPlan};
 
 use crate::table::{dollars, err_pct, mins, Table};
 
@@ -54,6 +55,47 @@ pub fn measure(seed: u64) -> UseCaseMeasurement {
         transfer_secs,
         small_exec_cost,
     }
+}
+
+/// Monte-Carlo over derived seeds: replica `i` measures the full use case
+/// under `SeedFactory::new(seed).child(i)`, fanned out over the replica
+/// runner (`threads == 0` → auto, `1` → serial). Results come back in
+/// replica order, so a parallel sweep reports exactly what a serial loop
+/// would.
+pub fn measure_replicas(seed: u64, replicas: usize, threads: usize) -> Vec<UseCaseMeasurement> {
+    run_replicas(
+        ReplicaPlan::new(seed, replicas).with_threads(threads),
+        |_i, seeds| measure(seeds.stream("usecase").next_u64()),
+    )
+}
+
+/// Render a Monte-Carlo stability summary over [`measure_replicas`]: the
+/// model is calibrated, so the spread across derived seeds should be
+/// tight — this table is the evidence.
+pub fn run_replica_summary(seed: u64, replicas: usize, threads: usize) -> String {
+    let ms = measure_replicas(seed, replicas, threads);
+    let stat = |f: fn(&UseCaseMeasurement) -> f64| {
+        let mut v: Vec<f64> = ms.iter().map(f).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        (v[0], v[v.len() / 2], v[v.len() - 1])
+    };
+    let mut t = Table::new(
+        &format!("E1 (Monte Carlo) — use case across {replicas} derived seeds"),
+        &["quantity", "min", "median", "max"],
+    );
+    for (name, f) in [
+        (
+            "deploy (min)",
+            (|m| m.deploy_mins) as fn(&UseCaseMeasurement) -> f64,
+        ),
+        ("steps 3+4 on m1.small (min)", |m| m.small_exec_mins),
+        ("steps 3+4 with c1.medium (min)", |m| m.medium_exec_mins),
+        ("gp-instance-update (min)", |m| m.update_mins),
+    ] {
+        let (lo, med, hi) = stat(f);
+        t.row(&[name.to_string(), mins(lo), mins(med), mins(hi)]);
+    }
+    t.render()
 }
 
 /// Render the report.
@@ -138,5 +180,21 @@ mod tests {
         let r = run(7101);
         assert!(r.contains("steps 3+4"));
         assert!(r.contains("within minutes"));
+    }
+
+    #[test]
+    fn replica_sweep_is_thread_count_invariant() {
+        let serial = measure_replicas(7102, 6, 1);
+        let parallel = measure_replicas(7102, 6, 3);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.deploy_mins.to_bits(), p.deploy_mins.to_bits());
+            assert_eq!(s.small_exec_mins.to_bits(), p.small_exec_mins.to_bits());
+            assert_eq!(s.small_exec_cost.to_bits(), p.small_exec_cost.to_bits());
+        }
+        // The model is calibrated: any seed reproduces the paper timings.
+        for m in &serial {
+            assert!((m.deploy_mins - 8.8).abs() < 0.45, "{}", m.deploy_mins);
+        }
     }
 }

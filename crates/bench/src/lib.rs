@@ -13,7 +13,9 @@
 //!
 //! `cargo run --release -p cumulus-bench --bin all_experiments` prints the
 //! full report recorded in EXPERIMENTS.md; every binary accepts
-//! `--seed N` to vary the synthetic data. Benches (`cargo bench`)
+//! `--seed N` to vary the synthetic data and `--threads N` to size the
+//! parallel sweep pool (`0` = one per CPU, the default; `1` = serial —
+//! the report is byte-identical either way). Benches (`cargo bench`)
 //! measure the simulator's own performance.
 
 pub mod experiments {
@@ -61,19 +63,47 @@ pub fn seed_from_args(default: u64) -> u64 {
     default
 }
 
-/// First positional argument (ignoring `--seed`/`--seed=N` and the seed
-/// value), parsed, or `default`. The replica-count argument of the
+/// Parse `--threads N` (or `--threads=N`) from the process arguments,
+/// falling back to `default`. `0` means one worker per CPU; `1` forces a
+/// serial sweep. Thread count never changes the report — parallel sweeps
+/// merge in replica order — only how fast it is produced.
+pub fn threads_from_args(default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let arg = &args[i];
+        let value = if arg == "--threads" {
+            i += 1;
+            args.get(i).cloned()
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            i += 1;
+            continue;
+        };
+        let Some(value) = value else {
+            panic!("--threads requires a value, e.g. --threads 4");
+        };
+        return value
+            .parse()
+            .unwrap_or_else(|_| panic!("--threads expects an unsigned integer, got {value:?}"));
+    }
+    default
+}
+
+/// First positional argument (ignoring `--seed`/`--threads` flags and
+/// their values), parsed, or `default`. The replica-count argument of the
 /// Monte-Carlo binaries.
 pub fn positional_from_args(default: usize) -> usize {
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         let arg = &args[i];
-        if arg == "--seed" {
+        if arg == "--seed" || arg == "--threads" {
             i += 2;
             continue;
         }
-        if arg.starts_with("--seed=") {
+        if arg.starts_with("--seed=") || arg.starts_with("--threads=") {
             i += 1;
             continue;
         }

@@ -10,49 +10,132 @@
 //! * events at equal timestamps fire in the order they were scheduled
 //!   (a monotone sequence number breaks ties);
 //! * no wall-clock time or OS entropy is consulted anywhere in the kernel;
-//! * cancellation is tombstone-based, so it cannot perturb heap order.
+//! * cancellation flips a per-slot generation counter, so it cannot perturb
+//!   the firing order of the surviving events.
+//!
+//! # Queue internals
+//!
+//! Handlers live in a **slab** of reusable slots; the pending order is kept
+//! in two side structures that store only compact `(time, seq, slot, gen)`
+//! index entries, never the handlers themselves:
+//!
+//! * a **bucket ring** — a cyclic array of [`RING_BUCKETS`] one-microsecond
+//!   buckets that absorbs every event scheduled less than [`RING_BUCKETS`] µs
+//!   ahead of the clock in O(1) (the dominant pattern: recurring controller
+//!   ticks, service-completion chains, back-to-back `schedule_now` work);
+//! * a **far heap** — a binary min-heap of the same 24-byte entries for
+//!   everything beyond the ring's window.
+//!
+//! Firing pops the earlier of the two tiers (ties broken by sequence
+//! number, so FIFO-within-timestamp holds across tiers). Cancellation bumps
+//! the slot's generation counter and drops the handler immediately; index
+//! entries whose generation no longer matches are purged lazily when the
+//! scan or the heap reaches them. See DESIGN.md "Event-queue internals".
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use crate::time::{SimDuration, SimTime};
 
+/// Number of one-microsecond buckets in the near-future ring. Must be a
+/// power of two. Events scheduled less than this many microseconds ahead
+/// of the clock go to the ring; everything else goes to the far heap.
+const RING_BUCKETS: usize = 1024;
+const RING_MASK: u64 = (RING_BUCKETS - 1) as u64;
+const RING_SPAN_US: u64 = RING_BUCKETS as u64;
+
 /// Opaque handle to a scheduled event; used for cancellation.
+///
+/// Ordering follows schedule order (the internal sequence number), so ids
+/// can be sorted to recover the order in which events were scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId {
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
 
 impl EventId {
     /// The raw sequence number (unique per simulation run).
     pub fn raw(self) -> u64 {
-        self.0
+        self.seq
     }
 }
 
 type Handler<W> = Box<dyn FnOnce(&mut Sim<W>)>;
 
-struct Scheduled<W> {
-    at: SimTime,
-    id: EventId,
-    handler: Handler<W>,
+/// One slab slot: the boxed handler plus the generation counter that makes
+/// stale index entries (fired or cancelled) detectable in O(1).
+struct Slot<W> {
+    gen: u32,
+    handler: Option<Handler<W>>,
 }
 
-impl<W> PartialEq for Scheduled<W> {
+/// A compact index entry: everything the ordering tiers need to know about
+/// a pending event, without touching the handler.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    at_us: u64,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+/// Far-heap wrapper: `BinaryHeap` is a max-heap, so invert the comparison
+/// to pop the earliest `(time, seq)` first.
+struct FarEntry(Entry);
+
+impl PartialEq for FarEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.id == other.id
+        self.0.at_us == other.0.at_us && self.0.seq == other.0.seq
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+impl Eq for FarEntry {}
+impl PartialOrd for FarEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
-    // BinaryHeap is a max-heap: invert so the earliest (time, id) pops first.
+impl Ord for FarEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        other.at.cmp(&self.at).then_with(|| other.id.cmp(&self.id))
+        other
+            .0
+            .at_us
+            .cmp(&self.0.at_us)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
     }
+}
+
+/// One ring bucket: entries in insertion (= sequence) order, consumed from
+/// `head`. All live entries in a bucket share the same firing time, because
+/// live ring entries always lie within one window-length of the clock and
+/// the window maps injectively onto the ring.
+#[derive(Default)]
+struct Bucket {
+    entries: Vec<Entry>,
+    head: usize,
+}
+
+impl Bucket {
+    #[inline]
+    fn exhausted(&self) -> bool {
+        self.head == self.entries.len()
+    }
+
+    #[inline]
+    fn reset_if_exhausted(&mut self) {
+        if self.head > 0 && self.exhausted() {
+            self.entries.clear();
+            self.head = 0;
+        }
+    }
+}
+
+/// Which tier holds the next event (result of a successful peek).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Ring,
+    Far,
 }
 
 /// Why [`Sim::run`] returned.
@@ -71,9 +154,23 @@ pub enum RunOutcome {
 /// A discrete-event simulation over world state `W`.
 pub struct Sim<W> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<W>>,
-    cancelled: HashSet<EventId>,
-    next_id: u64,
+    slots: Vec<Slot<W>>,
+    free: Vec<u32>,
+    ring: Vec<Bucket>,
+    /// Entries (live + stale) currently in the ring.
+    ring_len: usize,
+    /// Ring scan cursor, in absolute microseconds. Invariant: no live ring
+    /// entry fires before `max(scan_us, now)`.
+    scan_us: u64,
+    far: BinaryHeap<FarEntry>,
+    next_seq: u64,
+    /// Pending (scheduled, not yet fired, not cancelled) events.
+    live: usize,
+    /// Cancelled entries still lingering in the ring or the far heap.
+    /// Fired entries leave their tier immediately, so when this is zero
+    /// every queued index entry is live and generation checks can be
+    /// skipped on the peek path.
+    stale: usize,
     steps_executed: u64,
     halt: bool,
     /// The world under simulation. Public: event handlers and drivers
@@ -86,9 +183,15 @@ impl<W> Sim<W> {
     pub fn new(world: W) -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            next_id: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            ring: (0..RING_BUCKETS).map(|_| Bucket::default()).collect(),
+            ring_len: 0,
+            scan_us: 0,
+            far: BinaryHeap::new(),
+            next_seq: 0,
+            live: 0,
+            stale: 0,
             steps_executed: 0,
             halt: false,
             world,
@@ -105,9 +208,10 @@ impl<W> Sim<W> {
         self.steps_executed
     }
 
-    /// Number of events currently pending (including cancelled tombstones).
+    /// Number of events currently pending (scheduled, not yet fired, not
+    /// cancelled). Exact: cancelled events leave no tombstone behind.
     pub fn pending_events(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.live
     }
 
     /// Schedule `handler` to fire at absolute time `at`.
@@ -126,14 +230,53 @@ impl<W> Sim<W> {
             self.now,
             at
         );
-        let id = EventId(self.next_id);
-        self.next_id += 1;
-        self.queue.push(Scheduled {
-            at,
-            id,
-            handler: Box::new(handler),
-        });
-        id
+        self.insert(at, Box::new(handler))
+    }
+
+    fn insert(&mut self, at: SimTime, handler: Handler<W>) -> EventId {
+        let at_us = at.as_micros();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+
+        // Claim a slab slot, reusing a freed one when available.
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize].handler = Some(handler);
+                idx
+            }
+            None => {
+                assert!(
+                    self.slots.len() < u32::MAX as usize,
+                    "event slab exhausted (u32::MAX concurrent events)"
+                );
+                self.slots.push(Slot {
+                    gen: 0,
+                    handler: Some(handler),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.live += 1;
+
+        let entry = Entry {
+            at_us,
+            seq,
+            slot,
+            gen,
+        };
+        if at_us - self.now.as_micros() < RING_SPAN_US {
+            let bucket = &mut self.ring[(at_us & RING_MASK) as usize];
+            bucket.reset_if_exhausted();
+            bucket.entries.push(entry);
+            self.ring_len += 1;
+            if at_us < self.scan_us {
+                self.scan_us = at_us;
+            }
+        } else {
+            self.far.push(FarEntry(entry));
+        }
+        EventId { seq, slot, gen }
     }
 
     /// Schedule `handler` to fire `delay` after the current time.
@@ -193,12 +336,25 @@ impl<W> Sim<W> {
     }
 
     /// Cancel a pending event. Returns `true` if the event had not yet fired
-    /// or been cancelled. Cancelling an already-fired event is a no-op.
+    /// or been cancelled. Cancelling an already-fired event is a no-op (and
+    /// reports `false`).
+    ///
+    /// Cancellation is O(1): the handler is dropped immediately and the
+    /// slot's generation counter is bumped, which invalidates whatever
+    /// index entry still points at the slot.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_id {
+        let Some(slot) = self.slots.get_mut(id.slot as usize) else {
             return false;
+        };
+        if slot.gen != id.gen || slot.handler.is_none() {
+            return false; // already fired, already cancelled, or foreign id
         }
-        self.cancelled.insert(id)
+        slot.handler = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        self.stale += 1;
+        true
     }
 
     /// Request that the run loop stop after the current event completes.
@@ -206,22 +362,115 @@ impl<W> Sim<W> {
         self.halt = true;
     }
 
+    /// Position [`scan_us`](Sim::scan_us) on the ring bucket holding the
+    /// earliest live ring entry and return its `(time, seq)`, purging stale
+    /// entries on the way. `None` when the ring holds no live entry.
+    fn ring_peek(&mut self) -> Option<(u64, u64)> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let now_us = self.now.as_micros();
+        if self.scan_us < now_us {
+            self.scan_us = now_us;
+        }
+        // Every live ring entry fires within [now, now + RING_SPAN_US), so
+        // one full sweep of the ring must find one (or purge everything).
+        for _ in 0..=RING_BUCKETS {
+            let bucket = &mut self.ring[(self.scan_us & RING_MASK) as usize];
+            while let Some(entry) = bucket.entries.get(bucket.head) {
+                if self.stale == 0 || self.slots[entry.slot as usize].gen == entry.gen {
+                    debug_assert_eq!(
+                        entry.at_us, self.scan_us,
+                        "live ring entry outside its bucket's time"
+                    );
+                    return Some((entry.at_us, entry.seq));
+                }
+                bucket.head += 1; // stale: purge lazily
+                self.ring_len -= 1;
+                self.stale -= 1;
+            }
+            bucket.reset_if_exhausted();
+            if self.ring_len == 0 {
+                return None;
+            }
+            self.scan_us += 1;
+        }
+        unreachable!("ring scan swept the full window without finding a live entry");
+    }
+
+    /// Peek the earliest live far-heap entry, popping stale ones.
+    fn far_peek(&mut self) -> Option<(u64, u64)> {
+        while let Some(top) = self.far.peek() {
+            let entry = top.0;
+            if self.stale == 0 || self.slots[entry.slot as usize].gen == entry.gen {
+                return Some((entry.at_us, entry.seq));
+            }
+            self.far.pop();
+            self.stale -= 1;
+        }
+        None
+    }
+
+    /// The earliest pending event across both tiers, without consuming it.
+    fn peek_next(&mut self) -> Option<(u64, u64, Tier)> {
+        let ring = self.ring_peek();
+        let far = self.far_peek();
+        match (ring, far) {
+            (None, None) => None,
+            (Some((at, seq)), None) => Some((at, seq, Tier::Ring)),
+            (None, Some((at, seq))) => Some((at, seq, Tier::Far)),
+            (Some((rat, rseq)), Some((fat, fseq))) => {
+                if (rat, rseq) < (fat, fseq) {
+                    Some((rat, rseq, Tier::Ring))
+                } else {
+                    Some((fat, fseq, Tier::Far))
+                }
+            }
+        }
+    }
+
+    /// Remove the entry a successful [`peek_next`](Sim::peek_next) found.
+    /// Must be called with no intervening queue mutation.
+    fn take_peeked(&mut self, tier: Tier) -> Entry {
+        match tier {
+            Tier::Ring => {
+                let bucket = &mut self.ring[(self.scan_us & RING_MASK) as usize];
+                let entry = bucket.entries[bucket.head];
+                bucket.head += 1;
+                self.ring_len -= 1;
+                entry
+            }
+            Tier::Far => self.far.pop().expect("peeked").0,
+        }
+    }
+
+    /// Fire one popped entry: release its slot, advance the clock, run the
+    /// handler.
+    fn execute(&mut self, entry: Entry) {
+        let slot = &mut self.slots[entry.slot as usize];
+        debug_assert_eq!(slot.gen, entry.gen, "popped a stale entry");
+        let handler = slot.handler.take().expect("live slot holds a handler");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(entry.slot);
+        self.live -= 1;
+        debug_assert!(
+            entry.at_us >= self.now.as_micros(),
+            "event queue time went backwards"
+        );
+        self.now = SimTime::from_micros(entry.at_us);
+        self.steps_executed += 1;
+        handler(self);
+    }
+
     /// Execute the single next event, if any. Returns `false` when the queue
     /// is empty.
     pub fn step(&mut self) -> bool {
-        loop {
-            let Some(ev) = self.queue.pop() else {
-                return false;
-            };
-            if self.cancelled.remove(&ev.id) {
-                continue; // tombstone
-            }
-            debug_assert!(ev.at >= self.now, "event queue time went backwards");
-            self.now = ev.at;
-            self.steps_executed += 1;
-            (ev.handler)(self);
-            return true;
-        }
+        let Some((_, _, tier)) = self.peek_next() else {
+            return false;
+        };
+        let entry = self.take_peeked(tier);
+        self.execute(entry);
+        true
     }
 
     /// Run until the queue drains, `horizon` passes, a handler calls
@@ -236,25 +485,19 @@ impl<W> Sim<W> {
             if budget == 0 {
                 return RunOutcome::StepBudgetExhausted;
             }
-            // Peek (skipping tombstones) to honour the horizon without
-            // consuming the event.
-            loop {
-                match self.queue.peek() {
-                    None => return RunOutcome::QueueEmpty,
-                    Some(ev) if self.cancelled.contains(&ev.id) => {
-                        let ev = self.queue.pop().expect("peeked");
-                        self.cancelled.remove(&ev.id);
-                    }
-                    Some(ev) => {
-                        if ev.at > horizon {
-                            return RunOutcome::HorizonReached;
-                        }
-                        break;
-                    }
+            // Peek to honour the horizon without consuming the event; the
+            // same peek positions the pop, so each event is located once.
+            match self.peek_next() {
+                None => return RunOutcome::QueueEmpty,
+                Some((at_us, _, _)) if at_us > horizon.as_micros() => {
+                    return RunOutcome::HorizonReached;
+                }
+                Some((_, _, tier)) => {
+                    let entry = self.take_peeked(tier);
+                    self.execute(entry);
+                    budget -= 1;
                 }
             }
-            self.step();
-            budget -= 1;
         }
     }
 
@@ -316,6 +559,33 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_by_schedule_order_across_tiers() {
+        // The same timestamp reached through the ring (scheduled when it
+        // was near) and the far heap (scheduled when it was far) must still
+        // fire in schedule order.
+        let mut sim = Sim::new(World::default());
+        let t = RING_SPAN_US + 50;
+        sim.schedule_at(s(t), |sim| sim.world.log.push((0, "far-first"))); // far tier
+        sim.schedule_at(s(1), move |sim| {
+            // now = 1: t is still beyond the window? t - 1 > RING_SPAN_US,
+            // so this one lands in the far heap too...
+            sim.world.log.push((1, "early"));
+            sim.schedule_at(s(t), |sim| sim.world.log.push((0, "far-second")));
+        });
+        sim.schedule_at(s(t - 10), move |sim| {
+            // now = t-10: t is 10 µs ahead → ring tier.
+            sim.world.log.push((2, "near"));
+            sim.schedule_at(s(t), |sim| sim.world.log.push((0, "ring-third")));
+        });
+        sim.run_to_completion();
+        let names: Vec<_> = sim.world.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["early", "near", "far-first", "far-second", "ring-third"]
+        );
+    }
+
+    #[test]
     fn handlers_can_schedule_follow_ups() {
         let mut sim = Sim::new(World::default());
         sim.schedule_at(s(10), |sim| {
@@ -340,9 +610,58 @@ mod tests {
     }
 
     #[test]
+    fn cancel_far_event_prevents_firing() {
+        let mut sim = Sim::new(World::default());
+        let id = sim.schedule_at(s(10_000_000), |sim| sim.world.log.push((0, "cancelled")));
+        sim.schedule_at(s(20_000_000), |sim| sim.world.log.push((0, "kept")));
+        assert!(sim.cancel(id));
+        sim.run_to_completion();
+        assert_eq!(sim.world.log, vec![(0, "kept")]);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
     fn cancel_unknown_id_is_false() {
         let mut sim: Sim<World> = Sim::new(World::default());
-        assert!(!sim.cancel(EventId(999)));
+        let foreign = EventId {
+            seq: 999,
+            slot: 999,
+            gen: 0,
+        };
+        assert!(!sim.cancel(foreign));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_reported_noop() {
+        // Regression: cancelling an already-fired event used to insert a
+        // permanent tombstone, making pending_events() drift (and underflow
+        // once the drift exceeded the queue length). The slab generation
+        // check makes the cancel a true no-op.
+        let mut sim = Sim::new(World::default());
+        let id = sim.schedule_at(s(10), |sim| sim.world.log.push((10, "fired")));
+        sim.run_to_completion();
+        assert_eq!(sim.pending_events(), 0);
+        assert!(!sim.cancel(id), "cancel after fire must report false");
+        assert_eq!(sim.pending_events(), 0, "no tombstone drift");
+        // The count must stay exact afterwards — this underflowed before.
+        sim.schedule_at(s(20), |_| {});
+        assert_eq!(sim.pending_events(), 1);
+        sim.run_to_completion();
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_confuse_cancellation() {
+        // A stale EventId whose slot has been recycled must not cancel the
+        // new occupant.
+        let mut sim = Sim::new(World::default());
+        let old = sim.schedule_at(s(10), |sim| sim.world.log.push((10, "old")));
+        assert!(sim.cancel(old));
+        // The freed slot is reused by the next schedule.
+        let _new = sim.schedule_at(s(20), |sim| sim.world.log.push((20, "new")));
+        assert!(!sim.cancel(old), "stale id must not hit the recycled slot");
+        sim.run_to_completion();
+        assert_eq!(sim.world.log, vec![(20, "new")]);
     }
 
     #[test]
@@ -455,5 +774,73 @@ mod tests {
         let mut sim: Sim<World> = Sim::new(World::default());
         sim.fast_forward(s(500));
         assert_eq!(sim.now(), s(500));
+    }
+
+    #[test]
+    fn ring_wraps_across_its_window() {
+        // Chain far past the ring span so buckets are reused many times.
+        let mut sim = Sim::new((0u64, 5 * RING_SPAN_US));
+        fn tick(sim: &mut Sim<(u64, u64)>) {
+            sim.world.0 += 1;
+            if sim.world.0 < sim.world.1 {
+                sim.schedule_in(SimDuration::from_micros(3), tick);
+            }
+        }
+        sim.schedule_now(tick);
+        assert_eq!(sim.run_to_completion(), RunOutcome::QueueEmpty);
+        assert_eq!(sim.world.0, 5 * RING_SPAN_US);
+        assert_eq!(sim.now().as_micros(), (5 * RING_SPAN_US - 1) * 3);
+    }
+
+    #[test]
+    fn events_exactly_on_the_window_boundary_fire_in_order() {
+        let mut sim = Sim::new(World::default());
+        // One event just inside the ring window, one exactly on the
+        // boundary (far tier), one beyond — all from time zero.
+        sim.schedule_at(s(RING_SPAN_US - 1), |sim| sim.world.log.push((0, "in")));
+        sim.schedule_at(s(RING_SPAN_US), |sim| sim.world.log.push((0, "edge")));
+        sim.schedule_at(s(RING_SPAN_US + 1), |sim| sim.world.log.push((0, "out")));
+        sim.run_to_completion();
+        let names: Vec<_> = sim.world.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["in", "edge", "out"]);
+    }
+
+    #[test]
+    fn late_insert_behind_the_scan_cursor_still_fires() {
+        // After the engine has peeked ahead (advancing the scan cursor), an
+        // insert between `now` and the cursor must still be found.
+        let mut sim = Sim::new(World::default());
+        sim.schedule_at(s(0), |sim| sim.world.log.push((0, "first")));
+        sim.schedule_at(s(100), |sim| sim.world.log.push((100, "later")));
+        // Run past the first event; the ring scan has advanced toward 100.
+        assert_eq!(sim.run(s(50), u64::MAX), RunOutcome::HorizonReached);
+        // Insert behind the cursor.
+        sim.schedule_at(s(30), |sim| sim.world.log.push((30, "behind")));
+        sim.run_to_completion();
+        assert_eq!(
+            sim.world.log,
+            vec![(0, "first"), (30, "behind"), (100, "later")]
+        );
+    }
+
+    #[test]
+    fn pending_count_stays_exact_under_churn() {
+        let mut sim = Sim::new(0u32);
+        let ids: Vec<EventId> = (0..100)
+            .map(|i| sim.schedule_at(s(i), |sim: &mut Sim<u32>| sim.world += 1))
+            .collect();
+        assert_eq!(sim.pending_events(), 100);
+        for id in ids.iter().take(50) {
+            assert!(sim.cancel(*id));
+        }
+        assert_eq!(sim.pending_events(), 50);
+        sim.run_to_completion();
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.world, 50);
+        // Cancelling everything again (fired or cancelled) changes nothing.
+        for id in &ids {
+            assert!(!sim.cancel(*id));
+        }
+        assert_eq!(sim.pending_events(), 0);
     }
 }

@@ -71,40 +71,39 @@ where
         return (0..n).map(|i| f(i, root.child(i as u64))).collect();
     }
 
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let counter = std::sync::atomic::AtomicUsize::new(0);
 
-    // Split the result buffer into one-cell mutable references so each
-    // replica's writer has exclusive access to its own slot without locking
-    // the data path; claiming a slot takes a brief mutex.
-    let cells: Vec<std::sync::Mutex<Option<&mut Option<R>>>> = slots
-        .iter_mut()
-        .map(|slot| std::sync::Mutex::new(Some(slot)))
-        .collect();
-
-    std::thread::scope(|scope| {
+    // Each worker claims replica indices from the shared atomic counter and
+    // keeps its results locally; the merge below re-orders them by replica
+    // index. No locks anywhere on the result path.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let per_thread: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let f = &f;
         let counter = &counter;
-        let cells = &cells;
-        for _ in 0..threads {
-            // Work-stealing via a shared atomic index: each worker claims
-            // the next unclaimed replica.
-            scope.spawn(move || loop {
-                let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cell = cells[i]
-                    .lock()
-                    .expect("claim lock poisoned")
-                    .take()
-                    .expect("each replica claimed once");
-                *cell = Some(f(i, root.child(i as u64)));
-            });
-        }
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(i, root.child(i as u64))));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replica worker panicked"))
+            .collect()
     });
-
-    drop(cells);
+    for (i, r) in per_thread.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "replica {i} claimed twice");
+        slots[i] = Some(r);
+    }
 
     slots
         .into_iter()

@@ -1,0 +1,230 @@
+//! Differential property test for the event-queue rewrite.
+//!
+//! Random schedule/cancel/step interleavings — generated from seeded
+//! in-repo [`RngStream`]s, so every case is reproducible — run against
+//! both the production [`Sim`] (slab + index heap + bucket ring) and a
+//! trivially-correct reference model (a sorted list keyed by
+//! `(time, schedule order)` with a cancelled-set). The two must agree on
+//! *everything* observable: the exact fire sequence, every `cancel`
+//! return value, and the pending-event count at every step.
+//!
+//! Delays are drawn so the sweep crosses the engine's internal tiers:
+//! same-instant events, near-future deltas that land in the bucket ring,
+//! boundary-straddling deltas, and far-horizon deltas that go to the
+//! heap. Some events schedule follow-ups from inside their handler, which
+//! exercises in-run insertion behind the ring's scan cursor.
+
+use std::collections::HashSet;
+
+use cumulus::simkit::prelude::*;
+use cumulus::simkit::EventId;
+
+const CASES: u64 = 96;
+
+/// The reference model: an unordered vector of `(at_us, label)` plus a
+/// cancelled-label set. Firing scans for the minimum `(at, label)` — O(n),
+/// obviously correct, and label order IS schedule order, which is exactly
+/// the engine's FIFO-within-timestamp guarantee.
+#[derive(Default)]
+struct Model {
+    live: Vec<(u64, u64)>,
+    cancelled: HashSet<u64>,
+    now: u64,
+}
+
+impl Model {
+    fn schedule(&mut self, at: u64, label: u64) {
+        assert!(at >= self.now);
+        self.live.push((at, label));
+    }
+
+    /// Mirrors `Sim::cancel`: true only for a still-pending event.
+    fn cancel(&mut self, label: u64) -> bool {
+        let pos = self.live.iter().position(|&(_, l)| l == label);
+        match pos {
+            Some(p) if self.cancelled.insert(label) => {
+                self.live.remove(p);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Pop the next `(at, label)` in fire order, if any.
+    fn step(&mut self) -> Option<(u64, u64)> {
+        let min = self.live.iter().copied().min()?;
+        self.live.retain(|&e| e != min);
+        self.now = min.0;
+        Some(min)
+    }
+}
+
+/// Follow-up rule shared by both sides: an event whose label satisfies
+/// `label % 5 == 0` schedules one child at `now + (label % 293 + 1)` µs
+/// under label `label + FOLLOW_UP_BASE`.
+const FOLLOW_UP_BASE: u64 = 1_000_000;
+
+fn follow_up_delay(label: u64) -> u64 {
+    label % 293 + 1
+}
+
+fn spawns_follow_up(label: u64) -> bool {
+    label.is_multiple_of(5) && label < FOLLOW_UP_BASE
+}
+
+/// Schedule `label` on the real engine; the handler logs `(now, label)`
+/// and applies the follow-up rule.
+fn schedule_real(sim: &mut Sim<Vec<(u64, u64)>>, at: u64, label: u64) -> EventId {
+    sim.schedule_at(SimTime::from_micros(at), move |sim| {
+        let now = sim.now().as_micros();
+        sim.world.push((now, label));
+        if spawns_follow_up(label) {
+            let child = label + FOLLOW_UP_BASE;
+            sim.schedule_in(
+                SimDuration::from_micros(follow_up_delay(label)),
+                move |sim| {
+                    let now = sim.now().as_micros();
+                    sim.world.push((now, child));
+                },
+            );
+        }
+    })
+}
+
+/// A delay that sweeps across queue tiers: same-instant, in-ring,
+/// boundary, and far-heap.
+fn pick_delay(rng: &mut RngStream) -> u64 {
+    match rng.uniform_int(0, 9) {
+        0 => 0,
+        1..=5 => rng.uniform_int(1, 900),        // bucket ring
+        6 | 7 => rng.uniform_int(900, 1_200),    // straddles the ring window
+        8 => rng.uniform_int(1_200, 50_000),     // far heap
+        _ => rng.uniform_int(50_000, 5_000_000), // deep far heap
+    }
+}
+
+#[test]
+fn random_interleavings_match_the_reference_model() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "prop/queue-differential");
+        let mut sim = Sim::new(Vec::new());
+        let mut model = Model::default();
+        // Cancel targets are drawn from every label ever scheduled, so
+        // some hit already-fired or already-cancelled events — those must
+        // be reported no-ops on both sides.
+        let mut ids: Vec<(u64, EventId)> = Vec::new();
+        let mut next_label = 0u64;
+
+        let ops = rng.uniform_int(50, 250);
+        for _ in 0..ops {
+            match rng.uniform_int(0, 9) {
+                // Schedule (most common op).
+                0..=5 => {
+                    let at = sim.now().as_micros() + pick_delay(&mut rng);
+                    let label = next_label;
+                    next_label += 1;
+                    let id = schedule_real(&mut sim, at, label);
+                    model.schedule(at, label);
+                    ids.push((label, id));
+                }
+                // Cancel a random label (may already have fired).
+                6 | 7 => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let k = rng.uniform_int(0, ids.len() as u64 - 1) as usize;
+                    let (label, id) = ids[k];
+                    let real = sim.cancel(id);
+                    let reference = model.cancel(label);
+                    assert_eq!(
+                        real, reference,
+                        "case {case}: cancel({label}) disagreed with the model"
+                    );
+                }
+                // Step a small burst of events on both sides.
+                _ => {
+                    for _ in 0..rng.uniform_int(1, 8) {
+                        let fired = sim.step();
+                        let expected = model.step();
+                        assert_eq!(
+                            fired,
+                            expected.is_some(),
+                            "case {case}: step() liveness diverged"
+                        );
+                        let Some((at, label)) = expected else { break };
+                        let got = *sim.world.last().expect("an event fired");
+                        assert_eq!(
+                            got,
+                            (at, label),
+                            "case {case}: fire order diverged from the model"
+                        );
+                        // Mirror the follow-up the real handler created.
+                        if spawns_follow_up(label) {
+                            model.schedule(at + follow_up_delay(label), label + FOLLOW_UP_BASE);
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                sim.pending_events(),
+                model.pending(),
+                "case {case}: pending-event count drifted"
+            );
+        }
+
+        // Drain both to the end and compare the complete fire sequences.
+        let outcome = sim.run_to_completion();
+        assert_eq!(outcome, RunOutcome::QueueEmpty, "case {case}");
+        let mut expected_tail = Vec::new();
+        while let Some((at, label)) = model.step() {
+            expected_tail.push((at, label));
+            if spawns_follow_up(label) {
+                model.schedule(at + follow_up_delay(label), label + FOLLOW_UP_BASE);
+            }
+        }
+        let fired = sim.world.len();
+        let tail = &sim.world[fired - expected_tail.len()..];
+        assert_eq!(
+            tail,
+            &expected_tail[..],
+            "case {case}: final drain diverged from the model"
+        );
+        assert_eq!(sim.pending_events(), 0, "case {case}");
+    }
+}
+
+/// Same-instant bursts: many events at exactly equal timestamps must fire
+/// strictly in schedule order on both sides, including across cancel
+/// churn inside the burst.
+#[test]
+fn equal_timestamp_bursts_fire_in_schedule_order() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "prop/queue-ties");
+        let mut sim = Sim::new(Vec::new());
+        let mut expected = Vec::new();
+        let mut ids = Vec::new();
+        let at = rng.uniform_int(0, 2_000);
+        let n = rng.uniform_int(2, 40);
+        for label in 0..n {
+            let id = sim.schedule_at(SimTime::from_micros(at), move |sim: &mut Sim<Vec<u64>>| {
+                sim.world.push(label);
+            });
+            ids.push((label, id));
+        }
+        // Cancel a random subset.
+        for &(label, id) in &ids {
+            if rng.uniform_int(0, 3) == 0 {
+                assert!(sim.cancel(id), "case {case}: first cancel must succeed");
+                assert!(!sim.cancel(id), "case {case}: double cancel must fail");
+            } else {
+                expected.push(label);
+            }
+        }
+        assert_eq!(sim.run_to_completion(), RunOutcome::QueueEmpty);
+        assert_eq!(sim.world, expected, "case {case}: tie order broke");
+    }
+}
