@@ -20,6 +20,10 @@
 //!   scale-in protection, and a deterministic [`ActivityLog`] audit
 //!   trail; plus [`run_episode`], which drives a whole workload through a
 //!   deployment inside the DES;
+//! * [`spot`] — the cost dimension: a [`SpotMix`] fleet-mix wrapper
+//!   (on-demand core, spot tail) and [`run_spot_episode`], the episode
+//!   driver that exposes the spot tail to a seeded preemption market and
+//!   plays every reclaim out end to end (notice → requeue → repair);
 //! * [`workload`] — seeded open-loop arrival generators (burst, Poisson,
 //!   diurnal).
 //!
@@ -41,6 +45,7 @@
 pub mod controller;
 pub mod policy;
 pub mod signal;
+pub mod spot;
 pub mod workload;
 
 pub use controller::{
@@ -52,6 +57,9 @@ pub use policy::{
     TargetTracking,
 };
 pub use signal::{percentile, SignalSample, SignalWindow};
+pub use spot::{
+    run_spot_episode, run_spot_sweep, SpotEpisodeConfig, SpotEpisodeReport, SpotMix, SpotMixConfig,
+};
 pub use workload::{JobArrival, Workload};
 
 /// Convenient glob-import surface.
@@ -65,5 +73,9 @@ pub mod prelude {
         TargetTracking,
     };
     pub use crate::signal::{percentile, SignalSample, SignalWindow};
+    pub use crate::spot::{
+        run_spot_episode, run_spot_sweep, SpotEpisodeConfig, SpotEpisodeReport, SpotMix,
+        SpotMixConfig,
+    };
     pub use crate::workload::{JobArrival, Workload};
 }

@@ -9,7 +9,8 @@
 //! | E6 | §III.C reconfiguration latency | `reconfig` |
 //! | E8 | §VI CloudMan comparison | `ablation_cloudman` |
 //! | E9 | extensions (streams, faults, autoscaling, policy sweep) | `extensions` |
-//! | E10 | AMI-baking deployment ablation | `ami_ablation` |
+//! | E10 | spot-fleet preemption grid | `spot_grid` |
+//! | E11 | AMI-baking deployment ablation | `ami_ablation` (its printed table keeps the historical "E10" label) |
 //!
 //! `cargo run --release -p cumulus-bench --bin all_experiments` prints the
 //! full report recorded in EXPERIMENTS.md; every binary accepts
@@ -26,6 +27,7 @@ pub mod experiments {
     pub mod fig10;
     pub mod fig11;
     pub mod reconfig;
+    pub mod spot;
     pub mod usecase;
 }
 

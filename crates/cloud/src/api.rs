@@ -9,11 +9,12 @@
 
 use std::collections::BTreeMap;
 
+use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
 use cumulus_simkit::rng::RngStream;
 use cumulus_simkit::time::{SimDuration, SimTime};
 
 use crate::ami::{AmiCatalog, AmiId};
-use crate::billing::{BillingLedger, BillingMode};
+use crate::billing::{BillingLedger, BillingMode, Pricing};
 use crate::instance::{Instance, InstanceId, InstanceState};
 use crate::types::InstanceType;
 
@@ -34,6 +35,9 @@ pub struct Ec2Config {
     pub boot_jitter: f64,
     /// Account instance-count limit (EC2's default limit was 20).
     pub instance_limit: usize,
+    /// How long a spot instance keeps running after its interruption
+    /// notice before settling to `Preempted` (EC2's famous two minutes).
+    pub spot_interruption_notice: SimDuration,
 }
 
 impl Default for Ec2Config {
@@ -45,6 +49,7 @@ impl Default for Ec2Config {
             terminate_time: SimDuration::from_secs(20),
             boot_jitter: 0.05,
             instance_limit: 20,
+            spot_interruption_notice: SimDuration::from_secs(120),
         }
     }
 }
@@ -149,6 +154,32 @@ impl Ec2Sim {
         instance_type: InstanceType,
         count: usize,
     ) -> Result<(Vec<InstanceId>, SimTime), Ec2Error> {
+        self.launch(now, ami, instance_type, count, Pricing::OnDemand)
+    }
+
+    /// Launch `count` spot instances of `instance_type` from `ami`.
+    ///
+    /// Identical to [`run_instances`](Ec2Sim::run_instances) except that
+    /// the capacity bills at the spot rate and may later be reclaimed via
+    /// [`preempt_instance`](Ec2Sim::preempt_instance).
+    pub fn run_spot_instances(
+        &mut self,
+        now: SimTime,
+        ami: &str,
+        instance_type: InstanceType,
+        count: usize,
+    ) -> Result<(Vec<InstanceId>, SimTime), Ec2Error> {
+        self.launch(now, ami, instance_type, count, Pricing::Spot)
+    }
+
+    fn launch(
+        &mut self,
+        now: SimTime,
+        ami: &str,
+        instance_type: InstanceType,
+        count: usize,
+        pricing: Pricing,
+    ) -> Result<(Vec<InstanceId>, SimTime), Ec2Error> {
         let ami_id: AmiId = self
             .amis
             .get(ami)
@@ -176,8 +207,10 @@ impl Ec2Sim {
                 launched_at: now,
                 private_host: format!("ip-10-0-{}-{}", id.0 / 256, id.0 % 256),
                 public_host: format!("ec2-{}.compute.example", id.0),
+                pricing,
+                interruption_at: None,
             };
-            self.ledger.open(id, instance_type, now);
+            self.ledger.open_priced(id, instance_type, pricing, now);
             self.instances.insert(id, inst);
             ids.push(id);
         }
@@ -202,6 +235,13 @@ impl Ec2Sim {
                 }
                 InstanceState::ShuttingDown => {
                     inst.state = InstanceState::Terminated;
+                    self.ledger.close(inst.id, at);
+                }
+                // A Running instance only carries a pending transition
+                // when a spot interruption notice is in force: the
+                // deadline expiring reclaims the capacity.
+                InstanceState::Running if inst.interruption_at.is_some() => {
+                    inst.state = InstanceState::Preempted;
                     self.ledger.close(inst.id, at);
                 }
                 _ => {}
@@ -344,6 +384,56 @@ impl Ec2Sim {
         }
     }
 
+    /// Ids of usable (Running) spot instances — the set the spot market
+    /// draws victims from. Instances already under an interruption notice
+    /// are excluded.
+    pub fn spot_instances(&self) -> Vec<InstanceId> {
+        self.instances
+            .values()
+            .filter(|i| {
+                i.state.is_usable() && i.pricing == Pricing::Spot && i.interruption_at.is_none()
+            })
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Issue a spot interruption notice: the instance keeps running for
+    /// the configured notice period, then settles to `Preempted` (billing
+    /// closes at the deadline — the notice window is still billable).
+    ///
+    /// Valid only on Running spot instances; re-preempting an instance
+    /// already under notice returns the existing deadline.
+    pub fn preempt_instance(&mut self, now: SimTime, id: InstanceId) -> Result<SimTime, Ec2Error> {
+        let notice = self.config.spot_interruption_notice;
+        let inst = self
+            .instances
+            .get_mut(&id)
+            .ok_or(Ec2Error::UnknownInstance(id))?;
+        if inst.pricing != Pricing::Spot {
+            return Err(Ec2Error::InvalidState {
+                id,
+                state: inst.state,
+                op: "preempt on-demand",
+            });
+        }
+        if let (Some(_), Some(deadline)) = (inst.interruption_at, inst.transition_at) {
+            return Ok(deadline);
+        }
+        match inst.state {
+            InstanceState::Running => {
+                let deadline = now + notice;
+                inst.interruption_at = Some(now);
+                inst.transition_at = Some(deadline);
+                Ok(deadline)
+            }
+            state => Err(Ec2Error::InvalidState {
+                id,
+                state,
+                op: "preempt",
+            }),
+        }
+    }
+
     /// Abruptly kill an instance (hardware failure injection). Billing
     /// stops immediately; the state jumps straight to Terminated.
     pub fn fail_instance(&mut self, now: SimTime, id: InstanceId) -> Result<(), Ec2Error> {
@@ -366,6 +456,23 @@ impl Ec2Sim {
     /// Total account cost as of `now`.
     pub fn total_cost(&self, mode: BillingMode, now: SimTime) -> f64 {
         self.ledger.total_cost(mode, now)
+    }
+}
+
+/// The cloud layer's hookup to the disruption plane: preemptions become
+/// interruption notices (the effect reports the reclaim deadline),
+/// hardware failures become immediate kills, and outages have no
+/// instance-level meaning (the network layer models those).
+impl Disruptable for Ec2Sim {
+    type Target = InstanceId;
+    type Effect = Result<Option<SimTime>, Ec2Error>;
+
+    fn disrupt(&mut self, now: SimTime, target: &InstanceId, kind: DisruptionKind) -> Self::Effect {
+        match kind {
+            DisruptionKind::Preemption => self.preempt_instance(now, *target).map(Some),
+            DisruptionKind::HardwareFailure => self.fail_instance(now, *target).map(|()| None),
+            DisruptionKind::Outage => Ok(None),
+        }
     }
 }
 
@@ -533,6 +640,85 @@ mod tests {
         assert!((cost - 0.04 * 600.0 / 3600.0).abs() < 1e-9);
         // Idempotent.
         ec2.fail_instance(t(700), ids[0]).unwrap();
+    }
+
+    #[test]
+    fn spot_launch_preempt_cycle() {
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_spot_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 2)
+            .unwrap();
+        ec2.settle(ready);
+        assert_eq!(ec2.spot_instances(), ids);
+        let inst = ec2.describe_instance(ids[0]).unwrap();
+        assert_eq!(inst.pricing, crate::billing::Pricing::Spot);
+
+        // Issue the interruption notice: 2 minutes of grace, then gone.
+        let deadline = ec2.preempt_instance(t(600), ids[0]).unwrap();
+        assert_eq!(deadline, t(720));
+        // Still running (and billable) during the notice window...
+        assert!(ec2.describe_instance(ids[0]).unwrap().state.is_usable());
+        // ...but no longer offered as a spot victim.
+        assert_eq!(ec2.spot_instances(), vec![ids[1]]);
+        // Re-preempting under notice returns the same deadline.
+        assert_eq!(ec2.preempt_instance(t(650), ids[0]).unwrap(), deadline);
+
+        ec2.settle(deadline);
+        let inst = ec2.describe_instance(ids[0]).unwrap();
+        assert!(inst.state.is_preempted());
+        assert!(inst.state.is_terminated(), "frees quota");
+        assert_eq!(inst.interruption_at, Some(t(600)));
+
+        // Billing ran to the deadline at the spot rate, then stopped.
+        let cost = ec2
+            .ledger
+            .instance_cost(ids[0], BillingMode::PerSecond, t(7200));
+        let expected = 0.04 * crate::billing::SPOT_DISCOUNT * 720.0 / 3600.0;
+        assert!((cost - expected).abs() < 1e-9, "cost={cost}");
+    }
+
+    #[test]
+    fn on_demand_instances_cannot_be_preempted() {
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 1)
+            .unwrap();
+        ec2.settle(ready);
+        assert!(ec2.spot_instances().is_empty());
+        let err = ec2.preempt_instance(t(100), ids[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            Ec2Error::InvalidState {
+                op: "preempt on-demand",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn disrupt_trait_routes_kinds() {
+        use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
+        let mut ec2 = sim();
+        let (ids, ready) = ec2
+            .run_spot_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 2)
+            .unwrap();
+        ec2.settle(ready);
+        let deadline = ec2
+            .disrupt(t(300), &ids[0], DisruptionKind::Preemption)
+            .unwrap();
+        assert_eq!(deadline, Some(t(420)));
+        assert_eq!(
+            ec2.disrupt(t(300), &ids[1], DisruptionKind::HardwareFailure)
+                .unwrap(),
+            None
+        );
+        assert!(ec2.describe_instance(ids[1]).unwrap().state.is_terminated());
+        // Outage is a network-layer concern: no instance effect.
+        assert_eq!(
+            ec2.disrupt(t(300), &ids[0], DisruptionKind::Outage)
+                .unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -25,6 +25,36 @@ pub enum BillingMode {
     HourlyRoundUp,
 }
 
+/// The purchasing model an instance runs under.
+///
+/// Spot capacity is cheap but interruptible: the provider may reclaim it
+/// with a short notice (see `Ec2Sim::preempt_instance`), at which point
+/// the instance moves to the terminal `Preempted` state and billing
+/// stops. The discount is deliberately coarse — 2012-era spot prices
+/// hovered around a third of on-demand for the instance types the paper
+/// uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pricing {
+    /// Full-price, never-reclaimed capacity.
+    #[default]
+    OnDemand,
+    /// Discounted, preemptible capacity.
+    Spot,
+}
+
+/// Spot price as a fraction of the on-demand price.
+pub const SPOT_DISCOUNT: f64 = 0.3;
+
+impl Pricing {
+    /// Dollars per hour for `instance_type` under this purchasing model.
+    pub fn rate_per_hour(self, instance_type: InstanceType) -> f64 {
+        match self {
+            Pricing::OnDemand => instance_type.price_per_hour(),
+            Pricing::Spot => instance_type.price_per_hour() * SPOT_DISCOUNT,
+        }
+    }
+}
+
 /// One interval of billable usage.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UsageSegment {
@@ -36,6 +66,8 @@ pub struct UsageSegment {
     pub start: SimTime,
     /// Segment end (stop/terminate); `None` while still running.
     pub end: Option<SimTime>,
+    /// The purchasing model in force during this segment.
+    pub pricing: Pricing,
 }
 
 impl UsageSegment {
@@ -58,7 +90,7 @@ impl UsageSegment {
                 }
             }
         };
-        billed_hours * self.instance_type.price_per_hour()
+        billed_hours * self.pricing.rate_per_hour(self.instance_type)
     }
 }
 
@@ -74,8 +106,20 @@ impl BillingLedger {
         BillingLedger::default()
     }
 
-    /// Open a new usage segment (instance launched or restarted).
+    /// Open a new usage segment (instance launched or restarted) at the
+    /// on-demand rate.
     pub fn open(&mut self, instance: InstanceId, instance_type: InstanceType, start: SimTime) {
+        self.open_priced(instance, instance_type, Pricing::OnDemand, start);
+    }
+
+    /// Open a new usage segment under an explicit purchasing model.
+    pub fn open_priced(
+        &mut self,
+        instance: InstanceId,
+        instance_type: InstanceType,
+        pricing: Pricing,
+        start: SimTime,
+    ) {
         debug_assert!(
             !self.has_open_segment(instance),
             "instance {instance} already has an open segment"
@@ -85,6 +129,7 @@ impl BillingLedger {
             instance_type,
             start,
             end: None,
+            pricing,
         });
     }
 
@@ -140,7 +185,8 @@ impl BillingLedger {
                 if seg_end <= seg_start {
                     0.0
                 } else {
-                    seg_end.since(seg_start).as_hours_f64() * s.instance_type.price_per_hour()
+                    seg_end.since(seg_start).as_hours_f64()
+                        * s.pricing.rate_per_hour(s.instance_type)
                 }
             })
             .sum()
@@ -278,6 +324,66 @@ mod tests {
         let as_of = t(60);
         assert!((ledger.instance_cost(iid(1), BillingMode::PerSecond, as_of) - 0.04).abs() < 1e-12);
         assert!((ledger.instance_cost(iid(2), BillingMode::PerSecond, as_of) - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spot_segment_bills_at_the_discounted_rate() {
+        let mut ledger = BillingLedger::new();
+        ledger.open_priced(iid(1), InstanceType::M1Small, Pricing::Spot, t(0));
+        ledger.close(iid(1), t(60));
+        let cost = ledger.total_cost(BillingMode::PerSecond, t(60));
+        assert!((cost - 0.04 * SPOT_DISCOUNT).abs() < 1e-12, "cost={cost}");
+        // window_cost honors the spot rate too.
+        let w = ledger.window_cost(t(0), t(60));
+        assert!((w - 0.04 * SPOT_DISCOUNT).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preempted_mid_hour_stops_accrual_per_second() {
+        // A spot instance preempted 20 minutes into an hour bills exactly
+        // 20 minutes at the spot rate and nothing more afterwards.
+        let mut ledger = BillingLedger::new();
+        ledger.open_priced(iid(1), InstanceType::M1Small, Pricing::Spot, t(0));
+        ledger.close(iid(1), t(20));
+        let at_kill = ledger.total_cost(BillingMode::PerSecond, t(20));
+        let much_later = ledger.total_cost(BillingMode::PerSecond, t(600));
+        assert!((at_kill - 0.04 * SPOT_DISCOUNT * 20.0 / 60.0).abs() < 1e-12);
+        assert_eq!(at_kill, much_later, "no accrual after preemption");
+    }
+
+    #[test]
+    fn preempted_mid_hour_rounds_up_once_under_hourly() {
+        // Under 2012-style hourly billing, a mid-hour kill still bills the
+        // full started hour — once — and never a second hour.
+        let mut ledger = BillingLedger::new();
+        ledger.open_priced(iid(1), InstanceType::M1Large, Pricing::Spot, t(0));
+        ledger.close(iid(1), t(20));
+        let at_kill = ledger.total_cost(BillingMode::HourlyRoundUp, t(20));
+        let much_later = ledger.total_cost(BillingMode::HourlyRoundUp, t(600));
+        assert!((at_kill - 0.16 * SPOT_DISCOUNT).abs() < 1e-12, "one hour");
+        assert_eq!(at_kill, much_later);
+    }
+
+    #[test]
+    fn failed_on_demand_mid_hour_stops_accrual_both_modes() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        ledger.close(iid(1), t(45));
+        let ps = ledger.total_cost(BillingMode::PerSecond, t(500));
+        let hr = ledger.total_cost(BillingMode::HourlyRoundUp, t(500));
+        assert!((ps - 0.04 * 45.0 / 60.0).abs() < 1e-12);
+        assert!((hr - 0.04).abs() < 1e-12, "45 min rounds to one hour");
+    }
+
+    #[test]
+    fn mixed_fleet_costs_sum_per_pricing_model() {
+        let mut ledger = BillingLedger::new();
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        ledger.open_priced(iid(2), InstanceType::M1Small, Pricing::Spot, t(0));
+        ledger.close(iid(1), t(60));
+        ledger.close(iid(2), t(60));
+        let cost = ledger.total_cost(BillingMode::PerSecond, t(60));
+        assert!((cost - 0.04 * (1.0 + SPOT_DISCOUNT)).abs() < 1e-12);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 use cumulus_simkit::time::SimTime;
 
 use crate::ami::AmiId;
+use crate::billing::Pricing;
 use crate::types::InstanceType;
 
 /// Identifier for a launched instance.
@@ -22,6 +23,7 @@ impl fmt::Display for InstanceId {
 /// ```text
 /// run → Pending → Running → Stopping → Stopped → (start) → Pending …
 ///                        ↘ ShuttingDown → Terminated
+///                        ↘ (interruption notice) → Preempted
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InstanceState {
@@ -37,6 +39,11 @@ pub enum InstanceState {
     ShuttingDown,
     /// Gone forever.
     Terminated,
+    /// Reclaimed by the spot market after an interruption notice. Gone
+    /// forever, like `Terminated`, but distinguishable so schedulers can
+    /// account for preemption-driven churn separately from deliberate
+    /// teardown.
+    Preempted,
 }
 
 impl InstanceState {
@@ -45,9 +52,15 @@ impl InstanceState {
         self == InstanceState::Running
     }
 
-    /// Terminal state check.
+    /// Terminal state check (`Terminated` or `Preempted`): the instance
+    /// is gone, frees account quota, and accrues no further cost.
     pub fn is_terminated(self) -> bool {
-        self == InstanceState::Terminated
+        matches!(self, InstanceState::Terminated | InstanceState::Preempted)
+    }
+
+    /// Whether the instance was reclaimed by the spot market.
+    pub fn is_preempted(self) -> bool {
+        self == InstanceState::Preempted
     }
 }
 
@@ -60,6 +73,7 @@ impl fmt::Display for InstanceState {
             InstanceState::Stopped => "stopped",
             InstanceState::ShuttingDown => "shutting-down",
             InstanceState::Terminated => "terminated",
+            InstanceState::Preempted => "preempted",
         };
         f.write_str(s)
     }
@@ -85,6 +99,12 @@ pub struct Instance {
     pub private_host: String,
     /// Simulated public hostname.
     pub public_host: String,
+    /// The purchasing model it was launched under.
+    pub pricing: Pricing,
+    /// When a spot interruption notice was issued, if one ever was. The
+    /// instance keeps running until the notice deadline, then settles to
+    /// [`InstanceState::Preempted`].
+    pub interruption_at: Option<SimTime>,
 }
 
 impl Instance {
@@ -113,6 +133,10 @@ mod tests {
         assert!(!InstanceState::Stopped.is_usable());
         assert!(InstanceState::Terminated.is_terminated());
         assert!(!InstanceState::Running.is_terminated());
+        assert!(InstanceState::Preempted.is_terminated());
+        assert!(InstanceState::Preempted.is_preempted());
+        assert!(!InstanceState::Terminated.is_preempted());
+        assert!(!InstanceState::Preempted.is_usable());
     }
 
     #[test]
@@ -132,6 +156,8 @@ mod tests {
             launched_at: SimTime::ZERO,
             private_host: "ip-10-0-0-1".to_string(),
             public_host: "ec2-1.compute.example".to_string(),
+            pricing: Pricing::OnDemand,
+            interruption_at: None,
         };
         let d = inst.describe();
         assert!(d.contains("c1.medium"));

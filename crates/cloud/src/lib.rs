@@ -21,10 +21,12 @@ pub mod ami;
 pub mod api;
 pub mod billing;
 pub mod instance;
+pub mod spot;
 pub mod types;
 
 pub use ami::{Ami, AmiCatalog, AmiId, GP_PUBLIC_AMI};
 pub use api::{Ec2Config, Ec2Error, Ec2Sim};
-pub use billing::{BillingLedger, BillingMode, UsageSegment};
+pub use billing::{BillingLedger, BillingMode, Pricing, UsageSegment, SPOT_DISCOUNT};
 pub use instance::{Instance, InstanceId, InstanceState};
+pub use spot::{SpotMarket, SpotReclaim};
 pub use types::InstanceType;

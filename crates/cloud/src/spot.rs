@@ -1,0 +1,157 @@
+//! The spot market: a preemption process over spot capacity.
+//!
+//! Real clouds reclaim spot instances when the market moves; from a
+//! tenant's point of view that is a Poisson-ish arrival process of
+//! interruption notices striking arbitrary members of the spot fleet.
+//! [`SpotMarket`] models exactly that: it owns a preemption
+//! [`DisruptionPlan`] (the *when*) and a seeded victim stream (the
+//! *who*), and turns each strike into an [`Ec2Sim::preempt_instance`]
+//! call. The market is plain passive state like every other model in
+//! this crate — a driver schedules the plan's points into its `Sim` and
+//! calls [`SpotMarket::strike`] when they fire.
+
+use cumulus_simkit::disrupt::{Disruptable, DisruptionKind, DisruptionPlan};
+use cumulus_simkit::rng::RngStream;
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use crate::api::Ec2Sim;
+use crate::instance::InstanceId;
+
+/// A reclaim issued by the market: which instance, and when it actually
+/// goes away (end of the interruption-notice window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpotReclaim {
+    /// The instance served the interruption notice.
+    pub instance: InstanceId,
+    /// When the instance settles to `Preempted`.
+    pub deadline: SimTime,
+}
+
+/// A seeded preemption process over an [`Ec2Sim`]'s spot fleet.
+#[derive(Debug)]
+pub struct SpotMarket {
+    plan: DisruptionPlan,
+    victims: RngStream,
+}
+
+impl SpotMarket {
+    /// A market that never reclaims anything.
+    pub fn calm(victims: RngStream) -> Self {
+        SpotMarket {
+            plan: DisruptionPlan::none(),
+            victims,
+        }
+    }
+
+    /// A market whose reclaims arrive as a Poisson process with
+    /// `mean_interval` between strikes over `[0, horizon)`. `events` and
+    /// `victims` must be independent streams (different names) so the
+    /// timeline and the victim choices don't correlate.
+    pub fn poisson(
+        events: &mut RngStream,
+        victims: RngStream,
+        horizon: SimDuration,
+        mean_interval: SimDuration,
+    ) -> Self {
+        SpotMarket {
+            plan: DisruptionPlan::poisson_points(
+                DisruptionKind::Preemption,
+                events,
+                horizon,
+                mean_interval,
+            ),
+            victims,
+        }
+    }
+
+    /// The reclaim timeline (schedule its points into a `Sim` to drive
+    /// the market).
+    pub fn plan(&self) -> &DisruptionPlan {
+        &self.plan
+    }
+
+    /// Deliver one market strike at `now`: pick a uniformly random
+    /// victim among the currently running spot instances (not already
+    /// under notice) and serve it an interruption notice. Returns `None`
+    /// when there is no spot capacity to reclaim — the strike dissipates,
+    /// which is what a market movement does to a tenant holding no spot
+    /// instances.
+    pub fn strike(&mut self, now: SimTime, ec2: &mut Ec2Sim) -> Option<SpotReclaim> {
+        let candidates = ec2.spot_instances();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = self.victims.uniform_int(0, candidates.len() as u64 - 1) as usize;
+        let instance = candidates[pick];
+        let deadline = ec2
+            .disrupt(now, &instance, DisruptionKind::Preemption)
+            .ok()
+            .flatten()?;
+        Some(SpotReclaim { instance, deadline })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ami::GP_PUBLIC_AMI;
+    use crate::api::Ec2Config;
+    use crate::instance::InstanceState;
+    use crate::types::InstanceType;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn strikes_reclaim_only_spot_capacity() {
+        let mut ec2 = Ec2Sim::new(Ec2Config::deterministic(), RngStream::derive(1, "ec2"));
+        let (_od, r1) = ec2
+            .run_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 2)
+            .unwrap();
+        let (spot, r2) = ec2
+            .run_spot_instances(t(0), GP_PUBLIC_AMI, InstanceType::M1Small, 3)
+            .unwrap();
+        ec2.settle(r1.max(r2));
+
+        let mut market = SpotMarket::calm(RngStream::derive(9, "victims"));
+        let mut reclaimed = Vec::new();
+        for i in 0..3 {
+            let r = market.strike(t(600 + i), &mut ec2).expect("spot exists");
+            assert!(spot.contains(&r.instance));
+            assert!(!reclaimed.contains(&r.instance), "no double notice");
+            reclaimed.push(r.instance);
+        }
+        // Fleet exhausted: further strikes dissipate.
+        assert!(market.strike(t(700), &mut ec2).is_none());
+        // After the deadlines pass, all spot capacity is gone, on-demand
+        // capacity untouched.
+        ec2.settle(t(1000));
+        for id in &spot {
+            assert_eq!(
+                ec2.describe_instance(*id).unwrap().state,
+                InstanceState::Preempted
+            );
+        }
+        assert_eq!(ec2.running_instances().len(), 2);
+    }
+
+    #[test]
+    fn poisson_market_is_deterministic_per_seed() {
+        let build = || {
+            let mut events = RngStream::derive(4, "spot-events");
+            SpotMarket::poisson(
+                &mut events,
+                RngStream::derive(4, "spot-victims"),
+                SimDuration::from_secs(12 * 3600),
+                SimDuration::from_secs(3600),
+            )
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.plan().points(), b.plan().points());
+        for d in a.plan().points() {
+            assert_eq!(d.kind, DisruptionKind::Preemption);
+        }
+    }
+}

@@ -831,7 +831,7 @@ mod tests {
         let outputs = affy_classify().behavior.run(&inv).unwrap();
         let rows = match &outputs[0].content {
             cumulus_galaxy::Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         // All 8 samples predicted to match their true group.
         let correct = rows
@@ -854,7 +854,7 @@ mod tests {
         ));
         let rows = match &outputs[1].content {
             cumulus_galaxy::Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         assert_eq!(rows.len(), 30, "leaf order covers the drawn genes");
     }
@@ -865,7 +865,7 @@ mod tests {
         let outputs = affy_pca().behavior.run(&inv).unwrap();
         let rows = match &outputs[0].content {
             cumulus_galaxy::Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         let pc1: Vec<f64> = rows.iter().take(8).map(|r| r[1].parse().unwrap()).collect();
         let g1 = crate::stats::describe::mean(&pc1[..4]);
@@ -881,7 +881,7 @@ mod tests {
         let corr = affy_correlation_matrix().behavior.run(&inv).unwrap();
         let rows = match &corr[0].content {
             cumulus_galaxy::Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         // Diagonal is exactly 1.
         assert_eq!(rows[0][1], "1.0000");
@@ -901,7 +901,7 @@ mod tests {
                 col_names,
                 ..
             } => (row_names.len(), col_names.len()),
-            _ => panic!(),
+            other => panic!("expected Content::Matrix, got {other:?}"),
         };
         assert!(rows < 400, "some probes filtered: {rows}");
         assert!(rows > 0);
@@ -913,7 +913,7 @@ mod tests {
         let outputs = affy_cluster_samples().behavior.run(&inv).unwrap();
         let rows = match &outputs[0].content {
             cumulus_galaxy::Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         assert_eq!(rows.len(), 8);
         // The two groups land in different clusters.
@@ -924,7 +924,7 @@ mod tests {
         let outputs = affy_kmeans_genes().behavior.run(&inv).unwrap();
         let rows = match &outputs[0].content {
             cumulus_galaxy::Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         assert_eq!(rows.len(), 400);
     }
@@ -938,7 +938,7 @@ mod tests {
                 cumulus_galaxy::Content::Svg(svg) => {
                     assert!(svg.contains("<circle"), "{} drew no points", tool.id)
                 }
-                _ => panic!(),
+                other => panic!("expected Content::Svg, got {other:?}"),
             }
         }
     }

@@ -869,7 +869,7 @@ mod tests {
                 .unwrap();
             match &outputs[0].content {
                 Content::Table { rows, .. } => rows.clone(),
-                _ => panic!(),
+                other => panic!("expected Content::Table, got {other:?}"),
             }
         };
         assert_eq!(run("1"), run("1"));
@@ -892,7 +892,7 @@ mod tests {
             Content::Matrix { values, .. } => {
                 assert!((values[0] + values[1]).abs() < 1e-12, "row sums to zero");
             }
-            _ => panic!(),
+            other => panic!("expected Content::Matrix, got {other:?}"),
         }
         let outputs = quantile_normalize_tool()
             .behavior

@@ -611,7 +611,7 @@ mod tests {
             .unwrap();
         let rows = match &outputs[0].content {
             Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         assert_eq!(rows.len(), rs.annotation.len());
         let total: u64 = rows.iter().map(|r| r[1].parse::<u64>().unwrap()).sum();
@@ -630,7 +630,7 @@ mod tests {
             .unwrap();
         let rows = match &outputs[0].content {
             Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         // The planted transcripts dominate the top of the table.
         let top: Vec<&str> = rows[..rs.planted.len()]
@@ -667,7 +667,7 @@ mod tests {
         let cov = sequence_coverage().behavior.run(&invocation).unwrap();
         let rows = match &cov[0].content {
             Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         assert_eq!(rows.len(), rs.annotation.len());
 
@@ -675,7 +675,7 @@ mod tests {
         let stats = sequence_library_stats().behavior.run(&invocation).unwrap();
         let rows = match &stats[0].content {
             Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         assert_eq!(rows[0][0], "total_reads");
         assert_eq!(rows[0][1], rs.library1.len().to_string());
@@ -693,7 +693,7 @@ mod tests {
             .unwrap();
         let rows = match &norm[0].content {
             Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         // CPM columns sum to ~1e6 each.
         let sum1: f64 = rows.iter().map(|r| r[1].parse::<f64>().unwrap()).sum();
@@ -708,7 +708,7 @@ mod tests {
             .unwrap();
         let frows = match &filtered[0].content {
             Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         assert!(frows.len() < rows.len(), "filter dropped something");
         assert!(!frows.is_empty());
@@ -719,7 +719,7 @@ mod tests {
             .unwrap();
         let fc_rows = match &fc[0].content {
             Content::Table { rows, .. } => rows,
-            _ => panic!(),
+            other => panic!("expected Content::Table, got {other:?}"),
         };
         // Planted transcripts (TX0000..) have positive log2FC.
         let planted_fc: f64 = fc_rows.iter().find(|r| r[0] == rs.planted[0]).unwrap()[1]

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
 use crate::classad::Value;
@@ -69,6 +70,9 @@ pub struct CondorPool {
     next_job_id: u64,
     /// Accumulated per-user usage seconds (drives fair-share ordering).
     usage: BTreeMap<String, f64>,
+    /// Running total of evictions across the pool's lifetime (covers
+    /// jobs that have since completed or left the queue).
+    evictions: u64,
 }
 
 impl CondorPool {
@@ -122,6 +126,7 @@ impl CondorPool {
                 job.running_on = None;
                 job.finish_at = None;
                 job.evictions += 1;
+                self.evictions += 1;
                 // Charge the user for the wasted time.
                 if let Some(started) = job.started_at.take() {
                     *self.usage.entry(job.owner.clone()).or_insert(0.0) +=
@@ -209,6 +214,25 @@ impl CondorPool {
             .filter(|j| j.state == JobState::Completed)
             .filter_map(|j| j.started_at.map(|s| s.since(j.submitted_at)))
             .collect()
+    }
+
+    /// Total evictions ever suffered by this pool's jobs — the retry
+    /// volume a preemption-heavy substrate inflicts. Monotone; survives
+    /// job completion.
+    pub fn total_evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of jobs currently in the queue that have been evicted at
+    /// least once (i.e. are on a retry).
+    pub fn retried_jobs(&self) -> usize {
+        self.jobs.values().filter(|j| j.evictions > 0).count()
+    }
+
+    /// The worst per-job retry count in the queue — how badly the
+    /// unluckiest job has been churned.
+    pub fn max_evictions(&self) -> u32 {
+        self.jobs.values().map(|j| j.evictions).max().unwrap_or(0)
     }
 
     /// Latest completion time over all completed jobs, if any.
@@ -474,6 +498,29 @@ impl CondorPool {
     }
 }
 
+/// The pool's hookup to the disruption plane. A preemption or hardware
+/// failure striking a machine removes it abruptly — its running jobs are
+/// requeued (never dropped) with their retry counts bumped, and the
+/// evicted ids are the effect so callers can renegotiate. A network
+/// outage does not kill an execute node: the machine stops accepting new
+/// matches for the window (modeled as draining) but keeps its jobs.
+impl Disruptable for CondorPool {
+    type Target = String;
+    type Effect = Result<Vec<JobId>, PoolError>;
+
+    fn disrupt(&mut self, now: SimTime, target: &String, kind: DisruptionKind) -> Self::Effect {
+        match kind {
+            DisruptionKind::Preemption | DisruptionKind::HardwareFailure => {
+                self.remove_machine(target, now)
+            }
+            DisruptionKind::Outage => {
+                self.drain_machine(target)?;
+                Ok(Vec::new())
+            }
+        }
+    }
+}
+
 /// Convenience duration: time between two negotiation cycles in a real
 /// Condor deployment (the negotiator interval).
 pub const NEGOTIATION_INTERVAL: SimDuration = SimDuration::from_secs(20);
@@ -585,6 +632,59 @@ mod tests {
         assert!(pool.negotiate(t(1)).is_empty());
         pool.settle(t(50));
         assert_eq!(pool.machines().count(), 0, "machine left after drain");
+    }
+
+    #[test]
+    fn preempted_machine_requeues_jobs_which_complete_elsewhere() {
+        // The end-to-end requeue guarantee at the pool level: a disruption
+        // strikes the machine, the in-flight job is requeued (not
+        // dropped), retry counters are visible, and the job eventually
+        // completes on a surviving machine.
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("spot-w")).unwrap();
+        pool.add_machine(small_machine("od-w")).unwrap();
+        let a = pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+        let b = pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+        pool.negotiate(t(0));
+        assert_eq!(pool.running_count(), 2);
+
+        let evicted = pool
+            .disrupt(t(40), &"spot-w".to_string(), DisruptionKind::Preemption)
+            .unwrap();
+        assert_eq!(evicted.len(), 1, "one in-flight job requeued");
+        assert_eq!(pool.total_evictions(), 1);
+        assert_eq!(pool.retried_jobs(), 1);
+        assert_eq!(pool.max_evictions(), 1);
+
+        // The survivor finishes, the evicted job rematches and completes.
+        pool.settle(t(100));
+        pool.negotiate(t(100));
+        pool.settle(t(200));
+        assert_eq!(pool.job(a).unwrap().state, JobState::Completed);
+        assert_eq!(pool.job(b).unwrap().state, JobState::Completed);
+        // Lifetime counter survives completion; per-job counts persist.
+        assert_eq!(pool.total_evictions(), 1);
+        let churned = [a, b]
+            .iter()
+            .map(|id| pool.job(*id).unwrap().evictions)
+            .sum::<u32>();
+        assert_eq!(churned, 1);
+    }
+
+    #[test]
+    fn outage_disruption_drains_instead_of_evicting() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w")).unwrap();
+        let id = pool.submit(Job::new("u", WorkSpec::serial(50.0)), t(0));
+        pool.negotiate(t(0));
+        let evicted = pool
+            .disrupt(t(10), &"w".to_string(), DisruptionKind::Outage)
+            .unwrap();
+        assert!(evicted.is_empty(), "outage keeps the running job");
+        assert_eq!(pool.job(id).unwrap().state, JobState::Running);
+        assert_eq!(pool.total_evictions(), 0);
+        pool.settle(t(50));
+        assert_eq!(pool.job(id).unwrap().state, JobState::Completed);
     }
 
     #[test]

@@ -5,36 +5,33 @@
 //! generates fault timelines that the transfer service reacts to: either a
 //! deterministic schedule of outage windows (for reproducible tests) or a
 //! Poisson process of faults (for Monte-Carlo sweeps).
+//!
+//! Since the disruption-plane refactor this module is a thin adapter over
+//! [`cumulus_simkit::disrupt`]: an [`Outage`] *is* a disruption
+//! [`Window`](cumulus_simkit::disrupt::Window), and [`FaultPlan`] wraps a
+//! [`DisruptionPlan`] restricted to outage windows. The adapter exists so
+//! network-layer callers keep their historical vocabulary (`outages()`,
+//! `next_fault_at()`) while every layer shares one timeline type.
 
+use cumulus_simkit::disrupt::DisruptionPlan;
 use cumulus_simkit::rng::RngStream;
 use cumulus_simkit::time::{SimDuration, SimTime};
 
+pub use cumulus_simkit::disrupt::InvalidWindow;
+
 /// A half-open outage window `[start, end)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Outage {
-    /// When the path goes down.
-    pub start: SimTime,
-    /// When the path comes back.
-    pub end: SimTime,
-}
-
-impl Outage {
-    /// Construct; panics if `end < start`.
-    pub fn new(start: SimTime, end: SimTime) -> Self {
-        assert!(end >= start, "outage ends before it starts");
-        Outage { start, end }
-    }
-
-    /// Whether `t` falls inside the outage.
-    pub fn contains(&self, t: SimTime) -> bool {
-        t >= self.start && t < self.end
-    }
-}
+///
+/// This is the disruption plane's window type under its historical
+/// network-layer name; [`Outage::new`] rejects inverted windows with a
+/// typed [`InvalidWindow`] error instead of panicking.
+pub type Outage = cumulus_simkit::disrupt::Window;
 
 /// A fault plan: a sorted, non-overlapping list of outages.
+///
+/// Thin adapter over [`DisruptionPlan`] (outage windows only).
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    outages: Vec<Outage>,
+    plan: DisruptionPlan,
 }
 
 impl FaultPlan {
@@ -45,20 +42,10 @@ impl FaultPlan {
 
     /// Build from explicit windows. Windows are sorted and merged if they
     /// overlap.
-    pub fn from_windows(mut windows: Vec<Outage>) -> Self {
-        windows.sort_by_key(|o| o.start);
-        let mut merged: Vec<Outage> = Vec::with_capacity(windows.len());
-        for w in windows {
-            match merged.last_mut() {
-                Some(last) if w.start <= last.end => {
-                    if w.end > last.end {
-                        last.end = w.end;
-                    }
-                }
-                _ => merged.push(w),
-            }
+    pub fn from_windows(windows: Vec<Outage>) -> Self {
+        FaultPlan {
+            plan: DisruptionPlan::from_windows(windows),
         }
-        FaultPlan { outages: merged }
     }
 
     /// Draw a random plan over `[0, horizon)`: faults arrive as a Poisson
@@ -70,60 +57,41 @@ impl FaultPlan {
         mean_interval: SimDuration,
         mean_outage: SimDuration,
     ) -> Self {
-        let mut windows = Vec::new();
-        let mut t = 0.0;
-        let horizon_s = horizon.as_secs_f64();
-        loop {
-            t += rng.exponential(mean_interval.as_secs_f64());
-            if t >= horizon_s {
-                break;
-            }
-            let len = rng.exponential(mean_outage.as_secs_f64()).max(0.001);
-            let start = SimTime::ZERO + SimDuration::from_secs_f64(t);
-            let end = start + SimDuration::from_secs_f64(len);
-            windows.push(Outage::new(start, end));
-            t += len;
+        FaultPlan {
+            plan: DisruptionPlan::poisson_outages(rng, horizon, mean_interval, mean_outage),
         }
-        FaultPlan::from_windows(windows)
+    }
+
+    /// View an arbitrary disruption plan as a fault plan (its outage
+    /// windows; point events have no meaning on a network path).
+    pub fn from_plan(plan: DisruptionPlan) -> Self {
+        FaultPlan { plan }
+    }
+
+    /// The underlying disruption-plane timeline.
+    pub fn plan(&self) -> &DisruptionPlan {
+        &self.plan
     }
 
     /// The outage windows, sorted by start time.
     pub fn outages(&self) -> &[Outage] {
-        &self.outages
+        self.plan.windows()
     }
 
     /// Is the path down at `t`?
     pub fn is_down(&self, t: SimTime) -> bool {
-        // Binary search over sorted windows.
-        self.outages
-            .binary_search_by(|o| {
-                if o.contains(t) {
-                    std::cmp::Ordering::Equal
-                } else if o.end <= t {
-                    std::cmp::Ordering::Less
-                } else {
-                    std::cmp::Ordering::Greater
-                }
-            })
-            .is_ok()
+        self.plan.is_down(t)
     }
 
     /// The first fault at or after `t`, if any.
     pub fn next_fault_at(&self, t: SimTime) -> Option<Outage> {
-        self.outages
-            .iter()
-            .find(|o| o.end > t)
-            .copied()
-            .filter(|o| o.start >= t || o.contains(t))
+        self.plan.next_window_at(t)
     }
 
     /// When the path is next usable at or after `t` (i.e. `t` itself when
     /// up, otherwise the end of the covering outage).
     pub fn next_up_at(&self, t: SimTime) -> SimTime {
-        match self.outages.iter().find(|o| o.contains(t)) {
-            Some(o) => o.end,
-            None => t,
-        }
+        self.plan.next_up_at(t)
     }
 }
 
@@ -133,6 +101,10 @@ mod tests {
 
     fn t(s: u64) -> SimTime {
         SimTime::from_micros(s * 1_000_000)
+    }
+
+    fn o(a: SimTime, b: SimTime) -> Outage {
+        Outage::new(a, b).expect("test windows are well-formed")
     }
 
     #[test]
@@ -146,8 +118,7 @@ mod tests {
 
     #[test]
     fn windows_detect_downtime() {
-        let plan =
-            FaultPlan::from_windows(vec![Outage::new(t(10), t(20)), Outage::new(t(40), t(50))]);
+        let plan = FaultPlan::from_windows(vec![o(t(10), t(20)), o(t(40), t(50))]);
         assert!(!plan.is_down(t(9)));
         assert!(plan.is_down(t(10)));
         assert!(plan.is_down(t(19)));
@@ -159,20 +130,16 @@ mod tests {
 
     #[test]
     fn overlapping_windows_merge() {
-        let plan = FaultPlan::from_windows(vec![
-            Outage::new(t(10), t(30)),
-            Outage::new(t(20), t(40)),
-            Outage::new(t(50), t(60)),
-        ]);
+        let plan = FaultPlan::from_windows(vec![o(t(10), t(30)), o(t(20), t(40)), o(t(50), t(60))]);
         assert_eq!(plan.outages().len(), 2);
-        assert_eq!(plan.outages()[0], Outage::new(t(10), t(40)));
+        assert_eq!(plan.outages()[0], o(t(10), t(40)));
     }
 
     #[test]
     fn next_fault_lookup() {
-        let plan = FaultPlan::from_windows(vec![Outage::new(t(10), t(20))]);
-        assert_eq!(plan.next_fault_at(t(0)), Some(Outage::new(t(10), t(20))));
-        assert_eq!(plan.next_fault_at(t(15)), Some(Outage::new(t(10), t(20))));
+        let plan = FaultPlan::from_windows(vec![o(t(10), t(20))]);
+        assert_eq!(plan.next_fault_at(t(0)), Some(o(t(10), t(20))));
+        assert_eq!(plan.next_fault_at(t(15)), Some(o(t(10), t(20))));
         assert_eq!(plan.next_fault_at(t(25)), None);
     }
 
@@ -200,8 +167,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outage ends before it starts")]
-    fn inverted_outage_panics() {
-        let _ = Outage::new(t(10), t(5));
+    fn inverted_outage_is_a_typed_error() {
+        let err = Outage::new(t(10), t(5)).unwrap_err();
+        assert_eq!(err.start, t(10));
+        assert_eq!(err.end, t(5));
+    }
+
+    #[test]
+    fn adapter_exposes_the_underlying_disruption_plan() {
+        let plan = FaultPlan::from_windows(vec![o(t(10), t(20))]);
+        assert_eq!(plan.plan().windows().len(), 1);
+        assert!(plan.plan().points().is_empty());
+        let rebuilt = FaultPlan::from_plan(plan.plan().clone());
+        assert_eq!(rebuilt.outages(), plan.outages());
     }
 }

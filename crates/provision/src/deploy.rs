@@ -234,6 +234,10 @@ pub struct GpCloud {
     seeds: SeedFactory,
     instances: BTreeMap<GpInstanceId, GpInstance>,
     next_instance: u64,
+    /// Worker indices at or above this floor launch on the spot market
+    /// (cheap, preemptible); below it — and for all non-worker hosts —
+    /// capacity is on-demand. `None` (the default) means all on-demand.
+    spot_floor: Option<usize>,
 }
 
 impl GpCloud {
@@ -250,7 +254,20 @@ impl GpCloud {
             seeds,
             instances: BTreeMap::new(),
             next_instance: 0x0215_6188, // the paper's instance id
+            spot_floor: None,
         }
+    }
+
+    /// Set the spot floor: worker indices `>= floor` are provisioned as
+    /// spot instances from now on (existing workers are not retyped).
+    /// `None` reverts to all-on-demand provisioning.
+    pub fn set_spot_worker_floor(&mut self, floor: Option<usize>) {
+        self.spot_floor = floor;
+    }
+
+    /// The current spot floor, if any.
+    pub fn spot_worker_floor(&self) -> Option<usize> {
+        self.spot_floor
     }
 
     /// A world with all stochastic jitter disabled — used for calibration
@@ -329,7 +346,13 @@ impl GpCloud {
         with_crdata: bool,
         not_before: SimTime,
     ) -> Result<(HostRecord, SimTime, SimTime), GpError> {
-        let (ids, boot_done) = self.ec2.run_instances(now, ami, itype, 1)?;
+        let spot = role == Role::CondorWorker
+            && matches!((worker_index, self.spot_floor), (Some(i), Some(f)) if i >= f);
+        let (ids, boot_done) = if spot {
+            self.ec2.run_spot_instances(now, ami, itype, 1)?
+        } else {
+            self.ec2.run_instances(now, ami, itype, 1)?
+        };
         let ec2_id = ids[0];
 
         let preinstalled: Vec<String> = self

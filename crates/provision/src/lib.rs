@@ -14,6 +14,9 @@
 //! * [`reconfigure`] — `gp-instance-update` (add/remove workers, change
 //!   instance types, manage users, add software), plus stop/resume/
 //!   terminate;
+//! * [`repair`] — the involuntary-change side: observe hosts lost to
+//!   hardware failure or spot preemption (requeueing their jobs) and
+//!   relaunch the lost workers in place;
 //! * [`cli`] — the `gp-instance-*` textual command surface from §V.A;
 //! * [`cloudman`] — a deliberately restricted CloudMan-like manager for
 //!   the paper's §VI comparison.
@@ -26,6 +29,7 @@ pub mod deploy;
 pub mod ini;
 pub mod json;
 pub mod reconfigure;
+pub mod repair;
 pub mod scale;
 pub mod topology;
 
@@ -38,4 +42,5 @@ pub use deploy::{
 pub use ini::{IniDoc, IniError};
 pub use json::{Json, JsonError};
 pub use reconfigure::{ReconfigAction, ReconfigReport};
+pub use repair::{LostNode, RepairReport};
 pub use topology::{Topology, TopologyDelta, TopologyError};

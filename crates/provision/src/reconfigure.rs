@@ -136,7 +136,7 @@ impl GpCloud {
     }
 
     /// Launch, converge, and pool-join one new worker.
-    fn add_worker(
+    pub(crate) fn add_worker(
         &mut self,
         now: SimTime,
         id: &GpInstanceId,
@@ -399,8 +399,20 @@ impl GpCloud {
             .map(|h| format!("{id}.{}", h.hostname))
             .collect();
         let inst = self.instance_mut(id)?;
+        // Keep every evicted job: removal requeues them to Idle inside the
+        // pool, so they rematch when the instance resumes. Account for
+        // them instead of silently dropping the eviction list.
+        let mut evicted = Vec::new();
         for name in &machine_names {
-            let _ = inst.pool.remove_machine(name, now);
+            if let Ok(mut jobs) = inst.pool.remove_machine(name, now) {
+                evicted.append(&mut jobs);
+            }
+        }
+        if !evicted.is_empty() {
+            inst.log.push(format!(
+                "Stop evicted {} running job(s); requeued for resume",
+                evicted.len()
+            ));
         }
         let mut stopped_at = now;
         for ec2_id in ec2_ids {

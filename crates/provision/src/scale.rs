@@ -1,7 +1,8 @@
 //! Delta-based worker scaling.
 //!
 //! [`update_instance`](GpCloud::update_instance) morphs a running instance
-//! toward an arbitrary target [`Topology`] — the right primitive for
+//! toward an arbitrary target [`Topology`](crate::Topology) — the right
+//! primitive for
 //! `gp-instance-update` driven by a JSON file, but a clumsy one for a
 //! programmatic controller that only wants "two more workers" or "drop to
 //! three". This module adds that narrower API: incremental worker deltas
@@ -9,7 +10,8 @@
 //! round-tripped through JSON strings.
 //!
 //! Worker removal is positional from the tail (`worker-{n-1}` first), which
-//! matches how [`Topology::diff`] pairs workers and keeps instance naming
+//! matches how [`Topology::diff`](crate::Topology::diff) pairs workers and
+//! keeps instance naming
 //! dense. Removal always drains: a worker with a running job keeps it to
 //! completion before its EC2 instance is terminated.
 

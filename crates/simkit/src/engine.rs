@@ -19,8 +19,8 @@
 //! in two side structures that store only compact `(time, seq, slot, gen)`
 //! index entries, never the handlers themselves:
 //!
-//! * a **bucket ring** — a cyclic array of [`RING_BUCKETS`] one-microsecond
-//!   buckets that absorbs every event scheduled less than [`RING_BUCKETS`] µs
+//! * a **bucket ring** — a cyclic array of `RING_BUCKETS` one-microsecond
+//!   buckets that absorbs every event scheduled less than `RING_BUCKETS` µs
 //!   ahead of the clock in O(1) (the dominant pattern: recurring controller
 //!   ticks, service-completion chains, back-to-back `schedule_now` work);
 //! * a **far heap** — a binary min-heap of the same 24-byte entries for

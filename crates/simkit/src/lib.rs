@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod disrupt;
 pub mod engine;
 pub mod metrics;
 pub mod rng;
@@ -51,6 +52,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use disrupt::{Disruptable, Disruption, DisruptionKind, DisruptionPlan, InvalidWindow, Window};
 pub use engine::{EventId, RunOutcome, Sim};
 pub use metrics::Metrics;
 pub use rng::{RngStream, SeedFactory};
@@ -61,6 +63,9 @@ pub use trace::{TraceLog, TraceRecord};
 
 /// Convenient glob-import of the types nearly every model needs.
 pub mod prelude {
+    pub use crate::disrupt::{
+        Disruptable, Disruption, DisruptionKind, DisruptionPlan, InvalidWindow, Window,
+    };
     pub use crate::engine::{EventId, RunOutcome, Sim};
     pub use crate::metrics::Metrics;
     pub use crate::rng::{RngStream, SeedFactory};

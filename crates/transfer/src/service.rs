@@ -640,7 +640,7 @@ mod tests {
         f.service.set_fault_plan(
             "boliu#laptop",
             "cvrg#galaxy",
-            FaultPlan::from_windows(vec![Outage::new(t(60), t(90))]),
+            FaultPlan::from_windows(vec![Outage::new(t(60), t(90)).unwrap()]),
         );
         let id = f
             .service
@@ -669,7 +669,7 @@ mod tests {
         f.service.set_fault_plan(
             "boliu#laptop",
             "cvrg#galaxy",
-            FaultPlan::from_windows(vec![Outage::new(t(100), t(130))]),
+            FaultPlan::from_windows(vec![Outage::new(t(100), t(130)).unwrap()]),
         );
         let req = request(DataSize::from_mb(100)).with_protocol(Protocol::Ftp);
         let id = f.service.submit(t(0), &f.network, req).unwrap();
@@ -704,7 +704,7 @@ mod tests {
         let mut f = fixture();
         // A wall of back-to-back outages defeats even 10 retries.
         let windows: Vec<Outage> = (0..40)
-            .map(|i| Outage::new(t(i * 20), t(i * 20 + 19)))
+            .map(|i| Outage::new(t(i * 20), t(i * 20 + 19)).unwrap())
             .collect();
         f.service.set_fault_plan(
             "boliu#laptop",
@@ -727,7 +727,7 @@ mod tests {
             "cvrg#galaxy",
             FaultPlan::from_windows(
                 (0..40)
-                    .map(|i| Outage::new(t(i * 20), t(i * 20 + 19)))
+                    .map(|i| Outage::new(t(i * 20), t(i * 20 + 19)).unwrap())
                     .collect(),
             ),
         );

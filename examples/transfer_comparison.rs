@@ -66,7 +66,8 @@ fn main() {
     let outage = Outage::new(
         SimTime::ZERO + SimDuration::from_secs(60),
         SimTime::ZERO + SimDuration::from_secs(120),
-    );
+    )
+    .expect("well-formed outage window");
     service.set_fault_plan(
         "boliu#laptop",
         "cvrg#galaxy",

@@ -82,6 +82,7 @@ fn transfer_faults_retry_to_success_with_restart_markers() {
                 start + SimDuration::from_secs(20 + i * 120),
                 start + SimDuration::from_secs(50 + i * 120),
             )
+            .unwrap()
         })
         .collect();
     s.world.transfer.set_fault_plan(
@@ -162,6 +163,7 @@ fn chronic_faults_fail_the_task_after_retries() {
                 start + SimDuration::from_secs(5 + i * 40),
                 start + SimDuration::from_secs(35 + i * 40),
             )
+            .unwrap()
         })
         .collect();
     s.world.transfer.set_fault_plan(
