@@ -24,7 +24,7 @@ use cumulus_simkit::metrics::Metrics;
 use cumulus_simkit::runner::{run_replicas, ReplicaPlan};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
-use crate::policy::ScalingPolicy;
+use crate::policy::{ActuationFeedback, ScalingPolicy};
 use crate::signal::{percentile, SignalSample, SignalWindow};
 use crate::workload::Workload;
 
@@ -262,6 +262,12 @@ impl AutoScaler {
             let done = report.done_at(now);
             self.in_flight_until = Some(done);
             self.metrics.incr(keys::SCALE_OUT, 1);
+            self.policy.observe_actuation(&ActuationFeedback {
+                at: now,
+                from: workers,
+                to: desired,
+                done_at: done,
+            });
             Decision {
                 at: now,
                 sample,
@@ -293,6 +299,12 @@ impl AutoScaler {
                 let done = report.done_at(now);
                 self.in_flight_until = Some(done);
                 self.metrics.incr(keys::SCALE_IN, 1);
+                self.policy.observe_actuation(&ActuationFeedback {
+                    at: now,
+                    from: workers,
+                    to,
+                    done_at: done,
+                });
                 Decision {
                     at: now,
                     sample,
@@ -324,6 +336,70 @@ impl AutoScaler {
 // ---------------------------------------------------------------------
 // Episode driver
 // ---------------------------------------------------------------------
+
+/// Simulation worlds that own a [`GpCloud`] — the seam the episode
+/// drivers share so deferred-join scheduling lives in exactly one place.
+pub(crate) trait CloudHost {
+    /// The cloud the episode runs against.
+    fn cloud_mut(&mut self) -> &mut GpCloud;
+}
+
+/// Hold the freshly-launched `worker-{idx}` machines out of the pool and
+/// schedule their joins at `done` (provisioning-complete time).
+///
+/// The worker's instance type is re-read from the topology **at join
+/// time**, not captured at scale-out time: the slot may be scaled away
+/// and re-launched as a different type while the join event is in
+/// flight, and a machine built from the stale type would disagree with
+/// `topology.workers[idx]` on compute units and memory.
+pub(crate) fn defer_worker_joins<W: CloudHost + 'static>(
+    sim: &mut Sim<W>,
+    id: &GpInstanceId,
+    from: usize,
+    to: usize,
+    done: SimTime,
+) {
+    for idx in from..to {
+        defer_worker_join(sim, id, idx, done);
+    }
+}
+
+/// Hold `worker-{idx}`'s machine out of the pool and schedule its join at
+/// `done` — one slot of [`defer_worker_joins`], also used by the spot
+/// repair path where replacement slots are not a contiguous range.
+pub(crate) fn defer_worker_join<W: CloudHost + 'static>(
+    sim: &mut Sim<W>,
+    id: &GpInstanceId,
+    idx: usize,
+    done: SimTime,
+) {
+    let machine_name = format!("{id}.worker-{idx}");
+    if let Ok(inst) = sim.world.cloud_mut().instance_mut(id) {
+        let _ = inst.pool.drain_machine(&machine_name);
+    }
+    let jid = id.clone();
+    sim.schedule_at(done, move |sim| {
+        let now = sim.now();
+        let Ok(inst) = sim.world.cloud_mut().instance_mut(&jid) else {
+            return;
+        };
+        // The worker may have been scaled away again meanwhile; if it
+        // was re-launched, its current type is authoritative.
+        let Some(wtype) = inst.topology.workers.get(idx).copied() else {
+            return;
+        };
+        let machine = cumulus_htc::Machine::new(
+            &format!("{jid}.worker-{idx}"),
+            wtype.compute_units(),
+            (wtype.memory_gb() * 1024.0) as i64,
+            1,
+        );
+        let _ = inst.pool.add_machine(machine);
+        if let Ok(inst) = sim.world.cloud_mut().instance_mut(&jid) {
+            inst.pool.negotiate(now);
+        }
+    });
+}
 
 /// Everything measured over one workload episode.
 #[derive(Debug, Clone)]
@@ -358,6 +434,12 @@ struct EpisodeWorld {
     total_jobs: usize,
     submitted: usize,
     end_at: Option<SimTime>,
+}
+
+impl CloudHost for EpisodeWorld {
+    fn cloud_mut(&mut self) -> &mut GpCloud {
+        &mut self.cloud
+    }
 }
 
 /// Deploy a single-node Galaxy instance, run `workload` through it under
@@ -433,37 +515,7 @@ pub fn run_episode(
         // must happen before the queue is renegotiated below — otherwise
         // jobs match onto machines that are still provisioning.
         if let (Action::ScaleOut { from, to }, Some(done)) = (&decision.action, decision.done_at) {
-            for idx in *from..*to {
-                let machine_name = format!("{tid}.worker-{idx}");
-                let wtype = {
-                    let w = &mut sim.world;
-                    let inst = w.cloud.instance_mut(&tid).expect("instance exists");
-                    let _ = inst.pool.drain_machine(&machine_name);
-                    inst.topology.workers[idx]
-                };
-                let jid = tid.clone();
-                sim.schedule_at(done, move |sim| {
-                    let w = &mut sim.world;
-                    let Ok(inst) = w.cloud.instance_mut(&jid) else {
-                        return;
-                    };
-                    // The worker may have been scaled away again meanwhile.
-                    if inst.topology.workers.len() <= idx {
-                        return;
-                    }
-                    let machine = cumulus_htc::Machine::new(
-                        &format!("{jid}.worker-{idx}"),
-                        wtype.compute_units(),
-                        (wtype.memory_gb() * 1024.0) as i64,
-                        1,
-                    );
-                    let _ = inst.pool.add_machine(machine);
-                    let now = sim.now();
-                    if let Ok(inst) = sim.world.cloud.instance_mut(&jid) {
-                        inst.pool.negotiate(now);
-                    }
-                });
-            }
+            defer_worker_joins(sim, &tid, *from, *to, done);
         }
 
         // Match queued jobs onto whatever capacity is actually online.
@@ -635,6 +687,52 @@ mod tests {
     }
 
     #[test]
+    fn drain_blocked_scale_in_retries_next_tick_not_after_cooldown() {
+        // Regression: Hysteresis used to stamp `last_scale_in` the moment
+        // it *surfaced* a lower target, but the controller may then hold
+        // with DrainBlocked (busy tail worker). The phantom cooldown
+        // deferred the retry for the full scale_in_cooldown (10 min
+        // default) even after the tail went idle. With cooldowns stamped
+        // from actuation feedback, the retry lands on the very next tick.
+        let (mut cloud, id, ready) = running_single(105);
+        cloud
+            .scale_workers(ready, &id, 2, InstanceType::C1Medium)
+            .unwrap();
+        let t0 = ready + SimDuration::from_mins(20);
+        // Pin a SHORT job to the tail worker: busy at t0, done before the
+        // next tick.
+        {
+            let inst = cloud.instance_mut(&id).unwrap();
+            let machine = format!("{id}.worker-1");
+            inst.pool.submit(
+                Job::new("u", WorkSpec::serial(30.0))
+                    .requirements(&format!("Machine == \"{machine}\"")),
+                t0,
+            );
+            inst.pool.negotiate(t0);
+        }
+        // Default config: 10 min scale-in cooldown, 60 s tick.
+        let policy = Hysteresis::new(Fixed(0), HysteresisConfig::default());
+        let mut scaler = AutoScaler::new(Box::new(policy), ControllerConfig::default());
+
+        let d0 = scaler.tick(t0, &mut cloud, &id).unwrap();
+        assert_eq!(d0.action, Action::Hold(HoldReason::DrainBlocked));
+        assert_eq!(cloud.worker_count(&id).unwrap(), 2);
+
+        // One tick later the pinned job has finished and the tail is idle.
+        let t1 = t0 + ControllerConfig::default().tick;
+        cloud.instance_mut(&id).unwrap().pool.settle(t1);
+        let d1 = scaler.tick(t1, &mut cloud, &id).unwrap();
+        assert_eq!(
+            d1.action,
+            Action::ScaleIn { from: 2, to: 0 },
+            "blocked scale-in must retry on the next tick, not after the \
+             10-minute phantom cooldown"
+        );
+        assert_eq!(cloud.worker_count(&id).unwrap(), 0);
+    }
+
+    #[test]
     fn scale_in_releases_only_the_idle_tail() {
         let (mut cloud, id, ready) = running_single(103);
         cloud
@@ -660,6 +758,74 @@ mod tests {
         let job = cloud.instance(&id).unwrap().pool.job(jid).unwrap();
         assert_eq!(job.state, JobState::Running, "running job untouched");
         assert_eq!(job.evictions, 0);
+    }
+
+    #[test]
+    fn deferred_join_reads_worker_type_at_join_time() {
+        // Regression: the join event used to rebuild the machine from the
+        // worker type captured at scale-out time. If the slot is scaled
+        // away and re-launched as a *different* type before the join
+        // fires, the joining machine's resources must match the current
+        // topology, not the stale capture.
+        struct World {
+            cloud: GpCloud,
+        }
+        impl CloudHost for World {
+            fn cloud_mut(&mut self) -> &mut GpCloud {
+                &mut self.cloud
+            }
+        }
+        let mut cloud = GpCloud::deterministic(106);
+        let id = cloud.create_instance(Topology::single_node(InstanceType::M1Small));
+        let ready = cloud.start_instance(SimTime::ZERO, &id).unwrap().ready_at;
+        let mut sim = Sim::new(World { cloud });
+        sim.fast_forward(ready);
+
+        // Scale out to one c1.medium; hold its join until provisioning
+        // lands, exactly as the episode driver does.
+        let report = sim
+            .world
+            .cloud
+            .scale_workers(ready, &id, 1, InstanceType::C1Medium)
+            .unwrap();
+        let join_at = report.done_at(ready);
+        assert!(join_at > ready);
+        defer_worker_joins(&mut sim, &id, 0, 1, join_at);
+
+        // Before the join fires: shrink the slot away, then regrow it as
+        // an m1.small.
+        let churn_at = ready + SimDuration::from_secs(30);
+        assert!(churn_at < join_at, "churn must land mid-provisioning");
+        let cid = id.clone();
+        sim.schedule_at(churn_at, move |sim| {
+            let now = sim.now();
+            sim.world
+                .cloud
+                .scale_workers(now, &cid, 0, InstanceType::C1Medium)
+                .unwrap();
+            let report = sim
+                .world
+                .cloud
+                .scale_workers(now, &cid, 1, InstanceType::M1Small)
+                .unwrap();
+            let done = report.done_at(now);
+            defer_worker_joins(sim, &cid, 0, 1, done);
+        });
+
+        sim.run_to_completion();
+
+        let inst = sim.world.cloud.instance(&id).unwrap();
+        assert_eq!(inst.topology.workers, vec![InstanceType::M1Small]);
+        let machine = inst
+            .pool
+            .machine(&format!("{id}.worker-0"))
+            .expect("the worker joined the pool");
+        assert_eq!(
+            machine.compute_units_per_slot(),
+            InstanceType::M1Small.compute_units(),
+            "joined machine must carry the re-launched type's resources, \
+             not the scaled-away type's"
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   [`Scheduled`], plus the [`OneShot`] open-loop and [`Fixed`] static
 //!   baselines) composable under a [`Hysteresis`] wrapper with bounds and
 //!   directional cooldowns;
+//! * [`forecast`] — online demand forecasting (Holt level/trend EWMA
+//!   with an optional phase-of-period seasonal table) and the
+//!   [`Predictive`] policy, which provisions for the forecasted backlog
+//!   at `now + lead`, the lead learned from actuation feedback;
 //! * [`controller`] — the [`AutoScaler`] tick loop: in-flight
 //!   reconfiguration tracking (no double-scaling), drain-before-remove
 //!   scale-in protection, and a deterministic [`ActivityLog`] audit
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod forecast;
 pub mod policy;
 pub mod signal;
 pub mod spot;
@@ -52,9 +57,10 @@ pub use controller::{
     run_episode, run_sweep, Action, ActivityLog, AutoScaler, ControllerConfig, Decision,
     EpisodeReport, HoldReason,
 };
+pub use forecast::{ForecastConfig, Forecaster, Predictive, PredictiveConfig, SeasonalConfig};
 pub use policy::{
-    Fixed, Hysteresis, HysteresisConfig, OneShot, QueueStep, ScalingPolicy, Scheduled,
-    TargetTracking,
+    ActuationFeedback, Fixed, Hysteresis, HysteresisConfig, OneShot, QueueStep, ScalingPolicy,
+    Scheduled, TargetTracking,
 };
 pub use signal::{percentile, SignalSample, SignalWindow};
 pub use spot::{
@@ -68,9 +74,12 @@ pub mod prelude {
         run_episode, run_sweep, Action, ActivityLog, AutoScaler, ControllerConfig, Decision,
         EpisodeReport, HoldReason,
     };
+    pub use crate::forecast::{
+        ForecastConfig, Forecaster, Predictive, PredictiveConfig, SeasonalConfig,
+    };
     pub use crate::policy::{
-        Fixed, Hysteresis, HysteresisConfig, OneShot, QueueStep, ScalingPolicy, Scheduled,
-        TargetTracking,
+        ActuationFeedback, Fixed, Hysteresis, HysteresisConfig, OneShot, QueueStep, ScalingPolicy,
+        Scheduled, TargetTracking,
     };
     pub use crate::signal::{percentile, SignalSample, SignalWindow};
     pub use crate::spot::{

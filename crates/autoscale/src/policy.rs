@@ -19,6 +19,44 @@ use cumulus_simkit::time::{SimDuration, SimTime};
 
 use crate::signal::SignalWindow;
 
+/// What the controller actually did with a recommendation: reported back
+/// to the policy via [`ScalingPolicy::observe_actuation`] after a scale
+/// action is issued to the cloud.
+///
+/// Recommendation and actuation are not the same thing — a surfaced
+/// scale-in can be held by the drain rule (busy tail worker), and a
+/// policy that keys state off its own recommendations would start
+/// phantom cooldowns for actions that never happened. Feedback closes
+/// that gap, and `done_at` additionally tells the policy how long the
+/// actuation takes to land (the provisioning lead a predictive policy
+/// wants to learn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActuationFeedback {
+    /// When the action was issued (the decision tick).
+    pub at: SimTime,
+    /// Workers before the action.
+    pub from: usize,
+    /// Workers after the action (may differ from the recommendation when
+    /// a scale-in stops at the first busy tail worker).
+    pub to: usize,
+    /// When the reconfiguration completes (boot + converge for
+    /// scale-outs; drain + terminate for scale-ins).
+    pub done_at: SimTime,
+}
+
+impl ActuationFeedback {
+    /// Whether the action added workers.
+    pub fn is_scale_out(&self) -> bool {
+        self.to > self.from
+    }
+
+    /// Decision-to-ready latency — the provisioning lead time the fleet
+    /// pays on this actuation.
+    pub fn lead(&self) -> SimDuration {
+        self.done_at.since(self.at)
+    }
+}
+
 /// A worker-count recommendation engine. Implementations may keep state
 /// (cooldowns, one-shot latches), hence `&mut self`.
 pub trait ScalingPolicy {
@@ -28,6 +66,14 @@ pub trait ScalingPolicy {
     /// Desired worker count given the observed signal window. The window
     /// always holds at least one sample when the controller calls this.
     fn desired_workers(&mut self, window: &SignalWindow) -> usize;
+
+    /// Called by the controller after it issues a scale action to the
+    /// cloud. Never called for held ticks, so state keyed off this hook
+    /// (cooldown clocks, lead-time estimates) tracks what the cluster
+    /// *did*, not what the policy asked for. Default: ignore.
+    fn observe_actuation(&mut self, feedback: &ActuationFeedback) {
+        let _ = feedback;
+    }
 }
 
 /// Keep `jobs_per_worker` jobs (queued + running) per worker: desired is
@@ -252,9 +298,12 @@ impl Default for HysteresisConfig {
 /// While a cooldown is active, the wrapper reports the *current* worker
 /// count (no change) rather than the inner recommendation, so the
 /// controller sees a steady state instead of a thrashing one. Cooldown
-/// clocks start when a changed recommendation is surfaced; the controller
-/// only consults the policy when it is free to act, so a surfaced change
-/// is an actuated one.
+/// clocks start from **actuation feedback**
+/// ([`observe_actuation`][ScalingPolicy::observe_actuation]), not when a
+/// changed recommendation is surfaced: a surfaced scale-in can still be
+/// held by the controller's drain rule (busy tail worker), and stamping
+/// at recommendation time would start a phantom cooldown that defers the
+/// retry for the full cooldown even after the tail goes idle.
 #[derive(Debug, Clone)]
 pub struct Hysteresis<P> {
     inner: P,
@@ -297,17 +346,24 @@ impl<P: ScalingPolicy> ScalingPolicy for Hysteresis<P> {
             if Self::cooling(self.last_scale_out, now, self.config.scale_out_cooldown) {
                 return current;
             }
-            self.last_scale_out = Some(now);
             clamped
         } else if clamped < current {
             if Self::cooling(self.last_scale_in, now, self.config.scale_in_cooldown) {
                 return current;
             }
-            self.last_scale_in = Some(now);
             clamped
         } else {
             clamped
         }
+    }
+
+    fn observe_actuation(&mut self, feedback: &ActuationFeedback) {
+        if feedback.is_scale_out() {
+            self.last_scale_out = Some(feedback.at);
+        } else {
+            self.last_scale_in = Some(feedback.at);
+        }
+        self.inner.observe_actuation(feedback);
     }
 }
 
@@ -419,19 +475,59 @@ mod tests {
             scale_in_cooldown: SimDuration::from_secs(1000),
         };
         let mut p = Hysteresis::new(QueueStep::new(1), cfg);
+        // Replays what the controller does after actuating a change.
+        let fed = |p: &mut Hysteresis<QueueStep>, at_secs: u64, from: usize, to: usize| {
+            p.observe_actuation(&ActuationFeedback {
+                at: t(at_secs),
+                from,
+                to,
+                done_at: t(at_secs + 30),
+            });
+        };
         // First scale-out goes through and starts the out-cooldown.
         assert_eq!(p.desired_workers(&window_with(0, 4, 0, 0, 0.0)), 4);
+        fed(&mut p, 0, 0, 4);
         // 50 s later a bigger queue is held by the out-cooldown.
         assert_eq!(p.desired_workers(&window_with(50, 8, 0, 4, 1.0)), 4);
         // 150 s later the out-cooldown expired.
         assert_eq!(p.desired_workers(&window_with(150, 8, 0, 4, 1.0)), 8);
+        fed(&mut p, 150, 4, 8);
         // Queue empties at 300 s: scale-in allowed (first one) …
         assert_eq!(p.desired_workers(&window_with(300, 0, 0, 8, 0.0)), 0);
+        fed(&mut p, 300, 8, 0);
         // … but if workers linger, a repeat scale-in inside 1000 s is held.
         assert_eq!(p.desired_workers(&window_with(500, 0, 0, 8, 0.0)), 8);
         // A scale-out during the in-cooldown is still allowed (clamped to
         // the max bound).
         assert_eq!(p.desired_workers(&window_with(600, 12, 0, 8, 1.0)), 10);
+    }
+
+    #[test]
+    fn unactuated_scale_in_does_not_start_a_cooldown() {
+        // The phantom-cooldown bug: the controller surfaces a scale-in but
+        // the drain rule blocks it (busy tail). No feedback arrives, so
+        // the wrapper must keep recommending the scale-in on every
+        // subsequent tick rather than silently holding for the cooldown.
+        let cfg = HysteresisConfig {
+            min_workers: 0,
+            max_workers: 8,
+            scale_out_cooldown: SimDuration::from_secs(100),
+            scale_in_cooldown: SimDuration::from_secs(600),
+        };
+        let mut p = Hysteresis::new(QueueStep::new(1), cfg);
+        // Tick at t=0: wants 0 of 2 — surfaced, but (drain-)blocked, so no
+        // feedback is delivered.
+        assert_eq!(p.desired_workers(&window_with(0, 0, 0, 2, 0.0)), 0);
+        // Next tick, well inside the 600 s cooldown: still recommends it.
+        assert_eq!(p.desired_workers(&window_with(60, 0, 0, 2, 0.0)), 0);
+        // Once actuation feedback lands, the cooldown clock starts.
+        p.observe_actuation(&ActuationFeedback {
+            at: t(60),
+            from: 2,
+            to: 0,
+            done_at: t(90),
+        });
+        assert_eq!(p.desired_workers(&window_with(120, 0, 0, 1, 0.0)), 1);
     }
 
     #[test]

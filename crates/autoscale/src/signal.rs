@@ -11,15 +11,24 @@ use std::collections::VecDeque;
 use cumulus_htc::CondorPool;
 use cumulus_simkit::time::SimTime;
 
-/// Nearest-rank percentile of an unsorted sample set. `q` is in `[0, 1]`.
-/// Empty input reports 0 (there is nothing waiting).
+/// Nearest-rank percentile of an unsorted sample set. `q` is in `[0, 1]`
+/// (clamped; a NaN `q` reads as the minimum). Empty input reports 0
+/// (there is nothing waiting).
+///
+/// Total on any input: NaN samples are filtered out rather than poisoning
+/// the sort — simulated wait durations flow through arithmetic a bad
+/// `WorkSpec` can turn into NaN, and a monitoring-path helper must not
+/// take the controller down over one bad sample. All-NaN input reports 0
+/// like empty input.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input must not be NaN"));
-    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    debug_assert!((1..=sorted.len()).contains(&rank), "rank out of range");
     sorted[rank - 1]
 }
 

@@ -37,7 +37,10 @@ use cumulus_simkit::rng::RngStream;
 use cumulus_simkit::runner::{run_replicas, ReplicaPlan};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
-use crate::controller::{Action, AutoScaler, ControllerConfig, EpisodeReport};
+use crate::controller::{
+    defer_worker_join, defer_worker_joins, Action, AutoScaler, CloudHost, ControllerConfig,
+    EpisodeReport,
+};
 use crate::policy::ScalingPolicy;
 use crate::signal::percentile;
 use crate::workload::Workload;
@@ -108,6 +111,10 @@ impl<P: ScalingPolicy> ScalingPolicy for SpotMix<P> {
     fn desired_workers(&mut self, window: &crate::signal::SignalWindow) -> usize {
         self.inner.desired_workers(window)
     }
+
+    fn observe_actuation(&mut self, feedback: &crate::policy::ActuationFeedback) {
+        self.inner.observe_actuation(feedback);
+    }
 }
 
 /// Parameters for a spot episode beyond the plain controller config.
@@ -160,6 +167,12 @@ struct SpotEpisodeWorld {
     end_at: Option<SimTime>,
     preemptions: usize,
     requeued_jobs: usize,
+}
+
+impl CloudHost for SpotEpisodeWorld {
+    fn cloud_mut(&mut self) -> &mut GpCloud {
+        &mut self.cloud
+    }
 }
 
 /// Deploy a single-node Galaxy instance and run `workload` through it
@@ -255,7 +268,7 @@ pub fn run_spot_episode<P: ScalingPolicy + 'static>(
         let rid = mid.clone();
         sim.schedule_at(reclaim.deadline, move |sim| {
             let now = sim.now();
-            let joins: Vec<(usize, InstanceType, SimTime)> = {
+            let joins: Vec<(usize, SimTime)> = {
                 let w = &mut sim.world;
                 if w.end_at.is_some() {
                     return;
@@ -267,25 +280,10 @@ pub fn run_spot_episode<P: ScalingPolicy + 'static>(
                 w.requeued_jobs += report.requeued().len();
                 let mut joins = Vec::new();
                 if let Some(ready_at) = report.repaired_at {
-                    let topo = w
-                        .cloud
-                        .instance(&rid)
-                        .map(|i| i.topology.workers.clone())
-                        .unwrap_or_default();
                     for lost in &report.lost {
-                        let Some(idx) = lost.worker_index else {
-                            continue;
-                        };
-                        let Some(wtype) = topo.get(idx).copied() else {
-                            continue;
-                        };
-                        // repair added the replacement's pool machine
-                        // eagerly; hold it out until provisioning lands.
-                        let machine = format!("{rid}.worker-{idx}");
-                        if let Ok(inst) = w.cloud.instance_mut(&rid) {
-                            let _ = inst.pool.drain_machine(&machine);
+                        if let Some(idx) = lost.worker_index {
+                            joins.push((idx, ready_at));
                         }
-                        joins.push((idx, wtype, ready_at));
                     }
                 }
                 // Requeued jobs rematch onto whatever capacity survives.
@@ -294,28 +292,10 @@ pub fn run_spot_episode<P: ScalingPolicy + 'static>(
                 }
                 joins
             };
-            for (idx, wtype, ready_at) in joins {
-                let jid = rid.clone();
-                sim.schedule_at(ready_at, move |sim| {
-                    let w = &mut sim.world;
-                    let Ok(inst) = w.cloud.instance_mut(&jid) else {
-                        return;
-                    };
-                    if inst.topology.workers.len() <= idx {
-                        return;
-                    }
-                    let machine = cumulus_htc::Machine::new(
-                        &format!("{jid}.worker-{idx}"),
-                        wtype.compute_units(),
-                        (wtype.memory_gb() * 1024.0) as i64,
-                        1,
-                    );
-                    let _ = inst.pool.add_machine(machine);
-                    let now = sim.now();
-                    if let Ok(inst) = sim.world.cloud.instance_mut(&jid) {
-                        inst.pool.negotiate(now);
-                    }
-                });
+            // repair added each replacement's pool machine eagerly; hold
+            // it out until its provisioning lands.
+            for (idx, ready_at) in joins {
+                defer_worker_join(sim, &rid, idx, ready_at);
             }
         });
     });
@@ -336,36 +316,7 @@ pub fn run_spot_episode<P: ScalingPolicy + 'static>(
         };
 
         if let (Action::ScaleOut { from, to }, Some(done)) = (&decision.action, decision.done_at) {
-            for idx in *from..*to {
-                let machine_name = format!("{tid}.worker-{idx}");
-                let wtype = {
-                    let w = &mut sim.world;
-                    let inst = w.cloud.instance_mut(&tid).expect("instance exists");
-                    let _ = inst.pool.drain_machine(&machine_name);
-                    inst.topology.workers[idx]
-                };
-                let jid = tid.clone();
-                sim.schedule_at(done, move |sim| {
-                    let w = &mut sim.world;
-                    let Ok(inst) = w.cloud.instance_mut(&jid) else {
-                        return;
-                    };
-                    if inst.topology.workers.len() <= idx {
-                        return;
-                    }
-                    let machine = cumulus_htc::Machine::new(
-                        &format!("{jid}.worker-{idx}"),
-                        wtype.compute_units(),
-                        (wtype.memory_gb() * 1024.0) as i64,
-                        1,
-                    );
-                    let _ = inst.pool.add_machine(machine);
-                    let now = sim.now();
-                    if let Ok(inst) = sim.world.cloud.instance_mut(&jid) {
-                        inst.pool.negotiate(now);
-                    }
-                });
-            }
+            defer_worker_joins(sim, &tid, *from, *to, done);
         }
 
         let w = &mut sim.world;

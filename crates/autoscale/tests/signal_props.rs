@@ -1,0 +1,125 @@
+//! Property-style tests of the `percentile` helper: whatever sample set
+//! it is fed — NaN-poisoned, infinite, duplicated, unsorted — it must be
+//! total (never panic) and agree with the textbook sorted-rank reference
+//! on the non-NaN values. Cases come from deterministic seeded streams
+//! (the offline build ships no proptest), in the style of
+//! `crates/net/tests/fault_props.rs`.
+
+use cumulus_autoscale::percentile;
+use cumulus_simkit::rng::RngStream;
+
+const CASES: u64 = 128;
+
+/// A random sample list: mixed magnitudes, duplicates, negatives, and —
+/// with some probability per element — NaN or an infinity. This is the
+/// shape a `SignalSample` wait list takes when a bad `WorkSpec` poisons
+/// the simulated durations.
+fn gen_values(rng: &mut RngStream) -> Vec<f64> {
+    (0..rng.uniform_int(0, 24))
+        .map(|_| match rng.uniform_int(0, 9) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -rng.uniform_range(0.0, 100.0),
+            _ => rng.uniform_range(0.0, 10_000.0),
+        })
+        .collect()
+}
+
+/// The reference: sort the non-NaN values ascending, take the
+/// nearest-rank element `ceil(q·n)` (1-based), 0 for an empty list.
+fn reference(values: &[f64], q: f64) -> f64 {
+    let mut clean: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if clean.is_empty() {
+        return 0.0;
+    }
+    clean.sort_by(|a, b| a.total_cmp(b));
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+    let rank = ((q * clean.len() as f64).ceil() as usize).clamp(1, clean.len());
+    clean[rank - 1]
+}
+
+#[test]
+fn percentile_matches_the_sorted_rank_reference_on_any_input() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "signal-prop/reference");
+        let values = gen_values(&mut rng);
+        for _ in 0..8 {
+            let q = match rng.uniform_int(0, 5) {
+                0 => 0.0,
+                1 => 1.0,
+                2 => f64::NAN,
+                3 => rng.uniform_range(-0.5, 1.5),
+                _ => rng.uniform(),
+            };
+            let got = percentile(&values, q);
+            let want = reference(&values, q);
+            assert!(
+                got == want || (got.is_nan() && want.is_nan()),
+                "case {case}: percentile({values:?}, {q}) = {got}, reference = {want}"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentile_is_total_and_never_nan_on_poisoned_input() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "signal-prop/total");
+        let values = gen_values(&mut rng);
+        let q = rng.uniform();
+        // Must not panic, and NaN samples must never leak into the result
+        // (infinities may — they are ordered, real values).
+        let got = percentile(&values, q);
+        assert!(!got.is_nan(), "case {case}: NaN leaked from {values:?}");
+    }
+}
+
+#[test]
+fn nan_samples_are_ignored_not_propagated() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "signal-prop/filter");
+        let clean: Vec<f64> = (0..rng.uniform_int(1, 16))
+            .map(|_| rng.uniform_range(0.0, 1_000.0))
+            .collect();
+        // Splice NaNs into random positions; the percentile of the
+        // poisoned list must equal the percentile of the clean one.
+        let mut poisoned = clean.clone();
+        for _ in 0..rng.uniform_int(1, 6) {
+            let at = rng.uniform_int(0, poisoned.len() as u64) as usize;
+            poisoned.insert(at, f64::NAN);
+        }
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(
+                percentile(&poisoned, q),
+                percentile(&clean, q),
+                "case {case}: NaN splice changed the percentile at q={q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn percentile_is_monotone_in_q() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "signal-prop/monotone");
+        let values = gen_values(&mut rng);
+        let mut qs: Vec<f64> = (0..10).map(|_| rng.uniform()).collect();
+        qs.sort_by(|a, b| a.total_cmp(b));
+        let picks: Vec<f64> = qs.iter().map(|&q| percentile(&values, q)).collect();
+        for pair in picks.windows(2) {
+            assert!(
+                pair[0] <= pair[1] || pair.iter().any(|v| v.is_nan()),
+                "case {case}: percentile not monotone in q: {picks:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_nan_input_reports_zero_like_empty() {
+    assert_eq!(percentile(&[], 0.5), 0.0);
+    assert_eq!(percentile(&[f64::NAN], 0.5), 0.0);
+    assert_eq!(percentile(&[f64::NAN, f64::NAN], 0.95), 0.0);
+}

@@ -11,6 +11,7 @@
 //! | E9 | extensions (streams, faults, autoscaling, policy sweep) | `extensions` |
 //! | E10 | spot-fleet preemption grid | `spot_grid` |
 //! | E11 | AMI-baking deployment ablation | `ami_ablation` (its printed table keeps the historical "E10" label) |
+//! | E12 | predictive vs reactive scaling grid | `predictive_grid` |
 //!
 //! `cargo run --release -p cumulus-bench --bin all_experiments` prints the
 //! full report recorded in EXPERIMENTS.md; every binary accepts
@@ -26,6 +27,7 @@ pub mod experiments {
     pub mod extensions;
     pub mod fig10;
     pub mod fig11;
+    pub mod predictive;
     pub mod reconfig;
     pub mod spot;
     pub mod usecase;

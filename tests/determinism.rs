@@ -119,6 +119,61 @@ fn scaling_logs_survive_the_parallel_replica_runner() {
     assert_eq!(sequential, parallel);
 }
 
+/// One predictive-policy episode reduced to its rendered activity log.
+/// The forecaster (Holt level/trend + seasonal table) and the learned
+/// lead both feed every decision, so any nondeterminism in the forecast
+/// path would fingerprint here.
+fn predictive_activity_log(seed: u64) -> String {
+    use cumulus::autoscale::{
+        run_episode, ControllerConfig, ForecastConfig, Predictive, PredictiveConfig,
+        SeasonalConfig, Workload,
+    };
+    use cumulus::htc::WorkSpec;
+
+    let work = WorkSpec {
+        serial_secs: 60.0,
+        cu_work: 240.0,
+    };
+    let trace = Workload::diurnal(
+        "diurnal",
+        seed,
+        2.0,
+        40.0,
+        SimDuration::from_hours(2),
+        SimDuration::from_hours(4),
+        work,
+    )
+    .with_initial_burst(4, work);
+    let policy = Predictive::new(PredictiveConfig {
+        forecast: ForecastConfig {
+            seasonal: Some(SeasonalConfig::quarter_hourly(SimDuration::from_hours(2))),
+            ..ForecastConfig::default()
+        },
+        ..PredictiveConfig::default()
+    });
+    let report = run_episode(seed, Box::new(policy), ControllerConfig::default(), &trace);
+    report.log.render()
+}
+
+#[test]
+fn identical_seeds_give_byte_identical_predictive_logs() {
+    let a = predictive_activity_log(23);
+    let b = predictive_activity_log(23);
+    assert_eq!(a, b, "same seed must replay the same predictive decisions");
+    assert!(a.contains("scale-out"), "episode never scaled:\n{a}");
+    let c = predictive_activity_log(24);
+    assert_ne!(a, c, "different seeds produced identical predictive logs");
+}
+
+#[test]
+fn predictive_logs_survive_the_parallel_replica_runner() {
+    let work =
+        |i: usize, _seeds: cumulus::simkit::SeedFactory| predictive_activity_log(40 + i as u64);
+    let sequential = run_replicas(ReplicaPlan::new(11, 4).with_threads(1), work);
+    let parallel = run_replicas(ReplicaPlan::new(11, 4).with_threads(4), work);
+    assert_eq!(sequential, parallel);
+}
+
 #[test]
 fn metrics_merge_is_order_independent_for_counters() {
     let a = Metrics::new();
