@@ -23,6 +23,7 @@ use cumulus_simkit::engine::Sim;
 use cumulus_simkit::metrics::Metrics;
 use cumulus_simkit::runner::{run_replicas, ReplicaPlan};
 use cumulus_simkit::time::{SimDuration, SimTime};
+use cumulus_store::CacheFleet;
 
 use crate::policy::{ActuationFeedback, ScalingPolicy};
 use crate::signal::{percentile, SignalSample, SignalWindow};
@@ -40,6 +41,9 @@ pub mod keys {
     pub const HOLD_IN_FLIGHT: &str = "autoscale/hold_in_flight";
     /// Counter: scale-ins blocked because the tail worker was busy.
     pub const HOLD_DRAIN: &str = "autoscale/hold_drain_blocked";
+    /// Counter: scale-ins deferred because the removable tail was cache-warm
+    /// while a colder worker would be retained.
+    pub const HOLD_CACHE: &str = "autoscale/hold_cache_warm";
     /// Gauge: workers after the most recent tick.
     pub const WORKERS: &str = "autoscale/workers";
 }
@@ -53,6 +57,10 @@ pub enum HoldReason {
     NoChange,
     /// Scale-in wanted, but every removable (tail) worker is busy.
     DrainBlocked,
+    /// Scale-in deferred: the removable tail holds cached data while a
+    /// colder worker would survive (bounded by
+    /// [`ControllerConfig::max_cache_holds`]).
+    CacheWarm,
 }
 
 /// What a control tick did.
@@ -99,6 +107,7 @@ impl Decision {
             Action::Hold(HoldReason::InFlight) => "hold (reconfig in flight)".to_string(),
             Action::Hold(HoldReason::NoChange) => "hold".to_string(),
             Action::Hold(HoldReason::DrainBlocked) => "hold (drain blocked)".to_string(),
+            Action::Hold(HoldReason::CacheWarm) => "hold (cache warm)".to_string(),
             Action::ScaleOut { from, to } => format!("scale-out {from}->{to}"),
             Action::ScaleIn { from, to } => format!("scale-in {from}->{to}"),
         };
@@ -176,6 +185,14 @@ pub struct ControllerConfig {
     pub window: usize,
     /// Instance type for workers the controller launches.
     pub worker_type: InstanceType,
+    /// The data plane's cache fleet, when the deployment runs worker
+    /// caches. `None` (the default) disables cache-aware scale-in
+    /// entirely, leaving decisions byte-identical to a store-less build.
+    pub cache_fleet: Option<CacheFleet>,
+    /// Consecutive cache-warm holds tolerated before a scale-in proceeds
+    /// anyway (removal is positional, so the tail cannot cool off
+    /// forever; this bounds the cost deferral).
+    pub max_cache_holds: u32,
 }
 
 impl Default for ControllerConfig {
@@ -184,6 +201,8 @@ impl Default for ControllerConfig {
             tick: SimDuration::from_secs(60),
             window: 5,
             worker_type: InstanceType::C1Medium,
+            cache_fleet: None,
+            max_cache_holds: 3,
         }
     }
 }
@@ -195,6 +214,8 @@ pub struct AutoScaler {
     pub config: ControllerConfig,
     window: SignalWindow,
     in_flight_until: Option<SimTime>,
+    /// Consecutive cache-warm holds since the last actuation.
+    cache_holds: u32,
     /// Audit trail of every decision taken.
     pub log: ActivityLog,
     /// Counters and gauges (see [`keys`]).
@@ -210,6 +231,7 @@ impl AutoScaler {
             config,
             window,
             in_flight_until: None,
+            cache_holds: 0,
             log: ActivityLog::default(),
             metrics: Metrics::new(),
         }
@@ -294,11 +316,34 @@ impl AutoScaler {
                     action: Action::Hold(HoldReason::DrainBlocked),
                     done_at: None,
                 }
+            } else if self.cache_warm_hold(id, to, workers) {
+                // Rule 3 (data plane only): removal is positional, so a
+                // cache-warm tail would be evicted while a colder worker
+                // survives. Hold a bounded number of ticks to let the
+                // warmth drain (jobs rank toward warm workers, so the
+                // tail going un-matched usually means it is cooling off).
+                self.cache_holds += 1;
+                self.metrics.incr(keys::HOLD_CACHE, 1);
+                Decision {
+                    at: now,
+                    sample,
+                    desired,
+                    action: Action::Hold(HoldReason::CacheWarm),
+                    done_at: None,
+                }
             } else {
                 let report = cloud.scale_workers(now, id, to, self.config.worker_type)?;
                 let done = report.done_at(now);
                 self.in_flight_until = Some(done);
                 self.metrics.incr(keys::SCALE_IN, 1);
+                self.cache_holds = 0;
+                if let Some(fleet) = &self.config.cache_fleet {
+                    // The released workers' instance storage is gone with
+                    // them — their caches must not satisfy later lookups.
+                    for idx in to..workers {
+                        fleet.drop_worker(&format!("{id}.worker-{idx}"));
+                    }
+                }
                 self.policy.observe_actuation(&ActuationFeedback {
                     at: now,
                     from: workers,
@@ -325,6 +370,29 @@ impl AutoScaler {
         let after = cloud.instance(id)?.topology.workers.len();
         self.metrics.set_gauge(keys::WORKERS, after as f64);
         Ok(self.record(decision))
+    }
+
+    /// Whether releasing workers `to..workers` should be deferred for
+    /// cache warmth: some removed worker holds cached bytes while a
+    /// strictly colder one would be retained, and the consecutive-hold
+    /// budget is not exhausted. Without a fleet this is always `false`.
+    fn cache_warm_hold(&self, id: &GpInstanceId, to: usize, workers: usize) -> bool {
+        let Some(fleet) = &self.config.cache_fleet else {
+            return false;
+        };
+        if self.cache_holds >= self.config.max_cache_holds {
+            return false;
+        }
+        let bytes = |idx: usize| fleet.cached_bytes(&format!("{id}.worker-{idx}"));
+        let Some(min_removed) = (to..workers).map(bytes).min() else {
+            return false;
+        };
+        if min_removed.is_zero() {
+            // At least one removed worker is stone cold; the positional
+            // truncation is not obviously wrong, so let it proceed.
+            return false;
+        }
+        (0..to).any(|idx| bytes(idx) < min_removed)
     }
 
     fn record(&mut self, decision: Decision) -> Decision {
@@ -730,6 +798,81 @@ mod tests {
              10-minute phantom cooldown"
         );
         assert_eq!(cloud.worker_count(&id).unwrap(), 0);
+    }
+
+    #[test]
+    fn cache_warm_tail_defers_scale_in_then_proceeds() {
+        use cumulus_store::{ContentId, DataSize};
+
+        let (mut cloud, id, ready) = running_single(107);
+        cloud
+            .scale_workers(ready, &id, 2, InstanceType::C1Medium)
+            .unwrap();
+        // worker-1 (the removable tail) is warm; worker-0 is cold.
+        let fleet = CacheFleet::default();
+        fleet.insert(
+            &format!("{id}.worker-1"),
+            ContentId(7),
+            DataSize::from_mb(200),
+        );
+        let config = ControllerConfig {
+            cache_fleet: Some(fleet.clone()),
+            max_cache_holds: 2,
+            ..ControllerConfig::default()
+        };
+        let mut scaler = AutoScaler::new(Box::new(Fixed(1)), config);
+
+        let mut at = ready + SimDuration::from_mins(20);
+        for _ in 0..2 {
+            let d = scaler.tick(at, &mut cloud, &id).unwrap();
+            assert_eq!(d.action, Action::Hold(HoldReason::CacheWarm));
+            assert_eq!(cloud.worker_count(&id).unwrap(), 2);
+            at += SimDuration::from_secs(60);
+        }
+        assert_eq!(scaler.metrics.counter(keys::HOLD_CACHE), 2);
+
+        // Hold budget exhausted: the scale-in proceeds and the released
+        // worker's cache is invalidated with it.
+        let d = scaler.tick(at, &mut cloud, &id).unwrap();
+        assert_eq!(d.action, Action::ScaleIn { from: 2, to: 1 });
+        assert_eq!(cloud.worker_count(&id).unwrap(), 1);
+        assert_eq!(
+            fleet.cached_bytes(&format!("{id}.worker-1")),
+            DataSize::ZERO,
+            "released worker's cache must be dropped"
+        );
+    }
+
+    #[test]
+    fn cache_cold_tail_scales_in_immediately() {
+        use cumulus_store::{ContentId, DataSize};
+
+        let (mut cloud, id, ready) = running_single(108);
+        cloud
+            .scale_workers(ready, &id, 2, InstanceType::C1Medium)
+            .unwrap();
+        // The RETAINED worker is the warm one — truncating the cold tail
+        // is exactly right and must not be deferred.
+        let fleet = CacheFleet::default();
+        fleet.insert(
+            &format!("{id}.worker-0"),
+            ContentId(7),
+            DataSize::from_mb(200),
+        );
+        let config = ControllerConfig {
+            cache_fleet: Some(fleet.clone()),
+            ..ControllerConfig::default()
+        };
+        let mut scaler = AutoScaler::new(Box::new(Fixed(1)), config);
+        let d = scaler
+            .tick(ready + SimDuration::from_mins(20), &mut cloud, &id)
+            .unwrap();
+        assert_eq!(d.action, Action::ScaleIn { from: 2, to: 1 });
+        assert_eq!(scaler.metrics.counter(keys::HOLD_CACHE), 0);
+        assert!(
+            !fleet.cached_bytes(&format!("{id}.worker-0")).is_zero(),
+            "survivor keeps its cache"
+        );
     }
 
     #[test]

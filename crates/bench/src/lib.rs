@@ -12,6 +12,7 @@
 //! | E10 | spot-fleet preemption grid | `spot_grid` |
 //! | E11 | AMI-baking deployment ablation | `ami_ablation` (its printed table keeps the historical "E10" label) |
 //! | E12 | predictive vs reactive scaling grid | `predictive_grid` |
+//! | E13 | data-sharing options grid | `datashare_grid` |
 //!
 //! `cargo run --release -p cumulus-bench --bin all_experiments` prints the
 //! full report recorded in EXPERIMENTS.md; every binary accepts
@@ -24,6 +25,7 @@ pub mod experiments {
     //! Experiment implementations, one module per paper artifact.
     pub mod ami;
     pub mod cloudman;
+    pub mod datashare;
     pub mod extensions;
     pub mod fig10;
     pub mod fig11;

@@ -9,6 +9,7 @@
 
 use cumulus_net::DataSize;
 use cumulus_simkit::time::SimTime;
+use cumulus_store::{ContentHasher, ContentId};
 
 /// Identifier for a dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -106,6 +107,74 @@ impl Content {
             _ => None,
         }
     }
+
+    /// The content-addressed identity of this content: a digest over a
+    /// canonical serialization (discriminant byte, length-prefixed
+    /// fields, floats by bit pattern). Equal contents share an id no
+    /// matter which history or upload produced them — the key the data
+    /// plane's caches and object store deduplicate on.
+    ///
+    /// [`Content::Opaque`] carries no bytes, so all opaque contents share
+    /// one id; callers with only-transferred data should fold in an
+    /// external discriminator (see [`Dataset::content_id`]).
+    pub fn content_id(&self) -> ContentId {
+        let mut h = ContentHasher::new();
+        match self {
+            Content::Text(s) => {
+                h.write(&[0]);
+                h.write_str(s);
+            }
+            Content::Table { columns, rows } => {
+                h.write(&[1]);
+                h.write_u64(columns.len() as u64);
+                for c in columns {
+                    h.write_str(c);
+                }
+                h.write_u64(rows.len() as u64);
+                for row in rows {
+                    h.write_u64(row.len() as u64);
+                    for cell in row {
+                        h.write_str(cell);
+                    }
+                }
+            }
+            Content::Svg(s) => {
+                h.write(&[2]);
+                h.write_str(s);
+            }
+            Content::Archive { members } => {
+                h.write(&[3]);
+                h.write_u64(members.len() as u64);
+                for (name, bytes) in members {
+                    h.write_str(name);
+                    h.write_u64(*bytes);
+                }
+            }
+            Content::Matrix {
+                row_names,
+                col_names,
+                values,
+            } => {
+                h.write(&[4]);
+                h.write_u64(row_names.len() as u64);
+                for r in row_names {
+                    h.write_str(r);
+                }
+                h.write_u64(col_names.len() as u64);
+                for c in col_names {
+                    h.write_str(c);
+                }
+                h.write_u64(values.len() as u64);
+                for v in values {
+                    h.write_f64(*v);
+                }
+            }
+            Content::Opaque => {
+                h.write(&[5]);
+            }
+        }
+        h.finish()
+    }
 }
 
 /// A dataset in a history.
@@ -132,6 +201,23 @@ pub struct Dataset {
 }
 
 impl Dataset {
+    /// The dataset's content id. Parsed contents hash their bytes via
+    /// [`Content::content_id`]; [`Content::Opaque`] contents (transferred,
+    /// never parsed) fold in the declared size and name so two different
+    /// uploads don't alias in the data plane's caches.
+    pub fn content_id(&self) -> ContentId {
+        match &self.content {
+            Content::Opaque => {
+                let mut h = ContentHasher::new();
+                h.write(&[5]);
+                h.write_u64(self.size.as_bytes());
+                h.write_str(&self.name);
+                h.finish()
+            }
+            c => c.content_id(),
+        }
+    }
+
     /// One-line history-panel entry.
     pub fn history_line(&self) -> String {
         let state = match self.state {
@@ -150,6 +236,48 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn content_ids_key_on_content_not_provenance() {
+        let a = Content::Text("hello".to_string());
+        let b = Content::Text("hello".to_string());
+        assert_eq!(a.content_id(), b.content_id());
+        assert_ne!(a.content_id(), Content::Text("world".into()).content_id());
+        // Same serialized bytes under different variants must not alias.
+        assert_ne!(
+            Content::Text("x".into()).content_id(),
+            Content::Svg("x".into()).content_id()
+        );
+        let m1 = Content::Matrix {
+            row_names: vec!["g1".into()],
+            col_names: vec!["s1".into()],
+            values: vec![1.5],
+        };
+        let m2 = Content::Matrix {
+            row_names: vec!["g1".into()],
+            col_names: vec!["s1".into()],
+            values: vec![1.5000001],
+        };
+        assert_ne!(m1.content_id(), m2.content_id());
+    }
+
+    #[test]
+    fn opaque_datasets_fold_in_size_and_name() {
+        let mk = |name: &str, bytes: u64| Dataset {
+            id: DatasetId(1),
+            hid: 1,
+            name: name.to_string(),
+            dtype: "zip".to_string(),
+            size: DataSize::from_bytes(bytes),
+            state: DatasetState::Ok,
+            content: Content::Opaque,
+            created_at: SimTime::ZERO,
+            produced_by: None,
+        };
+        assert_eq!(mk("a.zip", 10).content_id(), mk("a.zip", 10).content_id());
+        assert_ne!(mk("a.zip", 10).content_id(), mk("a.zip", 11).content_id());
+        assert_ne!(mk("a.zip", 10).content_id(), mk("b.zip", 10).content_id());
+    }
 
     #[test]
     fn natural_sizes() {

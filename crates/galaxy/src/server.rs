@@ -13,7 +13,9 @@
 
 use std::collections::BTreeMap;
 
-use cumulus_htc::{CondorPool, Job as CondorJob, JobId as CondorJobId};
+use cumulus_htc::{
+    CondorPool, Job as CondorJob, JobId as CondorJobId, Value as AdValue, JOB_INPUT_CIDS_ATTR,
+};
 use cumulus_net::{DataSize, Network, NodeId};
 use cumulus_simkit::time::SimTime;
 use cumulus_transfer::{
@@ -484,8 +486,10 @@ impl GalaxyServer {
         let tool = self.registry.tool(tool_id)?.clone();
         let resolved = tool.resolve_params(params)?;
 
-        // Gather dataset inputs.
+        // Gather dataset inputs (and their content ids, for data-aware
+        // matchmaking — the set is sorted so the ad is deterministic).
         let mut inputs: BTreeMap<String, DatasetId> = BTreeMap::new();
+        let mut input_cids: std::collections::BTreeSet<String> = Default::default();
         let mut input_size = DataSize::ZERO;
         for spec in &tool.params {
             if spec.kind == ParamKind::DatasetInput {
@@ -501,6 +505,7 @@ impl GalaxyServer {
                         return Err(GalaxyError::DatasetNotReady(ds_id));
                     }
                     input_size += ds.size;
+                    input_cids.insert(ds.content_id().hex());
                     inputs.insert(spec.name.clone(), ds_id);
                 }
             }
@@ -525,9 +530,16 @@ impl GalaxyServer {
             outputs.push(id);
         }
 
-        // Dispatch to Condor.
+        // Dispatch to Condor. The job ad advertises its input content ids
+        // so cache-warm workers outrank cold ones; pools without cache
+        // advertisements score the attribute as zero and match as before.
         let work = tool.cost.work(input_size);
-        let condor_id = pool.submit(CondorJob::new(username, work), now);
+        let mut condor_job = CondorJob::new(username, work);
+        if !input_cids.is_empty() {
+            let joined = input_cids.iter().cloned().collect::<Vec<_>>().join(",");
+            condor_job = condor_job.attr(JOB_INPUT_CIDS_ATTR, AdValue::Str(joined));
+        }
+        let condor_id = pool.submit(condor_job, now);
         self.condor_to_galaxy.insert(condor_id, job_id);
 
         self.jobs.insert(

@@ -30,4 +30,7 @@ pub use dag::{DagError, DagRun, NodeStatus};
 pub use driver::{drive_pool, DriveReport};
 pub use job::{Job, JobBuilder, JobId, JobState, WorkSpec};
 pub use machine::{Machine, MachineName};
-pub use pool::{CondorPool, Match, PoolError, NEGOTIATION_INTERVAL};
+pub use pool::{
+    CondorPool, Match, PoolError, CACHE_AFFINITY_BONUS, JOB_INPUT_CIDS_ATTR,
+    MACHINE_CACHE_CIDS_ATTR, NEGOTIATION_INTERVAL,
+};

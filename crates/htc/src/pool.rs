@@ -7,14 +7,46 @@
 //! (the paper's `gp-instance-update` adding a c1.medium node) and leave via
 //! draining, which is what makes the Galaxy cluster elastic.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
-use crate::classad::Value;
+use crate::classad::{ClassAd, Value};
 use crate::job::{Job, JobBuilder, JobId, JobState};
 use crate::machine::{Machine, MachineName};
+
+/// Job-ad attribute listing the job's input content ids as comma-joined
+/// 16-hex-digit strings (data-aware scheduling; unset = no affinity).
+pub const JOB_INPUT_CIDS_ATTR: &str = "InputCids";
+
+/// Machine-ad attribute listing the contents of the worker's data cache
+/// in the same format. Refreshed by the data plane after staging.
+pub const MACHINE_CACHE_CIDS_ATTR: &str = "CacheCids";
+
+/// Rank bonus per cached input. Large enough to dominate the default
+/// `ComputeUnits` rank (single digits), so a cache-warm slow node beats a
+/// cache-cold fast one; explicit user rank expressions can still swamp it.
+pub const CACHE_AFFINITY_BONUS: f64 = 1000.0;
+
+/// The data-affinity term added to a job's rank for a machine: the bonus
+/// times the number of the job's inputs already in the machine's cache.
+/// Zero whenever either side leaves its attribute unset, so pools that
+/// never advertise content ids negotiate exactly as before.
+fn cache_affinity(machine_ad: &ClassAd, job_ad: &ClassAd) -> f64 {
+    let Value::Str(inputs) = job_ad.get(JOB_INPUT_CIDS_ATTR) else {
+        return 0.0;
+    };
+    let Value::Str(cached) = machine_ad.get(MACHINE_CACHE_CIDS_ATTR) else {
+        return 0.0;
+    };
+    if inputs.is_empty() || cached.is_empty() {
+        return 0.0;
+    }
+    let cached: BTreeSet<&str> = cached.split(',').collect();
+    let overlap = inputs.split(',').filter(|c| cached.contains(c)).count();
+    CACHE_AFFINITY_BONUS * overlap as f64
+}
 
 /// Errors from pool operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +57,8 @@ pub enum PoolError {
     UnknownMachine(String),
     /// A machine with this name already exists.
     DuplicateMachine(String),
+    /// The job exists but is not currently running.
+    NotRunning(JobId),
     /// The queue failed to drain within the cycle budget: either idle jobs
     /// are unmatchable (no capacity) or the budget was too small.
     NotDrained {
@@ -41,6 +75,7 @@ impl std::fmt::Display for PoolError {
             PoolError::UnknownJob(j) => write!(f, "unknown job {j}"),
             PoolError::UnknownMachine(m) => write!(f, "unknown machine {m:?}"),
             PoolError::DuplicateMachine(m) => write!(f, "machine {m:?} already in pool"),
+            PoolError::NotRunning(j) => write!(f, "job {j} is not running"),
             PoolError::NotDrained { idle, running } => write!(
                 f,
                 "queue failed to drain: {idle} idle / {running} running job(s) remain"
@@ -155,6 +190,12 @@ impl CondorPool {
     /// Look up a machine by name.
     pub fn machine(&self, name: &str) -> Option<&Machine> {
         self.machines.get(&MachineName(name.to_string()))
+    }
+
+    /// Mutable lookup — lets the data plane refresh a machine's
+    /// advertisement (e.g. its cache-contents attribute) between cycles.
+    pub fn machine_mut(&mut self, name: &str) -> Option<&mut Machine> {
+        self.machines.get_mut(&MachineName(name.to_string()))
     }
 
     /// Whether the named machine has a job executing right now. Unknown
@@ -311,6 +352,20 @@ impl CondorPool {
         Ok(())
     }
 
+    /// Push a running job's completion out by `extra` — how stage-in time
+    /// is charged: the match is made first (so the cycle's matches are
+    /// known), then each matched job is extended by its staging plan.
+    /// Returns the new finish time.
+    pub fn extend_job(&mut self, id: JobId, extra: SimDuration) -> Result<SimTime, PoolError> {
+        let job = self.jobs.get_mut(&id).ok_or(PoolError::UnknownJob(id))?;
+        if job.state != JobState::Running {
+            return Err(PoolError::NotRunning(id));
+        }
+        let finish = job.finish_at.expect("running job has a finish time") + extra;
+        job.finish_at = Some(finish);
+        Ok(finish)
+    }
+
     // ----- matchmaking --------------------------------------------------
 
     /// Run one negotiation cycle at `now`; returns the matches made.
@@ -358,7 +413,7 @@ impl CondorPool {
                     if !job.requirements.eval_bool(&m.ad, &job.ad) {
                         continue;
                     }
-                    let score = job.rank.eval_rank(&m.ad, &job.ad);
+                    let score = job.rank.eval_rank(&m.ad, &job.ad) + cache_affinity(&m.ad, &job.ad);
                     let better = match &best {
                         None => true,
                         Some((s, name)) => score > *s || (score == *s && m.name < *name),
@@ -805,6 +860,64 @@ mod tests {
         // With a machine it succeeds like the untyped variant.
         pool.add_machine(small_machine("w")).unwrap();
         assert_eq!(pool.try_run_until_drained(t(0), 100), Ok(t(20)));
+    }
+
+    #[test]
+    fn cache_affinity_prefers_warm_machine_only_when_advertised() {
+        let mut pool = CondorPool::new();
+        // "fast" would win on the default ComputeUnits rank.
+        pool.add_machine(Machine::new("fast", 2.2, 1700, 1))
+            .unwrap();
+        let mut warm = Machine::new("warm", 1.0, 1700, 1);
+        warm.ad.set(
+            MACHINE_CACHE_CIDS_ATTR,
+            Value::Str("00000000000000aa,00000000000000bb".into()),
+        );
+        pool.add_machine(warm).unwrap();
+
+        // Without InputCids the job still lands on the fast machine.
+        pool.submit(Job::new("u", WorkSpec::serial(10.0)), t(0));
+        let m = pool.negotiate(t(0));
+        assert_eq!(m[0].machine.0, "fast");
+        pool.settle(t(10));
+
+        // With a matching input cid the warm machine wins despite being
+        // slower; a non-overlapping cid changes nothing.
+        pool.submit(
+            Job::new("u", WorkSpec::serial(10.0))
+                .attr(JOB_INPUT_CIDS_ATTR, Value::Str("00000000000000bb".into())),
+            t(10),
+        );
+        pool.submit(
+            Job::new("u", WorkSpec::serial(10.0))
+                .attr(JOB_INPUT_CIDS_ATTR, Value::Str("00000000000000cc".into())),
+            t(10),
+        );
+        let m = pool.negotiate(t(10));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].machine.0, "warm", "overlap pulls the job over");
+        assert_eq!(m[1].machine.0, "fast", "no overlap, default rank rules");
+    }
+
+    #[test]
+    fn extend_job_pushes_finish_time() {
+        let mut pool = CondorPool::new();
+        pool.add_machine(small_machine("w")).unwrap();
+        let id = pool.submit(Job::new("u", WorkSpec::serial(60.0)), t(0));
+        assert_eq!(
+            pool.extend_job(id, SimDuration::from_secs(5)),
+            Err(PoolError::NotRunning(id)),
+            "idle jobs cannot be extended"
+        );
+        pool.negotiate(t(0));
+        let finish = pool.extend_job(id, SimDuration::from_secs(15)).unwrap();
+        assert_eq!(finish, t(75));
+        assert!(pool.settle(t(60)).is_empty(), "not done at the old time");
+        assert_eq!(pool.settle(t(75)), vec![id]);
+        assert_eq!(
+            pool.extend_job(JobId(99), SimDuration::ZERO),
+            Err(PoolError::UnknownJob(JobId(99)))
+        );
     }
 
     #[test]

@@ -9,9 +9,18 @@
 
 use std::collections::BTreeSet;
 
+use cumulus_simkit::metrics::Metrics;
 use cumulus_simkit::time::SimDuration;
 
 use crate::tree::{FsError, Tree};
+
+/// Metrics keys the server records.
+pub mod keys {
+    /// Counter: bytes staged through the export.
+    pub const BYTES_STAGED: &str = "nfs.bytes_staged";
+    /// Counter: stage operations served.
+    pub const STAGE_OPS: &str = "nfs.stage_ops";
+}
 
 /// A shared filesystem exported by one server node.
 #[derive(Debug, Clone)]
@@ -24,6 +33,8 @@ pub struct SharedFs {
     mounts: BTreeSet<String>,
     /// Streams currently active (for the contention model).
     active_streams: u32,
+    /// Observable counters.
+    metrics: Metrics,
 }
 
 impl SharedFs {
@@ -40,12 +51,27 @@ impl SharedFs {
             bandwidth_mbps,
             mounts: BTreeSet::new(),
             active_streams: 0,
+            metrics: Metrics::new(),
         }
+    }
+
+    /// Route counters to a shared registry.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Mount the export from `host`. Idempotent.
     pub fn mount(&mut self, host: &str) {
         self.mounts.insert(host.to_string());
+    }
+
+    /// Mount the export from `host`, erroring if `host` already mounts
+    /// it — for callers that treat a double mount as a wiring bug.
+    pub fn try_mount(&mut self, host: &str) -> Result<(), FsError> {
+        if !self.mounts.insert(host.to_string()) {
+            return Err(FsError::AlreadyExists(host.to_string()));
+        }
+        Ok(())
     }
 
     /// Unmount. Returns whether the host was mounted.
@@ -93,6 +119,14 @@ impl SharedFs {
         let rate = self.bandwidth_mbps / streams; // Mbit/s per stream
         let secs = bytes as f64 * 8.0 / 1e6 / rate;
         SimDuration::from_secs_f64(secs)
+    }
+
+    /// Stage `bytes` through the server and record it: the observable
+    /// wrapper around the pure [`stage_duration`](SharedFs::stage_duration).
+    pub fn stage(&mut self, bytes: u64, concurrent: u32) -> SimDuration {
+        self.metrics.incr(keys::BYTES_STAGED, bytes);
+        self.metrics.incr(keys::STAGE_OPS, 1);
+        self.stage_duration(bytes, concurrent)
     }
 
     /// Convenience: write a file into the shared tree.
@@ -161,6 +195,28 @@ mod tests {
             fs.tree.file_size("/nfs/home/user1/data.zip").unwrap(),
             10_700_000
         );
+    }
+
+    #[test]
+    fn try_mount_rejects_duplicates() {
+        let mut fs = SharedFs::new(400.0);
+        fs.try_mount("worker-1").unwrap();
+        assert!(matches!(
+            fs.try_mount("worker-1"),
+            Err(FsError::AlreadyExists(_))
+        ));
+        assert_eq!(fs.mount_count(), 1);
+    }
+
+    #[test]
+    fn stage_records_metrics() {
+        let m = Metrics::new();
+        let mut fs = SharedFs::new(400.0);
+        fs.set_metrics(m.clone());
+        let d = fs.stage(100_000_000, 2);
+        assert_eq!(d, fs.stage_duration(100_000_000, 2));
+        assert_eq!(m.counter(keys::BYTES_STAGED), 100_000_000);
+        assert_eq!(m.counter(keys::STAGE_OPS), 1);
     }
 
     #[test]

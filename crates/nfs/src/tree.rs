@@ -34,6 +34,15 @@ pub enum FsError {
     AlreadyExists(String),
     /// Paths must be absolute (`/`-rooted).
     InvalidPath(String),
+    /// Writing the file would push total usage past the tree's quota.
+    QuotaExceeded {
+        /// Bytes the write needed.
+        requested: u64,
+        /// Bytes still free under the quota.
+        available: u64,
+    },
+    /// Refusing to remove a non-empty directory non-recursively.
+    NotEmpty(String),
 }
 
 impl std::fmt::Display for FsError {
@@ -44,6 +53,11 @@ impl std::fmt::Display for FsError {
             FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
             FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
             FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            FsError::QuotaExceeded {
+                requested,
+                available,
+            } => write!(f, "quota exceeded: need {requested} B, {available} B free"),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
         }
     }
 }
@@ -61,12 +75,24 @@ fn split(path: &str) -> Result<Vec<&str>, FsError> {
 #[derive(Debug, Clone, Default)]
 pub struct Tree {
     root: BTreeMap<String, FsNode>,
+    quota: Option<u64>,
 }
 
 impl Tree {
     /// An empty tree.
     pub fn new() -> Self {
         Tree::default()
+    }
+
+    /// Cap total usage at `bytes` (`None` removes the cap). The cap only
+    /// gates future writes; an already-over-quota tree is left alone.
+    pub fn set_quota(&mut self, bytes: Option<u64>) {
+        self.quota = bytes;
+    }
+
+    /// The configured quota, if any.
+    pub fn quota(&self) -> Option<u64> {
+        self.quota
     }
 
     /// Create a directory and any missing parents.
@@ -86,7 +112,19 @@ impl Tree {
     }
 
     /// Write (create or replace) a file, creating parent directories.
+    /// With a quota set, the write is rejected when usage (net of the
+    /// file it replaces) would exceed it.
     pub fn write_file(&mut self, path: &str, size: u64, tag: &str) -> Result<(), FsError> {
+        if let Some(quota) = self.quota {
+            let replaced = self.file_size(path).unwrap_or(0);
+            let used = self.disk_usage("/").expect("root always exists") - replaced;
+            if used + size > quota {
+                return Err(FsError::QuotaExceeded {
+                    requested: size,
+                    available: quota.saturating_sub(used),
+                });
+            }
+        }
         let parts = split(path)?;
         let Some((name, dirs)) = parts.split_last() else {
             return Err(FsError::InvalidPath(path.to_string()));
@@ -191,6 +229,20 @@ impl Tree {
             .ok_or_else(|| FsError::NotFound(path.to_string()))
     }
 
+    /// Remove an *empty* directory (`rmdir`). Errors on files and on
+    /// directories that still have children.
+    pub fn remove_dir(&mut self, path: &str) -> Result<(), FsError> {
+        match self.lookup(path)? {
+            FsNode::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+            FsNode::Dir(children) => {
+                if !children.is_empty() {
+                    return Err(FsError::NotEmpty(path.to_string()));
+                }
+            }
+        }
+        self.remove(path)
+    }
+
     /// Total bytes under a path (a file's own size, or a directory's
     /// recursive sum).
     pub fn disk_usage(&self, path: &str) -> Result<u64, FsError> {
@@ -282,6 +334,42 @@ mod tests {
         assert_eq!(t.disk_usage("/d").unwrap(), 30);
         assert_eq!(t.disk_usage("/").unwrap(), 35);
         assert_eq!(t.disk_usage("/d/x").unwrap(), 10);
+    }
+
+    #[test]
+    fn quota_gates_writes_net_of_replacement() {
+        let mut t = Tree::new();
+        t.set_quota(Some(100));
+        t.write_file("/a", 60, "t").unwrap();
+        let err = t.write_file("/b", 50, "t").unwrap_err();
+        assert!(matches!(
+            err,
+            FsError::QuotaExceeded {
+                requested: 50,
+                available: 40
+            }
+        ));
+        // Replacing /a only charges the delta.
+        t.write_file("/a", 100, "t2").unwrap();
+        assert_eq!(t.disk_usage("/").unwrap(), 100);
+        // Lifting the quota unblocks.
+        t.set_quota(None);
+        t.write_file("/b", 50, "t").unwrap();
+    }
+
+    #[test]
+    fn remove_dir_refuses_nonempty_and_files() {
+        let mut t = Tree::new();
+        t.write_file("/d/x", 1, "t").unwrap();
+        assert!(matches!(t.remove_dir("/d"), Err(FsError::NotEmpty(_))));
+        assert!(matches!(
+            t.remove_dir("/d/x"),
+            Err(FsError::NotADirectory(_))
+        ));
+        t.remove("/d/x").unwrap();
+        t.remove_dir("/d").unwrap();
+        assert!(!t.exists("/d"));
+        assert!(matches!(t.remove_dir("/d"), Err(FsError::NotFound(_))));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Seeded-loop property tests for the shared filesystem: quota
+//! enforcement under random write/remove sequences, bandwidth fair-share
+//! linearity under concurrent streams, and stream-token accounting.
+
+use cumulus_nfs::{FsError, SharedFs, Tree};
+use cumulus_simkit::rng::RngStream;
+
+#[test]
+fn quota_is_never_exceeded_under_random_writes_and_removes() {
+    for seed in 0..20u64 {
+        let mut rng = RngStream::derive(seed, "fs-quota");
+        let quota = rng.uniform_int(1_000, 100_000);
+        let mut t = Tree::new();
+        t.set_quota(Some(quota));
+        let mut live: Vec<String> = Vec::new();
+        for step in 0..200 {
+            if !live.is_empty() && rng.chance(0.3) {
+                let idx = rng.uniform_int(0, live.len() as u64 - 1) as usize;
+                let path = live.swap_remove(idx);
+                t.remove(&path).expect("live file removes cleanly");
+            } else {
+                let path = format!("/nfs/scratch/s{seed}/f{step}");
+                let size = rng.uniform_int(1, quota / 2);
+                match t.write_file(&path, size, "tag") {
+                    Ok(()) => live.push(path),
+                    Err(FsError::QuotaExceeded {
+                        requested,
+                        available,
+                    }) => {
+                        assert_eq!(requested, size);
+                        assert!(
+                            available < size,
+                            "rejection must mean it truly did not fit: \
+                             available {available} vs requested {size}"
+                        );
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            let used = t.disk_usage("/").unwrap();
+            assert!(
+                used <= quota,
+                "seed {seed} step {step}: usage {used} exceeds quota {quota}"
+            );
+        }
+    }
+}
+
+#[test]
+fn contention_scales_stage_time_linearly() {
+    for seed in 0..10u64 {
+        let mut rng = RngStream::derive(seed, "fs-contention");
+        let bw = rng.uniform_range(100.0, 1000.0);
+        let fs = SharedFs::new(bw);
+        let bytes = rng.uniform_int(1_000_000, 500_000_000);
+        // Compare against the analytic fair-share model; SimDuration
+        // quantizes, so allow a tick of slack on each measurement.
+        for streams in 1..=16u32 {
+            let shared = fs.stage_duration(bytes, streams).as_secs_f64();
+            let expect = bytes as f64 * 8.0 / 1e6 / (bw / streams as f64);
+            assert!(
+                (shared - expect).abs() < 1e-5,
+                "seed {seed}: {streams} streams gave {shared}, expected {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_tokens_balance_under_random_traffic() {
+    let mut rng = RngStream::derive(9, "fs-streams");
+    let mut fs = SharedFs::new(400.0);
+    let mut tokens = Vec::new();
+    for _ in 0..500 {
+        if !tokens.is_empty() && rng.chance(0.5) {
+            let tok = tokens.pop().unwrap();
+            fs.end_stream(tok);
+        } else {
+            tokens.push(fs.begin_stream());
+        }
+        assert_eq!(fs.active_streams() as usize, tokens.len());
+        // The effective per-stream rate always reflects the live count.
+        let want = 400.0 / (tokens.len().max(1)) as f64;
+        assert!((fs.effective_rate_mbps() - want).abs() < 1e-9);
+    }
+    for tok in tokens {
+        fs.end_stream(tok);
+    }
+    assert_eq!(fs.active_streams(), 0);
+}
+
+#[test]
+fn duplicate_mounts_and_rmdir_error_paths() {
+    let mut fs = SharedFs::new(400.0);
+    for i in 0..8 {
+        fs.try_mount(&format!("worker-{i}")).unwrap();
+    }
+    for i in 0..8 {
+        assert!(matches!(
+            fs.try_mount(&format!("worker-{i}")),
+            Err(FsError::AlreadyExists(_))
+        ));
+    }
+    assert_eq!(fs.mount_count(), 8);
+
+    // remove_dir walks the error ladder: missing → not-a-dir → not-empty.
+    assert!(matches!(
+        fs.tree.remove_dir("/nope"),
+        Err(FsError::NotFound(_))
+    ));
+    fs.put("/nfs/scratch/file", 10, "t").unwrap();
+    assert!(matches!(
+        fs.tree.remove_dir("/nfs/scratch/file"),
+        Err(FsError::NotADirectory(_))
+    ));
+    assert!(matches!(
+        fs.tree.remove_dir("/nfs/scratch"),
+        Err(FsError::NotEmpty(_))
+    ));
+    fs.tree.remove("/nfs/scratch/file").unwrap();
+    fs.tree.remove_dir("/nfs/scratch").unwrap();
+    assert!(!fs.tree.exists("/nfs/scratch"));
+}

@@ -89,13 +89,20 @@ impl TraceLog {
         out
     }
 
-    /// A stable digest of the log (FNV-1a over the rendered text), used for
-    /// cheap determinism comparisons.
+    /// A stable digest of the log (FNV-1a over the rendered text, seeded
+    /// with the record count), used for cheap determinism comparisons.
+    ///
+    /// The count seed matters: a message that embeds a newline can render
+    /// to the same text as two separate records, and two logs that differ
+    /// only in how they split events must not share a digest.
     pub fn digest(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x1000_0000_01b3;
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h ^= self.records.len() as u64;
+        h = h.wrapping_mul(FNV_PRIME);
         for b in self.render().bytes() {
             h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
+            h = h.wrapping_mul(FNV_PRIME);
         }
         h
     }
@@ -141,6 +148,26 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         b.emit(SimTime::from_micros(3_000_000), "chef", "extra");
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_record_splits_with_equal_render() {
+        // One record whose message embeds a newline plus a forged record
+        // line renders identically to two genuine records — the digest
+        // must still tell them apart.
+        let forged = TraceRecord {
+            at: SimTime::ZERO,
+            category: "cat".to_string(),
+            message: "y".to_string(),
+        }
+        .to_string();
+        let mut a = TraceLog::enabled();
+        a.emit(SimTime::ZERO, "cat", format!("x\n{forged}"));
+        let mut b = TraceLog::enabled();
+        b.emit(SimTime::ZERO, "cat", "x");
+        b.emit(SimTime::ZERO, "cat", "y");
+        assert_eq!(a.render(), b.render(), "the premise: renders collide");
+        assert_ne!(a.digest(), b.digest(), "the digest must not");
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Per-worker content caches.
+//!
+//! Each worker keeps recently staged inputs on instance storage so a
+//! later job matched to the same node skips the network entirely — the
+//! WaaS-style reuse lever. The cache is a plain capacity-bounded map with
+//! deterministic LRU or LFU eviction: ties break on the smallest
+//! [`ContentId`], so identically seeded runs evict identically.
+
+use cumulus_net::DataSize;
+use std::collections::BTreeMap;
+
+use crate::content::ContentId;
+
+/// Which entry a full cache sacrifices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Least recently used.
+    Lru,
+    /// Least frequently used (ties broken by recency).
+    Lfu,
+}
+
+impl EvictionPolicy {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    size: DataSize,
+    last_used: u64,
+    uses: u64,
+}
+
+/// One worker's cache.
+#[derive(Debug, Clone)]
+pub struct WorkerCache {
+    capacity: DataSize,
+    policy: EvictionPolicy,
+    used: DataSize,
+    clock: u64,
+    entries: BTreeMap<ContentId, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl WorkerCache {
+    /// An empty cache of `capacity` bytes.
+    pub fn new(capacity: DataSize, policy: EvictionPolicy) -> Self {
+        WorkerCache {
+            capacity,
+            policy,
+            used: DataSize::ZERO,
+            clock: 0,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> DataSize {
+        self.capacity
+    }
+
+    /// Bytes currently cached.
+    pub fn used(&self) -> DataSize {
+        self.used
+    }
+
+    /// Distinct objects cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `cid` is cached, without touching recency or hit counters.
+    pub fn contains(&self, cid: ContentId) -> bool {
+        self.entries.contains_key(&cid)
+    }
+
+    /// Logical time of the most recent touch (insert or hit); 0 when the
+    /// cache has never been used. Scale-in advisors use this as a
+    /// coldness tie-breaker.
+    pub fn last_activity(&self) -> u64 {
+        self.clock
+    }
+
+    /// Look `cid` up as a staging attempt: counts a hit or miss, and a
+    /// hit refreshes recency and frequency.
+    pub fn lookup(&mut self, cid: ContentId) -> bool {
+        self.clock += 1;
+        match self.entries.get_mut(&cid) {
+            Some(e) => {
+                e.last_used = self.clock;
+                e.uses += 1;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Insert `cid` after a remote fetch, evicting until it fits.
+    /// Objects larger than the whole cache are not cached at all.
+    /// Returns the evicted ids, in eviction order.
+    pub fn insert(&mut self, cid: ContentId, size: DataSize) -> Vec<ContentId> {
+        let mut evicted = Vec::new();
+        if size > self.capacity || self.capacity.is_zero() {
+            return evicted;
+        }
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&cid) {
+            e.last_used = self.clock;
+            return evicted;
+        }
+        while self.used + size > self.capacity {
+            let victim = self
+                .pick_victim()
+                .expect("cache non-empty while over capacity");
+            let gone = self.entries.remove(&victim).expect("victim exists");
+            self.used = self.used.saturating_sub(gone.size);
+            self.evictions += 1;
+            evicted.push(victim);
+        }
+        self.entries.insert(
+            cid,
+            Entry {
+                size,
+                last_used: self.clock,
+                uses: 1,
+            },
+        );
+        self.used += size;
+        evicted
+    }
+
+    fn pick_victim(&self) -> Option<ContentId> {
+        match self.policy {
+            EvictionPolicy::Lru => self
+                .entries
+                .iter()
+                .min_by_key(|(cid, e)| (e.last_used, **cid))
+                .map(|(cid, _)| *cid),
+            EvictionPolicy::Lfu => self
+                .entries
+                .iter()
+                .min_by_key(|(cid, e)| (e.uses, e.last_used, **cid))
+                .map(|(cid, _)| *cid),
+        }
+    }
+
+    /// Drop everything (worker terminated or preempted). Returns how many
+    /// objects were lost.
+    pub fn invalidate_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        self.used = DataSize::ZERO;
+        n
+    }
+
+    /// Cached ids in ascending order.
+    pub fn contents(&self) -> impl Iterator<Item = ContentId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime eviction count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(n: u64) -> ContentId {
+        ContentId(n)
+    }
+
+    fn mb(n: u64) -> DataSize {
+        DataSize::from_mb(n)
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = WorkerCache::new(mb(100), EvictionPolicy::Lru);
+        assert!(!c.lookup(cid(1)));
+        c.insert(cid(1), mb(10));
+        assert!(c.lookup(cid(1)));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        assert_eq!(c.used(), mb(10));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = WorkerCache::new(mb(30), EvictionPolicy::Lru);
+        c.insert(cid(1), mb(10));
+        c.insert(cid(2), mb(10));
+        c.insert(cid(3), mb(10));
+        c.lookup(cid(1)); // refresh 1; 2 is now the LRU entry
+        let evicted = c.insert(cid(4), mb(10));
+        assert_eq!(evicted, vec![cid(2)]);
+        assert!(c.contains(cid(1)) && c.contains(cid(3)) && c.contains(cid(4)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut c = WorkerCache::new(mb(30), EvictionPolicy::Lfu);
+        c.insert(cid(1), mb(10));
+        c.insert(cid(2), mb(10));
+        c.insert(cid(3), mb(10));
+        c.lookup(cid(1));
+        c.lookup(cid(1));
+        c.lookup(cid(3));
+        // cid(2) has the fewest uses.
+        let evicted = c.insert(cid(4), mb(10));
+        assert_eq!(evicted, vec![cid(2)]);
+    }
+
+    #[test]
+    fn oversized_objects_bypass_the_cache() {
+        let mut c = WorkerCache::new(mb(10), EvictionPolicy::Lru);
+        assert!(c.insert(cid(1), mb(50)).is_empty());
+        assert!(c.is_empty());
+        // And a zero-capacity cache never stores anything.
+        let mut z = WorkerCache::new(DataSize::ZERO, EvictionPolicy::Lru);
+        z.insert(cid(1), mb(1));
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn one_insert_may_evict_many() {
+        let mut c = WorkerCache::new(mb(30), EvictionPolicy::Lru);
+        c.insert(cid(1), mb(10));
+        c.insert(cid(2), mb(10));
+        let evicted = c.insert(cid(3), mb(30));
+        assert_eq!(evicted, vec![cid(1), cid(2)]);
+        assert_eq!(c.used(), mb(30));
+    }
+
+    #[test]
+    fn invalidate_clears_but_keeps_stats() {
+        let mut c = WorkerCache::new(mb(100), EvictionPolicy::Lru);
+        c.insert(cid(1), mb(10));
+        c.lookup(cid(1));
+        assert_eq!(c.invalidate_all(), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.used(), DataSize::ZERO);
+        assert_eq!(c.hits(), 1, "lifetime stats survive invalidation");
+        assert!(!c.lookup(cid(1)), "invalidated content is gone");
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_refresh_not_a_copy() {
+        let mut c = WorkerCache::new(mb(30), EvictionPolicy::Lru);
+        c.insert(cid(1), mb(10));
+        c.insert(cid(2), mb(10));
+        c.insert(cid(1), mb(10)); // refresh: 2 becomes LRU
+        assert_eq!(c.used(), mb(20));
+        let evicted = c.insert(cid(3), mb(20));
+        assert_eq!(evicted, vec![cid(2)]);
+    }
+}

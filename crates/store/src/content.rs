@@ -1,0 +1,136 @@
+//! Content identifiers.
+//!
+//! A [`ContentId`] is a 64-bit FNV-1a digest over a canonical byte
+//! serialization of a dataset's content. Two datasets with the same bytes
+//! share an id regardless of which history, user, or upload produced
+//! them — the property the whole data plane is built on: caches, peer
+//! lookups, and object-store deduplication all key on content, never on
+//! the `DatasetId` a particular Galaxy instance happened to assign.
+
+use std::fmt;
+
+/// A content-addressed identifier: the FNV-1a digest of the content's
+/// canonical serialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentId(pub u64);
+
+impl fmt::Display for ContentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cid-{:016x}", self.0)
+    }
+}
+
+impl ContentId {
+    /// Digest a raw byte string.
+    pub fn of_bytes(bytes: &[u8]) -> ContentId {
+        let mut h = ContentHasher::new();
+        h.write(bytes);
+        h.finish()
+    }
+
+    /// Digest a string (UTF-8 bytes).
+    pub fn of_str(s: &str) -> ContentId {
+        ContentId::of_bytes(s.as_bytes())
+    }
+
+    /// The 16-hex-digit form used in ClassAd attributes (no `cid-`
+    /// prefix, so a comma-joined list parses unambiguously).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// An incremental FNV-1a hasher producing [`ContentId`]s.
+///
+/// Producers feed it a canonical serialization: a discriminant byte per
+/// enum variant, length prefixes before variable-length fields, and
+/// [`write_f64`](ContentHasher::write_f64) (bit pattern) for floats — so
+/// structurally different contents can never collide by concatenation.
+#[derive(Debug, Clone)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+impl ContentHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    /// Feed raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feed a u64 (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feed a float by bit pattern (`-0.0` and `0.0` hash differently;
+    /// content producers normalize if they care).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feed a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> ContentId {
+        ContentId(self.state)
+    }
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_bytes_equal_ids() {
+        assert_eq!(ContentId::of_str("abc"), ContentId::of_bytes(b"abc"));
+        assert_ne!(ContentId::of_str("abc"), ContentId::of_str("abd"));
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let mut a = ContentHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = ContentHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn display_and_hex() {
+        let id = ContentId(0xdead_beef);
+        assert_eq!(id.to_string(), "cid-00000000deadbeef");
+        assert_eq!(id.hex(), "00000000deadbeef");
+    }
+
+    #[test]
+    fn float_bits_hash() {
+        let mut a = ContentHasher::new();
+        a.write_f64(1.5);
+        let mut b = ContentHasher::new();
+        b.write_f64(1.5000001);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

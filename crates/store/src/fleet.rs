@@ -1,0 +1,316 @@
+//! The fleet of per-worker caches, and its disruption-plane hookup.
+//!
+//! A [`CacheFleet`] maps worker (machine) names to [`WorkerCache`]s and
+//! is the coherence authority for the whole data plane: peer lookups,
+//! ClassAd advertisement, preemption invalidation, and the scale-in
+//! advisor all read the same state. The handle is cheaply cloneable
+//! (shared interior, like [`Metrics`]) so the staging layer, the
+//! disruption driver, and the autoscale controller can all hold one.
+
+use cumulus_net::DataSize;
+use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
+use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::time::SimTime;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::cache::{EvictionPolicy, WorkerCache};
+use crate::content::ContentId;
+
+/// Metrics keys the fleet records.
+pub mod keys {
+    /// Counter: cache hits across all workers.
+    pub const HITS: &str = "store.cache.hits";
+    /// Counter: cache misses across all workers.
+    pub const MISSES: &str = "store.cache.misses";
+    /// Counter: capacity evictions across all workers.
+    pub const EVICTIONS: &str = "store.cache.evictions";
+    /// Counter: whole-cache invalidations (preemption, termination).
+    pub const INVALIDATIONS: &str = "store.cache.invalidations";
+    /// Counter: objects lost to invalidations.
+    pub const OBJECTS_LOST: &str = "store.cache.objects_lost";
+}
+
+#[derive(Debug)]
+struct FleetInner {
+    caches: BTreeMap<String, WorkerCache>,
+    capacity: DataSize,
+    policy: EvictionPolicy,
+    metrics: Metrics,
+}
+
+/// Shared handle to every worker's cache.
+#[derive(Debug, Clone)]
+pub struct CacheFleet {
+    inner: Arc<Mutex<FleetInner>>,
+}
+
+impl CacheFleet {
+    /// A fleet whose workers get `capacity`-byte caches under `policy`.
+    pub fn new(capacity: DataSize, policy: EvictionPolicy) -> Self {
+        CacheFleet {
+            inner: Arc::new(Mutex::new(FleetInner {
+                caches: BTreeMap::new(),
+                capacity,
+                policy,
+                metrics: Metrics::new(),
+            })),
+        }
+    }
+
+    /// Route counters to a shared registry.
+    pub fn set_metrics(&self, metrics: Metrics) {
+        self.lock().metrics = metrics;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FleetInner> {
+        self.inner.lock().expect("cache fleet lock poisoned")
+    }
+
+    /// Register `worker` with an empty cache (idempotent).
+    pub fn ensure_worker(&self, worker: &str) {
+        let mut g = self.lock();
+        let (capacity, policy) = (g.capacity, g.policy);
+        g.caches
+            .entry(worker.to_string())
+            .or_insert_with(|| WorkerCache::new(capacity, policy));
+    }
+
+    /// Forget `worker` entirely (scale-in): its cache contents must not
+    /// satisfy any later lookup. Returns whether it was known.
+    pub fn drop_worker(&self, worker: &str) -> bool {
+        let mut g = self.lock();
+        match g.caches.remove(worker) {
+            Some(cache) => {
+                let lost = cache.len();
+                g.metrics.incr(keys::INVALIDATIONS, 1);
+                g.metrics.incr(keys::OBJECTS_LOST, lost as u64);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Workers currently registered, in name order.
+    pub fn workers(&self) -> Vec<String> {
+        self.lock().caches.keys().cloned().collect()
+    }
+
+    /// Staging-attempt lookup on `worker`'s cache (counts hit/miss).
+    /// Unknown workers miss.
+    pub fn lookup(&self, worker: &str, cid: ContentId) -> bool {
+        let mut g = self.lock();
+        let metrics = g.metrics.clone();
+        match g.caches.get_mut(worker) {
+            Some(c) => {
+                let hit = c.lookup(cid);
+                metrics.incr(if hit { keys::HITS } else { keys::MISSES }, 1);
+                hit
+            }
+            None => {
+                metrics.incr(keys::MISSES, 1);
+                false
+            }
+        }
+    }
+
+    /// Record that `worker` now holds `cid` (after a remote fetch),
+    /// evicting as needed. Returns the evicted ids.
+    pub fn insert(&self, worker: &str, cid: ContentId, size: DataSize) -> Vec<ContentId> {
+        let mut g = self.lock();
+        let (capacity, policy) = (g.capacity, g.policy);
+        let metrics = g.metrics.clone();
+        let cache = g
+            .caches
+            .entry(worker.to_string())
+            .or_insert_with(|| WorkerCache::new(capacity, policy));
+        let evicted = cache.insert(cid, size);
+        metrics.incr(keys::EVICTIONS, evicted.len() as u64);
+        evicted
+    }
+
+    /// Whether `worker` holds `cid`, without touching stats.
+    pub fn contains(&self, worker: &str, cid: ContentId) -> bool {
+        self.lock()
+            .caches
+            .get(worker)
+            .map(|c| c.contains(cid))
+            .unwrap_or(false)
+    }
+
+    /// The first (name order) worker other than `exclude` holding `cid` —
+    /// the peer a cache-to-cache copy would come from.
+    pub fn peer_with(&self, cid: ContentId, exclude: &str) -> Option<String> {
+        self.lock()
+            .caches
+            .iter()
+            .find(|(name, cache)| name.as_str() != exclude && cache.contains(cid))
+            .map(|(name, _)| name.clone())
+    }
+
+    /// Bytes cached on `worker` (0 when unknown) — the scale-in
+    /// advisor's warmth measure.
+    pub fn cached_bytes(&self, worker: &str) -> DataSize {
+        self.lock()
+            .caches
+            .get(worker)
+            .map(|c| c.used())
+            .unwrap_or(DataSize::ZERO)
+    }
+
+    /// The machine-ad advertisement for `worker`: cached ids as
+    /// comma-joined 16-hex-digit strings, ascending. Empty when the
+    /// worker is unknown or cold.
+    pub fn attr_string(&self, worker: &str) -> String {
+        match self.lock().caches.get(worker) {
+            Some(c) => c
+                .contents()
+                .map(|cid| cid.hex())
+                .collect::<Vec<_>>()
+                .join(","),
+            None => String::new(),
+        }
+    }
+
+    /// Candidates sorted coldest-first: ascending cached bytes, then
+    /// least-recent activity, then name. Scale-in prefers the front.
+    pub fn coldest_first(&self, candidates: &[String]) -> Vec<String> {
+        let g = self.lock();
+        let mut ranked: Vec<(DataSize, u64, String)> = candidates
+            .iter()
+            .map(|name| {
+                let (bytes, act) = g
+                    .caches
+                    .get(name)
+                    .map(|c| (c.used(), c.last_activity()))
+                    .unwrap_or((DataSize::ZERO, 0));
+                (bytes, act, name.clone())
+            })
+            .collect();
+        ranked.sort();
+        ranked.into_iter().map(|(_, _, name)| name).collect()
+    }
+
+    /// Fleet-wide lifetime (hits, misses, evictions).
+    pub fn totals(&self) -> (u64, u64, u64) {
+        let g = self.lock();
+        let mut t = (0, 0, 0);
+        for c in g.caches.values() {
+            t.0 += c.hits();
+            t.1 += c.misses();
+            t.2 += c.evictions();
+        }
+        t
+    }
+}
+
+impl Default for CacheFleet {
+    fn default() -> Self {
+        CacheFleet::new(DataSize::from_gb(2), EvictionPolicy::Lru)
+    }
+}
+
+/// The fleet's hookup to the disruption plane. A preemption or hardware
+/// failure destroys the worker's instance storage with it, so the cache
+/// is dropped wholesale — later peer lookups must not be satisfied from
+/// a dead node. An outage leaves the disk intact: the cache survives.
+impl Disruptable for CacheFleet {
+    type Target = String;
+    /// Whether the struck worker had a (now lost) cache.
+    type Effect = bool;
+
+    fn disrupt(&mut self, _now: SimTime, target: &String, kind: DisruptionKind) -> bool {
+        match kind {
+            DisruptionKind::Preemption | DisruptionKind::HardwareFailure => {
+                self.drop_worker(target)
+            }
+            DisruptionKind::Outage => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(n: u64) -> DataSize {
+        DataSize::from_mb(n)
+    }
+
+    fn cid(n: u64) -> ContentId {
+        ContentId(n)
+    }
+
+    fn fleet() -> CacheFleet {
+        CacheFleet::new(mb(100), EvictionPolicy::Lru)
+    }
+
+    #[test]
+    fn peer_lookup_prefers_name_order() {
+        let f = fleet();
+        f.insert("w-b", cid(7), mb(10));
+        f.insert("w-a", cid(7), mb(10));
+        assert_eq!(f.peer_with(cid(7), "w-c"), Some("w-a".to_string()));
+        assert_eq!(f.peer_with(cid(7), "w-a"), Some("w-b".to_string()));
+        assert_eq!(f.peer_with(cid(9), "w-c"), None);
+    }
+
+    #[test]
+    fn drop_worker_forgets_contents() {
+        let f = fleet();
+        f.insert("w-a", cid(1), mb(10));
+        assert!(f.drop_worker("w-a"));
+        assert!(!f.drop_worker("w-a"));
+        assert_eq!(f.peer_with(cid(1), "other"), None);
+        assert_eq!(f.cached_bytes("w-a"), DataSize::ZERO);
+    }
+
+    #[test]
+    fn attr_string_is_sorted_hex() {
+        let f = fleet();
+        f.insert("w", ContentId(0x2), mb(1));
+        f.insert("w", ContentId(0x1), mb(1));
+        assert_eq!(f.attr_string("w"), "0000000000000001,0000000000000002");
+        assert_eq!(f.attr_string("unknown"), "");
+    }
+
+    #[test]
+    fn coldest_first_ranks_by_bytes_then_activity() {
+        let f = fleet();
+        f.ensure_worker("w-a");
+        f.insert("w-b", cid(1), mb(50));
+        f.insert("w-c", cid(2), mb(10));
+        let names: Vec<String> = ["w-a", "w-b", "w-c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(f.coldest_first(&names), vec!["w-a", "w-c", "w-b"]);
+    }
+
+    #[test]
+    fn metrics_count_hits_misses_and_invalidations() {
+        let m = Metrics::new();
+        let f = fleet();
+        f.set_metrics(m.clone());
+        f.insert("w", cid(1), mb(10));
+        f.lookup("w", cid(1));
+        f.lookup("w", cid(2));
+        f.drop_worker("w");
+        assert_eq!(m.counter(keys::HITS), 1);
+        assert_eq!(m.counter(keys::MISSES), 1);
+        assert_eq!(m.counter(keys::INVALIDATIONS), 1);
+        assert_eq!(m.counter(keys::OBJECTS_LOST), 1);
+    }
+
+    #[test]
+    fn preemption_invalidates_outage_does_not() {
+        let mut f = fleet();
+        f.insert("w", cid(1), mb(10));
+        assert!(!f
+            .clone()
+            .disrupt(SimTime::ZERO, &"w".to_string(), DisruptionKind::Outage));
+        assert!(f.contains("w", cid(1)), "outage leaves the disk alone");
+        assert!(f.disrupt(SimTime::ZERO, &"w".to_string(), DisruptionKind::Preemption));
+        assert!(!f.contains("w", cid(1)));
+    }
+}

@@ -1,0 +1,398 @@
+//! Staging plans: pick the cheapest source for every input.
+//!
+//! Given a job's input contents and the worker it matched to, the data
+//! plane prices each candidate source with the calibrated transfer
+//! models and emits a [`StagingPlan`] charging the cheapest one:
+//!
+//! 1. **local cache** — free (the bytes are already on the node);
+//! 2. **peer worker** — a tuned-TCP copy over the intra-cloud path;
+//! 3. **object store** — a GET paying request latency plus bandwidth;
+//! 4. **shared NFS** — fair-share bandwidth, degrading with concurrency;
+//! 5. **GridFTP ingest** — a Globus transfer from the origin site, the
+//!    fallback when the content has never entered the cloud.
+//!
+//! Which rungs are reachable depends on the configured
+//! [`SharingBackend`]; the caller charges `plan.total` before job start.
+
+use cumulus_net::{DataSize, Rate, TcpConfig};
+use cumulus_nfs::SharedFs;
+use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::time::SimDuration;
+use cumulus_transfer::{inter_site_link, intra_cloud_link, Protocol};
+
+use crate::cache::EvictionPolicy;
+use crate::content::ContentId;
+use crate::fleet::CacheFleet;
+use crate::object::{ObjectStore, ObjectStoreConfig};
+
+/// Metrics keys the staging layer records.
+pub mod keys {
+    /// Counter: bytes satisfied from the local cache.
+    pub const BYTES_LOCAL: &str = "store.bytes.local";
+    /// Counter: bytes copied from a peer worker's cache.
+    pub const BYTES_PEER: &str = "store.bytes.peer";
+    /// Counter: bytes fetched from the object store.
+    pub const BYTES_OBJECT: &str = "store.bytes.object";
+    /// Counter: bytes staged through the shared NFS export.
+    pub const BYTES_NFS: &str = "store.bytes.nfs";
+    /// Counter: bytes ingested over GridFTP from the origin site.
+    pub const BYTES_INGEST: &str = "store.bytes.ingest";
+    /// Sample: per-job staging seconds.
+    pub const STAGING_SECS: &str = "store.staging_secs";
+}
+
+/// Which sharing strategy the deployment runs — the axis of the E13
+/// sweep, after Juve et al.'s EC2 data-sharing study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharingBackend {
+    /// Everything through the shared NFS export (the paper's deployment).
+    Nfs,
+    /// Every input fetched from the object store, no node-local reuse.
+    ObjectStore,
+    /// Object store backed by per-worker caches and peer copies.
+    CachedObjectStore,
+}
+
+impl SharingBackend {
+    /// Short display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            SharingBackend::Nfs => "nfs",
+            SharingBackend::ObjectStore => "s3",
+            SharingBackend::CachedObjectStore => "s3+cache",
+        }
+    }
+}
+
+/// Where one input's bytes came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StagingSource {
+    /// Already on the worker.
+    LocalCache,
+    /// Copied from the named peer worker's cache.
+    Peer(String),
+    /// Fetched from the object store.
+    ObjectStore,
+    /// Staged through the shared filesystem.
+    Nfs,
+    /// Ingested over GridFTP from the origin site.
+    Ingest,
+}
+
+/// One input of a [`StagingPlan`].
+#[derive(Debug, Clone)]
+pub struct StagingStep {
+    /// The content staged.
+    pub cid: ContentId,
+    /// Its size.
+    pub size: DataSize,
+    /// Where it came from.
+    pub source: StagingSource,
+    /// How long it took.
+    pub duration: SimDuration,
+}
+
+/// The resolved staging work for one job on one worker.
+#[derive(Debug, Clone, Default)]
+pub struct StagingPlan {
+    /// One step per input, in input order.
+    pub steps: Vec<StagingStep>,
+    /// Total staging time (steps are sequential on the worker's NIC).
+    pub total: SimDuration,
+}
+
+impl StagingPlan {
+    /// Bytes moved over the network (everything but local hits).
+    pub fn network_bytes(&self) -> DataSize {
+        self.steps
+            .iter()
+            .filter(|s| s.source != StagingSource::LocalCache)
+            .map(|s| s.size)
+            .fold(DataSize::ZERO, |a, b| a + b)
+    }
+}
+
+/// An input a job declares: content id plus size.
+#[derive(Debug, Clone, Copy)]
+pub struct InputSpec {
+    /// The content required.
+    pub cid: ContentId,
+    /// Its size.
+    pub size: DataSize,
+}
+
+/// Fixed per-peer-copy setup cost (connection + control round trips).
+const PEER_SETUP_SECS: f64 = 0.2;
+
+/// The assembled data plane: one sharing backend, the shared FS, the
+/// object store, and the cache fleet, all wired to one metrics registry.
+#[derive(Debug, Clone)]
+pub struct DataPlane {
+    /// The active sharing strategy.
+    pub backend: SharingBackend,
+    /// The shared filesystem (always present — `/nfs/software` exists in
+    /// every deployment even when datasets bypass it).
+    pub nfs: SharedFs,
+    /// The object store bucket.
+    pub object: ObjectStore,
+    /// The per-worker caches.
+    pub fleet: CacheFleet,
+    metrics: Metrics,
+}
+
+impl DataPlane {
+    /// A data plane for `backend` with the given NFS bandwidth, cache
+    /// capacity, and eviction policy.
+    pub fn new(
+        backend: SharingBackend,
+        nfs_bandwidth_mbps: f64,
+        object_config: ObjectStoreConfig,
+        cache_capacity: DataSize,
+        eviction: EvictionPolicy,
+    ) -> Self {
+        DataPlane {
+            backend,
+            nfs: SharedFs::new(nfs_bandwidth_mbps),
+            object: ObjectStore::new(object_config),
+            fleet: CacheFleet::new(cache_capacity, eviction),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Route all counters (NFS, object store, caches, staging) to one
+    /// registry.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.nfs.set_metrics(metrics.clone());
+        self.object.set_metrics(metrics.clone());
+        self.fleet.set_metrics(metrics.clone());
+        self.metrics = metrics;
+    }
+
+    /// Make `cid` available before the episode starts: written to the
+    /// NFS scratch tree and seeded into the object store. Seeding is
+    /// free — it models data already resident when the workload begins —
+    /// so it bypasses the PUT counters and the bill.
+    pub fn seed_dataset(&mut self, cid: ContentId, size: DataSize) {
+        self.object.seed(cid, size);
+        let path = format!("/nfs/scratch/{cid}");
+        self.nfs
+            .put(&path, size.as_bytes(), &cid.hex())
+            .expect("scratch path is absolute");
+    }
+
+    /// Time for a peer-to-peer copy of `size` over the intra-cloud path.
+    pub fn peer_duration(&self, size: DataSize) -> SimDuration {
+        let link = intra_cloud_link();
+        let rate: Rate = TcpConfig::tuned().steady_rate(&link, 1);
+        SimDuration::from_secs_f64(
+            PEER_SETUP_SECS + TcpConfig::tuned().ramp_seconds(&link) + rate.seconds_for(size),
+        )
+    }
+
+    /// Time for a GridFTP ingest of `size` from the origin site.
+    pub fn ingest_duration(&self, size: DataSize) -> SimDuration {
+        Protocol::GLOBUS_DEFAULT
+            .transfer_duration(size, &inter_site_link())
+            .expect("GridFTP has no size limit")
+    }
+
+    /// Resolve staging for one job matched to `worker`. `nfs_concurrent`
+    /// is the number of simultaneous NFS streams (including this one)
+    /// competing for the export during the stage-in window.
+    ///
+    /// Remote fetches under [`SharingBackend::CachedObjectStore`] fill
+    /// the worker's cache, so a plan both consumes and warms state —
+    /// call it in match order for determinism.
+    pub fn stage_job(
+        &mut self,
+        worker: &str,
+        inputs: &[InputSpec],
+        nfs_concurrent: u32,
+    ) -> StagingPlan {
+        let mut plan = StagingPlan::default();
+        for input in inputs {
+            let step = self.stage_input(worker, *input, nfs_concurrent);
+            plan.total += step.duration;
+            plan.steps.push(step);
+        }
+        self.metrics
+            .record(keys::STAGING_SECS, plan.total.as_secs_f64());
+        plan
+    }
+
+    fn stage_input(&mut self, worker: &str, input: InputSpec, nfs_concurrent: u32) -> StagingStep {
+        let InputSpec { cid, size } = input;
+        let (source, duration) = match self.backend {
+            SharingBackend::Nfs => (
+                StagingSource::Nfs,
+                self.nfs.stage(size.as_bytes(), nfs_concurrent),
+            ),
+            SharingBackend::ObjectStore => match self.object.get(cid) {
+                Some(d) => (StagingSource::ObjectStore, d),
+                None => self.ingest(cid, size),
+            },
+            SharingBackend::CachedObjectStore => {
+                if self.fleet.lookup(worker, cid) {
+                    (StagingSource::LocalCache, SimDuration::ZERO)
+                } else if let Some(peer) = self.fleet.peer_with(cid, worker) {
+                    let d = self.peer_duration(size);
+                    self.fleet.insert(worker, cid, size);
+                    (StagingSource::Peer(peer), d)
+                } else if let Some(d) = self.object.get(cid) {
+                    self.fleet.insert(worker, cid, size);
+                    (StagingSource::ObjectStore, d)
+                } else {
+                    let (source, d) = self.ingest(cid, size);
+                    self.fleet.insert(worker, cid, size);
+                    (source, d)
+                }
+            }
+        };
+        let key = match &source {
+            StagingSource::LocalCache => keys::BYTES_LOCAL,
+            StagingSource::Peer(_) => keys::BYTES_PEER,
+            StagingSource::ObjectStore => keys::BYTES_OBJECT,
+            StagingSource::Nfs => keys::BYTES_NFS,
+            StagingSource::Ingest => keys::BYTES_INGEST,
+        };
+        self.metrics.incr(key, size.as_bytes());
+        StagingStep {
+            cid,
+            size,
+            source,
+            duration,
+        }
+    }
+
+    /// Last-resort GridFTP ingest; the content lands in the object store
+    /// so the next consumer pays a GET, not another WAN crossing.
+    fn ingest(&mut self, cid: ContentId, size: DataSize) -> (StagingSource, SimDuration) {
+        let d = self.ingest_duration(size);
+        self.object.put(cid, size);
+        (StagingSource::Ingest, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(n: u64) -> DataSize {
+        DataSize::from_mb(n)
+    }
+
+    fn cid(n: u64) -> ContentId {
+        ContentId(n)
+    }
+
+    fn plane(backend: SharingBackend) -> DataPlane {
+        DataPlane::new(
+            backend,
+            400.0,
+            ObjectStoreConfig::default(),
+            DataSize::from_gb(2),
+            EvictionPolicy::Lru,
+        )
+    }
+
+    fn input(n: u64, size_mb: u64) -> InputSpec {
+        InputSpec {
+            cid: cid(n),
+            size: mb(size_mb),
+        }
+    }
+
+    #[test]
+    fn nfs_backend_always_uses_the_export() {
+        let mut p = plane(SharingBackend::Nfs);
+        p.seed_dataset(cid(1), mb(200));
+        let plan = p.stage_job("w-0", &[input(1, 200)], 1);
+        assert_eq!(plan.steps[0].source, StagingSource::Nfs);
+        // 200 MB at 400 Mbit/s = 4 s.
+        assert!((plan.total.as_secs_f64() - 4.0).abs() < 1e-9);
+        // Contention doubles it.
+        let contended = p.stage_job("w-1", &[input(1, 200)], 2);
+        assert!((contended.total.as_secs_f64() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_backend_climbs_the_source_ladder() {
+        let mut p = plane(SharingBackend::CachedObjectStore);
+        p.seed_dataset(cid(1), mb(200));
+
+        // Cold: object store GET, which fills w-0's cache.
+        let first = p.stage_job("w-0", &[input(1, 200)], 1);
+        assert_eq!(first.steps[0].source, StagingSource::ObjectStore);
+
+        // Warm on w-0: free.
+        let warm = p.stage_job("w-0", &[input(1, 200)], 1);
+        assert_eq!(warm.steps[0].source, StagingSource::LocalCache);
+        assert_eq!(warm.total, SimDuration::ZERO);
+        assert_eq!(warm.network_bytes(), DataSize::ZERO);
+
+        // Another worker prefers the peer copy over the object store.
+        let peer = p.stage_job("w-1", &[input(1, 200)], 1);
+        assert_eq!(peer.steps[0].source, StagingSource::Peer("w-0".to_string()));
+        assert!(peer.total < first.total, "peer beats the object store");
+    }
+
+    #[test]
+    fn unseeded_content_falls_back_to_ingest_then_is_served_locally() {
+        let mut p = plane(SharingBackend::CachedObjectStore);
+        let cold = p.stage_job("w-0", &[input(9, 100)], 1);
+        assert_eq!(cold.steps[0].source, StagingSource::Ingest);
+        assert!(p.object.contains(cid(9)), "ingest lands in the bucket");
+        // The same worker now has it cached.
+        let again = p.stage_job("w-0", &[input(9, 100)], 1);
+        assert_eq!(again.steps[0].source, StagingSource::LocalCache);
+    }
+
+    #[test]
+    fn object_backend_never_caches() {
+        let mut p = plane(SharingBackend::ObjectStore);
+        p.seed_dataset(cid(1), mb(100));
+        let a = p.stage_job("w-0", &[input(1, 100)], 1);
+        let b = p.stage_job("w-0", &[input(1, 100)], 1);
+        assert_eq!(a.steps[0].source, StagingSource::ObjectStore);
+        assert_eq!(b.steps[0].source, StagingSource::ObjectStore);
+        assert_eq!(p.object.gets(), 2, "every job pays the GET");
+    }
+
+    #[test]
+    fn source_ordering_matches_cost() {
+        let p = plane(SharingBackend::CachedObjectStore);
+        let size = mb(200);
+        let peer = p.peer_duration(size).as_secs_f64();
+        let object = p.object.transfer_duration(size).as_secs_f64();
+        let nfs = p.nfs.stage_duration(size.as_bytes(), 1).as_secs_f64();
+        let ingest = p.ingest_duration(size).as_secs_f64();
+        assert!(peer < nfs, "peer {peer} < nfs {nfs}");
+        assert!(nfs < object, "nfs {nfs} < object {object}");
+        assert!(peer < ingest, "peer {peer} < ingest {ingest}");
+    }
+
+    #[test]
+    fn metrics_attribute_bytes_per_source() {
+        let m = Metrics::new();
+        let mut p = plane(SharingBackend::CachedObjectStore);
+        p.set_metrics(m.clone());
+        p.seed_dataset(cid(1), mb(50));
+        p.stage_job("w-0", &[input(1, 50)], 1); // object
+        p.stage_job("w-0", &[input(1, 50)], 1); // local
+        p.stage_job("w-1", &[input(1, 50)], 1); // peer
+        assert_eq!(m.counter(keys::BYTES_OBJECT), 50_000_000);
+        assert_eq!(m.counter(keys::BYTES_LOCAL), 50_000_000);
+        assert_eq!(m.counter(keys::BYTES_PEER), 50_000_000);
+        assert_eq!(m.samples(keys::STAGING_SECS).count(), 3);
+    }
+
+    #[test]
+    fn seeding_is_free() {
+        let mut p = plane(SharingBackend::ObjectStore);
+        p.seed_dataset(cid(1), mb(10));
+        assert!(p.object.contains(cid(1)));
+        assert!(p.nfs.tree.exists(&format!("/nfs/scratch/{}", cid(1))));
+        assert_eq!(p.object.puts(), 0, "seeding bypasses the request meter");
+        assert_eq!(p.object.cost_usd(), 0.0, "seeding never bills");
+    }
+}

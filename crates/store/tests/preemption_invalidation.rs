@@ -1,0 +1,73 @@
+//! Regression: a preempted worker's cache contents must never satisfy a
+//! later lookup — neither a local hit nor a peer copy (ISSUE 6 acceptance
+//! criterion). The cache fleet is wired to the disruption plane exactly
+//! as the spot experiments wire the Condor pool.
+
+use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
+use cumulus_simkit::time::SimTime;
+use cumulus_store::{
+    CacheFleet, ContentId, DataPlane, DataSize, EvictionPolicy, InputSpec, ObjectStoreConfig,
+    SharingBackend, StagingSource,
+};
+
+#[test]
+fn preempted_workers_cache_cannot_serve_peer_lookups() {
+    let fleet = CacheFleet::new(DataSize::from_gb(2), EvictionPolicy::Lru);
+    let cid = ContentId(0xfeed);
+    fleet.insert("gp-1.worker-0", cid, DataSize::from_mb(200));
+    assert_eq!(
+        fleet.peer_with(cid, "gp-1.worker-1"),
+        Some("gp-1.worker-0".to_string()),
+        "before the preemption the warm worker is the peer source"
+    );
+
+    // The spot market reclaims worker-0 mid-episode.
+    let mut handle = fleet.clone();
+    let lost = handle.disrupt(
+        SimTime::ZERO,
+        &"gp-1.worker-0".to_string(),
+        DisruptionKind::Preemption,
+    );
+    assert!(lost, "the struck worker had a cache to lose");
+
+    // No alias of the fleet handle may still see the dead cache.
+    assert_eq!(fleet.peer_with(cid, "gp-1.worker-1"), None);
+    assert!(!fleet.contains("gp-1.worker-0", cid));
+    assert_eq!(fleet.cached_bytes("gp-1.worker-0"), DataSize::ZERO);
+    assert_eq!(fleet.attr_string("gp-1.worker-0"), "");
+}
+
+#[test]
+fn staging_after_preemption_goes_back_to_the_object_store() {
+    let mut plane = DataPlane::new(
+        SharingBackend::CachedObjectStore,
+        400.0,
+        ObjectStoreConfig::default(),
+        DataSize::from_gb(2),
+        EvictionPolicy::Lru,
+    );
+    let cid = ContentId(0xbeef);
+    plane.seed_dataset(cid, DataSize::from_mb(200));
+    let input = [InputSpec {
+        cid,
+        size: DataSize::from_mb(200),
+    }];
+
+    // Warm worker-0 from the object store, then preempt it.
+    let cold = plane.stage_job("gp-1.worker-0", &input, 1);
+    assert_eq!(cold.steps[0].source, StagingSource::ObjectStore);
+    plane.fleet.disrupt(
+        SimTime::ZERO,
+        &"gp-1.worker-0".to_string(),
+        DisruptionKind::Preemption,
+    );
+
+    // A job on worker-1 must NOT be served a peer copy from the dead
+    // node; it falls back to the object store.
+    let after = plane.stage_job("gp-1.worker-1", &input, 1);
+    assert_eq!(after.steps[0].source, StagingSource::ObjectStore);
+
+    // And a re-launched worker-0 starts cold: local lookup misses.
+    let relaunched = plane.stage_job("gp-1.worker-0", &input, 1);
+    assert_ne!(relaunched.steps[0].source, StagingSource::LocalCache);
+}

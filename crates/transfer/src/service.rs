@@ -13,9 +13,28 @@
 //! in the DES schedule their continuation at the task's completion time.
 
 use cumulus_net::{DataSize, FaultPlan, Link, Network, Rate};
+use cumulus_simkit::metrics::Metrics;
 use cumulus_simkit::time::{SimDuration, SimTime};
 
 use std::collections::BTreeMap;
+
+/// Metrics keys the service records per resolved task.
+pub mod keys {
+    /// Counter: tasks submitted and resolved.
+    pub const TASKS: &str = "transfer.tasks";
+    /// Counter: bytes successfully delivered.
+    pub const BYTES_DELIVERED: &str = "transfer.bytes_delivered";
+    /// Counter: bytes re-sent after faults without restart markers.
+    pub const BYTES_RETRANSMITTED: &str = "transfer.bytes_retransmitted";
+    /// Counter: faults encountered (and retried) across all tasks.
+    pub const FAULTS: &str = "transfer.faults";
+    /// Counter: tasks that ended [`TaskStatus::Succeeded`](super::TaskStatus).
+    pub const SUCCEEDED: &str = "transfer.status.succeeded";
+    /// Counter: tasks killed by their deadline.
+    pub const DEADLINE_EXPIRED: &str = "transfer.status.deadline_expired";
+    /// Counter: tasks that exhausted their retries.
+    pub const FAILED: &str = "transfer.status.failed";
+}
 
 use crate::credential::{CredentialError, CredentialStore};
 use crate::endpoint::{EndpointError, EndpointRegistry};
@@ -219,6 +238,7 @@ pub struct TransferService {
     retry: RetryPolicy,
     tasks: BTreeMap<TaskId, TransferTask>,
     next_task: u64,
+    metrics: Metrics,
 }
 
 impl TransferService {
@@ -231,6 +251,7 @@ impl TransferService {
             retry: RetryPolicy::default(),
             tasks: BTreeMap::new(),
             next_task: 1,
+            metrics: Metrics::new(),
         }
     }
 
@@ -238,6 +259,12 @@ impl TransferService {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Route per-task counters (bytes, retries, outcomes) to a shared
+    /// registry.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// Install a fault plan on the path between two endpoints.
@@ -311,6 +338,20 @@ impl TransferService {
         let id = TaskId(self.next_task);
         self.next_task += 1;
         let task = resolve_transfer(id, request, now, &link, &plan, &self.retry);
+        self.metrics.incr(keys::TASKS, 1);
+        self.metrics
+            .incr(keys::BYTES_DELIVERED, task.bytes_transferred.as_bytes());
+        self.metrics.incr(
+            keys::BYTES_RETRANSMITTED,
+            task.bytes_retransmitted.as_bytes(),
+        );
+        self.metrics.incr(keys::FAULTS, task.faults as u64);
+        let status_key = match task.status {
+            TaskStatus::Succeeded => keys::SUCCEEDED,
+            TaskStatus::DeadlineExpired => keys::DEADLINE_EXPIRED,
+            TaskStatus::Failed => keys::FAILED,
+        };
+        self.metrics.incr(status_key, 1);
         self.tasks.insert(id, task);
         Ok(id)
     }
@@ -754,6 +795,46 @@ mod tests {
             Some(Some(TaskStatus::Succeeded))
         );
         assert_eq!(f.service.status_at(TaskId(999), t(0)), None);
+    }
+
+    #[test]
+    fn metrics_capture_bytes_faults_and_outcome() {
+        let m = Metrics::new();
+        let mut f = fixture();
+        f.service.set_metrics(m.clone());
+        f.service.set_fault_plan(
+            "boliu#laptop",
+            "cvrg#galaxy",
+            FaultPlan::from_windows(vec![Outage::new(t(60), t(90)).unwrap()]),
+        );
+        f.service
+            .submit(t(0), &f.network, request(DataSize::from_gb(1)))
+            .unwrap();
+        assert_eq!(m.counter(keys::TASKS), 1);
+        assert_eq!(
+            m.counter(keys::BYTES_DELIVERED),
+            DataSize::from_gb(1).as_bytes()
+        );
+        assert_eq!(
+            m.counter(keys::BYTES_RETRANSMITTED),
+            0,
+            "markers save bytes"
+        );
+        assert_eq!(m.counter(keys::FAULTS), 1);
+        assert_eq!(m.counter(keys::SUCCEEDED), 1);
+
+        // A deadline kill lands in its own bucket.
+        f.service
+            .set_fault_plan("boliu#laptop", "cvrg#galaxy", FaultPlan::none());
+        f.service
+            .submit(
+                t(1000),
+                &f.network,
+                request(DataSize::from_gb(1)).with_deadline(t(1030)),
+            )
+            .unwrap();
+        assert_eq!(m.counter(keys::TASKS), 2);
+        assert_eq!(m.counter(keys::DEADLINE_EXPIRED), 1);
     }
 
     #[test]

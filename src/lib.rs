@@ -18,6 +18,7 @@
 //! | [`cloud`] | EC2: instance types, lifecycle, billing |
 //! | [`chef`] | Chef: resources, recipes, cookbooks, converge |
 //! | [`nfs`] | the shared NFS/NIS filesystem |
+//! | [`store`] | the content-addressed data plane: object store, worker caches, staging |
 //! | [`htc`] | Condor: ClassAds, matchmaking, dynamic pools, DAGs |
 //! | [`transfer`] | GridFTP/FTP/HTTP + the Globus Online transfer service |
 //! | [`provision`] | Globus Provision: topologies, deploy, elastic update |
@@ -51,6 +52,7 @@ pub use cumulus_net as net;
 pub use cumulus_nfs as nfs;
 pub use cumulus_provision as provision;
 pub use cumulus_simkit as simkit;
+pub use cumulus_store as store;
 pub use cumulus_transfer as transfer;
 
 pub mod scenario;
