@@ -737,7 +737,8 @@ mod tests {
             let machine = format!("{id}.worker-1");
             let jid = inst.pool.submit(
                 Job::new("u", WorkSpec::serial(7200.0))
-                    .requirements(&format!("Machine == \"{machine}\"")),
+                    .try_requirements(&format!("Machine == \"{machine}\""))
+                    .expect("machine pin expression"),
                 start,
             );
             inst.pool.negotiate(start);
@@ -774,7 +775,8 @@ mod tests {
             let machine = format!("{id}.worker-1");
             inst.pool.submit(
                 Job::new("u", WorkSpec::serial(30.0))
-                    .requirements(&format!("Machine == \"{machine}\"")),
+                    .try_requirements(&format!("Machine == \"{machine}\""))
+                    .expect("machine pin expression"),
                 t0,
             );
             inst.pool.negotiate(t0);
@@ -888,7 +890,8 @@ mod tests {
             let machine = format!("{id}.worker-0");
             let jid = inst.pool.submit(
                 Job::new("u", WorkSpec::serial(7200.0))
-                    .requirements(&format!("Machine == \"{machine}\"")),
+                    .try_requirements(&format!("Machine == \"{machine}\""))
+                    .expect("machine pin expression"),
                 start,
             );
             inst.pool.negotiate(start);

@@ -1,11 +1,13 @@
 //! Jobs and their lifecycle.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use cumulus_simkit::time::{SimDuration, SimTime};
 
-use crate::classad::{ClassAd, Expr, Value};
+use crate::classad::{ClassAd, CompiledExpr, Expr, ParseError, Value};
 use crate::machine::MachineName;
+use crate::pool::JOB_INPUT_CIDS_ATTR;
 
 /// Identifier for a submitted job (cluster id, in Condor terms).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -91,6 +93,21 @@ pub struct Job {
     pub started_at: Option<SimTime>,
     /// Times this job has been evicted and requeued.
     pub evictions: u32,
+    /// `requirements` compiled at build time (the matchmaker hot path).
+    pub(crate) compiled_req: CompiledExpr,
+    /// `rank` compiled at build time.
+    pub(crate) compiled_rank: CompiledExpr,
+    /// Parsed `InputCids` job-ad attribute, in declaration order with
+    /// duplicates preserved (overlap counting matches the ad string).
+    pub(crate) input_cids: Vec<Box<str>>,
+    /// Bumped every time the job is (re)scheduled; lets the settle heap
+    /// detect stale entries after evictions or deadline extensions.
+    pub(crate) run_gen: u64,
+    /// Autocluster id assigned at submission: jobs whose (requirements,
+    /// rank, ad) fingerprints are bitwise-equal share a cluster, so the
+    /// negotiator can reuse one job's verdict and score per machine for
+    /// the whole cluster within a cycle.
+    pub(crate) cluster: u32,
 }
 
 impl Job {
@@ -100,11 +117,15 @@ impl Job {
     /// joins the pool). Deliberately returns a builder rather than `Self`.
     #[allow(clippy::new_ret_no_self)]
     pub fn new(owner: &str, work: WorkSpec) -> JobBuilder {
+        static DEFAULT_RANK: OnceLock<Expr> = OnceLock::new();
+        let rank = DEFAULT_RANK
+            .get_or_init(|| Expr::parse("ComputeUnits").expect("static expression"))
+            .clone();
         JobBuilder {
             owner: owner.to_string(),
             work,
             requirements: Expr::always(),
-            rank: Expr::parse("ComputeUnits").expect("static expression"),
+            rank,
             ad: ClassAd::new(),
         }
     }
@@ -129,16 +150,27 @@ pub struct JobBuilder {
 }
 
 impl JobBuilder {
-    /// Set the requirements expression.
-    pub fn requirements(mut self, src: &str) -> Self {
-        self.requirements = Expr::parse(src).expect("invalid requirements expression");
-        self
+    /// Set the requirements expression, panicking on a parse error.
+    pub fn requirements(self, src: &str) -> Self {
+        self.try_requirements(src)
+            .expect("invalid requirements expression")
     }
 
-    /// Set the rank expression.
-    pub fn rank(mut self, src: &str) -> Self {
-        self.rank = Expr::parse(src).expect("invalid rank expression");
-        self
+    /// Set the rank expression, panicking on a parse error.
+    pub fn rank(self, src: &str) -> Self {
+        self.try_rank(src).expect("invalid rank expression")
+    }
+
+    /// Set the requirements expression, reporting parse errors.
+    pub fn try_requirements(mut self, src: &str) -> Result<Self, ParseError> {
+        self.requirements = Expr::parse(src)?;
+        Ok(self)
+    }
+
+    /// Set the rank expression, reporting parse errors.
+    pub fn try_rank(mut self, src: &str) -> Result<Self, ParseError> {
+        self.rank = Expr::parse(src)?;
+        Ok(self)
     }
 
     /// Set a job-ad attribute.
@@ -152,6 +184,12 @@ impl JobBuilder {
     pub(crate) fn build(self, id: JobId, submitted_at: SimTime) -> Job {
         let mut ad = self.ad;
         ad.set("Owner", Value::Str(self.owner.clone()));
+        let compiled_req = self.requirements.compile();
+        let compiled_rank = self.rank.compile();
+        let input_cids = match ad.get(JOB_INPUT_CIDS_ATTR) {
+            Value::Str(s) if !s.is_empty() => s.split(',').map(Box::from).collect(),
+            _ => Vec::new(),
+        };
         Job {
             id,
             owner: self.owner,
@@ -165,6 +203,11 @@ impl JobBuilder {
             finish_at: None,
             started_at: None,
             evictions: 0,
+            compiled_req,
+            compiled_rank,
+            input_cids,
+            run_gen: 0,
+            cluster: 0,
         }
     }
 }

@@ -5,7 +5,9 @@
 //! that behaviour depends on:
 //!
 //! * [`classad`] — ClassAd-lite attribute lists and the
-//!   requirements/rank expression language used for matchmaking;
+//!   requirements/rank expression language used for matchmaking, with a
+//!   symbol-interned, compiled-expression fast path next to the
+//!   tree-walking reference evaluator;
 //! * [`job`] — jobs with an Amdahl work model (`serial + cu_work / CU`)
 //!   calibrated to the paper's Figure 10 execution times;
 //! * [`machine`] — execute nodes with slots and standard ads;
@@ -25,7 +27,7 @@ pub mod job;
 pub mod machine;
 pub mod pool;
 
-pub use classad::{ClassAd, Expr, Value};
+pub use classad::{ClassAd, CompiledExpr, Expr, ParseError, Symbol, Value};
 pub use dag::{DagError, DagRun, NodeStatus};
 pub use driver::{drive_pool, DriveReport};
 pub use job::{Job, JobBuilder, JobId, JobState, WorkSpec};

@@ -7,12 +7,14 @@
 //! (the paper's `gp-instance-update` adding a c1.medium node) and leave via
 //! draining, which is what makes the Galaxy cluster elastic.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::sync::OnceLock;
 
 use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
-use crate::classad::{ClassAd, Value};
+use crate::classad::{ClassAd, Symbol, Value};
 use crate::job::{Job, JobBuilder, JobId, JobState};
 use crate::machine::{Machine, MachineName};
 
@@ -33,6 +35,9 @@ pub const CACHE_AFFINITY_BONUS: f64 = 1000.0;
 /// times the number of the job's inputs already in the machine's cache.
 /// Zero whenever either side leaves its attribute unset, so pools that
 /// never advertise content ids negotiate exactly as before.
+///
+/// This is the reference definition; the negotiator itself counts overlap
+/// against pre-parsed cid lists (a `debug_assert` keeps them in lockstep).
 fn cache_affinity(machine_ad: &ClassAd, job_ad: &ClassAd) -> f64 {
     let Value::Str(inputs) = job_ad.get(JOB_INPUT_CIDS_ATTR) else {
         return 0.0;
@@ -97,17 +102,126 @@ pub struct Match {
     pub finish_at: SimTime,
 }
 
+/// Interned symbol for the machine capacity attribute (hot path).
+fn sym_compute_units() -> Symbol {
+    static S: OnceLock<Symbol> = OnceLock::new();
+    *S.get_or_init(|| Symbol::intern("ComputeUnits"))
+}
+
+/// Interned symbol for [`MACHINE_CACHE_CIDS_ATTR`].
+fn sym_cache_cids() -> Symbol {
+    static S: OnceLock<Symbol> = OnceLock::new();
+    *S.get_or_init(|| Symbol::intern(MACHINE_CACHE_CIDS_ATTR))
+}
+
+/// A machine plus the negotiator's per-machine caches, stored in a slab
+/// slot. The caches are derived from the machine ad and recomputed lazily
+/// when [`CondorPool::machine_mut`] (or `add_machine`) marks them dirty.
+#[derive(Debug)]
+struct MachineSlot {
+    machine: Machine,
+    /// `ComputeUnits` from the ad (Float/Int, else 1.0), read once per
+    /// dirty cycle instead of once per accepted match.
+    capacity: f64,
+    /// Sorted, deduplicated `CacheCids` entries for binary-search overlap
+    /// counting. Empty when the attribute is unset / not a string / "".
+    cache_cids: Vec<Box<str>>,
+    /// Set when the ad may have changed; cleared by `recompute`.
+    dirty: bool,
+}
+
+impl MachineSlot {
+    fn new(machine: Machine) -> Self {
+        let mut slot = MachineSlot {
+            machine,
+            capacity: 1.0,
+            cache_cids: Vec::new(),
+            dirty: true,
+        };
+        slot.recompute();
+        slot
+    }
+
+    fn recompute(&mut self) {
+        self.capacity = match self.machine.ad.get_sym(sym_compute_units()) {
+            Value::Float(f) => f,
+            Value::Int(i) => i as f64,
+            _ => 1.0,
+        };
+        self.cache_cids = match self.machine.ad.get_sym(sym_cache_cids()) {
+            Value::Str(s) if !s.is_empty() => {
+                let mut cids: Vec<Box<str>> = s.split(',').map(Box::from).collect();
+                cids.sort_unstable();
+                cids.dedup();
+                cids
+            }
+            _ => Vec::new(),
+        };
+        self.dirty = false;
+    }
+}
+
+/// An entry in the finish-time min-heap: `(finish, job, run_gen)`.
+/// Generation counting (mirroring the simkit slab queue) makes eviction,
+/// removal, and deadline extension O(1): the job's `run_gen` is bumped and
+/// the orphaned entry is skipped when popped.
+type FinishEntry = Reverse<(SimTime, JobId, u64)>;
+
 /// The central manager's state.
+///
+/// Internally the pool is fully indexed so a negotiation cycle never
+/// rescans the job table: idle jobs are queued per owner in submission
+/// order (`idle_by_owner`), accepting machines live in a name-sorted list
+/// updated on every slot/draining transition (`accepting`), running jobs
+/// sit in a generation-counted finish-time min-heap (`finish_heap`), and
+/// completed jobs retire out of the hot map into an append-only
+/// `history`. All user-visible orderings (match order, settle order,
+/// usage-charge order) are identical to the original scan-everything
+/// implementation — the differential suite in
+/// `tests/matchmaker_differential.rs` holds the two to the same answers.
 #[derive(Debug, Default)]
 pub struct CondorPool {
+    /// Live jobs: idle, running, held, and removed. Completed jobs move
+    /// to `history`.
     jobs: BTreeMap<JobId, Job>,
-    machines: BTreeMap<MachineName, Machine>,
+    /// Completed jobs, append-only, retired out of the hot map.
+    history: BTreeMap<JobId, Job>,
+    /// Machine slab; `None` slots are free for reuse.
+    machines: Vec<Option<MachineSlot>>,
+    /// Name → slab index (name-ordered iteration).
+    by_name: BTreeMap<MachineName, usize>,
+    /// Reusable slab indices.
+    free_list: Vec<usize>,
+    /// Slab indices of machines with a free slot and not draining,
+    /// sorted by machine name (the negotiator's scan order).
+    accepting: Vec<usize>,
+    /// Idle job ids per owner, ascending (= submission order).
+    idle_by_owner: BTreeMap<String, BTreeSet<JobId>>,
+    /// Finish-time min-heap over running jobs (may hold stale entries).
+    finish_heap: BinaryHeap<FinishEntry>,
     next_job_id: u64,
     /// Accumulated per-user usage seconds (drives fair-share ordering).
     usage: BTreeMap<String, f64>,
     /// Running total of evictions across the pool's lifetime (covers
     /// jobs that have since completed or left the queue).
     evictions: u64,
+    /// Jobs ever evicted at least once (monotone: evictions never reset
+    /// and jobs never leave the pool's universe).
+    retried: usize,
+    /// Worst per-job eviction count ever seen (monotone, same argument).
+    max_evictions_seen: u32,
+    /// Latest completion time (completions only ever accumulate).
+    last_completion: Option<SimTime>,
+    /// Cached counts maintained on every state transition.
+    idle: usize,
+    running: usize,
+    /// Machines currently draining (guards the settle sweep).
+    draining_count: usize,
+    /// Autocluster interning table: fingerprint of a job's (requirements,
+    /// rank, ad) → cluster id. Append-only; bounded by the number of
+    /// distinct job shapes ever submitted, which real workloads keep
+    /// small (Condor's autoclusters exploit the same redundancy).
+    clusters: HashMap<Vec<u8>, u32>,
 }
 
 impl CondorPool {
@@ -119,14 +233,109 @@ impl CondorPool {
         }
     }
 
+    // ----- index maintenance -----------------------------------------
+
+    /// Position of `name` in the name-sorted accepting list.
+    fn accepting_pos(&self, name: &MachineName) -> Result<usize, usize> {
+        self.accepting
+            .binary_search_by(|&i| self.slot(i).machine.name.cmp(name))
+    }
+
+    fn slot(&self, i: usize) -> &MachineSlot {
+        self.machines[i].as_ref().expect("live slab index")
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut MachineSlot {
+        self.machines[i].as_mut().expect("live slab index")
+    }
+
+    /// Insert `i` into the accepting list (no-op if already present).
+    fn accepting_insert(&mut self, i: usize) {
+        let name = self.slot(i).machine.name.clone();
+        if let Err(pos) = self.accepting_pos(&name) {
+            self.accepting.insert(pos, i);
+        }
+    }
+
+    /// Remove the machine named `name` from the accepting list, if present.
+    fn accepting_remove(&mut self, name: &MachineName) {
+        if let Ok(pos) = self.accepting_pos(name) {
+            self.accepting.remove(pos);
+        }
+    }
+
+    /// Queue an idle job in its owner's submission-order index.
+    fn idle_index_insert(&mut self, owner: &str, id: JobId) {
+        self.idle_by_owner
+            .entry(owner.to_string())
+            .or_default()
+            .insert(id);
+        self.idle += 1;
+    }
+
+    /// Drop an idle job from its owner's index.
+    fn idle_index_remove(&mut self, owner: &str, id: JobId) {
+        if let Some(set) = self.idle_by_owner.get_mut(owner) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.idle_by_owner.remove(owner);
+            }
+        }
+        self.idle -= 1;
+    }
+
+    /// Free a slab slot and every index that referenced it.
+    fn remove_slot(&mut self, i: usize) -> MachineSlot {
+        let name = self.slot(i).machine.name.clone();
+        self.accepting_remove(&name);
+        self.by_name.remove(&name);
+        let slot = self.machines[i].take().expect("live slab index");
+        if slot.machine.draining {
+            self.draining_count -= 1;
+        }
+        self.free_list.push(i);
+        slot
+    }
+
+    /// Record an eviction on `job` (counters + heap invalidation).
+    fn note_eviction(job: &mut Job, evictions: &mut u64, retried: &mut usize, max_seen: &mut u32) {
+        job.evictions += 1;
+        job.run_gen += 1;
+        *evictions += 1;
+        if job.evictions == 1 {
+            *retried += 1;
+        }
+        *max_seen = (*max_seen).max(job.evictions);
+    }
+
     // ----- membership ------------------------------------------------
 
     /// Add a machine to the pool.
     pub fn add_machine(&mut self, m: Machine) -> Result<(), PoolError> {
-        if self.machines.contains_key(&m.name) {
+        if self.by_name.contains_key(&m.name) {
             return Err(PoolError::DuplicateMachine(m.name.0.clone()));
         }
-        self.machines.insert(m.name.clone(), m);
+        let name = m.name.clone();
+        let accepting = m.accepting();
+        let draining = m.draining;
+        let slot = MachineSlot::new(m);
+        let i = match self.free_list.pop() {
+            Some(i) => {
+                self.machines[i] = Some(slot);
+                i
+            }
+            None => {
+                self.machines.push(Some(slot));
+                self.machines.len() - 1
+            }
+        };
+        self.by_name.insert(name, i);
+        if accepting {
+            self.accepting_insert(i);
+        }
+        if draining {
+            self.draining_count += 1;
+        }
         Ok(())
     }
 
@@ -135,13 +344,20 @@ impl CondorPool {
     /// immediately (nothing running).
     pub fn drain_machine(&mut self, name: &str) -> Result<bool, PoolError> {
         let key = MachineName(name.to_string());
-        let m = self
-            .machines
-            .get_mut(&key)
+        let &i = self
+            .by_name
+            .get(&key)
             .ok_or_else(|| PoolError::UnknownMachine(name.to_string()))?;
+        let m = &mut self.slot_mut(i).machine;
+        let was_draining = m.draining;
         m.draining = true;
-        if m.busy_slots() == 0 {
-            self.machines.remove(&key);
+        let idle_now = m.busy_slots() == 0;
+        self.accepting_remove(&key);
+        if !was_draining {
+            self.draining_count += 1;
+        }
+        if idle_now {
+            self.remove_slot(i);
             return Ok(true);
         }
         Ok(false)
@@ -151,51 +367,68 @@ impl CondorPool {
     /// Its running jobs are evicted back to Idle for rematching.
     pub fn remove_machine(&mut self, name: &str, now: SimTime) -> Result<Vec<JobId>, PoolError> {
         let key = MachineName(name.to_string());
-        if self.machines.remove(&key).is_none() {
+        let Some(&i) = self.by_name.get(&key) else {
             return Err(PoolError::UnknownMachine(name.to_string()));
-        }
+        };
+        self.remove_slot(i);
         let mut evicted = Vec::new();
+        let mut requeue = Vec::new();
         for job in self.jobs.values_mut() {
             if job.state == JobState::Running && job.running_on.as_ref() == Some(&key) {
                 job.state = JobState::Idle;
                 job.running_on = None;
                 job.finish_at = None;
-                job.evictions += 1;
-                self.evictions += 1;
+                Self::note_eviction(
+                    job,
+                    &mut self.evictions,
+                    &mut self.retried,
+                    &mut self.max_evictions_seen,
+                );
                 // Charge the user for the wasted time.
                 if let Some(started) = job.started_at.take() {
                     *self.usage.entry(job.owner.clone()).or_insert(0.0) +=
                         now.since(started).as_secs_f64();
                 }
+                requeue.push((job.owner.clone(), job.id));
                 evicted.push(job.id);
             }
+        }
+        for (owner, id) in requeue {
+            self.idle_index_insert(&owner, id);
+            self.running -= 1;
         }
         Ok(evicted)
     }
 
     /// Machines currently in the pool.
     pub fn machines(&self) -> impl Iterator<Item = &Machine> {
-        self.machines.values()
+        self.by_name.values().map(|&i| &self.slot(i).machine)
     }
 
     /// Total free slots across accepting machines.
     pub fn free_slots(&self) -> u32 {
-        self.machines
-            .values()
-            .filter(|m| m.accepting())
-            .map(|m| m.slots_free)
+        self.accepting
+            .iter()
+            .map(|&i| self.slot(i).machine.slots_free)
             .sum()
     }
 
     /// Look up a machine by name.
     pub fn machine(&self, name: &str) -> Option<&Machine> {
-        self.machines.get(&MachineName(name.to_string()))
+        self.by_name
+            .get(&MachineName(name.to_string()))
+            .map(|&i| &self.slot(i).machine)
     }
 
     /// Mutable lookup — lets the data plane refresh a machine's
     /// advertisement (e.g. its cache-contents attribute) between cycles.
+    /// Slot counts and draining state must go through the pool's own
+    /// methods; only the ad may be touched here.
     pub fn machine_mut(&mut self, name: &str) -> Option<&mut Machine> {
-        self.machines.get_mut(&MachineName(name.to_string()))
+        let &i = self.by_name.get(&MachineName(name.to_string()))?;
+        let slot = self.slot_mut(i);
+        slot.dirty = true;
+        Some(&mut slot.machine)
     }
 
     /// Whether the named machine has a job executing right now. Unknown
@@ -210,12 +443,20 @@ impl CondorPool {
 
     /// Total execution slots across all machines, draining or not.
     pub fn total_slots(&self) -> u32 {
-        self.machines.values().map(|m| m.slots_total).sum()
+        self.machines
+            .iter()
+            .flatten()
+            .map(|s| s.machine.slots_total)
+            .sum()
     }
 
     /// Slots currently executing a job.
     pub fn busy_slots(&self) -> u32 {
-        self.machines.values().map(|m| m.busy_slots()).sum()
+        self.machines
+            .iter()
+            .flatten()
+            .map(|s| s.machine.busy_slots())
+            .sum()
     }
 
     /// Fraction of slots busy, in `[0, 1]`. An empty pool reports 0.
@@ -230,10 +471,7 @@ impl CondorPool {
 
     /// Number of running jobs.
     pub fn running_count(&self) -> usize {
-        self.jobs
-            .values()
-            .filter(|j| j.state == JobState::Running)
-            .count()
+        self.running
     }
 
     /// How long each idle job has been waiting as of `now`, in submission
@@ -250,9 +488,8 @@ impl CondorPool {
     /// Queue latency (submission to most recent start) of every completed
     /// job, in submission order.
     pub fn completed_waits(&self) -> Vec<SimDuration> {
-        self.jobs
+        self.history
             .values()
-            .filter(|j| j.state == JobState::Completed)
             .filter_map(|j| j.started_at.map(|s| s.since(j.submitted_at)))
             .collect()
     }
@@ -267,22 +504,18 @@ impl CondorPool {
     /// Number of jobs currently in the queue that have been evicted at
     /// least once (i.e. are on a retry).
     pub fn retried_jobs(&self) -> usize {
-        self.jobs.values().filter(|j| j.evictions > 0).count()
+        self.retried
     }
 
     /// The worst per-job retry count in the queue — how badly the
     /// unluckiest job has been churned.
     pub fn max_evictions(&self) -> u32 {
-        self.jobs.values().map(|j| j.evictions).max().unwrap_or(0)
+        self.max_evictions_seen
     }
 
     /// Latest completion time over all completed jobs, if any.
     pub fn last_completion_at(&self) -> Option<SimTime> {
-        self.jobs
-            .values()
-            .filter(|j| j.state == JobState::Completed)
-            .filter_map(|j| j.finish_at)
-            .max()
+        self.last_completion
     }
 
     // ----- queue ------------------------------------------------------
@@ -291,18 +524,37 @@ impl CondorPool {
     pub fn submit(&mut self, builder: JobBuilder, now: SimTime) -> JobId {
         let id = JobId(self.next_job_id);
         self.next_job_id += 1;
-        let job = builder.build(id, now);
+        let mut job = builder.build(id, now);
+        // Intern the job into its autocluster. Equal fingerprints mean
+        // bitwise-identical (requirements, rank, ad) — evaluation is a
+        // pure function of those plus the machine ad, so cluster-mates
+        // are interchangeable to the matchmaker.
+        let mut key = Vec::with_capacity(96);
+        job.compiled_req.fingerprint_into(&mut key);
+        job.compiled_rank.fingerprint_into(&mut key);
+        job.ad.fingerprint_into(&mut key);
+        let next = self.clusters.len() as u32;
+        job.cluster = *self.clusters.entry(key).or_insert(next);
+        self.idle_index_insert(&job.owner, id);
         self.jobs.insert(id, job);
         id
     }
 
-    /// Look up a job.
+    /// Look up a job (live or retired).
     pub fn job(&self, id: JobId) -> Result<&Job, PoolError> {
-        self.jobs.get(&id).ok_or(PoolError::UnknownJob(id))
+        self.jobs
+            .get(&id)
+            .or_else(|| self.history.get(&id))
+            .ok_or(PoolError::UnknownJob(id))
     }
 
     /// All jobs in a given state.
     pub fn jobs_in_state(&self, state: JobState) -> Vec<JobId> {
+        // Completed jobs all live in the history map; every other state
+        // lives in the hot map. Both iterate in submission (id) order.
+        if state == JobState::Completed {
+            return self.history.keys().copied().collect();
+        }
         self.jobs
             .values()
             .filter(|j| j.state == state)
@@ -312,43 +564,78 @@ impl CondorPool {
 
     /// Number of idle jobs.
     pub fn idle_count(&self) -> usize {
-        self.jobs
-            .values()
-            .filter(|j| j.state == JobState::Idle)
-            .count()
+        self.idle
     }
 
     /// Hold a job (no matching until released).
     pub fn hold(&mut self, id: JobId) -> Result<(), PoolError> {
-        let job = self.jobs.get_mut(&id).ok_or(PoolError::UnknownJob(id))?;
+        if !self.jobs.contains_key(&id) {
+            // Retired jobs exist but are not Idle: a no-op, not an error.
+            return self.job(id).map(|_| ());
+        }
+        let job = self.jobs.get_mut(&id).expect("checked above");
         if job.state == JobState::Idle {
             job.state = JobState::Held;
+            let owner = job.owner.clone();
+            self.idle_index_remove(&owner, id);
         }
         Ok(())
     }
 
     /// Release a held job.
     pub fn release(&mut self, id: JobId) -> Result<(), PoolError> {
-        let job = self.jobs.get_mut(&id).ok_or(PoolError::UnknownJob(id))?;
+        if !self.jobs.contains_key(&id) {
+            return self.job(id).map(|_| ());
+        }
+        let job = self.jobs.get_mut(&id).expect("checked above");
         if job.state == JobState::Held {
             job.state = JobState::Idle;
+            let owner = job.owner.clone();
+            self.idle_index_insert(&owner, id);
         }
         Ok(())
     }
 
     /// Remove a job from the queue (frees its slot if running).
     pub fn remove_job(&mut self, id: JobId) -> Result<(), PoolError> {
-        let job = self.jobs.get_mut(&id).ok_or(PoolError::UnknownJob(id))?;
-        if job.state == JobState::Running {
-            if let Some(name) = job.running_on.clone() {
-                if let Some(m) = self.machines.get_mut(&name) {
-                    m.slots_free += 1;
-                }
-            }
+        if !self.jobs.contains_key(&id) {
+            // Removing a retired job un-completes it: pull it back into
+            // the hot map as Removed, exactly like the pre-history
+            // behaviour where Completed → Removed happened in place.
+            let mut job = self.history.remove(&id).ok_or(PoolError::UnknownJob(id))?;
+            job.state = JobState::Removed;
+            job.running_on = None;
+            job.finish_at = None;
+            self.jobs.insert(id, job);
+            self.last_completion = self.history.values().filter_map(|j| j.finish_at).max();
+            return Ok(());
+        }
+        let job = self.jobs.get_mut(&id).expect("checked above");
+        let prev_state = job.state;
+        let owner = job.owner.clone();
+        let was_on = job.running_on.take();
+        if prev_state == JobState::Running {
+            job.run_gen += 1;
         }
         job.state = JobState::Removed;
-        job.running_on = None;
         job.finish_at = None;
+        match prev_state {
+            JobState::Running => {
+                self.running -= 1;
+                if let Some(name) = was_on {
+                    if let Some(&i) = self.by_name.get(&name) {
+                        let m = &mut self.slot_mut(i).machine;
+                        m.slots_free += 1;
+                        let newly_accepting = !m.draining && m.slots_free == 1;
+                        if newly_accepting {
+                            self.accepting_insert(i);
+                        }
+                    }
+                }
+            }
+            JobState::Idle => self.idle_index_remove(&owner, id),
+            _ => {}
+        }
         Ok(())
     }
 
@@ -357,12 +644,20 @@ impl CondorPool {
     /// known), then each matched job is extended by its staging plan.
     /// Returns the new finish time.
     pub fn extend_job(&mut self, id: JobId, extra: SimDuration) -> Result<SimTime, PoolError> {
-        let job = self.jobs.get_mut(&id).ok_or(PoolError::UnknownJob(id))?;
+        let Some(job) = self.jobs.get_mut(&id) else {
+            // Retired jobs exist but are no longer running.
+            return match self.history.contains_key(&id) {
+                true => Err(PoolError::NotRunning(id)),
+                false => Err(PoolError::UnknownJob(id)),
+            };
+        };
         if job.state != JobState::Running {
             return Err(PoolError::NotRunning(id));
         }
         let finish = job.finish_at.expect("running job has a finish time") + extra;
         job.finish_at = Some(finish);
+        job.run_gen += 1;
+        self.finish_heap.push(Reverse((finish, id, job.run_gen)));
         Ok(finish)
     }
 
@@ -383,59 +678,128 @@ impl CondorPool {
     pub fn negotiate(&mut self, now: SimTime) -> Vec<Match> {
         let mut matches = Vec::new();
 
-        // Fair-share user ordering.
-        let mut users: Vec<String> = self
-            .jobs
-            .values()
-            .filter(|j| j.state == JobState::Idle)
-            .map(|j| j.owner.clone())
-            .collect();
-        users.sort();
-        users.dedup();
+        // With no accepting machine nothing can match; skip the cycle.
+        // (The old implementation still walked every idle job here.)
+        if self.accepting.is_empty() {
+            return matches;
+        }
+
+        // Refresh per-machine caches invalidated since the last cycle.
+        for pos in 0..self.accepting.len() {
+            let i = self.accepting[pos];
+            let slot = self.slot_mut(i);
+            if slot.dirty {
+                slot.recompute();
+            }
+        }
+
+        // Fair-share user ordering. The per-owner index keys are already
+        // name-sorted and unique, so one stable sort by usage suffices
+        // (the old path sorted, deduped, then sorted again).
+        let mut users: Vec<String> = self.idle_by_owner.keys().cloned().collect();
         users.sort_by(|a, b| {
             let ua = self.usage.get(a).copied().unwrap_or(0.0);
             let ub = self.usage.get(b).copied().unwrap_or(0.0);
             ua.partial_cmp(&ub).unwrap().then_with(|| a.cmp(b))
         });
 
+        let mut stack: Vec<Value> = Vec::with_capacity(8);
+
+        // Per-cycle autocluster memo, indexed `[cluster][slab index]`:
+        // a job's verdict and score against a machine depend only on its
+        // cluster (bitwise-identical requirements/rank/ad) and the
+        // machine's ad, and neither changes mid-cycle — so each
+        // (cluster, machine) pair is evaluated at most once per cycle no
+        // matter how many cluster-mates are queued. Inner vecs allocate
+        // lazily, only for clusters that actually negotiate this cycle.
+        const UNSEEN: u8 = 0;
+        const NO_MATCH: u8 = 1;
+        const SCORED: u8 = 2;
+        let mut memo: Vec<Vec<(u8, f64)>> = vec![Vec::new(); self.clusters.len()];
+
         for user in users {
-            let job_ids: Vec<JobId> = self
-                .jobs
-                .values()
-                .filter(|j| j.state == JobState::Idle && j.owner == user)
-                .map(|j| j.id)
-                .collect();
+            // The pool can fill mid-cycle; the remaining idle jobs would
+            // all scan an empty accepting list, so stop early.
+            if self.accepting.is_empty() {
+                return matches;
+            }
+            // Snapshot the owner's queue: ascending JobId = submission
+            // order, matching the old full-table scan.
+            let job_ids: Vec<JobId> = match self.idle_by_owner.get(&user) {
+                Some(set) => set.iter().copied().collect(),
+                None => continue,
+            };
             for id in job_ids {
+                if self.accepting.is_empty() {
+                    return matches;
+                }
                 let job = &self.jobs[&id];
-                // Pick the best accepting machine.
-                let mut best: Option<(f64, MachineName)> = None;
-                for m in self.machines.values().filter(|m| m.accepting()) {
-                    if !job.requirements.eval_bool(&m.ad, &job.ad) {
-                        continue;
-                    }
-                    let score = job.rank.eval_rank(&m.ad, &job.ad) + cache_affinity(&m.ad, &job.ad);
-                    let better = match &best {
+                let cluster_memo = &mut memo[job.cluster as usize];
+                if cluster_memo.is_empty() {
+                    cluster_memo.resize(self.machines.len(), (UNSEEN, 0.0));
+                }
+                // Pick the best accepting machine. The accepting list is
+                // name-sorted, so keeping the first strict maximum
+                // reproduces the old name-order tie-break exactly.
+                let mut best: Option<(f64, usize)> = None;
+                for pos in 0..self.accepting.len() {
+                    let i = self.accepting[pos];
+                    let score = match cluster_memo[i] {
+                        (NO_MATCH, _) => continue,
+                        (SCORED, s) => s,
+                        _ => {
+                            let slot = self.slot(i);
+                            let m = &slot.machine;
+                            if !job.compiled_req.eval_bool(&m.ad, &job.ad, &mut stack) {
+                                cluster_memo[i] = (NO_MATCH, 0.0);
+                                continue;
+                            }
+                            let mut score = job.compiled_rank.eval_rank(&m.ad, &job.ad, &mut stack);
+                            if !job.input_cids.is_empty() && !slot.cache_cids.is_empty() {
+                                let overlap = job
+                                    .input_cids
+                                    .iter()
+                                    .filter(|c| slot.cache_cids.binary_search(c).is_ok())
+                                    .count();
+                                score += CACHE_AFFINITY_BONUS * overlap as f64;
+                            }
+                            debug_assert_eq!(
+                                score,
+                                job.rank.eval_rank(&m.ad, &job.ad) + cache_affinity(&m.ad, &job.ad),
+                                "compiled negotiation diverged from the reference path"
+                            );
+                            cluster_memo[i] = (SCORED, score);
+                            score
+                        }
+                    };
+                    let better = match best {
                         None => true,
-                        Some((s, name)) => score > *s || (score == *s && m.name < *name),
+                        Some((s, _)) => score > s,
                     };
                     if better {
-                        best = Some((score, m.name.clone()));
+                        best = Some((score, pos));
                     }
                 }
-                let Some((_, name)) = best else { continue };
-                let machine = self.machines.get_mut(&name).expect("chosen above");
-                machine.slots_free -= 1;
-                let capacity = match machine.ad.get("ComputeUnits") {
-                    Value::Float(f) => f,
-                    Value::Int(i) => i as f64,
-                    _ => 1.0,
-                };
+                let Some((_, pos)) = best else { continue };
+                let i = self.accepting[pos];
+                let slot = self.slot_mut(i);
+                slot.machine.slots_free -= 1;
+                let name = slot.machine.name.clone();
+                let capacity = slot.capacity;
+                if slot.machine.slots_free == 0 {
+                    self.accepting.remove(pos);
+                }
                 let job = self.jobs.get_mut(&id).expect("exists");
                 let duration = job.work.duration_on(capacity);
                 job.state = JobState::Running;
                 job.running_on = Some(name.clone());
                 job.started_at = Some(now);
                 job.finish_at = Some(now + duration);
+                job.run_gen += 1;
+                self.finish_heap
+                    .push(Reverse((now + duration, id, job.run_gen)));
+                self.idle_index_remove(&user, id);
+                self.running += 1;
                 matches.push(Match {
                     job: id,
                     machine: name,
@@ -446,42 +810,78 @@ impl CondorPool {
         matches
     }
 
+    /// True when a heap entry still describes a live execution: the job
+    /// is in the hot map, still running, and on the generation the entry
+    /// was pushed for (evictions / extensions / removals bump it).
+    fn heap_entry_live(&self, id: JobId, gen: u64) -> bool {
+        self.jobs
+            .get(&id)
+            .is_some_and(|j| j.state == JobState::Running && j.run_gen == gen)
+    }
+
     /// Complete every running job whose finish time is at or before `now`;
     /// free slots, charge usage, and drop fully-drained machines. Returns
     /// the completed job ids.
+    ///
+    /// Cost is O(completions · log running): due entries are popped from
+    /// the finish heap (stale generations discarded on the way), then
+    /// processed in JobId order — the same order as the old full-table
+    /// scan, which matters because per-user usage is accumulated in f64.
     pub fn settle(&mut self, now: SimTime) -> Vec<JobId> {
-        let mut completed = Vec::new();
-        for job in self.jobs.values_mut() {
-            if job.state != JobState::Running {
-                continue;
-            }
-            let Some(finish) = job.finish_at else {
-                continue;
-            };
+        let mut due: Vec<JobId> = Vec::new();
+        while let Some(&Reverse((finish, id, gen))) = self.finish_heap.peek() {
             if finish > now {
-                continue;
+                break;
             }
+            self.finish_heap.pop();
+            if self.heap_entry_live(id, gen) {
+                due.push(id);
+            }
+        }
+        due.sort_unstable();
+        let mut completed = Vec::with_capacity(due.len());
+        for id in due {
+            let mut job = self.jobs.remove(&id).expect("due job is live");
+            let finish = job.finish_at.expect("running job has a finish time");
+            debug_assert!(finish <= now);
             job.state = JobState::Completed;
-            completed.push(job.id);
+            completed.push(id);
             if let Some(started) = job.started_at {
                 *self.usage.entry(job.owner.clone()).or_insert(0.0) +=
                     finish.since(started).as_secs_f64();
             }
             if let Some(name) = job.running_on.clone() {
-                if let Some(m) = self.machines.get_mut(&name) {
+                if let Some(&i) = self.by_name.get(&name) {
+                    let m = &mut self.slot_mut(i).machine;
                     m.slots_free += 1;
+                    let newly_accepting = !m.draining && m.slots_free == 1;
+                    if newly_accepting {
+                        self.accepting_insert(i);
+                    }
                 }
             }
+            self.running -= 1;
+            self.last_completion = Some(match self.last_completion {
+                Some(prev) if prev > finish => prev,
+                _ => finish,
+            });
+            self.history.insert(id, job);
         }
-        // Remove drained machines that are now idle.
-        let drained: Vec<MachineName> = self
-            .machines
-            .values()
-            .filter(|m| m.draining && m.busy_slots() == 0)
-            .map(|m| m.name.clone())
-            .collect();
-        for name in drained {
-            self.machines.remove(&name);
+        // Remove drained machines that are now idle (the draining counter
+        // lets completion-only settles skip the sweep entirely).
+        if self.draining_count > 0 {
+            let drained: Vec<usize> = self
+                .by_name
+                .values()
+                .copied()
+                .filter(|&i| {
+                    let m = &self.slot(i).machine;
+                    m.draining && m.busy_slots() == 0
+                })
+                .collect();
+            for i in drained {
+                self.remove_slot(i);
+            }
         }
         completed
     }
@@ -498,11 +898,13 @@ impl CondorPool {
     }
 
     /// The earliest running-job completion, if any (for event scheduling).
+    /// Scans the heap's backing store (skipping stale generations) so it
+    /// stays `&self`; O(running + stale) like the old job-table scan.
     pub fn next_completion_at(&self) -> Option<SimTime> {
-        self.jobs
-            .values()
-            .filter(|j| j.state == JobState::Running)
-            .filter_map(|j| j.finish_at)
+        self.finish_heap
+            .iter()
+            .filter(|&&Reverse((_, id, gen))| self.heap_entry_live(id, gen))
+            .map(|&Reverse((finish, _, _))| finish)
             .min()
     }
 

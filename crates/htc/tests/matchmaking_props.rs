@@ -53,7 +53,8 @@ fn negotiation_never_oversubscribes_slots() {
         for (serial, mem_req) in &jobs {
             pool.submit(
                 Job::new("u", WorkSpec::serial(*serial))
-                    .requirements(&format!("Memory >= {mem_req}")),
+                    .try_requirements(&format!("Memory >= {mem_req}"))
+                    .expect("memory requirement expression"),
                 t(0),
             );
         }

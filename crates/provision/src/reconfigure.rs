@@ -615,7 +615,8 @@ mod tests {
             let inst = world.instance_mut(&id).unwrap();
             let machine = format!("{id}.worker-1");
             let job = Job::new("user1", WorkSpec::serial(600.0))
-                .requirements(&format!("Machine == \"{machine}\""));
+                .try_requirements(&format!("Machine == \"{machine}\""))
+                .expect("machine pin expression");
             inst.pool.submit(job, ready);
             inst.pool.negotiate(ready);
         }
@@ -817,9 +818,11 @@ mod drain_regression_tests {
         {
             let inst = world.instance_mut(&id).unwrap();
             let short = Job::new("u", WorkSpec::serial(30.0))
-                .requirements(&format!("Machine == \"{id}.worker-0\""));
+                .try_requirements(&format!("Machine == \"{id}.worker-0\""))
+                .expect("machine pin expression");
             let long = Job::new("u", WorkSpec::serial(900.0))
-                .requirements(&format!("Machine == \"{id}.worker-1\""));
+                .try_requirements(&format!("Machine == \"{id}.worker-1\""))
+                .expect("machine pin expression");
             inst.pool.submit(short, ready);
             inst.pool.submit(long, ready);
             inst.pool.negotiate(ready);

@@ -229,7 +229,8 @@ mod tests {
             let machine = format!("{id}.worker-1");
             let jid = inst.pool.submit(
                 Job::new("u", WorkSpec::serial(3000.0))
-                    .requirements(&format!("Machine == \"{machine}\"")),
+                    .try_requirements(&format!("Machine == \"{machine}\""))
+                    .expect("machine pin expression"),
                 start,
             );
             inst.pool.negotiate(start);

@@ -178,7 +178,8 @@ mod tests {
             let machine = format!("{id}.worker-1");
             inst.pool.submit(
                 Job::new("u", WorkSpec::serial(500.0))
-                    .requirements(&format!("Machine == \"{machine}\"")),
+                    .try_requirements(&format!("Machine == \"{machine}\""))
+                    .expect("machine pin expression"),
                 ready,
             );
             inst.pool.negotiate(ready);
@@ -201,7 +202,8 @@ mod tests {
             let machine = format!("{id}.worker-0");
             let jid = inst.pool.submit(
                 Job::new("u", WorkSpec::serial(600.0))
-                    .requirements(&format!("Machine == \"{machine}\"")),
+                    .try_requirements(&format!("Machine == \"{machine}\""))
+                    .expect("machine pin expression"),
                 start,
             );
             inst.pool.negotiate(start);

@@ -174,6 +174,59 @@ fn predictive_logs_survive_the_parallel_replica_runner() {
     assert_eq!(sequential, parallel);
 }
 
+/// The matchmaker-rewrite gate: every experiment grid that leans on the
+/// pool (E9e policy sweep, E10 spot, E12 predictive, E13 datashare) must
+/// render byte-identically whether its replicas run serially or across
+/// threads. Quick mode keeps the grids small; the full-size runs are
+/// asserted the same way inside each `--bin` itself.
+#[test]
+fn experiment_grids_are_thread_invariant() {
+    use cumulus_bench::experiments::{datashare, extensions, predictive, spot};
+
+    let seed = 20120512;
+    assert_eq!(
+        extensions::run_policy_sweep_threads(seed, 1),
+        extensions::run_policy_sweep_threads(seed, 3),
+        "E9e policy sweep diverged across threads"
+    );
+
+    let serial = spot::run_grid(seed, 1, true);
+    let parallel = spot::run_grid(seed, 3, true);
+    assert_eq!(
+        spot::render(&serial),
+        spot::render(&parallel),
+        "E10 spot grid diverged across threads"
+    );
+    assert_eq!(
+        spot::json_doc(seed, &serial).render(),
+        spot::json_doc(seed, &parallel).render()
+    );
+
+    let serial = predictive::run_grid(seed, 1, true);
+    let parallel = predictive::run_grid(seed, 3, true);
+    assert_eq!(
+        predictive::render(&serial),
+        predictive::render(&parallel),
+        "E12 predictive grid diverged across threads"
+    );
+    assert_eq!(
+        predictive::json_doc(seed, &serial).render(),
+        predictive::json_doc(seed, &parallel).render()
+    );
+
+    let serial = datashare::run_grid(seed, 1, true);
+    let parallel = datashare::run_grid(seed, 3, true);
+    assert_eq!(
+        datashare::render(&serial),
+        datashare::render(&parallel),
+        "E13 datashare grid diverged across threads"
+    );
+    assert_eq!(
+        datashare::json_doc(seed, &serial).render(),
+        datashare::json_doc(seed, &parallel).render()
+    );
+}
+
 #[test]
 fn metrics_merge_is_order_independent_for_counters() {
     let a = Metrics::new();
