@@ -20,8 +20,9 @@ use cumulus_cloud::InstanceType;
 use cumulus_provision::deploy::{GpCloud, GpError, GpInstanceId};
 use cumulus_provision::Topology;
 use cumulus_simkit::engine::Sim;
-use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::metrics::{MetricId, Metrics};
 use cumulus_simkit::runner::{run_replicas, ReplicaPlan};
+use cumulus_simkit::telemetry::{span::keys as span_keys, Key, Payload, Telemetry};
 use cumulus_simkit::time::{SimDuration, SimTime};
 use cumulus_store::CacheFleet;
 
@@ -46,6 +47,33 @@ pub mod keys {
     pub const HOLD_CACHE: &str = "autoscale/hold_cache_warm";
     /// Gauge: workers after the most recent tick.
     pub const WORKERS: &str = "autoscale/workers";
+}
+
+/// Pre-registered [`MetricId`] handles for every [`keys`] entry, so the
+/// control loop's hot path never hashes a key string.
+#[derive(Debug, Clone, Copy)]
+struct ScalerMetricIds {
+    ticks: MetricId,
+    scale_out: MetricId,
+    scale_in: MetricId,
+    hold_in_flight: MetricId,
+    hold_drain: MetricId,
+    hold_cache: MetricId,
+    workers: MetricId,
+}
+
+impl ScalerMetricIds {
+    fn register() -> ScalerMetricIds {
+        ScalerMetricIds {
+            ticks: MetricId::register(keys::TICKS),
+            scale_out: MetricId::register(keys::SCALE_OUT),
+            scale_in: MetricId::register(keys::SCALE_IN),
+            hold_in_flight: MetricId::register(keys::HOLD_IN_FLIGHT),
+            hold_drain: MetricId::register(keys::HOLD_DRAIN),
+            hold_cache: MetricId::register(keys::HOLD_CACHE),
+            workers: MetricId::register(keys::WORKERS),
+        }
+    }
 }
 
 /// Why a tick did not change the cluster.
@@ -220,6 +248,8 @@ pub struct AutoScaler {
     pub log: ActivityLog,
     /// Counters and gauges (see [`keys`]).
     pub metrics: Metrics,
+    ids: ScalerMetricIds,
+    telemetry: Telemetry,
 }
 
 impl AutoScaler {
@@ -234,7 +264,15 @@ impl AutoScaler {
             cache_holds: 0,
             log: ActivityLog::default(),
             metrics: Metrics::new(),
+            ids: ScalerMetricIds::register(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; each decision is then mirrored as a
+    /// typed event ([`ActivityLog`] stays the renderable view).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The policy's log name.
@@ -255,7 +293,7 @@ impl AutoScaler {
         cloud: &mut GpCloud,
         id: &GpInstanceId,
     ) -> Result<Decision, GpError> {
-        self.metrics.incr(keys::TICKS, 1);
+        self.metrics.incr_id(self.ids.ticks, 1);
         let inst = cloud.instance(id)?;
         let workers = inst.topology.workers.len();
         let sample = SignalSample::observe(now, &inst.pool, workers);
@@ -266,7 +304,7 @@ impl AutoScaler {
         // clocks) see only actionable ticks.
         if let Some(until) = self.in_flight_until {
             if now < until {
-                self.metrics.incr(keys::HOLD_IN_FLIGHT, 1);
+                self.metrics.incr_id(self.ids.hold_in_flight, 1);
                 return Ok(self.record(Decision {
                     at: now,
                     sample,
@@ -283,7 +321,7 @@ impl AutoScaler {
             let report = cloud.scale_workers(now, id, desired, self.config.worker_type)?;
             let done = report.done_at(now);
             self.in_flight_until = Some(done);
-            self.metrics.incr(keys::SCALE_OUT, 1);
+            self.metrics.incr_id(self.ids.scale_out, 1);
             self.policy.observe_actuation(&ActuationFeedback {
                 at: now,
                 from: workers,
@@ -308,7 +346,7 @@ impl AutoScaler {
                 to -= 1;
             }
             if to == workers {
-                self.metrics.incr(keys::HOLD_DRAIN, 1);
+                self.metrics.incr_id(self.ids.hold_drain, 1);
                 Decision {
                     at: now,
                     sample,
@@ -323,7 +361,7 @@ impl AutoScaler {
                 // warmth drain (jobs rank toward warm workers, so the
                 // tail going un-matched usually means it is cooling off).
                 self.cache_holds += 1;
-                self.metrics.incr(keys::HOLD_CACHE, 1);
+                self.metrics.incr_id(self.ids.hold_cache, 1);
                 Decision {
                     at: now,
                     sample,
@@ -335,7 +373,7 @@ impl AutoScaler {
                 let report = cloud.scale_workers(now, id, to, self.config.worker_type)?;
                 let done = report.done_at(now);
                 self.in_flight_until = Some(done);
-                self.metrics.incr(keys::SCALE_IN, 1);
+                self.metrics.incr_id(self.ids.scale_in, 1);
                 self.cache_holds = 0;
                 if let Some(fleet) = &self.config.cache_fleet {
                     // The released workers' instance storage is gone with
@@ -368,7 +406,7 @@ impl AutoScaler {
             }
         };
         let after = cloud.instance(id)?.topology.workers.len();
-        self.metrics.set_gauge(keys::WORKERS, after as f64);
+        self.metrics.set_gauge_id(self.ids.workers, after as f64);
         Ok(self.record(decision))
     }
 
@@ -396,6 +434,27 @@ impl AutoScaler {
     }
 
     fn record(&mut self, decision: Decision) -> Decision {
+        if self.telemetry.is_enabled() {
+            let (key, payload) = match decision.action {
+                Action::ScaleOut { from, to } => {
+                    (span_keys::SCALE_OUT, Payload::Pair(from as u64, to as u64))
+                }
+                Action::ScaleIn { from, to } => {
+                    (span_keys::SCALE_IN, Payload::Pair(from as u64, to as u64))
+                }
+                Action::Hold(reason) => {
+                    let code = match reason {
+                        HoldReason::InFlight => 0,
+                        HoldReason::NoChange => 1,
+                        HoldReason::DrainBlocked => 2,
+                        HoldReason::CacheWarm => 3,
+                    };
+                    (span_keys::SCALE_HOLD, Payload::Count(code))
+                }
+            };
+            self.telemetry
+                .record(decision.at, "autoscale", Key::intern(key), payload);
+        }
         self.log.entries.push(decision.clone());
         decision
     }

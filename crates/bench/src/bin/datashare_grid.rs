@@ -11,12 +11,18 @@
 //! ≥ 2× staging-reduction claim compares); the determinism assertion and
 //! the claim check still run.
 
+//!
+//! `--report` appends the telemetry episode report: every job's walltime
+//! decomposed into queue/repair/staging/compute from its assembled
+//! lifecycle span, digest-gated to be identical at any `--threads`.
+
 use cumulus_bench::experiments::datashare;
 
 fn main() {
     let seed = cumulus_bench::seed_from_args(cumulus_bench::REPORT_SEED);
     let threads = cumulus_bench::threads_from_args(0);
     let quick = std::env::args().any(|a| a == "--quick");
+    let report = cumulus_bench::report_from_args();
 
     let serial = datashare::run_grid(seed, 1, quick);
     let parallel = datashare::run_grid(seed, threads, quick);
@@ -40,6 +46,18 @@ fn main() {
     );
 
     print!("{table}");
+
+    if report {
+        let serial = datashare::run_grid_instrumented(seed, 1, quick);
+        let parallel = datashare::run_grid_instrumented(seed, threads, quick);
+        let episode = datashare::episode_report(&parallel);
+        assert_eq!(
+            datashare::episode_report(&serial),
+            episode,
+            "parallel episode report (telemetry digest included) diverged from serial"
+        );
+        print!("\n{episode}");
+    }
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e13.json");
     std::fs::write(path, doc.render() + "\n").expect("write BENCH_e13.json");

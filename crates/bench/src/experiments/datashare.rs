@@ -32,6 +32,7 @@ use cumulus::provision::json::Json;
 use cumulus::simkit::metrics::Metrics;
 use cumulus::simkit::rng::RngStream;
 use cumulus::simkit::runner::{run_replicas, ReplicaPlan};
+use cumulus::simkit::telemetry::{assemble, JobBreakdown, SpanKind, Telemetry};
 use cumulus::simkit::time::{SimDuration, SimTime};
 use cumulus::store::staging::keys as staging_keys;
 use cumulus::store::{
@@ -239,6 +240,13 @@ fn job_stream(seed: u64, reuse: Reuse) -> Vec<StreamJob> {
 /// Run one grid cell: a synchronous Condor episode over the fixed job
 /// stream with staging charged through the cell's data plane.
 pub fn run_cell(seed: u64, spec: BackendSpec, reuse: Reuse) -> CellReport {
+    run_cell_on(seed, spec, reuse, Telemetry::disabled())
+}
+
+/// [`run_cell`] with a caller-supplied telemetry handle; the pool's job
+/// lifecycle spans land on it (nothing is recorded through a disabled
+/// handle, so `run_cell` itself stays allocation-free).
+pub fn run_cell_on(seed: u64, spec: BackendSpec, reuse: Reuse, telemetry: Telemetry) -> CellReport {
     let stream = job_stream(seed, reuse);
 
     let metrics = Metrics::new();
@@ -255,6 +263,7 @@ pub fn run_cell(seed: u64, spec: BackendSpec, reuse: Reuse) -> CellReport {
     }
 
     let mut pool = CondorPool::new();
+    pool.set_telemetry(telemetry);
     for w in 0..WORKERS {
         pool.add_machine(Machine::new(&format!("worker-{w}"), 5.0, 1700, 1))
             .expect("worker names are distinct");
@@ -348,6 +357,114 @@ pub fn run_grid(seed: u64, threads: usize, quick: bool) -> Vec<DatashareRow> {
             report,
         })
         .collect()
+}
+
+/// [`run_grid`] with job-lifecycle telemetry enabled per cell: each row
+/// comes back with the cell's event stream, ready for span assembly. Used
+/// by the `--report` path of the E13 binary; the plain grid never records.
+pub fn run_grid_instrumented(
+    seed: u64,
+    threads: usize,
+    quick: bool,
+) -> Vec<(DatashareRow, Telemetry)> {
+    let combos = grid_combos(quick);
+    let cells = run_replicas(
+        ReplicaPlan::new(seed, combos.len()).with_threads(threads),
+        |i, _seeds| {
+            let (spec, reuse) = combos[i];
+            let telemetry = Telemetry::enabled();
+            let report = run_cell_on(seed, spec, reuse, telemetry.clone());
+            (report, telemetry)
+        },
+    );
+    combos
+        .into_iter()
+        .zip(cells)
+        .map(|((spec, reuse), (report, telemetry))| {
+            (
+                DatashareRow {
+                    spec,
+                    reuse,
+                    report,
+                },
+                telemetry,
+            )
+        })
+        .collect()
+}
+
+/// The E13 episode report: per cell, every job's walltime decomposed into
+/// queue-wait, disruption-repair, staging, and compute from its assembled
+/// lifecycle span. The decomposition identity (components sum to the
+/// job's walltime) and the makespan cross-check (latest span close equals
+/// the cell table's makespan) are asserted, not just printed, and the
+/// trailing digest line makes thread-invariance checkable by string
+/// comparison alone.
+pub fn episode_report(rows: &[(DatashareRow, Telemetry)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "E13 episode report — per-job walltime decomposition
+",
+    );
+    let mut combined: u64 = 0;
+    for (row, telemetry) in rows {
+        let spans = assemble(&telemetry.events()).expect("E13 episode spans are well-formed");
+        let mut jobs: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Job).collect();
+        jobs.sort_by_key(|s| s.id);
+        out.push_str(&format!(
+            "
+cell: {} / {}
+{:>4}  {:>9}  {:>9}  {:>10}  {:>10}  {:>11}
+",
+            row.spec.label(),
+            row.reuse.label(),
+            "job",
+            "queue(s)",
+            "repair(s)",
+            "staging(s)",
+            "compute(s)",
+            "walltime(s)",
+        ));
+        let mut latest_close = SimTime::ZERO;
+        for span in &jobs {
+            let bd = JobBreakdown::of(span).expect("every E13 job runs");
+            assert_eq!(
+                bd.total(),
+                span.duration(),
+                "job {} breakdown must sum to its walltime",
+                span.id
+            );
+            latest_close = latest_close.max(span.closed_at);
+            out.push_str(&format!(
+                "{:>4}  {:>9.1}  {:>9.1}  {:>10.1}  {:>10.1}  {:>11.1}
+",
+                span.id,
+                bd.queue.as_secs_f64(),
+                bd.repair.as_secs_f64(),
+                bd.staging.as_secs_f64(),
+                bd.compute.as_secs_f64(),
+                span.duration().as_secs_f64(),
+            ));
+        }
+        let span_makespan = latest_close.since(SimTime::ZERO).as_mins_f64();
+        assert_eq!(
+            mins(span_makespan),
+            mins(row.report.makespan_mins),
+            "span-derived makespan must match the grid table"
+        );
+        out.push_str(&format!(
+            "{} jobs; every breakdown sums to its walltime; span makespan {} min matches the table\n",
+            jobs.len(),
+            mins(span_makespan),
+        ));
+        combined = combined.rotate_left(1).wrapping_add(telemetry.digest());
+    }
+    out.push_str(&format!(
+        "
+telemetry digest {combined:#018x}
+"
+    ));
+    out
 }
 
 /// The grid cell matching `spec` × `reuse`.
@@ -533,6 +650,26 @@ mod tests {
         assert!(small_high.report.staging_secs < s3_high.report.staging_secs);
         assert!(cached_high.report.staging_secs < small_high.report.staging_secs);
         assert!(cached_high.report.hit_rate() > small_high.report.hit_rate());
+    }
+
+    #[test]
+    fn episode_report_is_thread_count_invariant_and_decomposes_every_job() {
+        let seed = crate::REPORT_SEED;
+        let serial = run_grid_instrumented(seed, 1, true);
+        let parallel = run_grid_instrumented(seed, 3, true);
+        // episode_report asserts the decomposition identity and the
+        // makespan cross-check internally; equality (digest line
+        // included) is the thread-invariance gate.
+        let report = episode_report(&serial);
+        assert_eq!(report, episode_report(&parallel));
+        assert!(report.contains("telemetry digest 0x"));
+        for (row, _) in &serial {
+            assert!(report.contains(&format!(
+                "cell: {} / {}",
+                row.spec.label(),
+                row.reuse.label()
+            )));
+        }
     }
 
     #[test]

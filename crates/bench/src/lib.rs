@@ -97,6 +97,14 @@ pub fn threads_from_args(default: usize) -> usize {
     default
 }
 
+/// Whether `--report` was passed: experiment binaries then append their
+/// telemetry episode report (per-job walltime decomposition assembled
+/// from lifecycle spans) after the regular table. Off by default so the
+/// standard outputs stay byte-identical to the pre-telemetry tree.
+pub fn report_from_args() -> bool {
+    std::env::args().any(|a| a == "--report")
+}
+
 /// First positional argument (ignoring `--seed`/`--threads` flags and
 /// their values), parsed, or `default`. The replica-count argument of the
 /// Monte-Carlo binaries.

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
 use cumulus_simkit::rng::RngStream;
+use cumulus_simkit::telemetry::{span::keys as span_keys, SpanKind, Telemetry};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
 use crate::ami::{AmiCatalog, AmiId};
@@ -115,6 +116,9 @@ pub struct Ec2Sim {
     pub ledger: BillingLedger,
     next_id: u64,
     rng: RngStream,
+    /// Instance-lifecycle telemetry (requested → running →
+    /// terminated/preempted spans). Disabled by default.
+    telemetry: Telemetry,
 }
 
 impl Ec2Sim {
@@ -127,7 +131,15 @@ impl Ec2Sim {
             ledger: BillingLedger::new(),
             next_id: 1,
             rng,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; instance lifecycle events
+    /// (`instance.requested` / `instance.running` / `instance.terminated`
+    /// / `instance.preempted`) are emitted as span events on it.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The active configuration.
@@ -212,6 +224,13 @@ impl Ec2Sim {
             };
             self.ledger.open_priced(id, instance_type, pricing, now);
             self.instances.insert(id, inst);
+            self.telemetry.span_open(
+                now,
+                "cloud",
+                span_keys::INSTANCE_REQUESTED,
+                SpanKind::Instance,
+                id.0,
+            );
             ids.push(id);
         }
         Ok((ids, last_ready))
@@ -228,7 +247,17 @@ impl Ec2Sim {
             }
             inst.transition_at = None;
             match inst.state {
-                InstanceState::Pending => inst.state = InstanceState::Running,
+                InstanceState::Pending => {
+                    inst.state = InstanceState::Running;
+                    self.telemetry.span_phase(
+                        at,
+                        "cloud",
+                        span_keys::INSTANCE_RUNNING,
+                        SpanKind::Instance,
+                        inst.id.0,
+                        SimDuration::ZERO,
+                    );
+                }
                 InstanceState::Stopping => {
                     inst.state = InstanceState::Stopped;
                     self.ledger.close(inst.id, at);
@@ -236,6 +265,13 @@ impl Ec2Sim {
                 InstanceState::ShuttingDown => {
                     inst.state = InstanceState::Terminated;
                     self.ledger.close(inst.id, at);
+                    self.telemetry.span_close(
+                        at,
+                        "cloud",
+                        span_keys::INSTANCE_TERMINATED,
+                        SpanKind::Instance,
+                        inst.id.0,
+                    );
                 }
                 // A Running instance only carries a pending transition
                 // when a spot interruption notice is in force: the
@@ -243,6 +279,13 @@ impl Ec2Sim {
                 InstanceState::Running if inst.interruption_at.is_some() => {
                     inst.state = InstanceState::Preempted;
                     self.ledger.close(inst.id, at);
+                    self.telemetry.span_close(
+                        at,
+                        "cloud",
+                        span_keys::INSTANCE_PREEMPTED,
+                        SpanKind::Instance,
+                        inst.id.0,
+                    );
                 }
                 _ => {}
             }
@@ -351,6 +394,13 @@ impl Ec2Sim {
                 let done = now + api;
                 inst.state = InstanceState::Terminated;
                 inst.transition_at = None;
+                self.telemetry.span_close(
+                    done,
+                    "cloud",
+                    span_keys::INSTANCE_TERMINATED,
+                    SpanKind::Instance,
+                    id.0,
+                );
                 Ok(done)
             }
             state => Err(Ec2Error::InvalidState {
@@ -450,6 +500,13 @@ impl Ec2Sim {
         if had_billing {
             self.ledger.close(id, now);
         }
+        self.telemetry.span_close(
+            now,
+            "cloud",
+            span_keys::INSTANCE_TERMINATED,
+            SpanKind::Instance,
+            id.0,
+        );
         Ok(())
     }
 

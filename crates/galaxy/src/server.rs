@@ -118,6 +118,7 @@ pub struct GalaxyServer {
     next_dataset: u64,
     next_job: u64,
     next_api_key: u64,
+    next_workflow: u64,
     /// The server's network node (where its GridFTP endpoint lives).
     pub node: NodeId,
     /// The server's Globus endpoint name, if one is registered.
@@ -140,9 +141,18 @@ impl GalaxyServer {
             next_dataset: 1,
             next_job: 1,
             next_api_key: 1,
+            next_workflow: 1,
             node,
             endpoint: endpoint.map(str::to_string),
         }
+    }
+
+    /// The next workflow-run serial, used as the telemetry span id for
+    /// [`run_workflow`](crate::workflow::run_workflow) invocations.
+    pub(crate) fn next_workflow_id(&mut self) -> u64 {
+        let id = self.next_workflow;
+        self.next_workflow += 1;
+        id
     }
 
     // ----- users & histories -------------------------------------------

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use cumulus_htc::{CondorPool, DagRun};
+use cumulus_simkit::telemetry::{span::keys as span_keys, SpanKind};
 use cumulus_simkit::time::SimTime;
 
 use crate::dataset::DatasetId;
@@ -190,6 +191,19 @@ pub fn run_workflow(
     let step_by_id: BTreeMap<&str, &WorkflowStep> =
         workflow.steps.iter().map(|s| (s.id.as_str(), s)).collect();
 
+    // A workflow run is one telemetry span: opened at submission, one
+    // phase per completed step, closed when the DAG drains. The id is a
+    // per-server serial so concurrent runs never collide.
+    let telemetry = pool.telemetry().clone();
+    let wf_id = server.next_workflow_id();
+    telemetry.span_open(
+        now,
+        "workflow",
+        span_keys::WORKFLOW_STARTED,
+        SpanKind::Workflow,
+        wf_id,
+    );
+
     let mut step_jobs: BTreeMap<String, GalaxyJobId> = BTreeMap::new();
     let mut step_outputs: BTreeMap<String, Vec<DatasetId>> = BTreeMap::new();
     let mut condor_to_step: BTreeMap<cumulus_htc::JobId, String> = BTreeMap::new();
@@ -277,6 +291,14 @@ pub fn run_workflow(
                     ))));
                 }
                 step_outputs.insert(step_id.clone(), job.outputs.clone());
+                telemetry.span_phase(
+                    clock,
+                    "workflow",
+                    span_keys::WORKFLOW_STEP,
+                    SpanKind::Workflow,
+                    wf_id,
+                    cumulus_simkit::time::SimDuration::ZERO,
+                );
                 dag.on_job_completed(condor_id);
             }
         }
@@ -290,6 +312,14 @@ pub fn run_workflow(
             clock,
         )?;
     }
+
+    telemetry.span_close(
+        clock,
+        "workflow",
+        span_keys::WORKFLOW_COMPLETED,
+        SpanKind::Workflow,
+        wf_id,
+    );
 
     Ok(WorkflowRunResult {
         finished_at: clock,

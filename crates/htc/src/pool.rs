@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 use std::sync::OnceLock;
 
 use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
+use cumulus_simkit::telemetry::{span::keys as span_keys, SpanKind, Telemetry};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
 use crate::classad::{ClassAd, Symbol, Value};
@@ -222,6 +223,10 @@ pub struct CondorPool {
     /// distinct job shapes ever submitted, which real workloads keep
     /// small (Condor's autoclusters exploit the same redundancy).
     clusters: HashMap<Vec<u8>, u32>,
+    /// Job-lifecycle telemetry (submit → match → stage → complete spans).
+    /// Disabled by default; attach a shared handle with
+    /// [`set_telemetry`](CondorPool::set_telemetry).
+    telemetry: Telemetry,
 }
 
 impl CondorPool {
@@ -231,6 +236,20 @@ impl CondorPool {
             next_job_id: 1,
             ..CondorPool::default()
         }
+    }
+
+    /// Attach a telemetry handle. Job lifecycle events (`job.submitted`,
+    /// `job.matched`, `job.staged`, `job.evicted`, `job.completed`) are
+    /// emitted as span events on it, from which per-job walltime
+    /// breakdowns are assembled after the episode.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The pool's telemetry handle (disabled unless one was attached);
+    /// workflow drivers clone it so their spans share the event stream.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     // ----- index maintenance -----------------------------------------
@@ -396,6 +415,14 @@ impl CondorPool {
         for (owner, id) in requeue {
             self.idle_index_insert(&owner, id);
             self.running -= 1;
+            self.telemetry.span_phase(
+                now,
+                "htc",
+                span_keys::JOB_EVICTED,
+                SpanKind::Job,
+                id.0,
+                SimDuration::ZERO,
+            );
         }
         Ok(evicted)
     }
@@ -537,6 +564,8 @@ impl CondorPool {
         job.cluster = *self.clusters.entry(key).or_insert(next);
         self.idle_index_insert(&job.owner, id);
         self.jobs.insert(id, job);
+        self.telemetry
+            .span_open(now, "htc", span_keys::JOB_SUBMITTED, SpanKind::Job, id.0);
         id
     }
 
@@ -657,7 +686,18 @@ impl CondorPool {
         let finish = job.finish_at.expect("running job has a finish time") + extra;
         job.finish_at = Some(finish);
         job.run_gen += 1;
+        // Stage-in charged to the current run attempt: the phase lands at
+        // the attempt's start time (same instant as its `job.matched`).
+        let started = job.started_at.expect("running job has a start time");
         self.finish_heap.push(Reverse((finish, id, job.run_gen)));
+        self.telemetry.span_phase(
+            started,
+            "htc",
+            span_keys::JOB_STAGED,
+            SpanKind::Job,
+            id.0,
+            extra,
+        );
         Ok(finish)
     }
 
@@ -800,6 +840,14 @@ impl CondorPool {
                     .push(Reverse((now + duration, id, job.run_gen)));
                 self.idle_index_remove(&user, id);
                 self.running += 1;
+                self.telemetry.span_phase(
+                    now,
+                    "htc",
+                    span_keys::JOB_MATCHED,
+                    SpanKind::Job,
+                    id.0,
+                    SimDuration::ZERO,
+                );
                 matches.push(Match {
                     job: id,
                     machine: name,
@@ -865,6 +913,8 @@ impl CondorPool {
                 Some(prev) if prev > finish => prev,
                 _ => finish,
             });
+            self.telemetry
+                .span_close(finish, "htc", span_keys::JOB_COMPLETED, SpanKind::Job, id.0);
             self.history.insert(id, job);
         }
         // Remove drained machines that are now idle (the draining counter
@@ -1320,6 +1370,33 @@ mod tests {
             pool.extend_job(JobId(99), SimDuration::ZERO),
             Err(PoolError::UnknownJob(JobId(99)))
         );
+    }
+
+    #[test]
+    fn telemetry_spans_cover_the_job_lifecycle() {
+        use cumulus_simkit::telemetry::{assemble, JobBreakdown};
+
+        let tel = Telemetry::enabled();
+        let mut pool = CondorPool::new();
+        pool.set_telemetry(tel.clone());
+        pool.add_machine(small_machine("w1")).unwrap();
+        let id = pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+        pool.negotiate(t(20));
+        pool.extend_job(id, SimDuration::from_secs(30)).unwrap();
+        // Eviction requeues; the retry completes on a second machine.
+        pool.remove_machine("w1", t(50)).unwrap();
+        pool.add_machine(small_machine("w2")).unwrap();
+        pool.negotiate(t(60));
+        pool.settle(t(160));
+
+        let spans = assemble(&tel.events()).expect("well-formed span events");
+        assert_eq!(spans.len(), 1);
+        let b = JobBreakdown::of(&spans[0]).unwrap();
+        assert_eq!(b.queue, SimDuration::from_secs(20));
+        assert_eq!(b.repair, SimDuration::from_secs(40), "lost run + requeue");
+        assert_eq!(b.staging, SimDuration::ZERO, "staging died with attempt 1");
+        assert_eq!(b.compute, SimDuration::from_secs(100));
+        assert_eq!(b.total(), spans[0].duration());
     }
 
     #[test]

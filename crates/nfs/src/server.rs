@@ -9,7 +9,7 @@
 
 use std::collections::BTreeSet;
 
-use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::metrics::{MetricId, Metrics};
 use cumulus_simkit::time::SimDuration;
 
 use crate::tree::{FsError, Tree};
@@ -35,6 +35,9 @@ pub struct SharedFs {
     active_streams: u32,
     /// Observable counters.
     metrics: Metrics,
+    /// Pre-registered counter handles (staging is the server's hot path).
+    id_bytes_staged: MetricId,
+    id_stage_ops: MetricId,
 }
 
 impl SharedFs {
@@ -52,6 +55,8 @@ impl SharedFs {
             mounts: BTreeSet::new(),
             active_streams: 0,
             metrics: Metrics::new(),
+            id_bytes_staged: MetricId::register(keys::BYTES_STAGED),
+            id_stage_ops: MetricId::register(keys::STAGE_OPS),
         }
     }
 
@@ -124,8 +129,8 @@ impl SharedFs {
     /// Stage `bytes` through the server and record it: the observable
     /// wrapper around the pure [`stage_duration`](SharedFs::stage_duration).
     pub fn stage(&mut self, bytes: u64, concurrent: u32) -> SimDuration {
-        self.metrics.incr(keys::BYTES_STAGED, bytes);
-        self.metrics.incr(keys::STAGE_OPS, 1);
+        self.metrics.incr_id(self.id_bytes_staged, bytes);
+        self.metrics.incr_id(self.id_stage_ops, 1);
         self.stage_duration(bytes, concurrent)
     }
 

@@ -238,6 +238,7 @@ pub struct GpCloud {
     /// (cheap, preemptible); below it — and for all non-worker hosts —
     /// capacity is on-demand. `None` (the default) means all on-demand.
     spot_floor: Option<usize>,
+    pub(crate) telemetry: cumulus_simkit::telemetry::Telemetry,
 }
 
 impl GpCloud {
@@ -255,7 +256,16 @@ impl GpCloud {
             instances: BTreeMap::new(),
             next_instance: 0x0215_6188, // the paper's instance id
             spot_floor: None,
+            telemetry: cumulus_simkit::telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle. Repair-loop events (`repair.observed`,
+    /// `repair.relaunched`) land on it, and the handle is propagated to
+    /// the EC2 substrate for instance lifecycle spans.
+    pub fn set_telemetry(&mut self, telemetry: cumulus_simkit::telemetry::Telemetry) {
+        self.ec2.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// Set the spot floor: worker indices `>= floor` are provisioned as

@@ -28,6 +28,7 @@
 use cumulus_chef::Role;
 use cumulus_cloud::InstanceState;
 use cumulus_htc::JobId;
+use cumulus_simkit::telemetry::{span::keys as span_keys, Key, Payload};
 use cumulus_simkit::time::SimTime;
 
 use crate::deploy::{GpCloud, GpError, GpInstanceId, GpState};
@@ -110,6 +111,12 @@ impl GpCloud {
                 "Lost {hostname} ({ec2_state}) at {now}; requeued {} job(s)",
                 requeued.len()
             ));
+            self.telemetry.record(
+                now,
+                "repair",
+                Key::intern(span_keys::REPAIR_OBSERVED),
+                Payload::Count(requeued.len() as u64),
+            );
             report.lost.push(LostNode {
                 hostname,
                 worker_index,
@@ -144,6 +151,12 @@ impl GpCloud {
                 continue; // slot no longer desired; leave it gone
             };
             let ready = self.add_worker(now, id, idx, wtype, with_crdata)?;
+            self.telemetry.record(
+                now,
+                "repair",
+                Key::intern(span_keys::REPAIR_RELAUNCHED),
+                Payload::Count(idx as u64),
+            );
             repaired_at = Some(repaired_at.map_or(ready, |r| r.max(ready)));
             self.instance_mut(id)?
                 .log

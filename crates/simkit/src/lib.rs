@@ -21,8 +21,11 @@
 //! * **Simplicity over framework-ness.** Events are plain `FnOnce(&mut
 //!   Sim<W>)` closures; the world `W` is an ordinary struct owned by the
 //!   engine. No actor runtime, no async.
-//! * **Measurability.** [`Metrics`] and [`TraceLog`] give every subsystem a
-//!   uniform way to report what happened; [`Samples`] summarizes.
+//! * **Measurability.** Every subsystem reports what happened through one
+//!   typed [`telemetry`] plane: interned-key [`telemetry::Event`] records
+//!   feeding lifecycle spans, derived metrics, and episode reports.
+//!   [`Metrics`] and [`TraceLog`] are thin adapters over it; [`Samples`]
+//!   summarizes.
 //!
 //! # Quick example
 //!
@@ -49,15 +52,17 @@ pub mod metrics;
 pub mod rng;
 pub mod runner;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 pub use disrupt::{Disruptable, Disruption, DisruptionKind, DisruptionPlan, InvalidWindow, Window};
 pub use engine::{EventId, RunOutcome, Sim};
-pub use metrics::Metrics;
+pub use metrics::{MetricId, Metrics};
 pub use rng::{RngStream, SeedFactory};
 pub use runner::{run_replicas, ReplicaPlan};
 pub use stats::{relative_error, Samples};
+pub use telemetry::{Event, JobBreakdown, Key, Payload, Span, SpanKind, SpanSet, Telemetry};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceLog, TraceRecord};
 
@@ -67,9 +72,10 @@ pub mod prelude {
         Disruptable, Disruption, DisruptionKind, DisruptionPlan, InvalidWindow, Window,
     };
     pub use crate::engine::{EventId, RunOutcome, Sim};
-    pub use crate::metrics::Metrics;
+    pub use crate::metrics::{MetricId, Metrics};
     pub use crate::rng::{RngStream, SeedFactory};
     pub use crate::stats::Samples;
+    pub use crate::telemetry::{Event, Key, Payload, SpanKind, Telemetry};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::TraceLog;
 }

@@ -1,0 +1,131 @@
+//! Process-wide interning of telemetry names.
+//!
+//! Both event keys ([`Key`]) and metric names
+//! ([`MetricId`](crate::metrics::MetricId)) resolve to small integer
+//! handles through tables of this shape. Interning happens once per
+//! distinct name for the whole process; after that, carrying a name
+//! around is a `u32` copy and comparing two names is an integer compare.
+//!
+//! The numeric ids depend on interning *order*, which differs between
+//! runs that touch names in different sequences (parallel sweeps, test
+//! interleavings). They are therefore an implementation detail: anything
+//! user-visible or digest-relevant resolves the name string instead.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A shared name-interning table: names in insertion order plus a
+/// borrowed-key index, so lookups of existing names never allocate.
+pub(crate) struct NameTable {
+    names: Vec<&'static str>,
+    by_name: HashMap<&'static str, u32>,
+}
+
+impl NameTable {
+    pub(crate) fn new() -> Self {
+        NameTable {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Id of `name`, interning it on first sight. The borrow-first lookup
+    /// means a hit costs one hash probe and zero allocations; only the
+    /// first insertion of a name leaks one boxed copy of it.
+    pub(crate) fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        self.names.push(leaked);
+        self.by_name.insert(leaked, id);
+        id
+    }
+
+    /// Id of `name` if it has ever been interned (never grows the table).
+    pub(crate) fn find(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind an id.
+    pub(crate) fn name(&self, id: u32) -> &'static str {
+        self.names[id as usize]
+    }
+}
+
+fn key_table() -> &'static Mutex<NameTable> {
+    static TABLE: OnceLock<Mutex<NameTable>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(NameTable::new()))
+}
+
+/// An interned telemetry event name, e.g. `"job.submitted"`.
+///
+/// Keys are process-wide and case-sensitive (unlike ClassAd symbols).
+/// Comparing keys is an integer compare; rendering resolves the name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(u32);
+
+impl Key {
+    /// Intern a name (idempotent; cheap after the first call).
+    pub fn intern(name: &str) -> Key {
+        let mut tab = key_table().lock().expect("key table poisoned");
+        Key(tab.intern(name))
+    }
+
+    /// Look up a name without interning it.
+    pub fn find(name: &str) -> Option<Key> {
+        let tab = key_table().lock().expect("key table poisoned");
+        tab.find(name).map(Key)
+    }
+
+    /// The interned name.
+    pub fn name(self) -> &'static str {
+        let tab = key_table().lock().expect("key table poisoned");
+        tab.name(self.0)
+    }
+}
+
+impl fmt::Debug for Key {
+    // Show the name, not the interning-order-dependent id.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:?})", self.name())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_case_sensitive() {
+        let a = Key::intern("telemetry.test.alpha");
+        let b = Key::intern("telemetry.test.alpha");
+        let c = Key::intern("telemetry.test.Alpha");
+        assert_eq!(a, b);
+        assert_ne!(a, c, "keys are case-sensitive");
+        assert_eq!(a.name(), "telemetry.test.alpha");
+        assert_eq!(c.name(), "telemetry.test.Alpha");
+    }
+
+    #[test]
+    fn find_never_grows_the_table() {
+        assert_eq!(Key::find("telemetry.test.never-interned"), None);
+        let k = Key::intern("telemetry.test.beta");
+        assert_eq!(Key::find("telemetry.test.beta"), Some(k));
+    }
+
+    #[test]
+    fn debug_and_display_show_the_name() {
+        let k = Key::intern("telemetry.test.gamma");
+        assert_eq!(format!("{k}"), "telemetry.test.gamma");
+        assert_eq!(format!("{k:?}"), "Key(\"telemetry.test.gamma\")");
+    }
+}

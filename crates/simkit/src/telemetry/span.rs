@@ -1,0 +1,518 @@
+//! Lifecycle spans assembled from telemetry events.
+//!
+//! A span is the interval an entity (job, workflow, transfer, instance)
+//! spends between its [`Payload::SpanOpen`] and [`Payload::SpanClose`]
+//! events, with [`Payload::SpanPhase`] boundaries in between. Spans are
+//! not recorded by components — they are *assembled* after the fact from
+//! the event log, so there is exactly one source of truth and no parallel
+//! bookkeeping to drift.
+//!
+//! [`JobBreakdown`] decomposes a job span's walltime into queue-wait,
+//! disruption-repair, staging, and compute — the four components sum to
+//! the walltime *exactly*, by construction, which is what lets an episode
+//! report account for every second of its makespan.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+use super::event::{Event, Payload, SpanKind};
+use super::intern::Key;
+
+/// Well-known event key names. Components intern these once; analyzers
+/// match against them. Keeping them here (not per-crate) is what makes
+/// the span assembler work across layers.
+pub mod keys {
+    /// Job span opens: submitted to the scheduler.
+    pub const JOB_SUBMITTED: &str = "job.submitted";
+    /// Job phase: matched to a machine (a run attempt starts).
+    pub const JOB_MATCHED: &str = "job.matched";
+    /// Job phase: inputs staged; the attached duration is the staging time.
+    pub const JOB_STAGED: &str = "job.staged";
+    /// Job phase: evicted from its machine and requeued.
+    pub const JOB_EVICTED: &str = "job.evicted";
+    /// Job span closes: completed.
+    pub const JOB_COMPLETED: &str = "job.completed";
+    /// Job span closes: removed before completion.
+    pub const JOB_REMOVED: &str = "job.removed";
+    /// Instance span opens: capacity requested.
+    pub const INSTANCE_REQUESTED: &str = "instance.requested";
+    /// Instance phase: allocation + boot finished, instance usable.
+    pub const INSTANCE_RUNNING: &str = "instance.running";
+    /// Instance span closes: terminated normally.
+    pub const INSTANCE_TERMINATED: &str = "instance.terminated";
+    /// Instance span closes: preempted by the spot market.
+    pub const INSTANCE_PREEMPTED: &str = "instance.preempted";
+    /// Transfer span opens: task submitted.
+    pub const TRANSFER_STARTED: &str = "transfer.started";
+    /// Transfer phase: a fault interrupted the stream (retried).
+    pub const TRANSFER_FAULT: &str = "transfer.fault";
+    /// Transfer span closes: task reached a terminal status.
+    pub const TRANSFER_DONE: &str = "transfer.done";
+    /// Workflow span opens: invocation started.
+    pub const WORKFLOW_STARTED: &str = "workflow.started";
+    /// Workflow phase: one step's job finished.
+    pub const WORKFLOW_STEP: &str = "workflow.step";
+    /// Workflow span closes: all steps done.
+    pub const WORKFLOW_COMPLETED: &str = "workflow.completed";
+    /// Autoscale decision: workers added (payload: from → to).
+    pub const SCALE_OUT: &str = "autoscale.scale_out";
+    /// Autoscale decision: workers released (payload: from → to).
+    pub const SCALE_IN: &str = "autoscale.scale_in";
+    /// Autoscale decision: tick held (payload: count of the hold reason).
+    pub const SCALE_HOLD: &str = "autoscale.hold";
+    /// Repair plane: a disrupted worker was observed lost.
+    pub const REPAIR_OBSERVED: &str = "repair.observed";
+    /// Repair plane: a replacement slot was relaunched.
+    pub const REPAIR_RELAUNCHED: &str = "repair.relaunched";
+}
+
+/// One phase boundary inside a span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// What the phase marks (e.g. `job.matched`).
+    pub key: Key,
+    /// When it happened.
+    pub at: SimTime,
+    /// Duration attributed to the phase (`ZERO` for pure markers).
+    pub dur: SimDuration,
+}
+
+/// A closed lifecycle span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// The lifecycle kind.
+    pub kind: SpanKind,
+    /// Entity id within the kind's namespace.
+    pub id: u64,
+    /// Component that opened the span.
+    pub category: &'static str,
+    /// The opening event's key.
+    pub open_key: Key,
+    /// When the span opened.
+    pub opened_at: SimTime,
+    /// Phase boundaries, in event order.
+    pub phases: Vec<Phase>,
+    /// The closing event's key (distinguishes outcomes: completed vs
+    /// removed, terminated vs preempted).
+    pub close_key: Key,
+    /// When the span closed.
+    pub closed_at: SimTime,
+}
+
+impl Span {
+    /// Open → close.
+    pub fn duration(&self) -> SimDuration {
+        self.closed_at.since(self.opened_at)
+    }
+
+    /// Phases matching `key`, in order.
+    pub fn phases_named(&self, key: Key) -> impl Iterator<Item = &Phase> {
+        self.phases.iter().filter(move |p| p.key == key)
+    }
+
+    /// Sum of the attached durations of phases matching `key`.
+    pub fn phase_total(&self, key: Key) -> SimDuration {
+        self.phases_named(key)
+            .fold(SimDuration::ZERO, |acc, p| acc + p.dur)
+    }
+}
+
+/// Why span assembly rejected an event sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpanError {
+    /// A second `SpanOpen` arrived for an entity whose span is open.
+    Reopened {
+        /// Offending entity.
+        kind: SpanKind,
+        /// Offending entity id.
+        id: u64,
+        /// When the duplicate open arrived.
+        at: SimTime,
+    },
+    /// A phase or close arrived for an entity with no open span.
+    NotOpen {
+        /// Offending entity.
+        kind: SpanKind,
+        /// Offending entity id.
+        id: u64,
+        /// When the orphan event arrived.
+        at: SimTime,
+    },
+    /// An event inside a span carried a timestamp earlier than the one
+    /// before it.
+    NonMonotone {
+        /// Offending entity.
+        kind: SpanKind,
+        /// Offending entity id.
+        id: u64,
+        /// The regressing timestamp.
+        at: SimTime,
+    },
+    /// The log ended with this span still open (strict assembly only).
+    NeverClosed {
+        /// Offending entity.
+        kind: SpanKind,
+        /// Offending entity id.
+        id: u64,
+        /// When it opened.
+        opened_at: SimTime,
+    },
+}
+
+impl fmt::Display for SpanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanError::Reopened { kind, id, at } => {
+                write!(f, "span {}:{id} reopened at {at}", kind.label())
+            }
+            SpanError::NotOpen { kind, id, at } => write!(
+                f,
+                "event for {}:{id} at {at} without an open span",
+                kind.label()
+            ),
+            SpanError::NonMonotone { kind, id, at } => write!(
+                f,
+                "timestamps regress inside span {}:{id} at {at}",
+                kind.label()
+            ),
+            SpanError::NeverClosed {
+                kind,
+                id,
+                opened_at,
+            } => write!(
+                f,
+                "span {}:{id} opened at {opened_at} never closed",
+                kind.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpanError {}
+
+/// A partially-built span (open, not yet closed).
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    category: &'static str,
+    open_key: Key,
+    opened_at: SimTime,
+    phases: Vec<Phase>,
+    last_at: SimTime,
+}
+
+/// The result of lenient assembly: closed spans in close order, plus
+/// whatever was still open when the log ended (instances still running at
+/// episode teardown, for example).
+#[derive(Debug, Clone, Default)]
+pub struct SpanSet {
+    /// Spans that closed, in close order.
+    pub closed: Vec<Span>,
+    /// `(kind, id, opened_at)` of spans still open at the end of the log.
+    pub open: Vec<(SpanKind, u64, SimTime)>,
+}
+
+impl SpanSet {
+    /// Closed spans of one kind, in close order.
+    pub fn of_kind(&self, kind: SpanKind) -> impl Iterator<Item = &Span> {
+        self.closed.iter().filter(move |s| s.kind == kind)
+    }
+}
+
+/// Assemble spans from an event log, tolerating still-open spans.
+///
+/// Violations of span structure (reopen, orphan phase/close, timestamp
+/// regression) are still hard errors — they indicate an instrumentation
+/// bug, not a truncated episode.
+pub fn assemble_lenient(events: &[Event]) -> Result<SpanSet, SpanError> {
+    let mut open: BTreeMap<(u8, u64), OpenSpan> = BTreeMap::new();
+    let mut set = SpanSet::default();
+    for e in events {
+        match e.payload {
+            Payload::SpanOpen { kind, id } => {
+                let slot = (kind.code(), id);
+                if open.contains_key(&slot) {
+                    return Err(SpanError::Reopened { kind, id, at: e.at });
+                }
+                open.insert(
+                    slot,
+                    OpenSpan {
+                        category: e.category,
+                        open_key: e.key,
+                        opened_at: e.at,
+                        phases: Vec::new(),
+                        last_at: e.at,
+                    },
+                );
+            }
+            Payload::SpanPhase { kind, id, dur } => {
+                let slot = (kind.code(), id);
+                let Some(s) = open.get_mut(&slot) else {
+                    return Err(SpanError::NotOpen { kind, id, at: e.at });
+                };
+                if e.at < s.last_at {
+                    return Err(SpanError::NonMonotone { kind, id, at: e.at });
+                }
+                s.last_at = e.at;
+                s.phases.push(Phase {
+                    key: e.key,
+                    at: e.at,
+                    dur,
+                });
+            }
+            Payload::SpanClose { kind, id } => {
+                let slot = (kind.code(), id);
+                let Some(s) = open.remove(&slot) else {
+                    return Err(SpanError::NotOpen { kind, id, at: e.at });
+                };
+                if e.at < s.last_at {
+                    return Err(SpanError::NonMonotone { kind, id, at: e.at });
+                }
+                set.closed.push(Span {
+                    kind,
+                    id,
+                    category: s.category,
+                    open_key: s.open_key,
+                    opened_at: s.opened_at,
+                    phases: s.phases,
+                    close_key: e.key,
+                    closed_at: e.at,
+                });
+            }
+            _ => {}
+        }
+    }
+    // BTreeMap order: (kind code, id) — deterministic.
+    for (&(code, id), s) in &open {
+        let kind = match code {
+            1 => SpanKind::Job,
+            2 => SpanKind::Workflow,
+            3 => SpanKind::Transfer,
+            _ => SpanKind::Instance,
+        };
+        set.open.push((kind, id, s.opened_at));
+    }
+    Ok(set)
+}
+
+/// Strict assembly: every opened span must have closed.
+pub fn assemble(events: &[Event]) -> Result<Vec<Span>, SpanError> {
+    let set = assemble_lenient(events)?;
+    if let Some(&(kind, id, opened_at)) = set.open.first() {
+        return Err(SpanError::NeverClosed {
+            kind,
+            id,
+            opened_at,
+        });
+    }
+    Ok(set.closed)
+}
+
+/// A job span's walltime, decomposed. The four components sum to the
+/// span's duration exactly (integer microseconds, no rounding).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JobBreakdown {
+    /// Submission to the *first* match: time spent waiting for capacity.
+    pub queue: SimDuration,
+    /// First match to the *last* match: run attempts lost to disruptions
+    /// plus requeue waits. Zero for a job that ran once.
+    pub repair: SimDuration,
+    /// Staging charged to the final (surviving) run attempt.
+    pub staging: SimDuration,
+    /// The final run attempt's execution time net of staging.
+    pub compute: SimDuration,
+}
+
+impl JobBreakdown {
+    /// Sum of the four components — always the span's walltime.
+    pub fn total(&self) -> SimDuration {
+        self.queue + self.repair + self.staging + self.compute
+    }
+
+    /// Decompose a job span. Returns `None` if the span has no
+    /// `job.matched` phase (a job that closed without ever running).
+    pub fn of(span: &Span) -> Option<JobBreakdown> {
+        let matched = Key::find(keys::JOB_MATCHED)?;
+        let mut first_match: Option<SimTime> = None;
+        let mut last_match: Option<SimTime> = None;
+        for p in span.phases_named(matched) {
+            if first_match.is_none() {
+                first_match = Some(p.at);
+            }
+            last_match = Some(p.at);
+        }
+        let (first, last) = (first_match?, last_match?);
+        // Staging of the surviving attempt: staged phases at/after the
+        // last match. Earlier (aborted) attempts' staging is repair time.
+        let staging = Key::find(keys::JOB_STAGED)
+            .map(|staged| {
+                span.phases_named(staged)
+                    .filter(|p| p.at >= last)
+                    .fold(SimDuration::ZERO, |acc, p| acc + p.dur)
+            })
+            .unwrap_or(SimDuration::ZERO);
+        let run = span.closed_at.since(last);
+        Some(JobBreakdown {
+            queue: first.since(span.opened_at),
+            repair: last.since(first),
+            staging,
+            compute: run.saturating_sub(staging),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Telemetry;
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn job_events(tel: &Telemetry) {
+        tel.span_open(t(0), "htc", keys::JOB_SUBMITTED, SpanKind::Job, 1);
+        tel.span_phase(
+            t(40),
+            "htc",
+            keys::JOB_MATCHED,
+            SpanKind::Job,
+            1,
+            SimDuration::ZERO,
+        );
+        tel.span_phase(
+            t(40),
+            "store",
+            keys::JOB_STAGED,
+            SpanKind::Job,
+            1,
+            SimDuration::from_secs(10),
+        );
+        tel.span_close(t(160), "htc", keys::JOB_COMPLETED, SpanKind::Job, 1);
+    }
+
+    #[test]
+    fn assembles_a_simple_job_span() {
+        let tel = Telemetry::enabled();
+        job_events(&tel);
+        let spans = assemble(&tel.events()).unwrap();
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.kind, SpanKind::Job);
+        assert_eq!(s.id, 1);
+        assert_eq!(s.duration(), SimDuration::from_secs(160));
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.close_key.name(), keys::JOB_COMPLETED);
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_walltime() {
+        let tel = Telemetry::enabled();
+        job_events(&tel);
+        let spans = assemble(&tel.events()).unwrap();
+        let b = JobBreakdown::of(&spans[0]).unwrap();
+        assert_eq!(b.queue, SimDuration::from_secs(40));
+        assert_eq!(b.repair, SimDuration::ZERO);
+        assert_eq!(b.staging, SimDuration::from_secs(10));
+        assert_eq!(b.compute, SimDuration::from_secs(110));
+        assert_eq!(b.total(), spans[0].duration());
+    }
+
+    #[test]
+    fn eviction_time_lands_in_repair() {
+        let tel = Telemetry::enabled();
+        tel.span_open(t(0), "htc", keys::JOB_SUBMITTED, SpanKind::Job, 9);
+        for (at, key) in [(10, keys::JOB_MATCHED), (50, keys::JOB_EVICTED)] {
+            tel.span_phase(t(at), "htc", key, SpanKind::Job, 9, SimDuration::ZERO);
+        }
+        tel.span_phase(
+            t(90),
+            "htc",
+            keys::JOB_MATCHED,
+            SpanKind::Job,
+            9,
+            SimDuration::ZERO,
+        );
+        tel.span_close(t(190), "htc", keys::JOB_COMPLETED, SpanKind::Job, 9);
+        let spans = assemble(&tel.events()).unwrap();
+        let b = JobBreakdown::of(&spans[0]).unwrap();
+        assert_eq!(b.queue, SimDuration::from_secs(10));
+        assert_eq!(b.repair, SimDuration::from_secs(80), "lost run + requeue");
+        assert_eq!(b.compute, SimDuration::from_secs(100));
+        assert_eq!(b.total(), spans[0].duration());
+    }
+
+    #[test]
+    fn strict_assembly_rejects_unclosed_spans() {
+        let tel = Telemetry::enabled();
+        tel.span_open(
+            t(0),
+            "cloud",
+            keys::INSTANCE_REQUESTED,
+            SpanKind::Instance,
+            3,
+        );
+        let events = tel.events();
+        assert!(matches!(
+            assemble(&events),
+            Err(SpanError::NeverClosed {
+                kind: SpanKind::Instance,
+                id: 3,
+                ..
+            })
+        ));
+        let set = assemble_lenient(&events).unwrap();
+        assert_eq!(set.closed.len(), 0);
+        assert_eq!(set.open, vec![(SpanKind::Instance, 3, t(0))]);
+    }
+
+    #[test]
+    fn structural_violations_are_errors() {
+        let reopen = Telemetry::enabled();
+        reopen.span_open(t(0), "htc", keys::JOB_SUBMITTED, SpanKind::Job, 1);
+        reopen.span_open(t(1), "htc", keys::JOB_SUBMITTED, SpanKind::Job, 1);
+        assert!(matches!(
+            assemble(&reopen.events()),
+            Err(SpanError::Reopened { .. })
+        ));
+
+        let orphan = Telemetry::enabled();
+        orphan.span_close(t(1), "htc", keys::JOB_COMPLETED, SpanKind::Job, 2);
+        assert!(matches!(
+            assemble(&orphan.events()),
+            Err(SpanError::NotOpen { .. })
+        ));
+
+        let regress = Telemetry::enabled();
+        regress.span_open(t(5), "htc", keys::JOB_SUBMITTED, SpanKind::Job, 3);
+        regress.span_close(t(4), "htc", keys::JOB_COMPLETED, SpanKind::Job, 3);
+        assert!(matches!(
+            assemble(&regress.events()),
+            Err(SpanError::NonMonotone { .. })
+        ));
+    }
+
+    #[test]
+    fn same_id_different_kinds_do_not_collide() {
+        let tel = Telemetry::enabled();
+        tel.span_open(t(0), "htc", keys::JOB_SUBMITTED, SpanKind::Job, 5);
+        tel.span_open(
+            t(0),
+            "cloud",
+            keys::INSTANCE_REQUESTED,
+            SpanKind::Instance,
+            5,
+        );
+        tel.span_close(t(10), "htc", keys::JOB_COMPLETED, SpanKind::Job, 5);
+        tel.span_close(
+            t(20),
+            "cloud",
+            keys::INSTANCE_TERMINATED,
+            SpanKind::Instance,
+            5,
+        );
+        let spans = assemble(&tel.events()).unwrap();
+        assert_eq!(spans.len(), 2);
+    }
+}

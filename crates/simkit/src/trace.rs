@@ -1,16 +1,28 @@
-//! Structured event tracing.
+//! Structured event tracing — the string-trace adapter over the
+//! [`telemetry`](crate::telemetry) plane.
 //!
 //! Components append `(time, category, message)` records to a [`TraceLog`].
 //! Traces serve two purposes: they are the primary debugging aid for
 //! simulation models, and — because the kernel is deterministic — two runs
 //! with identical seeds must produce byte-identical traces, which the test
 //! suite checks.
+//!
+//! Since the telemetry refactor a `TraceLog` stores nothing of its own: it
+//! wraps a [`Telemetry`] handle and emits each record as a
+//! [`Payload::Text`] event (the category becomes the event [`Key`]).
+//! Renders and digests are byte-identical to the pre-telemetry log, and a
+//! trace can share its underlying handle with the rest of an episode via
+//! [`TraceLog::with_telemetry`].
 
 use std::fmt;
+use std::fmt::Write as _;
 
+use crate::telemetry::event::{Fnv, FNV_PRIME};
+use crate::telemetry::{Key, Payload, Telemetry};
 use crate::time::SimTime;
 
-/// One trace record.
+/// One trace record — now a *view* materialized from `Text` telemetry
+/// events rather than the stored representation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceRecord {
     /// When the event happened (simulated time).
@@ -27,19 +39,17 @@ impl fmt::Display for TraceRecord {
     }
 }
 
-/// An append-only log of trace records.
+/// An append-only log of trace records, backed by a telemetry handle.
 #[derive(Debug, Clone, Default)]
 pub struct TraceLog {
-    records: Vec<TraceRecord>,
-    enabled: bool,
+    tel: Telemetry,
 }
 
 impl TraceLog {
-    /// A log that records everything.
+    /// A log that records everything (onto its own telemetry handle).
     pub fn enabled() -> Self {
         TraceLog {
-            records: Vec::new(),
-            enabled: true,
+            tel: Telemetry::enabled(),
         }
     }
 
@@ -48,41 +58,68 @@ impl TraceLog {
         TraceLog::default()
     }
 
+    /// A log that appends onto an existing telemetry handle, so trace
+    /// lines land in the same event stream as spans and typed events.
+    pub fn with_telemetry(tel: &Telemetry) -> Self {
+        TraceLog { tel: tel.clone() }
+    }
+
+    /// The underlying telemetry handle (clone to share).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
     /// Whether records are kept.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.tel.is_enabled()
     }
 
     /// Append a record (no-op when disabled).
     pub fn emit(&mut self, at: SimTime, category: &str, message: impl Into<String>) {
-        if self.enabled {
-            self.records.push(TraceRecord {
+        if self.tel.is_enabled() {
+            self.tel.record(
                 at,
-                category: category.to_string(),
-                message: message.into(),
-            });
+                "trace",
+                Key::intern(category),
+                Payload::Text(message.into().into_boxed_str()),
+            );
         }
     }
 
-    /// All records, in emission order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// All records, in emission order. Only this log's `Text` events are
+    /// materialized — typed events sharing the handle don't appear.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.tel
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.payload {
+                Payload::Text(s) => Some(TraceRecord {
+                    at: e.at,
+                    category: e.key.name().to_string(),
+                    message: s.into_string(),
+                }),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Records from one category.
-    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceRecord> {
-        self.records.iter().filter(move |r| r.category == category)
+    pub fn by_category(&self, category: &str) -> Vec<TraceRecord> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.category == category)
+            .collect()
     }
 
     /// True if any record's message contains `needle`.
     pub fn contains(&self, needle: &str) -> bool {
-        self.records.iter().any(|r| r.message.contains(needle))
+        self.records().iter().any(|r| r.message.contains(needle))
     }
 
     /// Render the whole log as text, one record per line.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for r in &self.records {
+        for r in self.records() {
             out.push_str(&r.to_string());
             out.push('\n');
         }
@@ -95,16 +132,20 @@ impl TraceLog {
     /// The count seed matters: a message that embeds a newline can render
     /// to the same text as two separate records, and two logs that differ
     /// only in how they split events must not share a digest.
+    ///
+    /// The record bytes stream through the hash state directly — the log
+    /// is never materialized as one big string — but the digest value is
+    /// unchanged from the render-then-hash implementation.
     pub fn digest(&self) -> u64 {
-        const FNV_PRIME: u64 = 0x1000_0000_01b3;
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        h ^= self.records.len() as u64;
-        h = h.wrapping_mul(FNV_PRIME);
-        for b in self.render().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(FNV_PRIME);
+        let records = self.records();
+        let mut h = Fnv::new();
+        h.0 ^= records.len() as u64;
+        h.0 = h.0.wrapping_mul(FNV_PRIME);
+        for r in &records {
+            let _ = write!(h, "{r}");
+            h.u8(b'\n');
         }
-        h
+        h.0
     }
 }
 
@@ -124,8 +165,8 @@ mod tests {
         );
         assert_eq!(log.records().len(), 2);
         assert!(log.contains("i-1 running"));
-        assert_eq!(log.by_category("cloud").count(), 2);
-        assert_eq!(log.by_category("chef").count(), 0);
+        assert_eq!(log.by_category("cloud").len(), 2);
+        assert_eq!(log.by_category("chef").len(), 0);
     }
 
     #[test]
@@ -151,6 +192,23 @@ mod tests {
     }
 
     #[test]
+    fn digest_matches_render_then_hash() {
+        // The streaming digest must equal the historical implementation:
+        // FNV-1a seeded with the record count, then the render() bytes.
+        let mut log = TraceLog::enabled();
+        log.emit(SimTime::from_micros(1_000_000), "chef", "converge start");
+        log.emit(SimTime::from_micros(2_500_000), "net", "link up");
+        let mut h: u64 = crate::telemetry::event::FNV_OFFSET;
+        h ^= log.records().len() as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+        for b in log.render().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        assert_eq!(log.digest(), h);
+    }
+
+    #[test]
     fn digest_distinguishes_record_splits_with_equal_render() {
         // One record whose message embeds a newline plus a forged record
         // line renders identically to two genuine records — the digest
@@ -168,6 +226,21 @@ mod tests {
         b.emit(SimTime::ZERO, "cat", "y");
         assert_eq!(a.render(), b.render(), "the premise: renders collide");
         assert_ne!(a.digest(), b.digest(), "the digest must not");
+    }
+
+    #[test]
+    fn shares_a_telemetry_handle() {
+        let tel = Telemetry::enabled();
+        let mut log = TraceLog::with_telemetry(&tel);
+        log.emit(SimTime::ZERO, "cloud", "boot");
+        tel.record(
+            SimTime::ZERO,
+            "cloud",
+            Key::intern("trace.test.typed"),
+            Payload::Count(1),
+        );
+        assert_eq!(tel.len(), 2, "trace lines land in the shared stream");
+        assert_eq!(log.records().len(), 1, "but only Text events are records");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use cumulus_net::DataSize;
 use cumulus_simkit::disrupt::{Disruptable, DisruptionKind};
-use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::metrics::{MetricId, Metrics};
 use cumulus_simkit::time::SimTime;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
@@ -37,6 +37,30 @@ struct FleetInner {
     capacity: DataSize,
     policy: EvictionPolicy,
     metrics: Metrics,
+    ids: FleetMetricIds,
+}
+
+/// Pre-registered handles for the fleet's counters — lookups are the data
+/// plane's hot path and must not allocate per call.
+#[derive(Debug, Clone, Copy)]
+struct FleetMetricIds {
+    hits: MetricId,
+    misses: MetricId,
+    evictions: MetricId,
+    invalidations: MetricId,
+    objects_lost: MetricId,
+}
+
+impl FleetMetricIds {
+    fn register() -> Self {
+        FleetMetricIds {
+            hits: MetricId::register(keys::HITS),
+            misses: MetricId::register(keys::MISSES),
+            evictions: MetricId::register(keys::EVICTIONS),
+            invalidations: MetricId::register(keys::INVALIDATIONS),
+            objects_lost: MetricId::register(keys::OBJECTS_LOST),
+        }
+    }
 }
 
 /// Shared handle to every worker's cache.
@@ -54,6 +78,7 @@ impl CacheFleet {
                 capacity,
                 policy,
                 metrics: Metrics::new(),
+                ids: FleetMetricIds::register(),
             })),
         }
     }
@@ -83,8 +108,9 @@ impl CacheFleet {
         match g.caches.remove(worker) {
             Some(cache) => {
                 let lost = cache.len();
-                g.metrics.incr(keys::INVALIDATIONS, 1);
-                g.metrics.incr(keys::OBJECTS_LOST, lost as u64);
+                let ids = g.ids;
+                g.metrics.incr_id(ids.invalidations, 1);
+                g.metrics.incr_id(ids.objects_lost, lost as u64);
                 true
             }
             None => false,
@@ -101,14 +127,15 @@ impl CacheFleet {
     pub fn lookup(&self, worker: &str, cid: ContentId) -> bool {
         let mut g = self.lock();
         let metrics = g.metrics.clone();
+        let ids = g.ids;
         match g.caches.get_mut(worker) {
             Some(c) => {
                 let hit = c.lookup(cid);
-                metrics.incr(if hit { keys::HITS } else { keys::MISSES }, 1);
+                metrics.incr_id(if hit { ids.hits } else { ids.misses }, 1);
                 hit
             }
             None => {
-                metrics.incr(keys::MISSES, 1);
+                metrics.incr_id(ids.misses, 1);
                 false
             }
         }
@@ -120,12 +147,13 @@ impl CacheFleet {
         let mut g = self.lock();
         let (capacity, policy) = (g.capacity, g.policy);
         let metrics = g.metrics.clone();
+        let ids = g.ids;
         let cache = g
             .caches
             .entry(worker.to_string())
             .or_insert_with(|| WorkerCache::new(capacity, policy));
         let evicted = cache.insert(cid, size);
-        metrics.incr(keys::EVICTIONS, evicted.len() as u64);
+        metrics.incr_id(ids.evictions, evicted.len() as u64);
         evicted
     }
 

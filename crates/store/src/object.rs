@@ -8,7 +8,7 @@
 //! per-request round trip and a metered bill.
 
 use cumulus_net::DataSize;
-use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::metrics::{MetricId, Metrics};
 use cumulus_simkit::time::SimDuration;
 use std::collections::BTreeMap;
 
@@ -61,6 +61,11 @@ pub struct ObjectStore {
     bytes_served: DataSize,
     cost_usd: f64,
     metrics: Metrics,
+    /// Pre-registered counter handles (GET/PUT are per-input hot paths).
+    id_puts: MetricId,
+    id_bytes_stored: MetricId,
+    id_gets: MetricId,
+    id_bytes_served: MetricId,
 }
 
 impl ObjectStore {
@@ -74,6 +79,10 @@ impl ObjectStore {
             bytes_served: DataSize::ZERO,
             cost_usd: 0.0,
             metrics: Metrics::new(),
+            id_puts: MetricId::register(keys::PUTS),
+            id_bytes_stored: MetricId::register(keys::BYTES_STORED),
+            id_gets: MetricId::register(keys::GETS),
+            id_bytes_served: MetricId::register(keys::BYTES_SERVED),
         }
     }
 
@@ -110,8 +119,8 @@ impl ObjectStore {
         self.objects.insert(cid, size);
         self.puts += 1;
         self.cost_usd += self.config.cost_per_put;
-        self.metrics.incr(keys::PUTS, 1);
-        self.metrics.incr(keys::BYTES_STORED, size.as_bytes());
+        self.metrics.incr_id(self.id_puts, 1);
+        self.metrics.incr_id(self.id_bytes_stored, size.as_bytes());
         self.transfer_duration(size)
     }
 
@@ -129,8 +138,8 @@ impl ObjectStore {
         self.gets += 1;
         self.bytes_served += size;
         self.cost_usd += self.config.cost_per_get;
-        self.metrics.incr(keys::GETS, 1);
-        self.metrics.incr(keys::BYTES_SERVED, size.as_bytes());
+        self.metrics.incr_id(self.id_gets, 1);
+        self.metrics.incr_id(self.id_bytes_served, size.as_bytes());
         Some(self.transfer_duration(size))
     }
 

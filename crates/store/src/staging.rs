@@ -16,7 +16,7 @@
 
 use cumulus_net::{DataSize, Rate, TcpConfig};
 use cumulus_nfs::SharedFs;
-use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::metrics::{MetricId, Metrics};
 use cumulus_simkit::time::SimDuration;
 use cumulus_transfer::{inter_site_link, intra_cloud_link, Protocol};
 
@@ -138,6 +138,31 @@ pub struct DataPlane {
     /// The per-worker caches.
     pub fleet: CacheFleet,
     metrics: Metrics,
+    ids: StagingMetricIds,
+}
+
+/// Pre-registered handles for the staging layer's per-input counters.
+#[derive(Debug, Clone, Copy)]
+struct StagingMetricIds {
+    bytes_local: MetricId,
+    bytes_peer: MetricId,
+    bytes_object: MetricId,
+    bytes_nfs: MetricId,
+    bytes_ingest: MetricId,
+    staging_secs: MetricId,
+}
+
+impl StagingMetricIds {
+    fn register() -> Self {
+        StagingMetricIds {
+            bytes_local: MetricId::register(keys::BYTES_LOCAL),
+            bytes_peer: MetricId::register(keys::BYTES_PEER),
+            bytes_object: MetricId::register(keys::BYTES_OBJECT),
+            bytes_nfs: MetricId::register(keys::BYTES_NFS),
+            bytes_ingest: MetricId::register(keys::BYTES_INGEST),
+            staging_secs: MetricId::register(keys::STAGING_SECS),
+        }
+    }
 }
 
 impl DataPlane {
@@ -156,6 +181,7 @@ impl DataPlane {
             object: ObjectStore::new(object_config),
             fleet: CacheFleet::new(cache_capacity, eviction),
             metrics: Metrics::new(),
+            ids: StagingMetricIds::register(),
         }
     }
 
@@ -216,7 +242,7 @@ impl DataPlane {
             plan.steps.push(step);
         }
         self.metrics
-            .record(keys::STAGING_SECS, plan.total.as_secs_f64());
+            .record_id(self.ids.staging_secs, plan.total.as_secs_f64());
         plan
     }
 
@@ -249,13 +275,13 @@ impl DataPlane {
             }
         };
         let key = match &source {
-            StagingSource::LocalCache => keys::BYTES_LOCAL,
-            StagingSource::Peer(_) => keys::BYTES_PEER,
-            StagingSource::ObjectStore => keys::BYTES_OBJECT,
-            StagingSource::Nfs => keys::BYTES_NFS,
-            StagingSource::Ingest => keys::BYTES_INGEST,
+            StagingSource::LocalCache => self.ids.bytes_local,
+            StagingSource::Peer(_) => self.ids.bytes_peer,
+            StagingSource::ObjectStore => self.ids.bytes_object,
+            StagingSource::Nfs => self.ids.bytes_nfs,
+            StagingSource::Ingest => self.ids.bytes_ingest,
         };
-        self.metrics.incr(key, size.as_bytes());
+        self.metrics.incr_id(key, size.as_bytes());
         StagingStep {
             cid,
             size,

@@ -13,7 +13,8 @@
 //! in the DES schedule their continuation at the task's completion time.
 
 use cumulus_net::{DataSize, FaultPlan, Link, Network, Rate};
-use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::metrics::{MetricId, Metrics};
+use cumulus_simkit::telemetry::{span::keys as span_keys, Key, Payload, SpanKind, Telemetry};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
 use std::collections::BTreeMap;
@@ -239,6 +240,37 @@ pub struct TransferService {
     tasks: BTreeMap<TaskId, TransferTask>,
     next_task: u64,
     metrics: Metrics,
+    ids: TaskMetricIds,
+    /// Transfer-lifecycle telemetry (started → done spans plus fault
+    /// counts). Disabled by default.
+    telemetry: Telemetry,
+}
+
+/// Pre-registered handles for the service's per-task counters: the
+/// resolution hot path increments by integer id, never by string key.
+#[derive(Debug, Clone, Copy)]
+struct TaskMetricIds {
+    tasks: MetricId,
+    bytes_delivered: MetricId,
+    bytes_retransmitted: MetricId,
+    faults: MetricId,
+    succeeded: MetricId,
+    deadline_expired: MetricId,
+    failed: MetricId,
+}
+
+impl TaskMetricIds {
+    fn register() -> Self {
+        TaskMetricIds {
+            tasks: MetricId::register(keys::TASKS),
+            bytes_delivered: MetricId::register(keys::BYTES_DELIVERED),
+            bytes_retransmitted: MetricId::register(keys::BYTES_RETRANSMITTED),
+            faults: MetricId::register(keys::FAULTS),
+            succeeded: MetricId::register(keys::SUCCEEDED),
+            deadline_expired: MetricId::register(keys::DEADLINE_EXPIRED),
+            failed: MetricId::register(keys::FAILED),
+        }
+    }
 }
 
 impl TransferService {
@@ -252,7 +284,16 @@ impl TransferService {
             tasks: BTreeMap::new(),
             next_task: 1,
             metrics: Metrics::new(),
+            ids: TaskMetricIds::register(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry handle; each resolved task emits a transfer
+    /// span (`transfer.started` → `transfer.done`) plus a `transfer.fault`
+    /// count when faults were retried.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Override the retry policy.
@@ -338,20 +379,44 @@ impl TransferService {
         let id = TaskId(self.next_task);
         self.next_task += 1;
         let task = resolve_transfer(id, request, now, &link, &plan, &self.retry);
-        self.metrics.incr(keys::TASKS, 1);
+        self.metrics.incr_id(self.ids.tasks, 1);
         self.metrics
-            .incr(keys::BYTES_DELIVERED, task.bytes_transferred.as_bytes());
-        self.metrics.incr(
-            keys::BYTES_RETRANSMITTED,
+            .incr_id(self.ids.bytes_delivered, task.bytes_transferred.as_bytes());
+        self.metrics.incr_id(
+            self.ids.bytes_retransmitted,
             task.bytes_retransmitted.as_bytes(),
         );
-        self.metrics.incr(keys::FAULTS, task.faults as u64);
-        let status_key = match task.status {
-            TaskStatus::Succeeded => keys::SUCCEEDED,
-            TaskStatus::DeadlineExpired => keys::DEADLINE_EXPIRED,
-            TaskStatus::Failed => keys::FAILED,
+        self.metrics.incr_id(self.ids.faults, task.faults as u64);
+        let status_id = match task.status {
+            TaskStatus::Succeeded => self.ids.succeeded,
+            TaskStatus::DeadlineExpired => self.ids.deadline_expired,
+            TaskStatus::Failed => self.ids.failed,
         };
-        self.metrics.incr(status_key, 1);
+        self.metrics.incr_id(status_id, 1);
+        if self.telemetry.is_enabled() {
+            self.telemetry.span_open(
+                task.submitted_at,
+                "transfer",
+                span_keys::TRANSFER_STARTED,
+                SpanKind::Transfer,
+                id.0,
+            );
+            if task.faults > 0 {
+                self.telemetry.record(
+                    task.submitted_at,
+                    "transfer",
+                    Key::intern(span_keys::TRANSFER_FAULT),
+                    Payload::Count(task.faults as u64),
+                );
+            }
+            self.telemetry.span_close(
+                task.finished_at,
+                "transfer",
+                span_keys::TRANSFER_DONE,
+                SpanKind::Transfer,
+                id.0,
+            );
+        }
         self.tasks.insert(id, task);
         Ok(id)
     }

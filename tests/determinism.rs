@@ -227,6 +227,156 @@ fn experiment_grids_are_thread_invariant() {
     );
 }
 
+/// Seeded-loop span property: generate randomized-but-valid span streams
+/// (random entity counts, open times, phase schedules) across many seeds
+/// and assert the assembler round-trips every one — each opened span
+/// closes exactly once, phases stay inside `[open, close]` in monotone
+/// order, and the event digest is a pure function of the stream.
+#[test]
+fn assembler_round_trips_randomized_span_streams() {
+    use cumulus::simkit::telemetry::{assemble, span::keys, SpanKind, Telemetry};
+
+    for seed in 0..24u64 {
+        let mut rng = RngStream::derive(seed, "span-props");
+        let n = rng.uniform_int(1, 30) as usize;
+        // (time, entity, step) — step 0 opens, 1..=phases marks, last closes.
+        let mut script: Vec<(u64, u64, usize, usize)> = Vec::new();
+        for id in 0..n as u64 {
+            let open = rng.uniform_int(0, 1_000_000);
+            let phases = rng.uniform_int(0, 4) as usize;
+            let mut t = open;
+            for step in 0..=phases + 1 {
+                script.push((t, id, step, phases));
+                t += rng.uniform_int(1, 50_000);
+            }
+        }
+        // Interleave entities the way a simulator would: by timestamp.
+        script.sort();
+
+        let emit = || {
+            let tel = Telemetry::enabled();
+            for &(t, id, step, phases) in &script {
+                let at = SimTime::ZERO + SimDuration::from_micros(t);
+                if step == 0 {
+                    tel.span_open(at, "prop", keys::JOB_SUBMITTED, SpanKind::Job, id);
+                } else if step == phases + 1 {
+                    tel.span_close(at, "prop", keys::JOB_COMPLETED, SpanKind::Job, id);
+                } else {
+                    tel.span_phase(
+                        at,
+                        "prop",
+                        keys::JOB_MATCHED,
+                        SpanKind::Job,
+                        id,
+                        SimDuration::from_micros(step as u64),
+                    );
+                }
+            }
+            tel
+        };
+
+        let tel = emit();
+        let spans = assemble(&tel.events()).unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        assert_eq!(spans.len(), n, "seed {seed}: a span was lost or duplicated");
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &spans {
+            assert!(seen.insert(s.id), "seed {seed}: span {} closed twice", s.id);
+            assert!(s.opened_at <= s.closed_at, "seed {seed}: negative span");
+            let mut last = s.opened_at;
+            for p in &s.phases {
+                assert!(
+                    p.at >= last,
+                    "seed {seed}: phase regressed in span {}",
+                    s.id
+                );
+                assert!(p.at <= s.closed_at, "seed {seed}: phase after close");
+                last = p.at;
+            }
+        }
+        // The digest is a pure function of the stream: replaying the same
+        // script reproduces it, and it survives a snapshot.
+        assert_eq!(
+            tel.digest(),
+            emit().digest(),
+            "seed {seed}: digest unstable"
+        );
+        assert_eq!(tel.digest(), tel.snapshot().digest());
+    }
+}
+
+/// Span invariants on real episodes: instrumented E13 cells across a loop
+/// of seeds. Every job and workflow span must close, phases must sit
+/// inside their span, and every job's breakdown must sum to its walltime.
+#[test]
+fn span_invariants_hold_across_seeded_episodes() {
+    use cumulus::simkit::telemetry::{assemble_lenient, JobBreakdown, SpanKind};
+    use cumulus_bench::experiments::datashare;
+
+    for seed in [7u64, 20120512, 99991] {
+        for (row, telemetry) in datashare::run_grid_instrumented(seed, 1, true) {
+            let set = assemble_lenient(&telemetry.events())
+                .unwrap_or_else(|e| panic!("seed {seed} {}: {e:?}", row.spec.label()));
+            for (kind, id, _) in &set.open {
+                assert!(
+                    !matches!(kind, SpanKind::Job | SpanKind::Workflow),
+                    "seed {seed} {}: {kind:?} span {id} never closed",
+                    row.spec.label()
+                );
+            }
+            let mut jobs = 0;
+            for s in set.of_kind(SpanKind::Job) {
+                let bd = JobBreakdown::of(s).unwrap_or_else(|| {
+                    panic!(
+                        "seed {seed} {}: job {} has no breakdown",
+                        row.spec.label(),
+                        s.id
+                    )
+                });
+                assert_eq!(
+                    bd.total(),
+                    s.duration(),
+                    "seed {seed} {}: job {} breakdown does not sum to walltime",
+                    row.spec.label(),
+                    s.id
+                );
+                jobs += 1;
+            }
+            assert!(
+                jobs > 0,
+                "seed {seed} {}: episode ran no jobs",
+                row.spec.label()
+            );
+        }
+    }
+}
+
+/// The telemetry digest — key names, times, payloads over the whole event
+/// stream — must not depend on how many threads the replica runner used.
+#[test]
+fn telemetry_digests_are_thread_invariant() {
+    use cumulus_bench::experiments::datashare;
+
+    let seed = 20120512;
+    let serial = datashare::run_grid_instrumented(seed, 1, true);
+    let parallel = datashare::run_grid_instrumented(seed, 3, true);
+    assert_eq!(serial.len(), parallel.len());
+    for ((row_s, tel_s), (row_p, tel_p)) in serial.iter().zip(&parallel) {
+        assert_eq!(row_s.spec.label(), row_p.spec.label());
+        assert_eq!(
+            tel_s.digest(),
+            tel_p.digest(),
+            "{}: telemetry digest diverged across threads",
+            row_s.spec.label()
+        );
+        assert_eq!(tel_s.len(), tel_p.len());
+    }
+    assert_eq!(
+        datashare::episode_report(&serial),
+        datashare::episode_report(&parallel),
+        "episode report diverged across threads"
+    );
+}
+
 #[test]
 fn metrics_merge_is_order_independent_for_counters() {
     let a = Metrics::new();
