@@ -13,6 +13,7 @@
 //! | E11 | AMI-baking deployment ablation | `ami_ablation` (its printed table keeps the historical "E10" label) |
 //! | E12 | predictive vs reactive scaling grid | `predictive_grid` |
 //! | E13 | data-sharing options grid | `datashare_grid` |
+//! | E14 | workflow-recovery policy grid | `recovery_grid` |
 //!
 //! `cargo run --release -p cumulus-bench --bin all_experiments` prints the
 //! full report recorded in EXPERIMENTS.md; every binary accepts
@@ -31,6 +32,7 @@ pub mod experiments {
     pub mod fig11;
     pub mod predictive;
     pub mod reconfig;
+    pub mod recovery;
     pub mod spot;
     pub mod usecase;
 }

@@ -13,12 +13,15 @@
 //!   Condor pool, pending-output lifecycle, real execution on completion,
 //!   and the three Globus Transfer tools plus FTP/HTTP uploads;
 //! * [`workflow`] — DAG workflows scheduled through the pool;
+//! * [`checkpoint`] — restartable run snapshots plus resume through the
+//!   data plane's recovery ladder (local cache → peer → object store);
 //! * [`provenance`] — complete input/parameter/order capture per output;
 //! * [`sharing`] — histories/datasets/workflows shared via links, and
 //!   Pages embedding analysis artifacts.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod dataset;
 pub mod globus_tools;
 pub mod history;
@@ -31,11 +34,15 @@ pub mod tool;
 pub mod user;
 pub mod workflow;
 
+pub use checkpoint::{
+    resume_workflow, OutputRef, RecoveryDecision, RecoveryPlan, ResumeReport, StepCheckpoint,
+    WorkflowCheckpoint,
+};
 pub use dataset::{Content, Dataset, DatasetId, DatasetState};
 pub use globus_tools::{get_data_tool, go_transfer_tool, register_globus_tools, send_data_tool};
 pub use history::{History, HistoryId};
 pub use job::{GalaxyJob, GalaxyJobId, GalaxyJobState};
-pub use provenance::{ProvenanceRecord, ProvenanceStore};
+pub use provenance::{CyclicProvenance, ProvenanceRecord, ProvenanceStore};
 pub use registry::{RegistryError, ToolRegistry};
 pub use server::{GalaxyError, GalaxyServer};
 pub use sharing::{Page, ShareItem, SharingModel, Visibility};

@@ -6,12 +6,30 @@
 //! step" (§II.2). Every completed job deposits one record per output
 //! dataset; lineage queries walk the records backwards.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use cumulus_simkit::time::SimTime;
 
 use crate::dataset::DatasetId;
 use crate::job::GalaxyJobId;
+
+/// The provenance graph reachable from a dataset contains a cycle — some
+/// dataset is its own ancestor — so lineage and replay are ill-defined.
+/// Records are append-only and normally form a DAG; a cycle means the
+/// store was corrupted (e.g. by replaying records from a damaged export).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CyclicProvenance {
+    /// A dataset on the cycle.
+    pub dataset: DatasetId,
+}
+
+impl std::fmt::Display for CyclicProvenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "provenance cycle through {}", self.dataset)
+    }
+}
+
+impl std::error::Error for CyclicProvenance {}
 
 /// How one dataset came to exist.
 #[derive(Debug, Clone)]
@@ -53,9 +71,49 @@ impl ProvenanceStore {
         self.records.get(&dataset)
     }
 
+    /// Verify the records reachable from `dataset` form a DAG. Depth-first
+    /// with an on-path set: an input edge back onto the current path is a
+    /// back edge, i.e. a cycle.
+    fn check_acyclic(&self, dataset: DatasetId) -> Result<(), CyclicProvenance> {
+        let children = |d: DatasetId| -> Vec<DatasetId> {
+            self.records
+                .get(&d)
+                .map(|r| r.inputs.values().copied().collect())
+                .unwrap_or_default()
+        };
+        let mut done: BTreeSet<DatasetId> = BTreeSet::new();
+        let mut on_path: BTreeSet<DatasetId> = BTreeSet::new();
+        let mut stack: Vec<(DatasetId, Vec<DatasetId>, usize)> = Vec::new();
+        on_path.insert(dataset);
+        stack.push((dataset, children(dataset), 0));
+        while let Some((node, kids, idx)) = stack.last_mut() {
+            if *idx < kids.len() {
+                let next = kids[*idx];
+                *idx += 1;
+                if on_path.contains(&next) {
+                    return Err(CyclicProvenance { dataset: next });
+                }
+                if done.contains(&next) {
+                    continue;
+                }
+                on_path.insert(next);
+                let grand = children(next);
+                stack.push((next, grand, 0));
+            } else {
+                let node = *node;
+                on_path.remove(&node);
+                done.insert(node);
+                stack.pop();
+            }
+        }
+        Ok(())
+    }
+
     /// Full lineage of a dataset: every ancestor dataset id, following
-    /// input edges transitively (nearest first, deduplicated).
-    pub fn lineage(&self, dataset: DatasetId) -> Vec<DatasetId> {
+    /// input edges transitively (nearest first, deduplicated). Errors if
+    /// the reachable records contain a cycle.
+    pub fn lineage(&self, dataset: DatasetId) -> Result<Vec<DatasetId>, CyclicProvenance> {
+        self.check_acyclic(dataset)?;
         let mut out = Vec::new();
         let mut queue = vec![dataset];
         while let Some(d) = queue.pop() {
@@ -68,12 +126,17 @@ impl ProvenanceStore {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Rebuild the command history needed to reproduce `dataset`: the
-    /// producing steps in execution order (oldest first).
-    pub fn replay_plan(&self, dataset: DatasetId) -> Vec<&ProvenanceRecord> {
+    /// producing steps in execution order (oldest first). Errors if the
+    /// reachable records contain a cycle.
+    pub fn replay_plan(
+        &self,
+        dataset: DatasetId,
+    ) -> Result<Vec<&ProvenanceRecord>, CyclicProvenance> {
+        self.check_acyclic(dataset)?;
         let mut steps: Vec<&ProvenanceRecord> = Vec::new();
         let mut queue = vec![dataset];
         while let Some(d) = queue.pop() {
@@ -85,7 +148,7 @@ impl ProvenanceStore {
             }
         }
         steps.sort_by_key(|r| r.span.0);
-        steps
+        Ok(steps)
     }
 
     /// Number of records.
@@ -126,7 +189,7 @@ mod tests {
     fn uploads_have_no_record() {
         let store = ProvenanceStore::new();
         assert!(store.of(DatasetId(1)).is_none());
-        assert!(store.lineage(DatasetId(1)).is_empty());
+        assert!(store.lineage(DatasetId(1)).unwrap().is_empty());
         assert!(store.is_empty());
     }
 
@@ -137,9 +200,9 @@ mod tests {
         store.record(rec(2, 100, &[("input", 1)], 10));
         store.record(rec(3, 101, &[("input", 2)], 100));
         store.record(rec(4, 102, &[("input", 2)], 120));
-        let lin = store.lineage(DatasetId(3));
+        let lin = store.lineage(DatasetId(3)).unwrap();
         assert_eq!(lin, vec![DatasetId(2), DatasetId(1)]);
-        assert_eq!(store.lineage(DatasetId(2)), vec![DatasetId(1)]);
+        assert_eq!(store.lineage(DatasetId(2)).unwrap(), vec![DatasetId(1)]);
         assert_eq!(store.len(), 3);
     }
 
@@ -148,7 +211,7 @@ mod tests {
         let mut store = ProvenanceStore::new();
         store.record(rec(2, 100, &[("input", 1)], 10));
         store.record(rec(3, 101, &[("a", 2), ("b", 1)], 100));
-        let plan = store.replay_plan(DatasetId(3));
+        let plan = store.replay_plan(DatasetId(3)).unwrap();
         let jobs: Vec<u64> = plan.iter().map(|r| r.job.0).collect();
         assert_eq!(jobs, vec![100, 101]);
     }
@@ -160,7 +223,50 @@ mod tests {
         store.record(rec(2, 100, &[("i", 1)], 10));
         store.record(rec(3, 101, &[("i", 1)], 20));
         store.record(rec(4, 102, &[("a", 2), ("b", 3)], 30));
-        let lin = store.lineage(DatasetId(4));
+        let lin = store.lineage(DatasetId(4)).unwrap();
         assert_eq!(lin.len(), 3, "1 appears once: {lin:?}");
+    }
+
+    #[test]
+    fn self_loop_is_a_typed_cycle_error() {
+        // A record claiming a dataset was produced from itself.
+        let mut store = ProvenanceStore::new();
+        store.record(rec(1, 100, &[("i", 1)], 10));
+        assert_eq!(
+            store.lineage(DatasetId(1)),
+            Err(CyclicProvenance {
+                dataset: DatasetId(1)
+            })
+        );
+        assert!(store.replay_plan(DatasetId(1)).is_err());
+    }
+
+    #[test]
+    fn two_step_cycle_is_detected_from_any_entry_point() {
+        // 2 ← 3 and 3 ← 2: corrupted cross-references.
+        let mut store = ProvenanceStore::new();
+        store.record(rec(2, 100, &[("i", 3)], 10));
+        store.record(rec(3, 101, &[("i", 2)], 20));
+        // A downstream dataset whose ancestry passes through the cycle.
+        store.record(rec(4, 102, &[("i", 3)], 30));
+        for d in [2, 3, 4] {
+            let err = store.lineage(DatasetId(d)).unwrap_err();
+            assert!(
+                err.dataset == DatasetId(2) || err.dataset == DatasetId(3),
+                "cycle member reported, got {err}"
+            );
+            assert!(store.replay_plan(DatasetId(d)).is_err());
+        }
+    }
+
+    #[test]
+    fn cycles_outside_the_queried_ancestry_do_not_poison_it() {
+        // 1 → 2 is clean; 8 ⇄ 9 is a disjoint corrupted island.
+        let mut store = ProvenanceStore::new();
+        store.record(rec(2, 100, &[("i", 1)], 10));
+        store.record(rec(8, 200, &[("i", 9)], 50));
+        store.record(rec(9, 201, &[("i", 8)], 60));
+        assert_eq!(store.lineage(DatasetId(2)).unwrap(), vec![DatasetId(1)]);
+        assert_eq!(store.replay_plan(DatasetId(2)).unwrap().len(), 1);
     }
 }

@@ -59,6 +59,10 @@ pub enum GalaxyError {
     DatasetNotReady(DatasetId),
     /// HTTP uploads over 2 GB are refused by Galaxy.
     UploadTooLarge(DataSize),
+    /// A Globus operation needs this server to have a registered endpoint.
+    NoEndpoint,
+    /// The transfer service has no record of a task it just accepted.
+    TransferTaskMissing(TaskId),
 }
 
 impl std::fmt::Display for GalaxyError {
@@ -77,6 +81,10 @@ impl std::fmt::Display for GalaxyError {
             GalaxyError::DatasetNotReady(d) => write!(f, "{d} is not ready"),
             GalaxyError::UploadTooLarge(s) => {
                 write!(f, "files larger than 2GB cannot be uploaded directly ({s})")
+            }
+            GalaxyError::NoEndpoint => write!(f, "galaxy server has no Globus endpoint"),
+            GalaxyError::TransferTaskMissing(t) => {
+                write!(f, "transfer service lost track of {t}")
             }
         }
     }
@@ -207,6 +215,30 @@ impl GalaxyServer {
     /// Look up a job.
     pub fn job(&self, id: GalaxyJobId) -> Result<&GalaxyJob, GalaxyError> {
         self.jobs.get(&id).ok_or(GalaxyError::UnknownJob(id))
+    }
+
+    /// Find the most recent successful run of `tool_id` with exactly these
+    /// resolved parameters whose outputs all still exist, are Ok, and carry
+    /// provenance pointing back at the job. This is how a workflow
+    /// checkpoint re-identifies a step's invocation after the fact, without
+    /// threading workflow ids through the job table.
+    pub fn find_completed_invocation(
+        &self,
+        tool_id: &str,
+        params: &BTreeMap<String, String>,
+    ) -> Option<&GalaxyJob> {
+        self.jobs.values().rev().find(|j| {
+            j.tool_id == tool_id
+                && j.state == GalaxyJobState::Ok
+                && j.params == *params
+                && !j.outputs.is_empty()
+                && j.outputs.iter().all(|o| {
+                    self.datasets
+                        .get(o)
+                        .is_some_and(|d| d.state == DatasetState::Ok)
+                        && self.provenance.of(*o).is_some_and(|r| r.job == j.id)
+                })
+        })
     }
 
     /// Render a history panel.
@@ -341,7 +373,7 @@ impl GalaxyServer {
             .unwrap_or(cumulus_transfer::calibrated_wan_link());
         let duration = Protocol::Ftp
             .transfer_duration(size, &link)
-            .expect("FTP has no size cap");
+            .ok_or(GalaxyError::UploadTooLarge(size))?;
         let done = now + duration;
         let id = self.insert_dataset(
             done,
@@ -374,10 +406,7 @@ impl GalaxyServer {
         deadline: Option<SimTime>,
     ) -> Result<(DatasetId, TaskId, SimTime), GalaxyError> {
         self.user(username)?;
-        let endpoint = self
-            .endpoint
-            .clone()
-            .ok_or_else(|| GalaxyError::UnknownUser("galaxy server has no endpoint".to_string()))?;
+        let endpoint = self.endpoint.clone().ok_or(GalaxyError::NoEndpoint)?;
         let file_name = source.1.rsplit('/').next().unwrap_or(source.1).to_string();
         let mut request = TransferRequest::globus(
             username,
@@ -389,7 +418,9 @@ impl GalaxyServer {
             request = request.with_deadline(d);
         }
         let task_id = service.submit(now, network, request)?;
-        let task = service.task(task_id).expect("just submitted");
+        let task = service
+            .task(task_id)
+            .ok_or(GalaxyError::TransferTaskMissing(task_id))?;
         let (state, when) = match task.status {
             TaskStatus::Succeeded => (DatasetState::Ok, task.finished_at),
             _ => (DatasetState::Error, task.finished_at),
@@ -413,10 +444,7 @@ impl GalaxyServer {
         destination: (&str, &str),
     ) -> Result<(TaskId, SimTime), GalaxyError> {
         self.user(username)?;
-        let endpoint = self
-            .endpoint
-            .clone()
-            .ok_or_else(|| GalaxyError::UnknownUser("galaxy server has no endpoint".to_string()))?;
+        let endpoint = self.endpoint.clone().ok_or(GalaxyError::NoEndpoint)?;
         let ds = self.dataset(dataset)?;
         if ds.state != DatasetState::Ok {
             return Err(GalaxyError::DatasetNotReady(dataset));
@@ -428,7 +456,10 @@ impl GalaxyServer {
             ds.size,
         );
         let task_id = service.submit(now, network, request)?;
-        let finished = service.task(task_id).expect("submitted").finished_at;
+        let finished = service
+            .task(task_id)
+            .ok_or(GalaxyError::TransferTaskMissing(task_id))?
+            .finished_at;
         Ok((task_id, finished))
     }
 
@@ -453,7 +484,9 @@ impl GalaxyServer {
             request = request.with_deadline(d);
         }
         let task_id = service.submit(now, network, request)?;
-        let task = service.task(task_id).expect("just submitted");
+        let task = service
+            .task(task_id)
+            .ok_or(GalaxyError::TransferTaskMissing(task_id))?;
         let (state, when) = match task.status {
             TaskStatus::Succeeded => (DatasetState::Ok, task.finished_at),
             _ => (DatasetState::Error, task.finished_at),
@@ -849,7 +882,7 @@ mod tests {
         let rec = f.server.provenance.of(out_id).expect("provenance exists");
         assert_eq!(rec.tool.0, "wordcount");
         assert_eq!(rec.inputs.get("input"), Some(&f.input));
-        assert_eq!(f.server.provenance.lineage(out_id), vec![f.input]);
+        assert_eq!(f.server.provenance.lineage(out_id).unwrap(), vec![f.input]);
     }
 
     #[test]
@@ -990,6 +1023,71 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, GalaxyError::UploadTooLarge(_)));
+    }
+
+    #[test]
+    fn ftp_upload_accepts_over_2gb() {
+        let mut f = fixture();
+        let network = Network::new();
+        let (id, done) = f
+            .server
+            .upload_ftp(
+                t(0),
+                f.history,
+                "big.bam",
+                "bam",
+                DataSize::from_gb(3),
+                Content::Opaque,
+                &network,
+                NodeId(0),
+            )
+            .expect("FTP imports have no size cap");
+        assert!(done > t(0));
+        assert_eq!(f.server.dataset(id).unwrap().state, DatasetState::Ok);
+    }
+
+    #[test]
+    fn globus_tools_without_endpoint_fail_with_typed_error() {
+        let mut server = GalaxyServer::new(NodeId(0), None);
+        server.register_user("boliu");
+        let history = server.create_history(t(0), "boliu", "h").unwrap();
+        let input = server
+            .add_dataset(
+                t(0),
+                history,
+                "x.bam",
+                "bam",
+                DataSize::from_mb(10),
+                Content::Opaque,
+            )
+            .unwrap();
+        let mut service = TransferService::new();
+        let network = Network::new();
+        let err = server
+            .get_data_via_globus(
+                t(0),
+                "boliu",
+                history,
+                &mut service,
+                &network,
+                ("ci#lab", "/data/x.bam"),
+                DataSize::from_mb(10),
+                Content::Opaque,
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, GalaxyError::NoEndpoint), "{err}");
+        let err = server
+            .send_data_via_globus(
+                t(0),
+                "boliu",
+                input,
+                &mut service,
+                &network,
+                ("ci#lab", "/x"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, GalaxyError::NoEndpoint), "{err}");
     }
 
     #[test]

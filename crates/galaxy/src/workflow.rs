@@ -11,8 +11,9 @@ use std::collections::BTreeMap;
 
 use cumulus_htc::{CondorPool, DagRun};
 use cumulus_simkit::telemetry::{span::keys as span_keys, SpanKind};
-use cumulus_simkit::time::SimTime;
+use cumulus_simkit::time::{SimDuration, SimTime};
 
+use crate::checkpoint::WorkflowCheckpoint;
 use crate::dataset::DatasetId;
 use crate::history::HistoryId;
 use crate::job::{GalaxyJobId, GalaxyJobState};
@@ -146,6 +147,21 @@ pub struct WorkflowRunResult {
     pub step_jobs: BTreeMap<String, GalaxyJobId>,
     /// Output datasets per step id.
     pub step_outputs: BTreeMap<String, Vec<DatasetId>>,
+    /// A restartable snapshot of the completed run, assembled from the
+    /// provenance store and the output datasets' content ids. Feed it to
+    /// [`resume_workflow`](crate::checkpoint::resume_workflow) to rerun
+    /// the workflow without repeating recoverable steps.
+    pub checkpoint: WorkflowCheckpoint,
+}
+
+/// A step a resumed run skips: its recovered outputs plus the staging
+/// time already charged to re-materialize them.
+#[derive(Debug, Clone)]
+pub(crate) struct ResumedStep {
+    /// The step's output datasets, recovered from the checkpoint.
+    pub outputs: Vec<DatasetId>,
+    /// Time spent re-staging those outputs through the data plane.
+    pub restage: SimDuration,
 }
 
 /// Execute a workflow to completion, driving the pool.
@@ -161,6 +177,34 @@ pub fn run_workflow(
     history: HistoryId,
     workflow: &Workflow,
     inputs: &BTreeMap<String, DatasetId>,
+) -> Result<WorkflowRunResult, GalaxyError> {
+    drive_workflow(
+        server,
+        pool,
+        now,
+        username,
+        history,
+        workflow,
+        inputs,
+        &BTreeMap::new(),
+    )
+}
+
+/// The shared driver behind [`run_workflow`] and
+/// [`resume_workflow`](crate::checkpoint::resume_workflow): steps in
+/// `resumed` are marked done up front (their outputs already exist), the
+/// rest run through the pool as dependencies complete. On a resumed run
+/// every step gets a recovery-decision telemetry phase.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_workflow(
+    server: &mut GalaxyServer,
+    pool: &mut CondorPool,
+    now: SimTime,
+    username: &str,
+    history: HistoryId,
+    workflow: &Workflow,
+    inputs: &BTreeMap<String, DatasetId>,
+    resumed: &BTreeMap<String, ResumedStep>,
 ) -> Result<WorkflowRunResult, GalaxyError> {
     workflow
         .validate()
@@ -208,6 +252,39 @@ pub fn run_workflow(
     let mut step_outputs: BTreeMap<String, Vec<DatasetId>> = BTreeMap::new();
     let mut condor_to_step: BTreeMap<cumulus_htc::JobId, String> = BTreeMap::new();
     let mut clock = now;
+
+    // On a resumed run, every step records its recovery decision as a
+    // telemetry phase, and skipped steps complete immediately with their
+    // recovered outputs. A fresh run (empty map) emits nothing here.
+    if !resumed.is_empty() {
+        for step in &workflow.steps {
+            match resumed.get(&step.id) {
+                Some(r) => {
+                    telemetry.span_phase(
+                        clock,
+                        "workflow",
+                        span_keys::WORKFLOW_STEP_RESUMED,
+                        SpanKind::Workflow,
+                        wf_id,
+                        r.restage,
+                    );
+                    dag.mark_done(&step.id)
+                        .map_err(|e| GalaxyError::Tool(crate::tool::ToolError(e.to_string())))?;
+                    step_outputs.insert(step.id.clone(), r.outputs.clone());
+                }
+                None => {
+                    telemetry.span_phase(
+                        clock,
+                        "workflow",
+                        span_keys::WORKFLOW_STEP_RERUN,
+                        SpanKind::Workflow,
+                        wf_id,
+                        SimDuration::ZERO,
+                    );
+                }
+            }
+        }
+    }
 
     // Submit whatever is ready.
     let submit_ready = |server: &mut GalaxyServer,
@@ -321,10 +398,12 @@ pub fn run_workflow(
         wf_id,
     );
 
+    let checkpoint = WorkflowCheckpoint::capture(clock, server, workflow, inputs)?;
     Ok(WorkflowRunResult {
         finished_at: clock,
         step_jobs,
         step_outputs,
+        checkpoint,
     })
 }
 
@@ -465,7 +544,7 @@ mod tests {
         let ds = f.server.dataset(final_out).unwrap();
         assert_eq!(ds.content, Content::Text("ABC|cba".to_string()));
         // Provenance spans the whole workflow.
-        let lineage = f.server.provenance.lineage(final_out);
+        let lineage = f.server.provenance.lineage(final_out).unwrap();
         assert!(lineage.contains(&f.input));
         assert_eq!(lineage.len(), 3, "two intermediates + the input");
     }

@@ -149,6 +149,30 @@ impl DagRun {
         }
     }
 
+    /// Mark a node complete without running a pool job — the resume path
+    /// for checkpointed workflow steps whose outputs already exist.
+    /// Returns the nodes that became ready.
+    pub fn mark_done(&mut self, node: &str) -> Result<Vec<NodeName>, DagError> {
+        if !self.status.contains_key(node) {
+            return Err(DagError::UnknownNode(node.to_string()));
+        }
+        self.status.insert(node.to_string(), NodeStatus::Done);
+        let mut newly_ready = Vec::new();
+        for child in self.children[node].clone() {
+            if self.status[&child] != NodeStatus::Blocked {
+                continue;
+            }
+            let all_done = self.parents[&child]
+                .iter()
+                .all(|p| self.status[p] == NodeStatus::Done);
+            if all_done {
+                self.status.insert(child.clone(), NodeStatus::Ready);
+                newly_ready.push(child);
+            }
+        }
+        Ok(newly_ready)
+    }
+
     /// Record a pool-job completion. Returns the nodes that became ready.
     pub fn on_job_completed(&mut self, job: JobId) -> Vec<NodeName> {
         let Some(node) = self.submitted_as.remove(&job) else {
@@ -255,6 +279,24 @@ mod tests {
         assert!(matches!(dag.add_node("x"), Err(DagError::DuplicateNode(_))));
         assert!(matches!(
             dag.add_edge("x", "ghost"),
+            Err(DagError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn mark_done_skips_a_node_and_unblocks_children() {
+        let mut dag = diamond();
+        // Checkpointed prefix a, b, c: marked done without pool jobs.
+        assert!(dag.mark_done("a").unwrap().contains(&"b".to_string()));
+        dag.mark_done("b").unwrap();
+        let ready = dag.mark_done("c").unwrap();
+        assert_eq!(ready, vec!["d".to_string()]);
+        assert_eq!(dag.node_status("d"), Some(NodeStatus::Ready));
+        dag.mark_submitted("d", JobId(1)).unwrap();
+        dag.on_job_completed(JobId(1));
+        assert!(dag.is_complete());
+        assert!(matches!(
+            dag.mark_done("ghost"),
             Err(DagError::UnknownNode(_))
         ));
     }

@@ -93,6 +93,10 @@ pub struct Job {
     pub started_at: Option<SimTime>,
     /// Times this job has been evicted and requeued.
     pub evictions: u32,
+    /// Why the job is [`JobState::Held`], when a reason was given
+    /// (e.g. a retry-backoff hold from the recovery plane). Cleared on
+    /// release.
+    pub held_reason: Option<String>,
     /// `requirements` compiled at build time (the matchmaker hot path).
     pub(crate) compiled_req: CompiledExpr,
     /// `rank` compiled at build time.
@@ -203,6 +207,7 @@ impl JobBuilder {
             finish_at: None,
             started_at: None,
             evictions: 0,
+            held_reason: None,
             compiled_req,
             compiled_rank,
             input_cids,

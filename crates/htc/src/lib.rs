@@ -14,6 +14,9 @@
 //! * [`pool`] — the central manager: queue, fair-share negotiation cycles,
 //!   dynamic machine membership with draining (the mechanism behind
 //!   elastic scale-up/down), and eviction on abrupt host loss;
+//! * [`retry`] — job-level retry over the pool: a `Held(reason)`-aware
+//!   resubmit loop with per-job attempt counters and dead-lettering,
+//!   consuming the shared `cumulus_simkit::retry` plane;
 //! * [`dag`] — DAGMan-lite dependency bookkeeping for workflow DAGs;
 //! * [`driver`] — an event-driven central manager running periodic
 //!   negotiation cycles inside the DES engine.
@@ -26,6 +29,7 @@ pub mod driver;
 pub mod job;
 pub mod machine;
 pub mod pool;
+pub mod retry;
 
 pub use classad::{ClassAd, CompiledExpr, Expr, ParseError, Symbol, Value};
 pub use dag::{DagError, DagRun, NodeStatus};
@@ -36,3 +40,4 @@ pub use pool::{
     CondorPool, Match, PoolError, CACHE_AFFINITY_BONUS, JOB_INPUT_CIDS_ATTR,
     MACHINE_CACHE_CIDS_ATTR, NEGOTIATION_INTERVAL,
 };
+pub use retry::{JobRetryTracker, RetryReport};

@@ -611,6 +611,24 @@ impl CondorPool {
         Ok(())
     }
 
+    /// Hold a job with a stated reason (e.g. `retry backoff: attempt 2`).
+    /// Behaves exactly like [`CondorPool::hold`]; the reason is readable
+    /// via [`CondorPool::held_reason`] until the job is released.
+    pub fn hold_with_reason(&mut self, id: JobId, reason: &str) -> Result<(), PoolError> {
+        self.hold(id)?;
+        if let Some(job) = self.jobs.get_mut(&id) {
+            if job.state == JobState::Held {
+                job.held_reason = Some(reason.to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Why a job is held, if it is held and a reason was recorded.
+    pub fn held_reason(&self, id: JobId) -> Option<&str> {
+        self.jobs.get(&id).and_then(|j| j.held_reason.as_deref())
+    }
+
     /// Release a held job.
     pub fn release(&mut self, id: JobId) -> Result<(), PoolError> {
         if !self.jobs.contains_key(&id) {
@@ -619,6 +637,7 @@ impl CondorPool {
         let job = self.jobs.get_mut(&id).expect("checked above");
         if job.state == JobState::Held {
             job.state = JobState::Idle;
+            job.held_reason = None;
             let owner = job.owner.clone();
             self.idle_index_insert(&owner, id);
         }

@@ -1,0 +1,331 @@
+//! Job-level retry: the pool-side consumer of the shared recovery plane.
+//!
+//! Evictions have always been *requeued* (the job goes back to `Idle` and
+//! rematches at the next negotiation cycle), but nothing bounded how often
+//! a job could churn, nothing backed off a job that kept landing on doomed
+//! machines, and nothing ever gave up. [`JobRetryTracker`] closes that gap:
+//! it consumes the existing eviction/requeue observables (provision repair
+//! and spot preemption feed it for free) and drives a `Held(reason)`-aware
+//! resubmit loop on top of [`CondorPool`]:
+//!
+//! * each requeued job is charged one attempt on its per-job
+//!   [`RetryState`] cursor;
+//! * a job with retry budget left is **held** with a stated reason
+//!   (`hold_with_reason`) and released once its backoff expires — held
+//!   jobs are invisible to the negotiator, so the backoff actually delays
+//!   the resubmit;
+//! * a job whose budget is exhausted is **dead-lettered**: removed from
+//!   the queue and remembered, so callers can report it instead of
+//!   retrying forever.
+//!
+//! The tracker also dedupes by [`JobId`]: a job reported twice for the same
+//! disruption instant (or reported again while already held for backoff)
+//! is charged exactly once, which keeps retry counters honest when several
+//! observers witness the same eviction.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cumulus_simkit::retry::{DeadLetterReason, RetryDecision, RetryPolicy, RetryState};
+use cumulus_simkit::telemetry::{span::keys as span_keys, SpanKind, Telemetry};
+use cumulus_simkit::time::{SimDuration, SimTime};
+
+use crate::job::JobId;
+use crate::pool::CondorPool;
+
+/// What one batch of requeued jobs turned into.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RetryReport {
+    /// Jobs held for backoff, with the time each becomes releasable.
+    pub retried: Vec<(JobId, SimTime)>,
+    /// Jobs dead-lettered (removed from the queue) by this batch.
+    pub dead_lettered: Vec<JobId>,
+    /// Duplicate reports ignored by the JobId dedupe guard.
+    pub deduped: Vec<JobId>,
+}
+
+/// Per-job retry bookkeeping over a [`CondorPool`].
+///
+/// Create one per episode, feed it every eviction/requeue batch via
+/// [`JobRetryTracker::on_requeued`], and call
+/// [`JobRetryTracker::release_due`] from the episode's drive loop so jobs
+/// whose backoff expired re-enter negotiation.
+#[derive(Debug)]
+pub struct JobRetryTracker {
+    policy: RetryPolicy,
+    seed: u64,
+    states: BTreeMap<JobId, RetryState>,
+    /// Jobs currently held for backoff → when they become releasable.
+    due: BTreeMap<JobId, SimTime>,
+    dead: BTreeSet<JobId>,
+    /// Last instant each job was charged an attempt (the dedupe guard).
+    last_charged: BTreeMap<JobId, SimTime>,
+    telemetry: Telemetry,
+}
+
+impl JobRetryTracker {
+    /// A tracker whose jitter streams derive from `seed` (one named stream
+    /// per job, so schedules are independent and replayable).
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        JobRetryTracker {
+            policy,
+            seed,
+            states: BTreeMap::new(),
+            due: BTreeMap::new(),
+            dead: BTreeSet::new(),
+            last_charged: BTreeMap::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a telemetry handle; the tracker then emits a
+    /// `job.retry_backoff` phase per hold and a `job.dead_lettered` phase
+    /// (plus a `job.removed` close) per dead-letter.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Feed one batch of evicted-and-requeued jobs observed at `now`,
+    /// labelled with the disruption `reason` (e.g. `"spot preemption"`).
+    ///
+    /// This is **the** JobId dedupe point: a job listed twice in `ids`,
+    /// re-reported at the same instant, already held for backoff, or
+    /// already dead-lettered is charged exactly once per disruption.
+    pub fn on_requeued(
+        &mut self,
+        pool: &mut CondorPool,
+        ids: &[JobId],
+        now: SimTime,
+        reason: &str,
+    ) -> RetryReport {
+        let mut report = RetryReport::default();
+        for &id in ids {
+            let duplicate = self.dead.contains(&id)
+                || self.due.contains_key(&id)
+                || self.last_charged.get(&id) == Some(&now);
+            if duplicate {
+                report.deduped.push(id);
+                continue;
+            }
+            self.last_charged.insert(id, now);
+            let state = self.states.entry(id).or_insert_with(|| {
+                self.policy
+                    .seeded_state(self.seed, &format!("htc/retry/job-{}", id.0))
+            });
+            match state.on_failure(now) {
+                RetryDecision::Retry { attempt, after } => {
+                    let hold = format!("{reason}: retry backoff, attempt {attempt}");
+                    if pool.hold_with_reason(id, &hold).is_ok() {
+                        self.due.insert(id, now + after);
+                        report.retried.push((id, now + after));
+                        self.telemetry.span_phase(
+                            now,
+                            "htc",
+                            span_keys::JOB_RETRY_BACKOFF,
+                            SpanKind::Job,
+                            id.0,
+                            after,
+                        );
+                    }
+                }
+                RetryDecision::DeadLetter(why) => {
+                    let _ = pool.remove_job(id);
+                    self.dead.insert(id);
+                    report.dead_lettered.push(id);
+                    self.telemetry.span_phase(
+                        now,
+                        "htc",
+                        span_keys::JOB_DEAD_LETTERED,
+                        SpanKind::Job,
+                        id.0,
+                        SimDuration::ZERO,
+                    );
+                    self.telemetry.span_close(
+                        now,
+                        "htc",
+                        span_keys::JOB_REMOVED,
+                        SpanKind::Job,
+                        id.0,
+                    );
+                    debug_assert!(matches!(
+                        why,
+                        DeadLetterReason::AttemptsExhausted { .. }
+                            | DeadLetterReason::DeadlineExpired { .. }
+                    ));
+                }
+            }
+        }
+        report
+    }
+
+    /// Release every job whose backoff has expired by `now`; returns the
+    /// released ids (they are `Idle` again and will rematch next cycle).
+    pub fn release_due(&mut self, pool: &mut CondorPool, now: SimTime) -> Vec<JobId> {
+        let ready: Vec<JobId> = self
+            .due
+            .iter()
+            .filter(|(_, &at)| at <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &ready {
+            self.due.remove(&id);
+            let _ = pool.release(id);
+        }
+        ready
+    }
+
+    /// The earliest pending backoff release, if any job is held.
+    pub fn next_release_at(&self) -> Option<SimTime> {
+        self.due.values().copied().min()
+    }
+
+    /// Attempts charged to a job so far (0 if it never failed).
+    pub fn attempts(&self, id: JobId) -> u32 {
+        self.states.get(&id).map(|s| s.attempts()).unwrap_or(0)
+    }
+
+    /// Jobs routed to the dead-letter terminal state, in id order.
+    pub fn dead_letters(&self) -> Vec<JobId> {
+        self.dead.iter().copied().collect()
+    }
+
+    /// Whether a job has been dead-lettered.
+    pub fn is_dead(&self, id: JobId) -> bool {
+        self.dead.contains(&id)
+    }
+
+    /// The policy this tracker applies to every job.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobState, WorkSpec};
+    use crate::machine::Machine;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    fn pool_with_worker() -> CondorPool {
+        let mut pool = CondorPool::new();
+        pool.add_machine(Machine::new("w0", 1.0, 1024, 1)).unwrap();
+        pool
+    }
+
+    fn policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy::new(max_attempts).with_backoff(SimDuration::from_secs(30), 2.0)
+    }
+
+    #[test]
+    fn evicted_job_is_held_with_reason_then_released_and_rematched() {
+        let mut pool = pool_with_worker();
+        let mut tracker = JobRetryTracker::new(policy(3), 7);
+        let id = pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+        pool.negotiate(t(0));
+        let evicted = pool.remove_machine("w0", t(10)).unwrap();
+        assert_eq!(evicted, vec![id]);
+
+        let report = tracker.on_requeued(&mut pool, &evicted, t(10), "spot preemption");
+        assert_eq!(report.retried, vec![(id, t(40))]);
+        assert_eq!(pool.job(id).unwrap().state, JobState::Held);
+        assert_eq!(
+            pool.held_reason(id),
+            Some("spot preemption: retry backoff, attempt 1")
+        );
+
+        // Before the backoff expires nothing is released; a replacement
+        // machine cannot match the held job.
+        pool.add_machine(Machine::new("w1", 1.0, 1024, 1)).unwrap();
+        assert!(tracker.release_due(&mut pool, t(20)).is_empty());
+        assert!(pool.negotiate(t(20)).is_empty());
+
+        // At the due time it is released, rematches, and runs again.
+        assert_eq!(tracker.release_due(&mut pool, t(40)), vec![id]);
+        assert_eq!(pool.held_reason(id), None);
+        assert_eq!(pool.negotiate(t(40)).len(), 1);
+        assert_eq!(pool.job(id).unwrap().state, JobState::Running);
+        assert_eq!(tracker.next_release_at(), None);
+    }
+
+    #[test]
+    fn dead_letter_after_exactly_max_attempts_removes_the_job() {
+        let mut pool = pool_with_worker();
+        let mut tracker = JobRetryTracker::new(policy(2), 7);
+        let id = pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+
+        // Attempt 1: evict, hold, release.
+        pool.negotiate(t(0));
+        let ev = pool.remove_machine("w0", t(10)).unwrap();
+        tracker.on_requeued(&mut pool, &ev, t(10), "hardware failure");
+        pool.add_machine(Machine::new("w0", 1.0, 1024, 1)).unwrap();
+        tracker.release_due(&mut pool, t(40));
+        pool.negotiate(t(40));
+
+        // Attempt 2 = max_attempts: dead-letter, job removed.
+        let ev = pool.remove_machine("w0", t(50)).unwrap();
+        let report = tracker.on_requeued(&mut pool, &ev, t(50), "hardware failure");
+        assert_eq!(report.dead_lettered, vec![id]);
+        assert!(tracker.is_dead(id));
+        assert_eq!(tracker.dead_letters(), vec![id]);
+        assert_eq!(tracker.attempts(id), 2);
+        assert_eq!(pool.job(id).unwrap().state, JobState::Removed);
+    }
+
+    #[test]
+    fn duplicate_reports_for_one_disruption_are_charged_once() {
+        let mut pool = pool_with_worker();
+        let mut tracker = JobRetryTracker::new(policy(5), 7);
+        let id = pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+        pool.negotiate(t(0));
+        let ev = pool.remove_machine("w0", t(10)).unwrap();
+
+        // Two observers report the same eviction: same batch and a second
+        // batch at the same instant.
+        let first = tracker.on_requeued(&mut pool, &[id, id], t(10), "spot preemption");
+        assert_eq!(first.retried.len(), 1);
+        assert_eq!(first.deduped, vec![id]);
+        let second = tracker.on_requeued(&mut pool, &ev, t(10), "spot preemption");
+        assert!(second.retried.is_empty());
+        assert_eq!(second.deduped, vec![id]);
+        assert_eq!(tracker.attempts(id), 1, "exactly one attempt charged");
+
+        // A genuinely new disruption later is charged normally.
+        pool.add_machine(Machine::new("w1", 1.0, 1024, 1)).unwrap();
+        tracker.release_due(&mut pool, t(40));
+        pool.negotiate(t(40));
+        let ev2 = pool.remove_machine("w1", t(60)).unwrap();
+        let third = tracker.on_requeued(&mut pool, &ev2, t(60), "spot preemption");
+        assert_eq!(third.retried.len(), 1);
+        assert_eq!(tracker.attempts(id), 2);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut pool = pool_with_worker();
+            let mut tracker = JobRetryTracker::new(policy(6).with_jitter(0.25), seed);
+            let id = pool.submit(Job::new("u", WorkSpec::serial(100.0)), t(0));
+            let mut holds = Vec::new();
+            let mut now = t(0);
+            for _ in 0..4 {
+                pool.negotiate(now);
+                let ev = pool
+                    .remove_machine("w0", now + SimDuration::from_secs(5))
+                    .unwrap();
+                let r = tracker.on_requeued(&mut pool, &ev, now + SimDuration::from_secs(5), "x");
+                let (_, due) = r.retried[0];
+                holds.push(due);
+                pool.add_machine(Machine::new("w0", 1.0, 1024, 1)).unwrap();
+                tracker.release_due(&mut pool, due);
+                now = due;
+            }
+            let _ = id;
+            holds
+        };
+        assert_eq!(run(11), run(11), "same seed replays the same schedule");
+        assert_ne!(run(11), run(12), "different seeds jitter differently");
+    }
+}

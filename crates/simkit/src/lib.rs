@@ -49,6 +49,7 @@
 pub mod disrupt;
 pub mod engine;
 pub mod metrics;
+pub mod retry;
 pub mod rng;
 pub mod runner;
 pub mod stats;
@@ -59,6 +60,7 @@ pub mod trace;
 pub use disrupt::{Disruptable, Disruption, DisruptionKind, DisruptionPlan, InvalidWindow, Window};
 pub use engine::{EventId, RunOutcome, Sim};
 pub use metrics::{MetricId, Metrics};
+pub use retry::{DeadLetterReason, RetryDecision, RetryPolicy, RetryState};
 pub use rng::{RngStream, SeedFactory};
 pub use runner::{run_replicas, ReplicaPlan};
 pub use stats::{relative_error, Samples};

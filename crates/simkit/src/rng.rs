@@ -51,7 +51,9 @@ impl Xoshiro256 {
 /// A named, seeded random stream.
 ///
 /// Wraps a locally-implemented xoshiro256++ generator and adds the handful
-/// of distributions the simulator needs.
+/// of distributions the simulator needs. Cloning snapshots the stream:
+/// the clone replays the identical tail independently of the original.
+#[derive(Clone)]
 pub struct RngStream {
     rng: Xoshiro256,
     name: String,

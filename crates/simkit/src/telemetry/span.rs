@@ -36,6 +36,12 @@ pub mod keys {
     pub const JOB_COMPLETED: &str = "job.completed";
     /// Job span closes: removed before completion.
     pub const JOB_REMOVED: &str = "job.removed";
+    /// Job phase: held for a retry backoff by the recovery plane; the
+    /// attached duration is the backoff wait.
+    pub const JOB_RETRY_BACKOFF: &str = "job.retry_backoff";
+    /// Job phase: the recovery plane dead-lettered the job (retry budget
+    /// exhausted); a `job.removed` close follows.
+    pub const JOB_DEAD_LETTERED: &str = "job.dead_lettered";
     /// Instance span opens: capacity requested.
     pub const INSTANCE_REQUESTED: &str = "instance.requested";
     /// Instance phase: allocation + boot finished, instance usable.
@@ -56,6 +62,12 @@ pub mod keys {
     pub const WORKFLOW_STEP: &str = "workflow.step";
     /// Workflow span closes: all steps done.
     pub const WORKFLOW_COMPLETED: &str = "workflow.completed";
+    /// Workflow phase: a resumed run skipped this step — its checkpointed
+    /// outputs were re-staged through the data plane; the attached
+    /// duration is the re-staging time.
+    pub const WORKFLOW_STEP_RESUMED: &str = "workflow.step_resumed";
+    /// Workflow phase: a resumed run re-executes this step (lost suffix).
+    pub const WORKFLOW_STEP_RERUN: &str = "workflow.step_rerun";
     /// Autoscale decision: workers added (payload: from → to).
     pub const SCALE_OUT: &str = "autoscale.scale_out";
     /// Autoscale decision: workers released (payload: from → to).

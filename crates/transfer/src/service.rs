@@ -14,6 +14,7 @@
 
 use cumulus_net::{DataSize, FaultPlan, Link, Network, Rate};
 use cumulus_simkit::metrics::{MetricId, Metrics};
+use cumulus_simkit::retry::{RetryDecision, RetryPolicy as SharedRetryPolicy};
 use cumulus_simkit::telemetry::{span::keys as span_keys, Key, Payload, SpanKind, Telemetry};
 use cumulus_simkit::time::{SimDuration, SimTime};
 
@@ -207,7 +208,15 @@ impl From<EndpointError> for TransferError {
     }
 }
 
-/// Retry policy.
+/// Retry policy — a source-compatible adapter over the shared
+/// [`cumulus_simkit::retry`] plane.
+///
+/// Historically the transfer service owned its own backoff knobs; they now
+/// delegate to [`retry::RetryPolicy`](cumulus_simkit::retry::RetryPolicy)
+/// via [`RetryPolicy::to_shared`], preserving the exact legacy semantics:
+/// the first wait is `base_backoff`, each subsequent wait multiplies by
+/// `backoff_factor`, and the task fails once the fault count exceeds
+/// `max_retries` (i.e. `max_retries + 1` tolerated failures).
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
     /// Maximum fault retries before giving up.
@@ -216,6 +225,23 @@ pub struct RetryPolicy {
     pub base_backoff: SimDuration,
     /// Backoff multiplier per consecutive fault.
     pub backoff_factor: f64,
+}
+
+impl RetryPolicy {
+    /// The equivalent shared-plane policy: `max_retries` retries become
+    /// `max_retries + 1` tolerated attempts, the backoff curve carries over
+    /// unchanged, and jitter stays off so resolved timelines are
+    /// bit-identical to the pre-adapter behaviour.
+    pub fn to_shared(self) -> SharedRetryPolicy {
+        SharedRetryPolicy::new(self.max_retries.saturating_add(1))
+            .with_backoff(self.base_backoff, self.backoff_factor)
+    }
+}
+
+impl From<RetryPolicy> for SharedRetryPolicy {
+    fn from(p: RetryPolicy) -> Self {
+        p.to_shared()
+    }
 }
 
 impl Default for RetryPolicy {
@@ -493,7 +519,10 @@ fn resolve_transfer(
     let mut delivered = DataSize::ZERO;
     let mut retransmitted = DataSize::ZERO;
     let mut faults = 0u32;
-    let mut backoff = retry.base_backoff;
+    // The shared retry plane drives the backoff schedule; `to_shared`
+    // preserves the legacy arithmetic exactly (first wait = base, then
+    // multiply; fail once faults exceed `max_retries`).
+    let mut retry_state = retry.to_shared().state();
 
     let deadline = request.deadline.unwrap_or(SimTime::MAX);
 
@@ -573,20 +602,22 @@ fn resolve_transfer(
                         ),
                     });
                 }
-                if faults > retry.max_retries {
-                    events.push(TaskEvent {
-                        at: outage.start,
-                        description: "retry limit exhausted; task failed".to_string(),
-                    });
-                    break (outage.start, TaskStatus::Failed);
-                }
+                let backoff = match retry_state.on_failure(outage.start) {
+                    RetryDecision::DeadLetter(_) => {
+                        events.push(TaskEvent {
+                            at: outage.start,
+                            description: "retry limit exhausted; task failed".to_string(),
+                        });
+                        break (outage.start, TaskStatus::Failed);
+                    }
+                    RetryDecision::Retry { after, .. } => after,
+                };
                 // Wait out the outage plus backoff, then retry.
                 let resume_at = plan.next_up_at(outage.end).max(outage.end) + backoff;
                 events.push(TaskEvent {
                     at: resume_at,
                     description: format!("retrying after {backoff} backoff"),
                 });
-                backoff = backoff.mul_f64(retry.backoff_factor);
                 now = plan.next_up_at(resume_at);
                 if remaining.is_zero() {
                     // Fault hit exactly at the end; nothing left to send.

@@ -64,13 +64,22 @@ fn main() {
 
     println!("== Provenance of the final top table ==");
     let last_job = s.galaxy.job(_job2).unwrap();
-    let lineage = s.galaxy.provenance.lineage(last_job.outputs[0]);
+    let lineage = s
+        .galaxy
+        .provenance
+        .lineage(last_job.outputs[0])
+        .expect("tool-produced provenance is acyclic");
     println!(
         "  dataset {} derives from {} ancestor dataset(s)",
         last_job.outputs[0],
         lineage.len()
     );
-    for rec in s.galaxy.provenance.replay_plan(last_job.outputs[0]) {
+    for rec in s
+        .galaxy
+        .provenance
+        .replay_plan(last_job.outputs[0])
+        .expect("tool-produced provenance is acyclic")
+    {
         println!(
             "  [{} - {}] {} v{}",
             rec.span.0, rec.span.1, rec.tool.0, rec.tool.1

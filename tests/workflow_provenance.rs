@@ -83,14 +83,14 @@ fn crdata_workflow_runs_end_to_end_with_full_provenance() {
 
     // Provenance: the corrected table's lineage reaches the uploaded CEL
     // bundle through the normalized matrix and the DE table.
-    let lineage = s.galaxy.provenance.lineage(corrected);
+    let lineage = s.galaxy.provenance.lineage(corrected).unwrap();
     assert!(
         lineage.contains(&cel),
         "lineage misses the upload: {lineage:?}"
     );
     assert!(lineage.len() >= 3, "lineage too shallow: {lineage:?}");
     // Replay plan is in execution order and starts at the normalizer.
-    let plan = s.galaxy.provenance.replay_plan(corrected);
+    let plan = s.galaxy.provenance.replay_plan(corrected).unwrap();
     assert_eq!(plan.first().unwrap().tool.0, "crdata_affyNormalize");
     assert_eq!(
         plan.last().unwrap().tool.0,

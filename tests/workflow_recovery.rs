@@ -1,0 +1,166 @@
+//! Workflow-level recovery across the full stack: a mid-run preemption
+//! loses the tail of a CRData analysis, the completed prefix is recovered
+//! through the content-addressed data plane, and only the lost suffix
+//! re-executes. The headline property: with a warm cache, resuming
+//! re-stages **zero** bytes for the completed steps.
+
+use std::collections::BTreeMap;
+
+use cumulus::cloud::InstanceType;
+use cumulus::galaxy::{resume_workflow, run_workflow, RecoveryDecision, Workflow, WorkflowStep};
+use cumulus::provision::Topology;
+use cumulus::scenario::UseCaseScenario;
+use cumulus::simkit::time::SimTime;
+use cumulus::store::{DataPlane, DataSize, EvictionPolicy, ObjectStoreConfig, SharingBackend};
+
+/// The same analysis as the provenance suite: normalize → (DE, QC) in
+/// parallel → multiple-testing correction on the DE table.
+fn analysis_workflow() -> Workflow {
+    Workflow::new("cvrg-analysis", &["cel_data"])
+        .step(WorkflowStep::new("normalize", "crdata_affyNormalize").input("input", "cel_data"))
+        .step(
+            WorkflowStep::new("de", "crdata_affyDifferentialExpression")
+                .from_step("input", "normalize", 0)
+                .param("normalize", "no")
+                .param("top", "100"),
+        )
+        .step(WorkflowStep::new("qc", "crdata_affyQC").from_step("input", "normalize", 0))
+        .step(
+            WorkflowStep::new("correct", "crdata_multipleTestingCorrection")
+                .from_step("input", "de", 0)
+                .param("column", "P.Value")
+                .param("method", "holm"),
+        )
+}
+
+fn recovery_plane() -> DataPlane {
+    DataPlane::new(
+        SharingBackend::CachedObjectStore,
+        400.0,
+        ObjectStoreConfig::default(),
+        DataSize::from_gb(2),
+        EvictionPolicy::Lru,
+    )
+}
+
+#[test]
+fn resume_after_preemption_restages_zero_bytes_for_completed_steps() {
+    let mut topology = Topology::single_node(InstanceType::M1Small);
+    topology.workers = vec![InstanceType::C1Medium; 2];
+    let (mut s, report) = UseCaseScenario::deploy_with(901, SimTime::ZERO, topology).unwrap();
+    let (cel, t1) = s.transfer_four_cel_samples(report.ready_at).unwrap();
+
+    let wf = analysis_workflow();
+    let mut inputs = BTreeMap::new();
+    inputs.insert("cel_data".to_string(), cel);
+
+    // First run completes and yields a checkpoint.
+    let instance = s.instance.clone();
+    let result = {
+        let pool = &mut s.world.instance_mut(&instance).unwrap().pool;
+        run_workflow(&mut s.galaxy, pool, t1, "boliu", s.history, &wf, &inputs).unwrap()
+    };
+    assert_eq!(result.checkpoint.steps.len(), 4, "every step checkpointed");
+    let corrected_before = result.step_outputs["correct"][0];
+    let content_before = s.galaxy.dataset(corrected_before).unwrap().content.clone();
+
+    // Preemption mid-"correct": its output is lost with the worker, the
+    // prefix outputs survive in a worker cache that stayed up.
+    let mut checkpoint = result.checkpoint.clone();
+    checkpoint.steps.remove("correct");
+    let mut plane = recovery_plane();
+    checkpoint.publish(&mut plane, "survivor");
+
+    // Resume onto the warm worker.
+    let report = {
+        let pool = &mut s.world.instance_mut(&instance).unwrap().pool;
+        resume_workflow(
+            &mut s.galaxy,
+            pool,
+            &mut plane,
+            "survivor",
+            result.finished_at,
+            "boliu",
+            s.history,
+            &wf,
+            &inputs,
+            &checkpoint,
+        )
+        .unwrap()
+    };
+
+    // Completed steps re-stage ~0 bytes: every recovered output hits the
+    // local cache, nothing crosses the network.
+    assert_eq!(report.restaged_bytes, DataSize::ZERO);
+    for step in ["normalize", "de", "qc"] {
+        assert!(
+            matches!(
+                report.decisions[step],
+                RecoveryDecision::Resumed { network_bytes } if network_bytes.is_zero()
+            ),
+            "step {step} should resume for free: {:?}",
+            report.decisions[step]
+        );
+    }
+    assert_eq!(report.decisions["correct"], RecoveryDecision::Rerun);
+
+    // Only the lost suffix re-executed...
+    assert_eq!(report.result.step_jobs.len(), 1);
+    assert!(report.result.step_jobs.contains_key("correct"));
+    // ...and reproduced the original table exactly.
+    let corrected_after = report.result.step_outputs["correct"][0];
+    assert_eq!(
+        s.galaxy.dataset(corrected_after).unwrap().content,
+        content_before
+    );
+    // The resumed run is itself fully checkpointed again.
+    assert_eq!(report.result.checkpoint.steps.len(), 4);
+}
+
+#[test]
+fn cold_resume_pays_the_object_store_but_still_skips_recompute() {
+    let mut topology = Topology::single_node(InstanceType::M1Small);
+    topology.workers = vec![InstanceType::C1Medium; 2];
+    let (mut s, report) = UseCaseScenario::deploy_with(902, SimTime::ZERO, topology).unwrap();
+    let (cel, t1) = s.transfer_four_cel_samples(report.ready_at).unwrap();
+
+    let wf = analysis_workflow();
+    let mut inputs = BTreeMap::new();
+    inputs.insert("cel_data".to_string(), cel);
+    let instance = s.instance.clone();
+    let result = {
+        let pool = &mut s.world.instance_mut(&instance).unwrap().pool;
+        run_workflow(&mut s.galaxy, pool, t1, "boliu", s.history, &wf, &inputs).unwrap()
+    };
+
+    // Every cache died with its worker; only the object store kept the
+    // outputs. Resume onto a brand-new replacement node.
+    let mut plane = recovery_plane();
+    for step in result.checkpoint.steps.values() {
+        for o in &step.outputs {
+            plane.object.put(o.content, o.size);
+        }
+    }
+    let report = {
+        let pool = &mut s.world.instance_mut(&instance).unwrap().pool;
+        resume_workflow(
+            &mut s.galaxy,
+            pool,
+            &mut plane,
+            "replacement",
+            result.finished_at,
+            "boliu",
+            s.history,
+            &wf,
+            &inputs,
+            &result.checkpoint,
+        )
+        .unwrap()
+    };
+    // No recompute at all, but the recovery bytes are honest: everything
+    // came back over the network from the object store.
+    assert!(report.result.step_jobs.is_empty());
+    assert!(!report.restaged_bytes.is_zero());
+    assert!(!report.restage_time.is_zero());
+    assert_eq!(report.result.step_outputs.len(), 4);
+}
