@@ -42,13 +42,13 @@ use cumulus::store::{
 use crate::table::{mins, Table};
 
 /// Workers in the pool (the paper's four-node §V deployment).
-const WORKERS: usize = 4;
+pub(crate) const WORKERS: usize = 4;
 /// Jobs per episode.
 const JOBS: usize = 24;
 /// Every dataset in the sweep is this big (the four-CEL batch scale).
 const DATASET_MB: u64 = 200;
 /// NFS export bandwidth, Mbit/s (the E9 contention model's default).
-const NFS_BANDWIDTH_MBPS: f64 = 400.0;
+pub(crate) const NFS_BANDWIDTH_MBPS: f64 = 400.0;
 /// The warm-cache claim: staging time must drop at least this much vs
 /// the NFS baseline on the high-reuse column.
 pub const MIN_STAGING_REDUCTION: f64 = 2.0;
@@ -204,15 +204,20 @@ pub fn grid_combos(quick: bool) -> Vec<(BackendSpec, Reuse)> {
 
 /// The content id of dataset `idx` — a stable name, so every cell of the
 /// sweep sees the same contents.
-fn dataset_cid(idx: usize) -> ContentId {
+pub(crate) fn dataset_cid(idx: usize) -> ContentId {
     ContentId::of_str(&format!("e13-dataset-{idx}"))
 }
 
+/// Size of every E13 dataset.
+pub(crate) fn dataset_size() -> DataSize {
+    DataSize::from_mb(DATASET_MB)
+}
+
 /// One job of the fixed stream: arrival, work, dataset consumed.
-struct StreamJob {
-    submit_at: SimTime,
-    work: WorkSpec,
-    dataset: usize,
+pub(crate) struct StreamJob {
+    pub(crate) submit_at: SimTime,
+    pub(crate) work: WorkSpec,
+    pub(crate) dataset: usize,
 }
 
 /// The job stream every cell replays: arrivals on a seeded clock
@@ -220,7 +225,7 @@ struct StreamJob {
 /// so reuse is spread across the episode. Derived from the master seed
 /// directly — **not** the per-replica seed — so all cells compare the
 /// same workload.
-fn job_stream(seed: u64, reuse: Reuse) -> Vec<StreamJob> {
+pub(crate) fn job_stream(seed: u64, reuse: Reuse) -> Vec<StreamJob> {
     let mut arrivals = RngStream::derive(seed, "e13-arrivals");
     let mut work = RngStream::derive(seed, "e13-work");
     let datasets = reuse.dataset_count();

@@ -14,6 +14,7 @@
 //! | E12 | predictive vs reactive scaling grid | `predictive_grid` |
 //! | E13 | data-sharing options grid | `datashare_grid` |
 //! | E14 | workflow-recovery policy grid | `recovery_grid` |
+//! | E15 | federated placement grid | `federation_grid` |
 //!
 //! `cargo run --release -p cumulus-bench --bin all_experiments` prints the
 //! full report recorded in EXPERIMENTS.md; every binary accepts
@@ -28,6 +29,7 @@ pub mod experiments {
     pub mod cloudman;
     pub mod datashare;
     pub mod extensions;
+    pub mod federation;
     pub mod fig10;
     pub mod fig11;
     pub mod predictive;

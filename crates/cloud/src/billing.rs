@@ -94,10 +94,43 @@ impl UsageSegment {
     }
 }
 
+/// 2012-era inter-region data-transfer price: $0.02 per GB leaving a
+/// region for another region (transfer *in* was free). The federation
+/// layer charges every WAN crossing at this rate unless a link overrides
+/// it.
+pub const INTER_REGION_EGRESS_USD_PER_GB: f64 = 0.02;
+
+/// One metered inter-region data-transfer charge. Unlike instance usage
+/// (billed by the interval), egress is billed by the byte at the moment
+/// the bytes leave the source region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgressCharge {
+    /// When the bytes left the source region.
+    pub at: SimTime,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Dollars per GB in force for this crossing.
+    pub rate_usd_per_gb: f64,
+    /// Source region/site label.
+    pub from: String,
+    /// Destination region/site label.
+    pub to: String,
+}
+
+impl EgressCharge {
+    /// Dollar cost of this charge: exactly `bytes × rate`, with a GB
+    /// being 1e9 bytes (the decimal convention `DataSize` uses elsewhere
+    /// in the stack).
+    pub fn cost(&self) -> f64 {
+        self.bytes as f64 / 1e9 * self.rate_usd_per_gb
+    }
+}
+
 /// The account-wide ledger.
 #[derive(Debug, Default)]
 pub struct BillingLedger {
     segments: Vec<UsageSegment>,
+    egress: Vec<EgressCharge>,
 }
 
 impl BillingLedger {
@@ -158,9 +191,48 @@ impl BillingLedger {
         &self.segments
     }
 
-    /// Total account cost as of `as_of`.
+    /// Meter an inter-region transfer: `bytes` left region `from` for
+    /// region `to` at time `at`, billed at `rate_usd_per_gb`.
+    pub fn charge_egress(
+        &mut self,
+        at: SimTime,
+        bytes: u64,
+        rate_usd_per_gb: f64,
+        from: &str,
+        to: &str,
+    ) {
+        self.egress.push(EgressCharge {
+            at,
+            bytes,
+            rate_usd_per_gb,
+            from: from.to_string(),
+            to: to.to_string(),
+        });
+    }
+
+    /// All egress charges, in metering order.
+    pub fn egress_charges(&self) -> &[EgressCharge] {
+        &self.egress
+    }
+
+    /// Data-transfer dollars metered up to and including `as_of`.
+    pub fn egress_cost(&self, as_of: SimTime) -> f64 {
+        // fold, not sum: an empty f64 Sum yields -0.0, which would print
+        // as "-0.0000" in the report tables.
+        self.egress
+            .iter()
+            .filter(|c| c.at <= as_of)
+            .fold(0.0, |acc, c| acc + c.cost())
+    }
+
+    /// Total account cost as of `as_of`: instance usage under `mode`
+    /// plus all data-transfer charges metered so far.
     pub fn total_cost(&self, mode: BillingMode, as_of: SimTime) -> f64 {
-        self.segments.iter().map(|s| s.cost(mode, as_of)).sum()
+        self.segments
+            .iter()
+            .map(|s| s.cost(mode, as_of))
+            .sum::<f64>()
+            + self.egress_cost(as_of)
     }
 
     /// Cost attributable to one instance.
@@ -207,6 +279,15 @@ impl BillingLedger {
                 s.start.to_string(),
                 end,
                 s.cost(mode, as_of)
+            ));
+        }
+        for c in self.egress.iter().filter(|c| c.at <= as_of) {
+            out.push_str(&format!(
+                "egress        {:<11} {:<13} {:<13} ${:.4}\n",
+                format!("{}->{}", c.from, c.to),
+                c.at.to_string(),
+                format!("{}B", c.bytes),
+                c.cost()
             ));
         }
         out.push_str(&format!("total: ${:.4}\n", self.total_cost(mode, as_of)));
@@ -384,6 +465,39 @@ mod tests {
         ledger.close(iid(2), t(60));
         let cost = ledger.total_cost(BillingMode::PerSecond, t(60));
         assert!((cost - 0.04 * (1.0 + SPOT_DISCOUNT)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn egress_bills_exactly_bytes_times_rate() {
+        let mut ledger = BillingLedger::new();
+        // 10 GB east→west at the 2012 inter-region rate: $0.20.
+        ledger.charge_egress(
+            t(5),
+            10_000_000_000,
+            INTER_REGION_EGRESS_USD_PER_GB,
+            "us-east",
+            "us-west",
+        );
+        assert!((ledger.egress_cost(t(5)) - 0.20).abs() < 1e-12);
+        // Charges after as_of are not yet on the bill.
+        assert_eq!(ledger.egress_cost(t(4)), 0.0);
+        // Egress joins instance usage in the total under both modes.
+        ledger.open(iid(1), InstanceType::M1Small, t(0));
+        ledger.close(iid(1), t(60));
+        let total = ledger.total_cost(BillingMode::PerSecond, t(60));
+        assert!((total - (0.04 + 0.20)).abs() < 1e-12, "total={total}");
+        assert_eq!(ledger.egress_charges().len(), 1);
+        assert_eq!(ledger.egress_charges()[0].from, "us-east");
+    }
+
+    #[test]
+    fn invoice_itemizes_egress() {
+        let mut ledger = BillingLedger::new();
+        ledger.charge_egress(t(1), 5_000_000_000, 0.02, "a", "b");
+        let inv = ledger.invoice(BillingMode::PerSecond, t(10));
+        assert!(inv.contains("egress"), "{inv}");
+        assert!(inv.contains("a->b"), "{inv}");
+        assert!(inv.contains("total: $0.1000"), "{inv}");
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub mod types;
 
 pub use ami::{Ami, AmiCatalog, AmiId, GP_PUBLIC_AMI};
 pub use api::{Ec2Config, Ec2Error, Ec2Sim};
-pub use billing::{BillingLedger, BillingMode, Pricing, UsageSegment, SPOT_DISCOUNT};
+pub use billing::{
+    BillingLedger, BillingMode, EgressCharge, Pricing, UsageSegment,
+    INTER_REGION_EGRESS_USD_PER_GB, SPOT_DISCOUNT,
+};
 pub use instance::{Instance, InstanceId, InstanceState};
 pub use spot::{SpotMarket, SpotReclaim};
 pub use types::InstanceType;

@@ -1,0 +1,100 @@
+//! Per-site elasticity: the single-region scaling policies, unchanged,
+//! driving each site's worker count.
+//!
+//! A [`SiteScaler`] wraps any [`ScalingPolicy`] with the signal window
+//! the single-region controller feeds it, clamps the recommendation to
+//! the site's bounds, and leaves actuation to the caller (the federated
+//! episode loop adds/removes workers through
+//! [`Site::add_worker`](crate::site::Site::add_worker) /
+//! [`Site::remove_idle_worker`](crate::site::Site::remove_idle_worker),
+//! which keep the per-worker billing segments honest). The policies
+//! themselves are exactly the `cumulus-autoscale` implementations — the
+//! federation adds placement *above* them, never a different sizing
+//! rule.
+
+use cumulus_autoscale::policy::ScalingPolicy;
+use cumulus_autoscale::signal::{SignalSample, SignalWindow};
+use cumulus_htc::CondorPool;
+use cumulus_simkit::time::SimTime;
+
+/// One site's scaling controller: policy + signal window + bounds.
+pub struct SiteScaler {
+    policy: Box<dyn ScalingPolicy>,
+    window: SignalWindow,
+    min_workers: usize,
+    max_workers: usize,
+}
+
+impl std::fmt::Debug for SiteScaler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SiteScaler")
+            .field("policy", &self.policy.name())
+            .field("min_workers", &self.min_workers)
+            .field("max_workers", &self.max_workers)
+            .finish()
+    }
+}
+
+impl SiteScaler {
+    /// A scaler running `policy` over a `window_len`-sample window,
+    /// clamped to `[min_workers, max_workers]`.
+    pub fn new(
+        policy: Box<dyn ScalingPolicy>,
+        window_len: usize,
+        min_workers: usize,
+        max_workers: usize,
+    ) -> SiteScaler {
+        assert!(min_workers <= max_workers);
+        SiteScaler {
+            policy,
+            window: SignalWindow::new(window_len),
+            min_workers,
+            max_workers,
+        }
+    }
+
+    /// The wrapped policy's name.
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Observe the site's pool at `now` and return the clamped desired
+    /// worker count. Call once per control tick; the caller actuates the
+    /// difference (and may stop short on busy tail workers).
+    pub fn desired(&mut self, now: SimTime, pool: &CondorPool, workers: usize) -> usize {
+        self.window.push(SignalSample::observe(now, pool, workers));
+        self.policy
+            .desired_workers(&self.window)
+            .clamp(self.min_workers, self.max_workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulus_autoscale::policy::{Fixed, QueueStep};
+    use cumulus_htc::{Job, WorkSpec};
+
+    #[test]
+    fn fixed_policy_never_moves() {
+        let mut scaler = SiteScaler::new(Box::new(Fixed(4)), 3, 1, 8);
+        let pool = CondorPool::new();
+        for _ in 0..5 {
+            assert_eq!(scaler.desired(SimTime::ZERO, &pool, 4), 4);
+        }
+        assert_eq!(scaler.policy_name(), "fixed/4");
+    }
+
+    #[test]
+    fn queue_step_scales_with_backlog_within_bounds() {
+        let mut scaler = SiteScaler::new(Box::new(QueueStep::new(2)), 3, 1, 4);
+        let mut pool = CondorPool::new();
+        // Empty pool: the policy wants zero, the floor holds one.
+        assert_eq!(scaler.desired(SimTime::ZERO, &pool, 1), 1);
+        // Twelve queued jobs want six workers; the cap holds four.
+        for _ in 0..12 {
+            pool.submit(Job::new("u", WorkSpec::serial(60.0)), SimTime::ZERO);
+        }
+        assert_eq!(scaler.desired(SimTime::ZERO, &pool, 1), 4);
+    }
+}

@@ -1,0 +1,487 @@
+//! The federated control plane.
+//!
+//! A [`Federation`] owns the sites, the WAN topology, the replica
+//! directory, and the egress ledger, and drives each site's staging
+//! ladder with one extra rung spliced in: when a site's own sources
+//! (cache, peer, object store) miss, the plane consults the directory
+//! and — before falling back to the terminal NFS/GridFTP rungs — pulls
+//! the content from the lowest-indexed remote site that holds it,
+//! paying the source site's GET, the WAN crossing (tuned TCP capped by
+//! the source bucket's bandwidth), and the egress tariff, then
+//! replicates the object into the destination site's bucket (a billed
+//! PUT) so the next consumer stays local.
+//!
+//! With one site the remote rung never resolves (the directory holds no
+//! *other* site), every probe and counter falls through exactly as the
+//! single-region [`DataPlane`](cumulus_store::DataPlane) would, and the
+//! equivalence suite holds a
+//! 1-site federation byte-identical to the E13 grid.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cumulus_cloud::BillingLedger;
+use cumulus_galaxy::routing::{InvocationRequest, InvocationRouter, SiteSnapshot};
+use cumulus_simkit::metrics::{MetricId, Metrics};
+use cumulus_simkit::telemetry::{wan as wan_keys, Key, Payload, Telemetry};
+use cumulus_simkit::time::{SimDuration, SimTime};
+use cumulus_store::staging::{Rung, StagingPlan, StagingSource, StagingStep};
+use cumulus_store::{ContentId, DataSize, InputSpec};
+
+use crate::site::{Site, SiteConfig};
+use crate::wan::WanTopology;
+
+/// Pre-registered handles for the WAN-plane counters.
+#[derive(Debug, Clone, Copy)]
+struct WanMetricIds {
+    bytes_egress: MetricId,
+    bytes_ingress: MetricId,
+    crossings: MetricId,
+    crossing_secs: MetricId,
+    egress_usd: MetricId,
+}
+
+impl WanMetricIds {
+    fn register() -> Self {
+        WanMetricIds {
+            bytes_egress: MetricId::register(wan_keys::BYTES_EGRESS),
+            bytes_ingress: MetricId::register(wan_keys::BYTES_INGRESS),
+            crossings: MetricId::register(wan_keys::CROSSINGS),
+            crossing_secs: MetricId::register(wan_keys::CROSSING_SECS),
+            egress_usd: MetricId::register(wan_keys::EGRESS_USD),
+        }
+    }
+}
+
+/// A set of sites joined by a WAN, with deterministic replica placement
+/// and site-aware invocation routing.
+#[derive(Debug)]
+pub struct Federation {
+    sites: Vec<Site>,
+    wan: WanTopology,
+    /// Which sites hold each content id (object-store residency).
+    directory: BTreeMap<ContentId, BTreeSet<usize>>,
+    /// Cross-site byte/crossing counters (`wan.*` keys).
+    wan_metrics: Metrics,
+    telemetry: Telemetry,
+    /// Egress charges only — instance usage bills on each site's ledger.
+    egress_ledger: BillingLedger,
+    ids: WanMetricIds,
+}
+
+impl Federation {
+    /// Provision every site at `now` and join them over `wan`.
+    pub fn provision(configs: Vec<SiteConfig>, wan: WanTopology, now: SimTime) -> Federation {
+        assert!(!configs.is_empty(), "a federation needs at least one site");
+        let mut names = BTreeSet::new();
+        for c in &configs {
+            assert!(names.insert(c.name.clone()), "duplicate site {}", c.name);
+        }
+        Federation {
+            sites: configs
+                .into_iter()
+                .map(|c| Site::provision(c, now))
+                .collect(),
+            wan,
+            directory: BTreeMap::new(),
+            wan_metrics: Metrics::new(),
+            telemetry: Telemetry::disabled(),
+            egress_ledger: BillingLedger::new(),
+            ids: WanMetricIds::register(),
+        }
+    }
+
+    /// Route WAN events to `telemetry` and every site's pool lifecycle
+    /// spans to the same handle.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for site in &mut self.sites {
+            site.pool.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The sites, in index order.
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// Mutable access to one site.
+    pub fn site_mut(&mut self, idx: usize) -> &mut Site {
+        &mut self.sites[idx]
+    }
+
+    /// One site, by index.
+    pub fn site(&self, idx: usize) -> &Site {
+        &self.sites[idx]
+    }
+
+    /// Number of sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The WAN-plane metrics registry (`wan.*` counters and samples).
+    pub fn wan_metrics(&self) -> &Metrics {
+        &self.wan_metrics
+    }
+
+    /// The replica directory entry for `cid`, if any site holds it.
+    pub fn holders(&self, cid: ContentId) -> Option<&BTreeSet<usize>> {
+        self.directory.get(&cid)
+    }
+
+    /// Egress dollars metered up to `as_of`.
+    pub fn egress_cost_usd(&self, as_of: SimTime) -> f64 {
+        self.egress_ledger.egress_cost(as_of)
+    }
+
+    /// The egress ledger (for invoices).
+    pub fn egress_ledger(&self) -> &BillingLedger {
+        &self.egress_ledger
+    }
+
+    /// Seed `cid` at site `idx` before the episode starts: free residency
+    /// in the site's bucket + NFS scratch tree, registered in the replica
+    /// directory.
+    pub fn seed_dataset(&mut self, idx: usize, cid: ContentId, size: DataSize) {
+        self.sites[idx].plane.seed_dataset(cid, size);
+        self.directory.entry(cid).or_default().insert(idx);
+    }
+
+    /// Build the router's view of every site for `request`, in site
+    /// order: queue depths, prices, resident input bytes, and the WAN
+    /// dollars it would take to pull the missing inputs to each site.
+    pub fn snapshots(&self, request: &InvocationRequest) -> Vec<SiteSnapshot> {
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(i, site)| {
+                let mut resident = 0u64;
+                let mut pull_usd = 0.0;
+                for input in &request.inputs {
+                    match self.directory.get(&input.cid) {
+                        Some(h) if h.contains(&i) => resident += input.size.as_bytes(),
+                        Some(h) => {
+                            // Priced against the same deterministic source
+                            // the staging rung would pick: the lowest
+                            // holder index other than the destination.
+                            let src = *h.iter().find(|&&s| s != i).expect("nonempty holder set");
+                            let link = self
+                                .wan
+                                .between(&self.sites[src].config.name, &site.config.name)
+                                .unwrap_or_else(|| {
+                                    panic!(
+                                        "no WAN link between {} and {}",
+                                        self.sites[src].config.name, site.config.name
+                                    )
+                                });
+                            pull_usd += link.egress_cost(input.size.as_bytes());
+                        }
+                        // Held nowhere: ingests over GridFTP at the same
+                        // price from any site — no gravity either way.
+                        None => {}
+                    }
+                }
+                SiteSnapshot {
+                    name: site.config.name.clone(),
+                    queue_depth: site.queue_depth(),
+                    usd_per_worker_hour: site.config.usd_per_worker_hour(),
+                    resident_input_bytes: resident,
+                    wan_pull_usd: pull_usd,
+                }
+            })
+            .collect()
+    }
+
+    /// Route one invocation: snapshot the sites, ask the router, return
+    /// the chosen site index.
+    pub fn route(&self, router: &mut dyn InvocationRouter, request: &InvocationRequest) -> usize {
+        let snaps = self.snapshots(request);
+        let pick = router.route(request, &snaps);
+        assert!(pick < self.sites.len(), "router returned site {pick}");
+        pick
+    }
+
+    /// Resolve staging for one job matched to `worker` at site `dst`,
+    /// climbing the site's ladder with the cross-site rung spliced in
+    /// before the first terminal rung. `now` timestamps the egress
+    /// charges and WAN events of any crossing this plan causes.
+    pub fn stage_job(
+        &mut self,
+        dst: usize,
+        worker: &str,
+        inputs: &[InputSpec],
+        nfs_concurrent: u32,
+        now: SimTime,
+    ) -> StagingPlan {
+        let mut plan = StagingPlan::default();
+        for input in inputs {
+            let step = self.stage_input(dst, worker, *input, nfs_concurrent, now);
+            plan.total += step.duration;
+            plan.steps.push(step);
+        }
+        self.sites[dst].plane.record_staging_secs(plan.total);
+        plan
+    }
+
+    fn stage_input(
+        &mut self,
+        dst: usize,
+        worker: &str,
+        input: InputSpec,
+        nfs_concurrent: u32,
+        now: SimTime,
+    ) -> StagingStep {
+        let ladder: Vec<Rung> = self.sites[dst].plane.ladder().to_vec();
+        let mut resolved = None;
+        let mut remote_probed = false;
+        for rung in ladder {
+            // The cross-site rung sits just above the terminal fallbacks:
+            // cheaper than re-ingesting from the origin lab, costlier
+            // than anything already inside the site.
+            if matches!(rung, Rung::Nfs | Rung::Ingest) && !remote_probed {
+                remote_probed = true;
+                if let Some(hit) = self.try_remote(dst, worker, input, now) {
+                    resolved = Some(hit);
+                    break;
+                }
+            }
+            if let Some(hit) = self.sites[dst]
+                .plane
+                .try_rung(rung, worker, input, nfs_concurrent)
+            {
+                if rung != Rung::LocalCache {
+                    self.sites[dst].plane.admit(worker, input.cid, input.size);
+                }
+                if rung == Rung::Ingest {
+                    // Ingest lands the bytes in the site bucket: register
+                    // the replica so other sites can pull it over the WAN
+                    // instead of repeating the origin transfer.
+                    self.directory.entry(input.cid).or_default().insert(dst);
+                }
+                resolved = Some(hit);
+                break;
+            }
+        }
+        if resolved.is_none() && !remote_probed {
+            resolved = self.try_remote(dst, worker, input, now);
+        }
+        let (source, duration) = resolved.unwrap_or_else(|| {
+            panic!(
+                "no rung (nor any remote replica) could stage {} at site {}",
+                input.cid, self.sites[dst].config.name
+            )
+        });
+        let step = StagingStep {
+            cid: input.cid,
+            size: input.size,
+            source,
+            duration,
+        };
+        self.sites[dst].plane.record_step(&step);
+        step
+    }
+
+    /// The cross-site rung: pull `input` to site `dst` from the
+    /// lowest-indexed other site holding it, if any. Pays the source
+    /// GET, the WAN crossing, and the egress tariff; replicates into the
+    /// destination bucket (billed PUT) and admits into `worker`'s cache.
+    fn try_remote(
+        &mut self,
+        dst: usize,
+        worker: &str,
+        input: InputSpec,
+        now: SimTime,
+    ) -> Option<(StagingSource, SimDuration)> {
+        let src = *self
+            .directory
+            .get(&input.cid)?
+            .iter()
+            .find(|&&s| s != dst)?;
+        let src_name = self.sites[src].config.name.clone();
+        let dst_name = self.sites[dst].config.name.clone();
+        let link = self
+            .wan
+            .between(&src_name, &dst_name)
+            .unwrap_or_else(|| panic!("no WAN link between {src_name} and {dst_name}"));
+
+        // The source bucket serves (and bills) the GET; the crossing
+        // itself runs at the WAN rate capped by that bucket's ceiling.
+        let source_store = &mut self.sites[src].plane.object;
+        source_store.get(input.cid)?;
+        let cap_mbps = source_store.config.bandwidth_mbps;
+        let request_latency = source_store.config.request_latency;
+        let duration = request_latency + link.crossing_duration(input.size, cap_mbps);
+
+        let bytes = input.size.as_bytes();
+        self.egress_ledger
+            .charge_egress(now, bytes, link.egress_usd_per_gb, &src_name, &dst_name);
+        self.wan_metrics.incr_id(self.ids.bytes_egress, bytes);
+        self.wan_metrics.incr_id(self.ids.bytes_ingress, bytes);
+        self.wan_metrics.incr_id(self.ids.crossings, 1);
+        self.wan_metrics
+            .record_id(self.ids.crossing_secs, duration.as_secs_f64());
+        self.wan_metrics
+            .record_id(self.ids.egress_usd, link.egress_cost(bytes));
+        if self.telemetry.is_enabled() {
+            self.telemetry.record(
+                now,
+                wan_keys::CATEGORY,
+                Key::intern(wan_keys::CROSSING_DONE),
+                Payload::Bytes(bytes),
+            );
+        }
+
+        // Replicate at the destination: a real PUT (billed at the
+        // destination bucket) plus directory and cache admission, so the
+        // next consumer at `dst` pays a local GET, not another crossing.
+        self.sites[dst].plane.object.put(input.cid, input.size);
+        self.directory.entry(input.cid).or_default().insert(dst);
+        self.sites[dst].plane.admit(worker, input.cid, input.size);
+        if self.telemetry.is_enabled() {
+            self.telemetry.record(
+                now,
+                wan_keys::CATEGORY,
+                Key::intern(wan_keys::REPLICATED),
+                Payload::Bytes(bytes),
+            );
+        }
+
+        Some((StagingSource::RemoteSite(src_name), duration))
+    }
+
+    /// Makespan end: the latest completion across every site's pool.
+    pub fn last_completion_at(&self) -> Option<SimTime> {
+        self.sites
+            .iter()
+            .filter_map(|s| s.pool.last_completion_at())
+            .max()
+    }
+
+    /// Total compute dollars across sites as of `as_of` (instance usage
+    /// + object-store requests), excluding egress.
+    pub fn compute_cost_usd(&self, as_of: SimTime) -> f64 {
+        self.sites.iter().map(|s| s.compute_cost_usd(as_of)).sum()
+    }
+
+    /// Close every site's open billing segments at `at`.
+    pub fn close_billing(&mut self, at: SimTime) {
+        for site in &mut self.sites {
+            site.close_billing(at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{PlacementPolicy, Placer};
+    use crate::wan::WanLink;
+    use cumulus_cloud::InstanceType;
+    use cumulus_simkit::telemetry::wan as wkeys;
+
+    fn fed(n: usize, wan_mbps: f64) -> Federation {
+        let regions = ["us-east", "us-west", "eu-west"];
+        let configs = (0..n)
+            .map(|i| SiteConfig::new(regions[i], 2, InstanceType::M1Small))
+            .collect();
+        Federation::provision(
+            configs,
+            WanTopology::full_mesh(WanLink::new(40.0, wan_mbps)),
+            SimTime::ZERO,
+        )
+    }
+
+    fn input(n: u64, mb: u64) -> InputSpec {
+        InputSpec {
+            cid: ContentId(n),
+            size: DataSize::from_mb(mb),
+        }
+    }
+
+    #[test]
+    fn remote_rung_pulls_replicates_and_meters() {
+        let mut f = fed(2, 200.0);
+        f.seed_dataset(0, ContentId(1), DataSize::from_mb(200));
+
+        // Site 1 misses everywhere local, pulls from site 0 over the WAN.
+        let plan = f.stage_job(1, "us-west/worker-0", &[input(1, 200)], 1, SimTime::ZERO);
+        assert_eq!(
+            plan.steps[0].source,
+            StagingSource::RemoteSite("us-east".to_string())
+        );
+        // Metered: one crossing, 200 MB both directions, $0.004 egress.
+        let m = f.wan_metrics();
+        assert_eq!(m.counter(wkeys::CROSSINGS), 1);
+        assert_eq!(m.counter(wkeys::BYTES_EGRESS), 200_000_000);
+        assert_eq!(m.counter(wkeys::BYTES_INGRESS), 200_000_000);
+        let egress = f.egress_cost_usd(SimTime::ZERO);
+        assert!((egress - 0.2 * 0.02).abs() < 1e-12, "{egress}");
+        // Replicated: both sites now hold it; a second consumer at site 1
+        // stays local (cache or bucket), no new crossing.
+        assert_eq!(f.holders(ContentId(1)).unwrap().len(), 2);
+        let again = f.stage_job(1, "us-west/worker-1", &[input(1, 200)], 1, SimTime::ZERO);
+        assert_ne!(
+            again.steps[0].source,
+            StagingSource::RemoteSite("us-east".to_string())
+        );
+        assert_eq!(f.wan_metrics().counter(wkeys::CROSSINGS), 1);
+        // The destination's store.bytes.remote counter attributed it.
+        assert_eq!(f.site(1).metrics.counter("store.bytes.remote"), 200_000_000);
+    }
+
+    #[test]
+    fn single_site_federation_never_crosses() {
+        let mut f = fed(1, 200.0);
+        f.seed_dataset(0, ContentId(1), DataSize::from_mb(100));
+        let plan = f.stage_job(0, "us-east/worker-0", &[input(1, 100)], 1, SimTime::ZERO);
+        assert_eq!(plan.steps[0].source, StagingSource::ObjectStore);
+        assert_eq!(f.wan_metrics().counter(wkeys::CROSSINGS), 0);
+        assert_eq!(f.egress_cost_usd(SimTime::ZERO), 0.0);
+        // Unseeded content falls through to GridFTP ingest, as the
+        // single-region ladder does, and registers the replica.
+        let cold = f.stage_job(0, "us-east/worker-0", &[input(9, 100)], 1, SimTime::ZERO);
+        assert_eq!(cold.steps[0].source, StagingSource::Ingest);
+        assert!(f.holders(ContentId(9)).unwrap().contains(&0));
+    }
+
+    #[test]
+    fn slower_wan_makes_slower_crossings() {
+        let mut fast = fed(2, 200.0);
+        fast.seed_dataset(0, ContentId(1), DataSize::from_mb(200));
+        let fast_plan = fast.stage_job(1, "us-west/worker-0", &[input(1, 200)], 1, SimTime::ZERO);
+
+        let mut slow = fed(2, 50.0);
+        slow.seed_dataset(0, ContentId(1), DataSize::from_mb(200));
+        let slow_plan = slow.stage_job(1, "us-west/worker-0", &[input(1, 200)], 1, SimTime::ZERO);
+        assert!(fast_plan.total < slow_plan.total);
+
+        // The crossing pays the source bucket's first-byte latency on
+        // top of the link time — it is never a bare link transfer.
+        let link_only = WanLink::new(40.0, 200.0).crossing_duration(
+            DataSize::from_mb(200),
+            fast.site(0).plane.object.config.bandwidth_mbps,
+        );
+        assert!(fast_plan.total > link_only);
+    }
+
+    #[test]
+    fn routing_snapshots_feed_the_placer() {
+        let mut f = fed(3, 200.0);
+        f.seed_dataset(2, ContentId(5), DataSize::from_mb(500));
+        let request = InvocationRequest {
+            id: 1,
+            user: "alice".to_string(),
+            workflow: "align".to_string(),
+            inputs: vec![input(5, 500)],
+        };
+        let snaps = f.snapshots(&request);
+        assert_eq!(snaps[2].resident_input_bytes, 500_000_000);
+        assert_eq!(snaps[2].wan_pull_usd, 0.0);
+        assert!(snaps[0].wan_pull_usd > 0.0);
+        // Gravity follows the bytes to site 2; cost-greedy ignores them.
+        let mut gravity = Placer::new(PlacementPolicy::DataGravity);
+        assert_eq!(f.route(&mut gravity, &request), 2);
+        let mut greedy = Placer::new(PlacementPolicy::CostGreedy);
+        assert_eq!(f.route(&mut greedy, &request), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! One federated site: a complete provisioned deployment.
+//!
+//! A [`Site`] bundles what a single-region episode used to hold as loose
+//! locals — a Condor pool, a [`DataPlane`] (NFS export, object store,
+//! worker caches), a per-site billing ledger, and the instance pricing
+//! of the region it runs in. Worker machines are named
+//! `<site>/worker-<n>` and billed as individual instances from the
+//! moment they join the pool, so elastic sites (see
+//! [`SiteScaler`](crate::elastic::SiteScaler)) bill exactly the
+//! worker-hours they actually held, not `workers × makespan`.
+
+use cumulus_cloud::{BillingLedger, BillingMode, InstanceId, InstanceType};
+use cumulus_htc::{CondorPool, Machine};
+use cumulus_simkit::metrics::Metrics;
+use cumulus_simkit::time::SimTime;
+use cumulus_store::cache::EvictionPolicy;
+use cumulus_store::object::ObjectStoreConfig;
+use cumulus_store::{DataPlane, DataSize, SharingBackend};
+
+/// Compute units each worker advertises (matches the single-region
+/// experiments' machine shape, so a 1-site federation negotiates
+/// identically).
+pub const WORKER_COMPUTE_UNITS: f64 = 5.0;
+/// Worker memory in MB (same calibration).
+pub const WORKER_MEMORY_MB: i64 = 1700;
+/// Execution slots per worker.
+pub const WORKER_SLOTS: u32 = 1;
+
+/// Static description of one site.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// The site's stable name (region label); also the scope of its
+    /// site-scoped RNG streams and the prefix of its worker names.
+    pub name: String,
+    /// Workers provisioned at episode start.
+    pub workers: usize,
+    /// The instance type every worker runs on (sets the site's hourly
+    /// price — the cost-greedy placement signal).
+    pub instance_type: InstanceType,
+    /// The sharing backend of the site's data plane.
+    pub backend: SharingBackend,
+    /// NFS export bandwidth, Mbit/s.
+    pub nfs_bandwidth_mbps: f64,
+    /// Object-store performance/pricing knobs.
+    pub object_config: ObjectStoreConfig,
+    /// Per-worker cache capacity.
+    pub cache_capacity: DataSize,
+    /// Cache eviction policy.
+    pub eviction: EvictionPolicy,
+}
+
+impl SiteConfig {
+    /// A site with the single-region defaults: cached object store,
+    /// 400 Mbit/s NFS, 2 GB per-worker caches, LRU eviction.
+    pub fn new(name: &str, workers: usize, instance_type: InstanceType) -> SiteConfig {
+        SiteConfig {
+            name: name.to_string(),
+            workers,
+            instance_type,
+            backend: SharingBackend::CachedObjectStore,
+            nfs_bandwidth_mbps: 400.0,
+            object_config: ObjectStoreConfig::default(),
+            cache_capacity: DataSize::from_gb(2),
+            eviction: EvictionPolicy::Lru,
+        }
+    }
+
+    /// Override the sharing backend.
+    pub fn with_backend(mut self, backend: SharingBackend) -> SiteConfig {
+        self.backend = backend;
+        self
+    }
+
+    /// Override the per-worker cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: DataSize) -> SiteConfig {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// On-demand dollars per worker-hour at this site.
+    pub fn usd_per_worker_hour(&self) -> f64 {
+        self.instance_type.price_per_hour()
+    }
+}
+
+/// A live site: configuration plus its pool, data plane, and ledger.
+#[derive(Debug)]
+pub struct Site {
+    /// The static description the site was built from.
+    pub config: SiteConfig,
+    /// The site's Condor pool (machines named `<site>/worker-<n>`).
+    pub pool: CondorPool,
+    /// The site's data plane (NFS + object store + caches), wired to
+    /// [`Site::metrics`].
+    pub plane: DataPlane,
+    /// The site-local metrics registry (staging bytes, cache hit rates,
+    /// object-store counters — everything below the WAN).
+    pub metrics: Metrics,
+    /// Instance-usage ledger: one segment per worker tenure.
+    pub ledger: BillingLedger,
+    /// Names of currently provisioned workers, in add order.
+    active: Vec<String>,
+    /// Monotonic worker counter (names are never reused, so a scale-out
+    /// after a scale-in cannot resurrect a stale cache identity).
+    next_worker: u64,
+}
+
+impl Site {
+    /// Provision a site at `now`: build the data plane, start the pool,
+    /// and add (and start billing) the configured workers.
+    pub fn provision(config: SiteConfig, now: SimTime) -> Site {
+        let metrics = Metrics::new();
+        let mut plane = DataPlane::new(
+            config.backend,
+            config.nfs_bandwidth_mbps,
+            config.object_config,
+            config.cache_capacity,
+            config.eviction,
+        );
+        plane.set_metrics(metrics.clone());
+        let mut site = Site {
+            config,
+            pool: CondorPool::new(),
+            plane,
+            metrics,
+            ledger: BillingLedger::new(),
+            active: Vec::new(),
+            next_worker: 0,
+        };
+        for _ in 0..site.config.workers {
+            site.add_worker(now);
+        }
+        site
+    }
+
+    /// Add one worker: a machine joins the pool and a billing segment
+    /// opens. Returns the worker's name.
+    pub fn add_worker(&mut self, now: SimTime) -> String {
+        let id = self.next_worker;
+        self.next_worker += 1;
+        let name = format!("{}/worker-{id}", self.config.name);
+        self.pool
+            .add_machine(Machine::new(
+                &name,
+                WORKER_COMPUTE_UNITS,
+                WORKER_MEMORY_MB,
+                WORKER_SLOTS,
+            ))
+            .expect("worker names are monotonic, never reused");
+        self.ledger
+            .open(InstanceId(id), self.config.instance_type, now);
+        self.active.push(name.clone());
+        name
+    }
+
+    /// Remove the newest idle worker, closing its billing segment.
+    /// Returns `false` when every active worker is busy (scale-in holds,
+    /// as the drain rule in the single-region controller does).
+    pub fn remove_idle_worker(&mut self, now: SimTime) -> bool {
+        for pos in (0..self.active.len()).rev() {
+            let name = self.active[pos].clone();
+            if self.pool.machine_busy(&name) {
+                continue;
+            }
+            let evicted = self
+                .pool
+                .remove_machine(&name, now)
+                .expect("active workers are in the pool");
+            debug_assert!(evicted.is_empty(), "idle workers evict nothing");
+            // The instance is gone: its cache must stop serving as a
+            // peer-copy source.
+            self.plane.fleet.drop_worker(&name);
+            let id: u64 = name
+                .rsplit('-')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("worker names end in their id");
+            self.ledger.close(InstanceId(id), now);
+            self.active.remove(pos);
+            return true;
+        }
+        false
+    }
+
+    /// Currently provisioned workers.
+    pub fn worker_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Names of the active workers, in add order.
+    pub fn worker_names(&self) -> &[String] {
+        &self.active
+    }
+
+    /// Queued (idle, unmatched) jobs at this site.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.idle_count()
+    }
+
+    /// Close every open billing segment (episode end).
+    pub fn close_billing(&mut self, at: SimTime) {
+        let open: Vec<u64> = self
+            .ledger
+            .segments()
+            .iter()
+            .filter(|s| s.end.is_none())
+            .map(|s| s.instance.0)
+            .collect();
+        for id in open {
+            self.ledger.close(InstanceId(id), at);
+        }
+    }
+
+    /// Instance dollars accrued as of `as_of` (proportional billing —
+    /// the experiment-table convention) plus the site's object-store
+    /// request charges.
+    pub fn compute_cost_usd(&self, as_of: SimTime) -> f64 {
+        self.ledger.total_cost(BillingMode::PerSecond, as_of) + self.plane.object.cost_usd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulus_simkit::time::SimDuration;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn provision_creates_named_billed_workers() {
+        let site = Site::provision(
+            SiteConfig::new("us-east", 3, InstanceType::M1Small),
+            SimTime::ZERO,
+        );
+        assert_eq!(site.worker_count(), 3);
+        assert_eq!(site.pool.total_slots(), 3);
+        assert_eq!(site.worker_names()[0], "us-east/worker-0");
+        // Three open segments accruing at the m1.small rate.
+        let hourly = site.compute_cost_usd(t(60));
+        assert!((hourly - 3.0 * 0.04).abs() < 1e-12, "{hourly}");
+    }
+
+    #[test]
+    fn scale_in_closes_billing_and_never_reuses_names() {
+        let mut site = Site::provision(
+            SiteConfig::new("eu-west", 2, InstanceType::M1Large),
+            SimTime::ZERO,
+        );
+        assert!(site.remove_idle_worker(t(30)));
+        assert_eq!(site.worker_count(), 1);
+        let name = site.add_worker(t(30));
+        assert_eq!(name, "eu-west/worker-2", "ids are monotonic");
+        // worker-1 billed 30 min then stopped; worker-0 and worker-2 run on.
+        let cost = site.compute_cost_usd(t(60));
+        let expected = 0.16 * (0.5 + 1.0 + 0.5);
+        assert!((cost - expected).abs() < 1e-12, "{cost} vs {expected}");
+    }
+
+    #[test]
+    fn close_billing_stops_all_accrual() {
+        let mut site = Site::provision(
+            SiteConfig::new("us-west", 2, InstanceType::C1Medium),
+            SimTime::ZERO,
+        );
+        site.close_billing(t(60));
+        let at_close = site.compute_cost_usd(t(60));
+        let later = site.compute_cost_usd(t(600));
+        assert_eq!(at_close, later);
+        assert!((at_close - 2.0 * 0.08).abs() < 1e-12);
+    }
+}

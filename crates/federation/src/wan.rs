@@ -1,0 +1,174 @@
+//! The deterministic WAN model between federation sites.
+//!
+//! A [`WanLink`] is a per-pair latency/bandwidth path priced with the
+//! 2012-era inter-region egress tariff; a [`WanTopology`] holds one link
+//! per unordered site pair (so latency is symmetric by construction) plus
+//! an optional default for pairs without an explicit entry. Crossing
+//! times come from the same calibrated TCP model every other transfer in
+//! the stack uses ([`TcpConfig::tuned`] with GridFTP-style parallel
+//! streams), additionally capped by the *source* object store's
+//! bandwidth ceiling — a fat WAN pipe cannot drain a bucket faster than
+//! the bucket serves.
+
+use std::collections::BTreeMap;
+
+use cumulus_cloud::INTER_REGION_EGRESS_USD_PER_GB;
+use cumulus_net::{DataSize, Link, Rate, TcpConfig};
+use cumulus_simkit::time::SimDuration;
+
+/// Parallel TCP streams a cross-site replication runs with (GridFTP's
+/// default parallelism, as inter-region bulk movement would use).
+pub const WAN_STREAMS: u32 = 4;
+
+/// One inter-site path: latency, bandwidth, and the egress tariff
+/// charged per GB leaving the source site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WanLink {
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+    /// Usable bandwidth in Mbit/s.
+    pub bandwidth_mbps: f64,
+    /// Dollars per GB leaving the source site over this link.
+    pub egress_usd_per_gb: f64,
+}
+
+impl WanLink {
+    /// A link at the standard 2012 inter-region egress tariff.
+    pub fn new(latency_ms: f64, bandwidth_mbps: f64) -> WanLink {
+        WanLink {
+            latency_ms,
+            bandwidth_mbps,
+            egress_usd_per_gb: INTER_REGION_EGRESS_USD_PER_GB,
+        }
+    }
+
+    /// Override the egress tariff (free intra-provider backbones, …).
+    pub fn with_egress_rate(mut self, usd_per_gb: f64) -> WanLink {
+        self.egress_usd_per_gb = usd_per_gb;
+        self
+    }
+
+    /// The path as a `cumulus-net` link.
+    pub fn link(&self) -> Link {
+        Link::new(self.latency_ms, self.bandwidth_mbps)
+    }
+
+    /// The achieved steady rate: tuned TCP with [`WAN_STREAMS`] streams,
+    /// capped by the source's serving ceiling (`source_cap_mbps`).
+    pub fn steady_rate(&self, source_cap_mbps: f64) -> Rate {
+        TcpConfig::tuned()
+            .steady_rate(&self.link(), WAN_STREAMS)
+            .min(Rate::from_mbps(source_cap_mbps))
+    }
+
+    /// Time to move `size` across this link when the source can serve at
+    /// most `source_cap_mbps`: TCP ramp plus the rate-limited body.
+    /// Strictly monotone in `size` (the ramp is size-independent), which
+    /// the WAN property suite asserts.
+    pub fn crossing_duration(&self, size: DataSize, source_cap_mbps: f64) -> SimDuration {
+        let ramp = TcpConfig::tuned().ramp_seconds(&self.link());
+        SimDuration::from_secs_f64(ramp + self.steady_rate(source_cap_mbps).seconds_for(size))
+    }
+
+    /// Egress dollars for `bytes` leaving the source over this link.
+    pub fn egress_cost(&self, bytes: u64) -> f64 {
+        bytes as f64 / 1e9 * self.egress_usd_per_gb
+    }
+}
+
+/// The federation's pairwise WAN graph. Links are stored per *unordered*
+/// pair — `between("a", "b")` and `between("b", "a")` return the same
+/// link, so latency and pricing are symmetric by construction.
+#[derive(Debug, Clone, Default)]
+pub struct WanTopology {
+    links: BTreeMap<(String, String), WanLink>,
+    default: Option<WanLink>,
+}
+
+/// Normalize a pair of site names into the canonical (sorted) key.
+fn pair_key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+impl WanTopology {
+    /// An empty topology: no pairs connected, no default.
+    pub fn new() -> WanTopology {
+        WanTopology::default()
+    }
+
+    /// A topology where every pair not explicitly connected uses `link`
+    /// — the full-mesh configuration E15 sweeps.
+    pub fn full_mesh(link: WanLink) -> WanTopology {
+        WanTopology {
+            links: BTreeMap::new(),
+            default: Some(link),
+        }
+    }
+
+    /// Connect (or reconnect) the pair `a`–`b`. Order does not matter.
+    pub fn connect(&mut self, a: &str, b: &str, link: WanLink) {
+        assert_ne!(a, b, "a site has no WAN link to itself");
+        self.links.insert(pair_key(a, b), link);
+    }
+
+    /// The link between `a` and `b`: the explicit pair entry if one was
+    /// connected, else the mesh default, else `None`.
+    pub fn between(&self, a: &str, b: &str) -> Option<WanLink> {
+        if a == b {
+            return None;
+        }
+        self.links.get(&pair_key(a, b)).copied().or(self.default)
+    }
+
+    /// Number of explicitly connected pairs.
+    pub fn pair_count(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_lookup_is_symmetric() {
+        let mut wan = WanTopology::new();
+        wan.connect("us-east", "eu-west", WanLink::new(40.0, 100.0));
+        let ab = wan.between("us-east", "eu-west").unwrap();
+        let ba = wan.between("eu-west", "us-east").unwrap();
+        assert_eq!(ab, ba);
+        assert_eq!(wan.between("us-east", "us-east"), None);
+        assert_eq!(wan.between("us-east", "ap-south"), None);
+    }
+
+    #[test]
+    fn mesh_default_fills_unconnected_pairs() {
+        let mut wan = WanTopology::full_mesh(WanLink::new(40.0, 200.0));
+        wan.connect("a", "b", WanLink::new(5.0, 1000.0).with_egress_rate(0.0));
+        assert_eq!(wan.between("a", "b").unwrap().bandwidth_mbps, 1000.0);
+        assert_eq!(wan.between("a", "c").unwrap().bandwidth_mbps, 200.0);
+        assert_eq!(wan.pair_count(), 1);
+    }
+
+    #[test]
+    fn crossing_rate_is_capped_by_the_source_store() {
+        let link = WanLink::new(10.0, 1000.0);
+        // A 1 Gbit/s WAN cannot outrun a 150 Mbit/s bucket.
+        assert!(link.steady_rate(150.0).as_mbps() <= 150.0);
+        // A thin WAN is the bottleneck instead.
+        let thin = WanLink::new(10.0, 50.0);
+        assert!(thin.steady_rate(150.0).as_mbps() <= 50.0);
+    }
+
+    #[test]
+    fn egress_cost_is_bytes_times_rate() {
+        let link = WanLink::new(40.0, 200.0);
+        let cost = link.egress_cost(3_000_000_000);
+        assert!((cost - 3.0 * INTER_REGION_EGRESS_USD_PER_GB).abs() < 1e-12);
+        assert_eq!(link.with_egress_rate(0.0).egress_cost(u64::MAX), 0.0);
+    }
+}

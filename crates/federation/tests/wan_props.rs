@@ -1,0 +1,122 @@
+//! Property-style tests of the WAN model invariants, generated from
+//! deterministic seeded streams (the offline build ships no proptest):
+//!
+//! * crossing time is strictly monotone in bytes for any (link, cap);
+//! * per-pair lookup is symmetric — `between(a, b) == between(b, a)`
+//!   whatever order pairs were connected in;
+//! * egress cost is exactly `bytes / 1e9 × tariff`, to the last bit;
+//! * the achieved rate never exceeds the WAN bandwidth nor the source
+//!   serving cap.
+
+use cumulus_federation::{WanLink, WanTopology};
+use cumulus_net::DataSize;
+use cumulus_simkit::rng::RngStream;
+
+const CASES: u64 = 64;
+
+/// A random but well-formed link: 1–300 ms, 10–2000 Mbit/s, tariff in
+/// [0, 0.25] $/GB.
+fn gen_link(rng: &mut RngStream) -> WanLink {
+    WanLink::new(
+        rng.uniform_range(1.0, 300.0),
+        rng.uniform_range(10.0, 2_000.0),
+    )
+    .with_egress_rate(rng.uniform_range(0.0, 0.25))
+}
+
+#[test]
+fn crossing_time_is_monotone_in_bytes() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "wan-prop/monotone");
+        let link = gen_link(&mut rng);
+        let cap = rng.uniform_range(10.0, 500.0);
+        // Strictly increasing sizes must give strictly increasing times.
+        let mut bytes: Vec<u64> = (0..8).map(|_| rng.uniform_int(1, 5_000_000_000)).collect();
+        bytes.sort_unstable();
+        bytes.dedup();
+        let times: Vec<f64> = bytes
+            .iter()
+            .map(|&b| {
+                link.crossing_duration(DataSize::from_bytes(b), cap)
+                    .as_secs_f64()
+            })
+            .collect();
+        for w in times.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "case {case}: crossing time not strictly monotone: {times:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pair_lookup_is_symmetric_for_any_connect_order() {
+    const SITES: [&str; 5] = ["ap-se", "eu-west", "sa-east", "us-east", "us-west"];
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "wan-prop/symmetry");
+        let mut wan = if rng.chance(0.5) {
+            WanTopology::full_mesh(gen_link(&mut rng))
+        } else {
+            WanTopology::new()
+        };
+        // Connect a random subset of ordered pairs — including both
+        // orientations of the same pair, where the later insert wins.
+        for _ in 0..rng.uniform_int(0, 10) {
+            let a = *rng.choose(&SITES);
+            let b = *rng.choose(&SITES);
+            if a != b {
+                wan.connect(a, b, gen_link(&mut rng));
+            }
+        }
+        for a in SITES {
+            for b in SITES {
+                assert_eq!(
+                    wan.between(a, b),
+                    wan.between(b, a),
+                    "case {case}: asymmetric lookup for {a}–{b}"
+                );
+                if a == b {
+                    assert_eq!(wan.between(a, b), None, "case {case}: self-link for {a}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn egress_cost_is_exactly_bytes_times_tariff() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "wan-prop/egress");
+        let link = gen_link(&mut rng);
+        let bytes = rng.uniform_int(0, 50_000_000_000);
+        let expected = bytes as f64 / 1e9 * link.egress_usd_per_gb;
+        // Bitwise equality: the model must BE this formula, not
+        // approximate it.
+        assert_eq!(
+            link.egress_cost(bytes).to_bits(),
+            expected.to_bits(),
+            "case {case}: egress cost diverged from bytes × tariff"
+        );
+    }
+}
+
+#[test]
+fn achieved_rate_respects_link_and_source_caps() {
+    for case in 0..CASES {
+        let mut rng = RngStream::derive(case, "wan-prop/caps");
+        let link = gen_link(&mut rng);
+        let cap = rng.uniform_range(10.0, 500.0);
+        let rate = link.steady_rate(cap).as_mbps();
+        assert!(
+            rate <= link.bandwidth_mbps + 1e-9,
+            "case {case}: rate {rate} outran the {} Mbit/s link",
+            link.bandwidth_mbps
+        );
+        assert!(
+            rate <= cap + 1e-9,
+            "case {case}: rate {rate} outran the {cap} Mbit/s source cap"
+        );
+        assert!(rate > 0.0, "case {case}: degenerate zero rate");
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`workflow`] — DAG workflows scheduled through the pool;
 //! * [`checkpoint`] — restartable run snapshots plus resume through the
 //!   data plane's recovery ladder (local cache → peer → object store);
+//! * [`routing`] — the invocation-routing seam: which site's pool runs
+//!   a submission (single-region deployments use [`SingleSite`]; the
+//!   federation crate plugs in its placement policies);
 //! * [`provenance`] — complete input/parameter/order capture per output;
 //! * [`sharing`] — histories/datasets/workflows shared via links, and
 //!   Pages embedding analysis artifacts.
@@ -28,6 +31,7 @@ pub mod history;
 pub mod job;
 pub mod provenance;
 pub mod registry;
+pub mod routing;
 pub mod server;
 pub mod sharing;
 pub mod tool;
@@ -44,6 +48,7 @@ pub use history::{History, HistoryId};
 pub use job::{GalaxyJob, GalaxyJobId, GalaxyJobState};
 pub use provenance::{CyclicProvenance, ProvenanceRecord, ProvenanceStore};
 pub use registry::{RegistryError, ToolRegistry};
+pub use routing::{InvocationRequest, InvocationRouter, SingleSite, SiteSnapshot};
 pub use server::{GalaxyError, GalaxyServer};
 pub use sharing::{Page, ShareItem, SharingModel, Visibility};
 pub use tool::{

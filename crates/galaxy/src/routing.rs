@@ -1,0 +1,129 @@
+//! Invocation routing: the seam between a workflow submission and the
+//! site whose Condor pool will run it.
+//!
+//! The paper's deployment has exactly one site, so Galaxy hands every
+//! invocation straight to "the" pool. A federation has a choice to make
+//! first — *which* deployment should run this invocation — and that
+//! choice wants information Galaxy alone does not have (queue depths,
+//! instance pricing, where the input bytes already live). This module
+//! defines the request/decision types and the [`InvocationRouter`] trait
+//! so the server side stays policy-agnostic: the single-region stack
+//! plugs in [`SingleSite`] (behaviour unchanged), and the federation
+//! crate implements the trait with its placement policies.
+
+use cumulus_store::InputSpec;
+
+/// One workflow invocation as the router sees it: who asked, what the
+/// workflow is called, and which content the run will stage in.
+#[derive(Debug, Clone)]
+pub struct InvocationRequest {
+    /// Stable invocation id (unique within an episode; used for
+    /// deterministic tie-breaking and telemetry correlation).
+    pub id: u64,
+    /// The submitting user (multi-tenant streams route per-user).
+    pub user: String,
+    /// The workflow's display name.
+    pub workflow: String,
+    /// The declared inputs the invocation will stage before running.
+    pub inputs: Vec<InputSpec>,
+}
+
+/// What a router may inspect about one candidate site at decision time.
+/// Snapshots are assembled by the caller (the federation control plane)
+/// in a fixed site order, so a deterministic router sees a deterministic
+/// view.
+#[derive(Debug, Clone)]
+pub struct SiteSnapshot {
+    /// The site's stable name.
+    pub name: String,
+    /// Jobs queued (idle, not yet matched) at the site's pool.
+    pub queue_depth: usize,
+    /// On-demand dollars per worker-hour at this site.
+    pub usd_per_worker_hour: f64,
+    /// Of the request's input bytes, how many are already resident at
+    /// this site (object store or worker caches) — the data-gravity
+    /// signal.
+    pub resident_input_bytes: u64,
+    /// Projected WAN dollars to materialize the request's *missing*
+    /// inputs at this site (0 when everything is resident; inputs held
+    /// by no site are excluded — they ingest over GridFTP at the same
+    /// price everywhere).
+    pub wan_pull_usd: f64,
+}
+
+/// Picks a site for each invocation. Implementations must be
+/// deterministic: the same request/snapshot sequence must yield the same
+/// decisions regardless of wall clock or thread count.
+pub trait InvocationRouter {
+    /// Choose a site index into `sites` (non-empty) for `request`.
+    fn route(&mut self, request: &InvocationRequest, sites: &[SiteSnapshot]) -> usize;
+
+    /// The router's display name (report tables key on it).
+    fn name(&self) -> &str;
+}
+
+/// The degenerate router of a single-region deployment: everything goes
+/// to site 0. Plugging this into the federated control plane reproduces
+/// the pre-federation behaviour exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleSite;
+
+impl InvocationRouter for SingleSite {
+    fn route(&mut self, _request: &InvocationRequest, sites: &[SiteSnapshot]) -> usize {
+        assert!(!sites.is_empty(), "cannot route with no sites");
+        0
+    }
+
+    fn name(&self) -> &str {
+        "single-site"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumulus_store::{ContentId, DataSize};
+
+    fn snap(name: &str) -> SiteSnapshot {
+        SiteSnapshot {
+            name: name.to_string(),
+            queue_depth: 0,
+            usd_per_worker_hour: 0.04,
+            resident_input_bytes: 0,
+            wan_pull_usd: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_site_always_routes_to_site_zero() {
+        let mut router = SingleSite;
+        let request = InvocationRequest {
+            id: 1,
+            user: "alice".to_string(),
+            workflow: "snp-calling".to_string(),
+            inputs: vec![InputSpec {
+                cid: ContentId(7),
+                size: DataSize::from_mb(200),
+            }],
+        };
+        let sites = [snap("us-east"), snap("us-west")];
+        for _ in 0..3 {
+            assert_eq!(router.route(&request, &sites), 0);
+        }
+        assert_eq!(router.name(), "single-site");
+    }
+
+    #[test]
+    #[should_panic(expected = "no sites")]
+    fn routing_with_no_sites_panics() {
+        SingleSite.route(
+            &InvocationRequest {
+                id: 0,
+                user: String::new(),
+                workflow: String::new(),
+                inputs: Vec::new(),
+            },
+            &[],
+        );
+    }
+}

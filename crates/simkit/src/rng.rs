@@ -97,6 +97,21 @@ impl RngStream {
         }
     }
 
+    /// Derive a stream scoped to a site (or any other deterministic
+    /// partition): draws under one scope are decorrelated from the same
+    /// `name` under every other scope, and — critically for federated
+    /// experiments — adding or removing a site never perturbs the streams
+    /// of the sites that remain, because each scope mixes its own label
+    /// into the seed rather than consuming from a shared sequence.
+    pub fn derive_scoped(master_seed: u64, scope: &str, name: &str) -> Self {
+        let scoped_seed = splitmix64(master_seed ^ fnv1a(scope.as_bytes()));
+        let mixed = splitmix64(scoped_seed ^ fnv1a(name.as_bytes()));
+        RngStream {
+            rng: Xoshiro256::seed_from_u64(mixed),
+            name: format!("{scope}/{name}"),
+        }
+    }
+
     /// The stream's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -254,6 +269,15 @@ impl SeedFactory {
     pub fn child(&self, index: u64) -> SeedFactory {
         SeedFactory::new(splitmix64(self.master_seed ^ splitmix64(index)))
     }
+
+    /// Derive a factory scoped to a named partition (a federation site,
+    /// a tenant, …). `scoped(s).stream(n)` equals
+    /// [`RngStream::derive_scoped`]`(seed, s, n)` up to the stream's
+    /// display name, so site-local components can keep using the plain
+    /// factory API.
+    pub fn scoped(&self, scope: &str) -> SeedFactory {
+        SeedFactory::new(splitmix64(self.master_seed ^ fnv1a(scope.as_bytes())))
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +372,27 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scoped_streams_decorrelate_and_stay_stable() {
+        // Same (seed, scope, name) replays identically.
+        let mut a = RngStream::derive_scoped(7, "site-east", "arrivals");
+        let mut b = RngStream::derive_scoped(7, "site-east", "arrivals");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_eq!(a.name(), "site-east/arrivals");
+        // Different scopes decorrelate the same stream name.
+        let mut c = RngStream::derive_scoped(7, "site-west", "arrivals");
+        let same = (0..64).filter(|_| b.next_u64() == c.next_u64()).count();
+        assert_eq!(same, 0);
+        // The factory's scoped() matches derive_scoped draw-for-draw.
+        let mut d = SeedFactory::new(7).scoped("site-east").stream("arrivals");
+        let mut e = RngStream::derive_scoped(7, "site-east", "arrivals");
+        for _ in 0..64 {
+            assert_eq!(d.next_u64(), e.next_u64());
+        }
     }
 
     #[test]

@@ -39,6 +39,34 @@ pub mod event;
 pub mod intern;
 pub mod span;
 
+/// The `wan.*` telemetry vocabulary: cross-site traffic over the
+/// federation's wide-area links. Metrics under these keys let a report
+/// decompose staging into intra-site bytes (the `store.bytes.*`
+/// counters) and cross-site bytes, and events under [`wan::CATEGORY`]
+/// carry per-crossing detail (size, link, charge).
+pub mod wan {
+    /// Event category for cross-site traffic records.
+    pub const CATEGORY: &str = "wan";
+    /// Counter: bytes that left a site over the WAN (billed egress —
+    /// attributed to the *source* site, as clouds bill it).
+    pub const BYTES_EGRESS: &str = "wan.bytes.egress";
+    /// Counter: bytes that arrived at a site over the WAN (ingress —
+    /// free in the 2012 pricing model, counted for symmetry checks).
+    pub const BYTES_INGRESS: &str = "wan.bytes.ingress";
+    /// Counter: cross-site object crossings (one per remote fetch).
+    pub const CROSSINGS: &str = "wan.crossings";
+    /// Event: one WAN crossing completed (`Payload::Bytes` — the
+    /// object's size; the event's category is [`CATEGORY`]).
+    pub const CROSSING_DONE: &str = "wan.crossing.done";
+    /// Event: a replica was placed at the destination site after a
+    /// crossing (`Payload::Bytes`).
+    pub const REPLICATED: &str = "wan.replicated";
+    /// Sample: per-crossing transfer seconds.
+    pub const CROSSING_SECS: &str = "wan.crossing_secs";
+    /// Sample: per-crossing egress dollars.
+    pub const EGRESS_USD: &str = "wan.egress_usd";
+}
+
 use std::sync::{Arc, Mutex};
 
 use crate::time::{SimDuration, SimTime};

@@ -31,4 +31,6 @@ pub use cache::{EvictionPolicy, WorkerCache};
 pub use content::{ContentHasher, ContentId};
 pub use fleet::CacheFleet;
 pub use object::{ObjectStore, ObjectStoreConfig};
-pub use staging::{DataPlane, InputSpec, SharingBackend, StagingPlan, StagingSource, StagingStep};
+pub use staging::{
+    DataPlane, InputSpec, Rung, SharingBackend, StagingPlan, StagingSource, StagingStep,
+};

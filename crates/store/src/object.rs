@@ -24,6 +24,9 @@ pub mod keys {
     pub const BYTES_SERVED: &str = "store.object.bytes_served";
     /// Counter: bytes accepted by PUTs.
     pub const BYTES_STORED: &str = "store.object.bytes_stored";
+    /// Counter: bytes placed by free seeding (pre-resident data). Lets
+    /// cost tables distinguish seeded bytes from paid PUT bytes.
+    pub const SEEDED_BYTES: &str = "store.seeded_bytes";
 }
 
 /// Performance and pricing knobs (2012 S3-ish defaults).
@@ -66,6 +69,7 @@ pub struct ObjectStore {
     id_bytes_stored: MetricId,
     id_gets: MetricId,
     id_bytes_served: MetricId,
+    id_seeded_bytes: MetricId,
 }
 
 impl ObjectStore {
@@ -83,6 +87,7 @@ impl ObjectStore {
             id_bytes_stored: MetricId::register(keys::BYTES_STORED),
             id_gets: MetricId::register(keys::GETS),
             id_bytes_served: MetricId::register(keys::BYTES_SERVED),
+            id_seeded_bytes: MetricId::register(keys::SEEDED_BYTES),
         }
     }
 
@@ -126,9 +131,12 @@ impl ObjectStore {
 
     /// Store an object without billing a request: models data already
     /// resident in the bucket when an episode starts. Seeds are invisible
-    /// to the request counters and the bill.
+    /// to the request counters and the bill, but their bytes are counted
+    /// under [`keys::SEEDED_BYTES`] so cost tables can separate seeded
+    /// residency from paid PUTs.
     pub fn seed(&mut self, cid: ContentId, size: DataSize) {
         self.objects.insert(cid, size);
+        self.metrics.incr_id(self.id_seeded_bytes, size.as_bytes());
     }
 
     /// Fetch an object; `None` if absent (no charge for a 404 — the
@@ -214,6 +222,19 @@ mod tests {
         assert_eq!(m.counter(keys::GETS), 1);
         assert_eq!(m.counter(keys::BYTES_SERVED), 3_000_000);
         assert_eq!(m.counter(keys::BYTES_STORED), 3_000_000);
+    }
+
+    #[test]
+    fn seeding_counts_bytes_but_never_bills() {
+        let m = Metrics::new();
+        let mut s = ObjectStore::default();
+        s.set_metrics(m.clone());
+        s.seed(cid(1), DataSize::from_mb(5));
+        assert_eq!(m.counter(keys::SEEDED_BYTES), 5_000_000);
+        assert_eq!(m.counter(keys::PUTS), 0);
+        assert_eq!(m.counter(keys::BYTES_STORED), 0);
+        assert_eq!(s.puts(), 0);
+        assert_eq!(s.cost_usd(), 0.0);
     }
 
     #[test]

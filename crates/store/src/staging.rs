@@ -11,8 +11,14 @@
 //! 5. **GridFTP ingest** — a Globus transfer from the origin site, the
 //!    fallback when the content has never entered the cloud.
 //!
-//! Which rungs are reachable depends on the configured
-//! [`SharingBackend`]; the caller charges `plan.total` before job start.
+//! The ladder is an ordered, configurable list of [`Rung`]s — each
+//! [`SharingBackend`] installs its default order ([byte-identical to the
+//! historical hardcoded sequence](SharingBackend::default_ladder)), and
+//! callers that need a different climb (the federation layer splices a
+//! cross-site rung before the terminal fallbacks) swap it with
+//! [`DataPlane::set_ladder`] or drive single rungs through
+//! [`DataPlane::try_rung`]. The caller charges `plan.total` before job
+//! start.
 
 use cumulus_net::{DataSize, Rate, TcpConfig};
 use cumulus_nfs::SharedFs;
@@ -33,6 +39,9 @@ pub mod keys {
     pub const BYTES_PEER: &str = "store.bytes.peer";
     /// Counter: bytes fetched from the object store.
     pub const BYTES_OBJECT: &str = "store.bytes.object";
+    /// Counter: bytes fetched from a remote site's object store over the
+    /// WAN (the federation layer's cross-site rung).
+    pub const BYTES_REMOTE: &str = "store.bytes.remote";
     /// Counter: bytes staged through the shared NFS export.
     pub const BYTES_NFS: &str = "store.bytes.nfs";
     /// Counter: bytes ingested over GridFTP from the origin site.
@@ -62,6 +71,41 @@ impl SharingBackend {
             SharingBackend::CachedObjectStore => "s3+cache",
         }
     }
+
+    /// The backend's default source ladder — exactly the climb the
+    /// historical hardcoded dispatch performed, so a plane left on its
+    /// default order stages byte-identically to the pre-ladder tree.
+    pub fn default_ladder(self) -> &'static [Rung] {
+        match self {
+            SharingBackend::Nfs => &[Rung::Nfs],
+            SharingBackend::ObjectStore => &[Rung::ObjectStore, Rung::Ingest],
+            SharingBackend::CachedObjectStore => &[
+                Rung::LocalCache,
+                Rung::Peer,
+                Rung::ObjectStore,
+                Rung::Ingest,
+            ],
+        }
+    }
+}
+
+/// One rung of the staging source ladder. A [`DataPlane`] climbs its
+/// configured rung list in order and charges the first rung that can
+/// produce the bytes. [`Rung::Nfs`] and [`Rung::Ingest`] are *terminal*:
+/// they never refuse, so any ladder ending in one always resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// The worker's own cache (free; counts a hit/miss per probe).
+    LocalCache,
+    /// Another worker's cache, copied over the intra-cloud path.
+    Peer,
+    /// The site's object store (a billed GET when it holds the content).
+    ObjectStore,
+    /// The shared NFS export (terminal — always stages).
+    Nfs,
+    /// GridFTP ingest from the origin site (terminal — always stages,
+    /// landing the content in the object store).
+    Ingest,
 }
 
 /// Where one input's bytes came from.
@@ -73,6 +117,10 @@ pub enum StagingSource {
     Peer(String),
     /// Fetched from the object store.
     ObjectStore,
+    /// Fetched from the named remote site's object store over the WAN
+    /// (produced by the federation layer's cross-site rung, never by a
+    /// single-site ladder).
+    RemoteSite(String),
     /// Staged through the shared filesystem.
     Nfs,
     /// Ingested over GridFTP from the origin site.
@@ -137,6 +185,7 @@ pub struct DataPlane {
     pub object: ObjectStore,
     /// The per-worker caches.
     pub fleet: CacheFleet,
+    ladder: Vec<Rung>,
     metrics: Metrics,
     ids: StagingMetricIds,
 }
@@ -147,6 +196,7 @@ struct StagingMetricIds {
     bytes_local: MetricId,
     bytes_peer: MetricId,
     bytes_object: MetricId,
+    bytes_remote: MetricId,
     bytes_nfs: MetricId,
     bytes_ingest: MetricId,
     staging_secs: MetricId,
@@ -158,6 +208,7 @@ impl StagingMetricIds {
             bytes_local: MetricId::register(keys::BYTES_LOCAL),
             bytes_peer: MetricId::register(keys::BYTES_PEER),
             bytes_object: MetricId::register(keys::BYTES_OBJECT),
+            bytes_remote: MetricId::register(keys::BYTES_REMOTE),
             bytes_nfs: MetricId::register(keys::BYTES_NFS),
             bytes_ingest: MetricId::register(keys::BYTES_INGEST),
             staging_secs: MetricId::register(keys::STAGING_SECS),
@@ -180,9 +231,32 @@ impl DataPlane {
             nfs: SharedFs::new(nfs_bandwidth_mbps),
             object: ObjectStore::new(object_config),
             fleet: CacheFleet::new(cache_capacity, eviction),
+            ladder: backend.default_ladder().to_vec(),
             metrics: Metrics::new(),
             ids: StagingMetricIds::register(),
         }
+    }
+
+    /// The active source ladder, in climb order.
+    pub fn ladder(&self) -> &[Rung] {
+        &self.ladder
+    }
+
+    /// Replace the source ladder. The list must be non-empty; a ladder
+    /// whose last rung is not terminal ([`Rung::Nfs`] / [`Rung::Ingest`])
+    /// is allowed — such planes are only safe to drive rung-by-rung via
+    /// [`DataPlane::try_rung`], since [`DataPlane::stage_job`] panics if
+    /// every rung refuses an input.
+    pub fn set_ladder(&mut self, ladder: Vec<Rung>) {
+        assert!(!ladder.is_empty(), "the staging ladder cannot be empty");
+        self.ladder = ladder;
+    }
+
+    /// Whether staged bytes are admitted into the worker caches — true
+    /// exactly when the ladder probes [`Rung::LocalCache`], so a plane
+    /// without the cache rung never warms state it would never read.
+    pub fn caching_enabled(&self) -> bool {
+        self.ladder.contains(&Rung::LocalCache)
     }
 
     /// Route all counters (NFS, object store, caches, staging) to one
@@ -241,53 +315,105 @@ impl DataPlane {
             plan.total += step.duration;
             plan.steps.push(step);
         }
-        self.metrics
-            .record_id(self.ids.staging_secs, plan.total.as_secs_f64());
+        self.record_staging_secs(plan.total);
         plan
     }
 
     fn stage_input(&mut self, worker: &str, input: InputSpec, nfs_concurrent: u32) -> StagingStep {
+        let mut resolved = None;
+        for i in 0..self.ladder.len() {
+            let rung = self.ladder[i];
+            if let Some(hit) = self.try_rung(rung, worker, input, nfs_concurrent) {
+                if rung != Rung::LocalCache {
+                    self.admit(worker, input.cid, input.size);
+                }
+                resolved = Some(hit);
+                break;
+            }
+        }
+        let (source, duration) = resolved.unwrap_or_else(|| {
+            panic!(
+                "no rung in {:?} could stage {} — ladders driven through \
+                 stage_job must end in a terminal rung (Nfs or Ingest)",
+                self.ladder, input.cid
+            )
+        });
+        let step = StagingStep {
+            cid: input.cid,
+            size: input.size,
+            source,
+            duration,
+        };
+        self.record_step(&step);
+        step
+    }
+
+    /// Probe a single rung for `input` on `worker`: `Some((source, time))`
+    /// when the rung can produce the bytes, `None` when it refuses (cache
+    /// miss, no peer holds the content, object store doesn't have it).
+    /// [`Rung::Nfs`] and [`Rung::Ingest`] never refuse.
+    ///
+    /// This is the building block for external ladder drivers (the
+    /// federation layer interleaves its cross-site rung between these
+    /// probes); such callers are responsible for [`DataPlane::admit`] and
+    /// [`DataPlane::record_step`] on the winning rung.
+    pub fn try_rung(
+        &mut self,
+        rung: Rung,
+        worker: &str,
+        input: InputSpec,
+        nfs_concurrent: u32,
+    ) -> Option<(StagingSource, SimDuration)> {
         let InputSpec { cid, size } = input;
-        let (source, duration) = match self.backend {
-            SharingBackend::Nfs => (
+        match rung {
+            Rung::LocalCache => self
+                .fleet
+                .lookup(worker, cid)
+                .then_some((StagingSource::LocalCache, SimDuration::ZERO)),
+            Rung::Peer => self
+                .fleet
+                .peer_with(cid, worker)
+                .map(|peer| (StagingSource::Peer(peer), self.peer_duration(size))),
+            Rung::ObjectStore => self
+                .object
+                .get(cid)
+                .map(|d| (StagingSource::ObjectStore, d)),
+            Rung::Nfs => Some((
                 StagingSource::Nfs,
                 self.nfs.stage(size.as_bytes(), nfs_concurrent),
-            ),
-            SharingBackend::ObjectStore => match self.object.get(cid) {
-                Some(d) => (StagingSource::ObjectStore, d),
-                None => self.ingest(cid, size),
-            },
-            SharingBackend::CachedObjectStore => {
-                if self.fleet.lookup(worker, cid) {
-                    (StagingSource::LocalCache, SimDuration::ZERO)
-                } else if let Some(peer) = self.fleet.peer_with(cid, worker) {
-                    let d = self.peer_duration(size);
-                    self.fleet.insert(worker, cid, size);
-                    (StagingSource::Peer(peer), d)
-                } else if let Some(d) = self.object.get(cid) {
-                    self.fleet.insert(worker, cid, size);
-                    (StagingSource::ObjectStore, d)
-                } else {
-                    let (source, d) = self.ingest(cid, size);
-                    self.fleet.insert(worker, cid, size);
-                    (source, d)
-                }
-            }
-        };
-        let key = match &source {
+            )),
+            Rung::Ingest => Some(self.ingest(cid, size)),
+        }
+    }
+
+    /// Admit freshly fetched bytes into `worker`'s cache — a no-op unless
+    /// the ladder probes [`Rung::LocalCache`], so cacheless planes never
+    /// warm state they would never read.
+    pub fn admit(&mut self, worker: &str, cid: ContentId, size: DataSize) {
+        if self.caching_enabled() {
+            self.fleet.insert(worker, cid, size);
+        }
+    }
+
+    /// Attribute one resolved step's bytes to its per-source counter.
+    pub fn record_step(&mut self, step: &StagingStep) {
+        let key = match &step.source {
             StagingSource::LocalCache => self.ids.bytes_local,
             StagingSource::Peer(_) => self.ids.bytes_peer,
             StagingSource::ObjectStore => self.ids.bytes_object,
+            StagingSource::RemoteSite(_) => self.ids.bytes_remote,
             StagingSource::Nfs => self.ids.bytes_nfs,
             StagingSource::Ingest => self.ids.bytes_ingest,
         };
-        self.metrics.incr_id(key, size.as_bytes());
-        StagingStep {
-            cid,
-            size,
-            source,
-            duration,
-        }
+        self.metrics.incr_id(key, step.size.as_bytes());
+    }
+
+    /// Record one job's total staging time (what [`DataPlane::stage_job`]
+    /// does internally; external ladder drivers call it per assembled
+    /// plan).
+    pub fn record_staging_secs(&mut self, total: SimDuration) {
+        self.metrics
+            .record_id(self.ids.staging_secs, total.as_secs_f64());
     }
 
     /// Last-resort GridFTP ingest; the content lands in the object store
@@ -410,6 +536,73 @@ mod tests {
         assert_eq!(m.counter(keys::BYTES_LOCAL), 50_000_000);
         assert_eq!(m.counter(keys::BYTES_PEER), 50_000_000);
         assert_eq!(m.samples(keys::STAGING_SECS).count(), 3);
+    }
+
+    #[test]
+    fn default_ladders_match_the_historical_dispatch() {
+        assert_eq!(SharingBackend::Nfs.default_ladder(), &[Rung::Nfs]);
+        assert_eq!(
+            SharingBackend::ObjectStore.default_ladder(),
+            &[Rung::ObjectStore, Rung::Ingest]
+        );
+        assert_eq!(
+            SharingBackend::CachedObjectStore.default_ladder(),
+            &[
+                Rung::LocalCache,
+                Rung::Peer,
+                Rung::ObjectStore,
+                Rung::Ingest
+            ]
+        );
+        let p = plane(SharingBackend::CachedObjectStore);
+        assert_eq!(
+            p.ladder(),
+            SharingBackend::CachedObjectStore.default_ladder()
+        );
+        assert!(p.caching_enabled());
+        assert!(!plane(SharingBackend::Nfs).caching_enabled());
+    }
+
+    #[test]
+    fn custom_ladder_order_is_respected() {
+        let mut p = plane(SharingBackend::CachedObjectStore);
+        p.seed_dataset(cid(1), mb(100));
+        // Prefer the NFS export over the object store, keeping admission.
+        p.set_ladder(vec![Rung::LocalCache, Rung::Nfs]);
+        let cold = p.stage_job("w-0", &[input(1, 100)], 1);
+        assert_eq!(cold.steps[0].source, StagingSource::Nfs);
+        // The NFS fetch warmed the cache: the next stage is free.
+        let warm = p.stage_job("w-0", &[input(1, 100)], 1);
+        assert_eq!(warm.steps[0].source, StagingSource::LocalCache);
+        assert_eq!(p.object.gets(), 0, "the object store was never consulted");
+    }
+
+    #[test]
+    fn cacheless_ladder_never_admits() {
+        let mut p = plane(SharingBackend::CachedObjectStore);
+        p.seed_dataset(cid(1), mb(100));
+        p.set_ladder(vec![Rung::Nfs]);
+        p.stage_job("w-0", &[input(1, 100)], 1);
+        // Restore the cached ladder: nothing was admitted above, so the
+        // climb falls through to the object store, not the local cache.
+        p.set_ladder(SharingBackend::CachedObjectStore.default_ladder().to_vec());
+        let next = p.stage_job("w-0", &[input(1, 100)], 1);
+        assert_eq!(next.steps[0].source, StagingSource::ObjectStore);
+    }
+
+    #[test]
+    fn try_rung_probes_refuse_and_terminals_always_stage() {
+        let mut p = plane(SharingBackend::CachedObjectStore);
+        let spec = input(7, 50);
+        assert_eq!(p.try_rung(Rung::LocalCache, "w-0", spec, 1), None);
+        assert_eq!(p.try_rung(Rung::Peer, "w-0", spec, 1), None);
+        assert_eq!(p.try_rung(Rung::ObjectStore, "w-0", spec, 1), None);
+        let (source, d) = p.try_rung(Rung::Nfs, "w-0", spec, 1).unwrap();
+        assert_eq!(source, StagingSource::Nfs);
+        assert!(d > SimDuration::ZERO);
+        let (source, _) = p.try_rung(Rung::Ingest, "w-0", spec, 1).unwrap();
+        assert_eq!(source, StagingSource::Ingest);
+        assert!(p.object.contains(cid(7)), "ingest lands in the bucket");
     }
 
     #[test]

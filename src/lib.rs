@@ -25,6 +25,7 @@
 //! | [`autoscale`] | closed-loop elasticity: policies, controller, workloads |
 //! | [`galaxy`] | Galaxy: tools, histories, workflows, provenance, sharing |
 //! | [`crdata`] | the 35 CRData statistical tools + bioinformatics substrate |
+//! | [`federation`] | multi-site deployments: WAN model, cross-site staging, placement |
 //!
 //! The [`scenario`] module assembles them into the paper's §V use case; the
 //! `cumulus-bench` crate regenerates every figure (see EXPERIMENTS.md).
@@ -46,6 +47,7 @@ pub use cumulus_autoscale as autoscale;
 pub use cumulus_chef as chef;
 pub use cumulus_cloud as cloud;
 pub use cumulus_crdata as crdata;
+pub use cumulus_federation as federation;
 pub use cumulus_galaxy as galaxy;
 pub use cumulus_htc as htc;
 pub use cumulus_net as net;
